@@ -1,0 +1,14 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig01.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig01.csv' using 2:(strcol(1) eq 'encode-k7' ? $3 : NaN) with linespoints title 'encode-k7', \
+  'fig01.csv' using 2:(strcol(1) eq 'decode-k7' ? $3 : NaN) with linespoints title 'decode-k7', \
+  'fig01.csv' using 2:(strcol(1) eq 'encode-k20' ? $3 : NaN) with linespoints title 'encode-k20', \
+  'fig01.csv' using 2:(strcol(1) eq 'decode-k20' ? $3 : NaN) with linespoints title 'decode-k20', \
+  'fig01.csv' using 2:(strcol(1) eq 'encode-k100' ? $3 : NaN) with linespoints title 'encode-k100', \
+  'fig01.csv' using 2:(strcol(1) eq 'decode-k100' ? $3 : NaN) with linespoints title 'decode-k100'

@@ -1,0 +1,12 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig03.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig03.csv' using 2:(strcol(1) eq 'no-FEC' ? $3 : NaN) with linespoints title 'no-FEC', \
+  'fig03.csv' using 2:(strcol(1) eq 'layered-k7' ? $3 : NaN) with linespoints title 'layered-k7', \
+  'fig03.csv' using 2:(strcol(1) eq 'layered-k20' ? $3 : NaN) with linespoints title 'layered-k20', \
+  'fig03.csv' using 2:(strcol(1) eq 'layered-k100' ? $3 : NaN) with linespoints title 'layered-k100'

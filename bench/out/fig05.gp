@@ -1,0 +1,11 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig05.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig05.csv' using 2:(strcol(1) eq 'no-FEC' ? $3 : NaN) with linespoints title 'no-FEC', \
+  'fig05.csv' using 2:(strcol(1) eq 'layered(7+1)' ? $3 : NaN) with linespoints title 'layered(7+1)', \
+  'fig05.csv' using 2:(strcol(1) eq 'integrated' ? $3 : NaN) with linespoints title 'integrated'

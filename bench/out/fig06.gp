@@ -1,0 +1,13 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig06.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig06.csv' using 2:(strcol(1) eq 'no-FEC' ? $3 : NaN) with linespoints title 'no-FEC', \
+  'fig06.csv' using 2:(strcol(1) eq '(7 n=8)' ? $3 : NaN) with linespoints title '(7 n=8)', \
+  'fig06.csv' using 2:(strcol(1) eq '(7 n=9)' ? $3 : NaN) with linespoints title '(7 n=9)', \
+  'fig06.csv' using 2:(strcol(1) eq '(7 n=10)' ? $3 : NaN) with linespoints title '(7 n=10)', \
+  'fig06.csv' using 2:(strcol(1) eq '(7 n=inf)' ? $3 : NaN) with linespoints title '(7 n=inf)'

@@ -1,0 +1,12 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig07.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig07.csv' using 2:(strcol(1) eq 'no-FEC' ? $3 : NaN) with linespoints title 'no-FEC', \
+  'fig07.csv' using 2:(strcol(1) eq 'integrated-k7' ? $3 : NaN) with linespoints title 'integrated-k7', \
+  'fig07.csv' using 2:(strcol(1) eq 'integrated-k20' ? $3 : NaN) with linespoints title 'integrated-k20', \
+  'fig07.csv' using 2:(strcol(1) eq 'integrated-k100' ? $3 : NaN) with linespoints title 'integrated-k100'

@@ -1,0 +1,12 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig09.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig09.csv' using 2:(strcol(1) eq 'high-loss 0%' ? $3 : NaN) with linespoints title 'high-loss 0%', \
+  'fig09.csv' using 2:(strcol(1) eq 'high-loss 1%' ? $3 : NaN) with linespoints title 'high-loss 1%', \
+  'fig09.csv' using 2:(strcol(1) eq 'high-loss 5%' ? $3 : NaN) with linespoints title 'high-loss 5%', \
+  'fig09.csv' using 2:(strcol(1) eq 'high-loss 25%' ? $3 : NaN) with linespoints title 'high-loss 25%'

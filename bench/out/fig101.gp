@@ -1,0 +1,11 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig101.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig101.csv' using 2:(strcol(1) eq 'N1-sender' ? $3 : NaN) with linespoints title 'N1-sender', \
+  'fig101.csv' using 2:(strcol(1) eq 'N2-sender' ? $3 : NaN) with linespoints title 'N2-sender', \
+  'fig101.csv' using 2:(strcol(1) eq 'NP-sender' ? $3 : NaN) with linespoints title 'NP-sender'

@@ -1,0 +1,10 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig103.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig103.csv' using 2:(strcol(1) eq 'naks-per-round' ? $3 : NaN) with linespoints title 'naks-per-round', \
+  'fig103.csv' using 2:(strcol(1) eq 'latency-cost' ? $3 : NaN) with linespoints title 'latency-cost'

@@ -1,0 +1,12 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig104.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig104.csv' using 2:(strcol(1) eq 'no-FEC' ? $3 : NaN) with linespoints title 'no-FEC', \
+  'fig104.csv' using 2:(strcol(1) eq 'integrated-2' ? $3 : NaN) with linespoints title 'integrated-2', \
+  'fig104.csv' using 2:(strcol(1) eq 'carousel(7+3)' ? $3 : NaN) with linespoints title 'carousel(7+3)', \
+  'fig104.csv' using 2:(strcol(1) eq 'carousel(7+7)' ? $3 : NaN) with linespoints title 'carousel(7+7)'

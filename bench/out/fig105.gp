@@ -1,0 +1,12 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig105.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig105.csv' using 2:(strcol(1) eq 'flat no-FEC' ? $3 : NaN) with linespoints title 'flat no-FEC', \
+  'fig105.csv' using 2:(strcol(1) eq 'flat integrated' ? $3 : NaN) with linespoints title 'flat integrated', \
+  'fig105.csv' using 2:(strcol(1) eq 'hier no-FEC' ? $3 : NaN) with linespoints title 'hier no-FEC', \
+  'fig105.csv' using 2:(strcol(1) eq 'hier integrated' ? $3 : NaN) with linespoints title 'hier integrated'

@@ -1,0 +1,12 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig11.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig11.csv' using 2:(strcol(1) eq 'no-FEC indep' ? $3 : NaN) with linespoints title 'no-FEC indep', \
+  'fig11.csv' using 2:(strcol(1) eq 'no-FEC FBT' ? $3 : NaN) with linespoints title 'no-FEC FBT', \
+  'fig11.csv' using 2:(strcol(1) eq 'layered indep' ? $3 : NaN) with linespoints title 'layered indep', \
+  'fig11.csv' using 2:(strcol(1) eq 'layered FBT' ? $3 : NaN) with linespoints title 'layered FBT'

@@ -1,0 +1,12 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig12.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig12.csv' using 2:(strcol(1) eq 'no-FEC indep' ? $3 : NaN) with linespoints title 'no-FEC indep', \
+  'fig12.csv' using 2:(strcol(1) eq 'no-FEC FBT' ? $3 : NaN) with linespoints title 'no-FEC FBT', \
+  'fig12.csv' using 2:(strcol(1) eq 'integrated indep' ? $3 : NaN) with linespoints title 'integrated indep', \
+  'fig12.csv' using 2:(strcol(1) eq 'integrated FBT' ? $3 : NaN) with linespoints title 'integrated FBT'

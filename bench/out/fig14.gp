@@ -1,0 +1,10 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig14.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig14.csv' using 2:(strcol(1) eq 'no burst loss' ? $3 : NaN) with linespoints title 'no burst loss', \
+  'fig14.csv' using 2:(strcol(1) eq 'burst b=2' ? $3 : NaN) with linespoints title 'burst b=2'

@@ -1,0 +1,11 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig15.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig15.csv' using 2:(strcol(1) eq 'no-FEC' ? $3 : NaN) with linespoints title 'no-FEC', \
+  'fig15.csv' using 2:(strcol(1) eq 'layered(7+1)' ? $3 : NaN) with linespoints title 'layered(7+1)', \
+  'fig15.csv' using 2:(strcol(1) eq 'layered(7+3)' ? $3 : NaN) with linespoints title 'layered(7+3)'

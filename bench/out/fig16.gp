@@ -1,0 +1,15 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig16.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig16.csv' using 2:(strcol(1) eq 'no-FEC' ? $3 : NaN) with linespoints title 'no-FEC', \
+  'fig16.csv' using 2:(strcol(1) eq 'integr.1-k7' ? $3 : NaN) with linespoints title 'integr.1-k7', \
+  'fig16.csv' using 2:(strcol(1) eq 'integr.2-k7' ? $3 : NaN) with linespoints title 'integr.2-k7', \
+  'fig16.csv' using 2:(strcol(1) eq 'integr.1-k20' ? $3 : NaN) with linespoints title 'integr.1-k20', \
+  'fig16.csv' using 2:(strcol(1) eq 'integr.2-k20' ? $3 : NaN) with linespoints title 'integr.2-k20', \
+  'fig16.csv' using 2:(strcol(1) eq 'integr.1-k100' ? $3 : NaN) with linespoints title 'integr.1-k100', \
+  'fig16.csv' using 2:(strcol(1) eq 'integr.2-k100' ? $3 : NaN) with linespoints title 'integr.2-k100'

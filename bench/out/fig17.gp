@@ -1,0 +1,12 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig17.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig17.csv' using 2:(strcol(1) eq 'N2-sender' ? $3 : NaN) with linespoints title 'N2-sender', \
+  'fig17.csv' using 2:(strcol(1) eq 'N2-receiver' ? $3 : NaN) with linespoints title 'N2-receiver', \
+  'fig17.csv' using 2:(strcol(1) eq 'NP-sender' ? $3 : NaN) with linespoints title 'NP-sender', \
+  'fig17.csv' using 2:(strcol(1) eq 'NP-receiver' ? $3 : NaN) with linespoints title 'NP-receiver'

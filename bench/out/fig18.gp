@@ -1,0 +1,11 @@
+set datafile separator ','
+set terminal svg size 800,560 dynamic
+set output 'fig18.svg'
+set logscale x
+set xlabel 'x'
+set ylabel 'y'
+set key left top
+plot \
+  'fig18.csv' using 2:(strcol(1) eq 'N2' ? $3 : NaN) with linespoints title 'N2', \
+  'fig18.csv' using 2:(strcol(1) eq 'NP' ? $3 : NaN) with linespoints title 'NP', \
+  'fig18.csv' using 2:(strcol(1) eq 'NP-pre-encode' ? $3 : NaN) with linespoints title 'NP-pre-encode'
