@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Bytes Cauchy Char Endhost Gf Harness Integrated List Loss Network Printf Receivers Rmcast Rng Rse Rse_poly Runner Timing

@@ -1,0 +1,1 @@
+bench/extensions.ml: Endhost Endhost_n1 Feedback Harness Hierarchy Latency Network Printf Receivers Rmcast Rng Runner Sweep

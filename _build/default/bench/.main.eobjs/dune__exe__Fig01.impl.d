@@ -1,0 +1,1 @@
+bench/fig01.ml: Array Bytes Char Float Format Fun Harness List Printf Rmcast Rng Rse Seq Sweep

@@ -1,0 +1,1 @@
+bench/fig03.ml: Arq Harness Layered List Printf Receivers Rmcast Sweep

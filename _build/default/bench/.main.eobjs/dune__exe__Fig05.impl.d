@@ -1,0 +1,1 @@
+bench/fig05.ml: Arq Harness Integrated Layered Printf Receivers Rmcast Sweep

@@ -1,0 +1,1 @@
+bench/fig07.ml: Arq Harness Integrated List Printf Receivers Rmcast Sweep

@@ -1,0 +1,1 @@
+bench/fig09.ml: Arq Harness Integrated List Printf Receivers Rmcast Sweep

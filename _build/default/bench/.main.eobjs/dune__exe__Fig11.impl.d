@@ -1,0 +1,1 @@
+bench/fig11.ml: Arq Harness Integrated Layered List Network Receivers Rmcast Runner Sweep

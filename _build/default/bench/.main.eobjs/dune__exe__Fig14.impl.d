@@ -1,0 +1,1 @@
+bench/fig14.ml: Harness List Loss Printf Rmcast Rng Runner Stats Sweep

@@ -1,0 +1,1 @@
+bench/fig15.ml: Harness List Loss Network Printf Rmcast Runner Sweep Timing

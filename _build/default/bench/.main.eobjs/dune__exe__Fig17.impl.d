@@ -1,0 +1,1 @@
+bench/fig17.ml: Endhost Harness Rmcast Sweep

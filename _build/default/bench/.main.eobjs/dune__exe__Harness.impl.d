@@ -1,0 +1,1 @@
+bench/harness.ml: Analyze Bechamel Benchmark Filename Float Format Hashtbl List Measure Printf Rmcast Staged Sys Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Extensions Fig01 Fig03 Fig05 Fig07 Fig09 Fig11 Fig14 Fig15 Fig17 Harness List Printf String Sys

@@ -1,0 +1,27 @@
+(* Figures 3 and 4: no FEC versus layered FEC for TG sizes k = 7, 20, 100,
+   p = 0.01, with h = 2 (Fig. 3) and h = 7 (Fig. 4) parity packets. *)
+
+open Rmcast
+
+let series ~h =
+  let grid = Harness.receivers_grid () in
+  let population r = Receivers.homogeneous ~p:0.01 ~count:r in
+  let nofec =
+    Sweep.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
+        (float_of_int r, Arq.expected_transmissions ~population:(population r)))
+  in
+  let layered k =
+    Sweep.series ~label:(Printf.sprintf "layered-k%d" k) ~xs:grid ~f:(fun r ->
+        (float_of_int r, Layered.expected_transmissions ~k ~h ~population:(population r)))
+  in
+  nofec :: List.map layered [ 7; 20; 100 ]
+
+let run_h ~figure ~h =
+  Harness.heading ~figure
+    (Printf.sprintf "layered FEC vs no FEC, h = %d, p = 0.01 (E[M] vs R)" h);
+  let s = series ~h in
+  Harness.print_table s;
+  Harness.write_csv ~figure s
+
+let run () = run_h ~figure:3 ~h:2
+let run_fig4 () = run_h ~figure:4 ~h:7

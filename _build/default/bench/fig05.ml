@@ -1,0 +1,47 @@
+(* Figure 5: no FEC vs layered FEC vs the integrated-FEC lower bound for
+   TG size 7 and p = 0.01.
+   Figure 6: integrated FEC at k = 7 with finite parity budgets
+   (7,8), (7,9), (7,10) against the (7,inf) bound. *)
+
+open Rmcast
+
+let population r = Receivers.homogeneous ~p:0.01 ~count:r
+
+let run () =
+  Harness.heading ~figure:5 "no FEC vs layered vs integrated, k = 7, p = 0.01";
+  let grid = Harness.receivers_grid () in
+  let series =
+    [
+      Sweep.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
+          (float_of_int r, Arq.expected_transmissions ~population:(population r)));
+      Sweep.series ~label:"layered(7+1)" ~xs:grid ~f:(fun r ->
+          (float_of_int r, Layered.expected_transmissions ~k:7 ~h:1 ~population:(population r)));
+      Sweep.series ~label:"integrated" ~xs:grid ~f:(fun r ->
+          (float_of_int r,
+           Integrated.expected_transmissions_unbounded ~k:7 ~population:(population r) ()));
+    ]
+  in
+  Harness.print_table series;
+  Harness.write_csv ~figure:5 series
+
+let run_fig6 () =
+  Harness.heading ~figure:6 "integrated FEC, k = 7, finite parity budgets";
+  let grid = Harness.receivers_grid () in
+  let finite h =
+    Sweep.series ~label:(Printf.sprintf "(7 n=%d)" (7 + h)) ~xs:grid ~f:(fun r ->
+        (float_of_int r, Integrated.expected_transmissions ~k:7 ~h ~population:(population r) ()))
+  in
+  let series =
+    [
+      Sweep.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
+          (float_of_int r, Arq.expected_transmissions ~population:(population r)));
+      finite 1;
+      finite 2;
+      finite 3;
+      Sweep.series ~label:"(7 n=inf)" ~xs:grid ~f:(fun r ->
+          (float_of_int r,
+           Integrated.expected_transmissions_unbounded ~k:7 ~population:(population r) ()));
+    ]
+  in
+  Harness.print_table series;
+  Harness.write_csv ~figure:6 series

@@ -1,0 +1,35 @@
+(* Figures 9 and 10: heterogeneous receivers.  A fraction of the population
+   sits behind a 25%-loss path, the rest at 1%.  Figure 9: no FEC;
+   Figure 10: integrated FEC with k = 7. *)
+
+open Rmcast
+
+let fractions = [ 0.0; 0.01; 0.05; 0.25 ]
+
+let population ~fraction r =
+  Receivers.two_class ~p_low:0.01 ~p_high:0.25 ~high_fraction:fraction ~count:r
+
+let series ~f =
+  let grid = Harness.receivers_grid () in
+  List.map
+    (fun fraction ->
+      Sweep.series
+        ~label:(Printf.sprintf "high-loss %g%%" (100.0 *. fraction))
+        ~xs:grid
+        ~f:(fun r -> (float_of_int r, f (population ~fraction r))))
+    fractions
+
+let run () =
+  Harness.heading ~figure:9 "heterogeneous receivers, no FEC";
+  let s = series ~f:(fun population -> Arq.expected_transmissions ~population) in
+  Harness.print_table s;
+  Harness.write_csv ~figure:9 s
+
+let run_fig10 () =
+  Harness.heading ~figure:10 "heterogeneous receivers, integrated FEC (k = 7)";
+  let s =
+    series ~f:(fun population ->
+        Integrated.expected_transmissions_unbounded ~k:7 ~population ())
+  in
+  Harness.print_table s;
+  Harness.write_csv ~figure:10 s

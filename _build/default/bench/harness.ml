@@ -1,0 +1,72 @@
+(* Shared plumbing for the figure-regeneration harness. *)
+
+let out_dir = ref "bench/out"
+let fast = ref false
+
+(* Bechamel microbenchmark: OLS estimate of seconds per run. *)
+let seconds_per_run ~name f =
+  let open Bechamel in
+  let quota = if !fast then 0.10 else 0.30 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let test = Test.make ~name (Staged.stage f) in
+  let raw = Benchmark.all cfg instances test in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let nanoseconds =
+    Hashtbl.fold
+      (fun _ estimate acc ->
+        match Analyze.OLS.estimates estimate with Some (t :: _) -> t | _ -> acc)
+      results Float.nan
+  in
+  nanoseconds *. 1e-9
+
+let ensure_out_dir () =
+  if not (Sys.file_exists !out_dir) then Sys.mkdir !out_dir 0o755
+
+let write_csv ~figure series =
+  ensure_out_dir ();
+  let path = Filename.concat !out_dir (Printf.sprintf "fig%02d.csv" figure) in
+  let oc = open_out path in
+  output_string oc (Rmcast.Sweep.to_csv series);
+  close_out oc;
+  (* Companion gnuplot script: `gnuplot figNN.gp` renders figNN.svg. *)
+  let gp = Filename.concat !out_dir (Printf.sprintf "fig%02d.gp" figure) in
+  let og = open_out gp in
+  Printf.fprintf og "set datafile separator ','\n";
+  Printf.fprintf og "set terminal svg size 800,560 dynamic\n";
+  Printf.fprintf og "set output 'fig%02d.svg'\n" figure;
+  Printf.fprintf og "set logscale x\n";
+  Printf.fprintf og "set xlabel 'x'\nset ylabel 'y'\nset key left top\n";
+  Printf.fprintf og "plot \\\n";
+  List.iteri
+    (fun i { Rmcast.Sweep.label; _ } ->
+      Printf.fprintf og
+        "  'fig%02d.csv' using 2:(strcol(1) eq '%s' ? $3 : NaN) with linespoints title '%s'%s\n"
+        figure label label
+        (if i = List.length series - 1 then "" else ", \\"))
+    series;
+  close_out og;
+  Printf.printf "  [csv] %s (+ %s)\n%!" path gp
+
+let heading ~figure title =
+  Printf.printf "\n=== Figure %d: %s ===\n%!" figure title
+
+let print_table series = Format.printf "%a@." Rmcast.Sweep.pp_table series
+
+let receivers_grid () =
+  Rmcast.Sweep.log_spaced_ints ~from:1 ~upto:1_000_000 ~per_decade:(if !fast then 2 else 4)
+
+(* Monte-Carlo repetitions scaled to the population size so large points do
+   not dominate the wall clock. *)
+let reps_for receivers =
+  let base = if !fast then 60 else 200 in
+  if receivers <= 4096 then base
+  else max 30 (base * 4096 / receivers)
+
+let simulate ~scheme ~k ?timing ~net_of_rng ~seed () =
+  let rng = Rmcast.Rng.create ~seed () in
+  let net = net_of_rng rng in
+  let reps = reps_for (Rmcast.Network.receivers net) in
+  let estimate = Rmcast.Runner.estimate net ~k ~scheme ?timing ~reps () in
+  Rmcast.Runner.mean_m estimate

@@ -1,0 +1,577 @@
+(* rmc — command-line front end to the rmcast library.
+
+   Subcommands:
+     analyze   closed-form E[M] for a scheme (paper §3)
+     sweep     E[M] series over the receiver count (CSV-able)
+     simulate  Monte-Carlo estimate over a simulated network
+     plan      adaptive redundancy planning (proactive parities + budget)
+     endhost   §5 processing rates and throughput (N2 vs NP)
+     codec     file-level FEC: encode a file into packets, decode with drops
+     latency   expected completion time of the schemes
+     feedback  NAK volume under slotting and damping
+     capacity  largest group each protocol can serve
+     transfer  run a full NP transfer over a simulated network
+     udp       run NP over real UDP sockets on loopback
+     trace     record and inspect packet-loss traces *)
+
+open Cmdliner
+
+(* --- shared options -------------------------------------------------- *)
+
+let k_arg =
+  Arg.(value & opt int 7 & info [ "k"; "tg-size" ] ~docv:"K" ~doc:"Transmission group size.")
+
+let h_arg =
+  Arg.(value & opt int 1 & info [ "parities" ] ~docv:"H" ~doc:"Parity packets per group.")
+
+let a_arg =
+  Arg.(value & opt int 0 & info [ "proactive" ] ~docv:"A" ~doc:"Proactive parity packets.")
+
+let p_arg =
+  Arg.(value & opt float 0.01 & info [ "p"; "loss" ] ~docv:"P" ~doc:"Packet loss probability.")
+
+let receivers_arg =
+  Arg.(value & opt int 1000 & info [ "r"; "receivers" ] ~docv:"R" ~doc:"Number of receivers.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let scheme_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "no-fec" | "nofec" | "arq" -> Ok `No_fec
+    | "layered" -> Ok `Layered
+    | "integrated" -> Ok `Integrated
+    | "integrated-bound" | "bound" -> Ok `Integrated_bound
+    | other -> Error (`Msg (Printf.sprintf "unknown scheme %S" other))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+      | `No_fec -> "no-fec"
+      | `Layered -> "layered"
+      | `Integrated -> "integrated"
+      | `Integrated_bound -> "integrated-bound")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Integrated_bound
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:"Recovery scheme: no-fec, layered, integrated (finite h), integrated-bound.")
+
+let high_loss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "high-loss-fraction" ] ~docv:"F"
+        ~doc:"Fraction of receivers at 25% loss (paper §3.3).")
+
+let population ~p ~receivers ~high_fraction =
+  if high_fraction > 0.0 then
+    Rmcast.Receivers.two_class ~p_low:p ~p_high:0.25 ~high_fraction ~count:receivers
+  else Rmcast.Receivers.homogeneous ~p ~count:receivers
+
+let expected_m scheme ~k ~h ~a ~population =
+  match scheme with
+  | `No_fec -> Rmcast.Arq.expected_transmissions ~population
+  | `Layered -> Rmcast.Layered.expected_transmissions ~k ~h ~population
+  | `Integrated -> Rmcast.Integrated.expected_transmissions ~k ~h ~a ~population ()
+  | `Integrated_bound -> Rmcast.Integrated.expected_transmissions_unbounded ~k ~a ~population ()
+
+(* --- analyze --------------------------------------------------------- *)
+
+let analyze scheme k h a p receivers high_fraction =
+  let population = population ~p ~receivers ~high_fraction in
+  let m = expected_m scheme ~k ~h ~a ~population in
+  Printf.printf "E[M] = %.6f transmissions per data packet\n" m;
+  (match scheme with
+  | `Layered ->
+    Printf.printf "RM-layer residual loss q(k,n,p) = %.3e (raw p = %g)\n"
+      (Rmcast.Layered.rm_loss_probability ~k ~h ~p) p
+  | `Integrated_bound | `Integrated ->
+    Printf.printf "expected extra parities E[L] = %.4f, P(no repair round) = %.4f\n"
+      (Rmcast.Integrated.expected_extra ~k ~a ~population)
+      (Rmcast.Integrated.group_extra_cdf ~k ~a ~population 0)
+  | `No_fec -> ());
+  `Ok ()
+
+let analyze_cmd =
+  let doc = "Closed-form expected transmissions per packet (paper §3)." in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(
+      ret (const analyze $ scheme_arg $ k_arg $ h_arg $ a_arg $ p_arg $ receivers_arg
+           $ high_loss_arg))
+
+(* --- sweep ----------------------------------------------------------- *)
+
+let sweep scheme k h a p high_fraction upto csv =
+  let grid = Rmcast.Sweep.log_spaced_ints ~from:1 ~upto ~per_decade:4 in
+  let series =
+    Rmcast.Sweep.series ~label:"E[M]" ~xs:grid ~f:(fun receivers ->
+        ( float_of_int receivers,
+          expected_m scheme ~k ~h ~a ~population:(population ~p ~receivers ~high_fraction) ))
+  in
+  if csv then print_string (Rmcast.Sweep.to_csv [ series ])
+  else Format.printf "%a@." Rmcast.Sweep.pp_table [ series ];
+  `Ok ()
+
+let sweep_cmd =
+  let upto =
+    Arg.(value & opt int 1_000_000 & info [ "to" ] ~docv:"R" ~doc:"Largest receiver count.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
+  let doc = "E[M] versus the number of receivers." in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(
+      ret (const sweep $ scheme_arg $ k_arg $ h_arg $ a_arg $ p_arg $ high_loss_arg $ upto $ csv))
+
+(* --- simulate -------------------------------------------------------- *)
+
+let simulate scheme k h a p receivers seed reps fbt_height burst =
+  let rng = Rmcast.Rng.create ~seed () in
+  let network, timing =
+    match (fbt_height, burst) with
+    | Some height, _ -> (Rmcast.Network.fbt rng ~height ~p, Rmcast.Timing.instantaneous)
+    | None, Some mean_burst ->
+      ( Rmcast.Network.temporal rng ~receivers ~make:(fun rng ->
+            Rmcast.Loss.markov2 rng ~p ~mean_burst ~send_rate:25.0),
+        Rmcast.Timing.paper_burst )
+    | None, None -> (Rmcast.Network.independent rng ~receivers ~p, Rmcast.Timing.instantaneous)
+  in
+  let runner_scheme =
+    match scheme with
+    | `No_fec -> Rmcast.Runner.No_fec
+    | `Layered -> Rmcast.Runner.Layered { h }
+    | `Integrated -> Rmcast.Runner.Integrated_nak { a }
+    | `Integrated_bound -> Rmcast.Runner.Integrated_nak { a }
+  in
+  let estimate = Rmcast.Runner.estimate network ~k ~scheme:runner_scheme ~timing ~reps () in
+  let mean = Rmcast.Runner.mean_m estimate in
+  let low, high =
+    Rmcast.Stats.Accumulator.confidence95 estimate.Rmcast.Runner.transmissions_per_packet
+  in
+  Printf.printf "network: %s\n" (Rmcast.Network.description network);
+  Printf.printf "scheme : %s, k = %d, %d repetitions\n"
+    (Rmcast.Runner.scheme_name runner_scheme) k reps;
+  Printf.printf "E[M]   = %.4f   (95%% CI %.4f - %.4f)\n" mean low high;
+  Printf.printf "rounds = %.3f, NAKs/TG = %.3f, unnecessary receptions/receiver/TG = %.4f\n"
+    (Rmcast.Stats.Accumulator.mean estimate.Rmcast.Runner.rounds)
+    (Rmcast.Stats.Accumulator.mean estimate.Rmcast.Runner.feedback)
+    (Rmcast.Stats.Accumulator.mean estimate.Rmcast.Runner.unnecessary_per_receiver);
+  `Ok ()
+
+let simulate_cmd =
+  let reps = Arg.(value & opt int 200 & info [ "reps" ] ~docv:"N" ~doc:"Repetitions.") in
+  let fbt =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fbt-height" ] ~docv:"D" ~doc:"Use a full binary tree of height D (shared loss).")
+  in
+  let burst =
+    Arg.(
+      value & opt (some float) None
+      & info [ "burst" ] ~docv:"B" ~doc:"Bursty (Markov) loss with mean burst B packets.")
+  in
+  let doc = "Monte-Carlo estimate over a simulated network (paper §4)." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      ret (const simulate $ scheme_arg $ k_arg $ h_arg $ a_arg $ p_arg $ receivers_arg
+           $ seed_arg $ reps $ fbt $ burst))
+
+(* --- plan ------------------------------------------------------------ *)
+
+let plan k p receivers target =
+  let plan = Rmcast.Planner.plan ~k ~p ~receivers ~target_single_round:target () in
+  Printf.printf "k = %d, p = %g, R = %d:\n" k p receivers;
+  Printf.printf "  proactive parities (a)  = %d\n" plan.Rmcast.Planner.proactive;
+  Printf.printf "  parity budget (h)       = %d\n" plan.Rmcast.Planner.budget;
+  Printf.printf "  predicted E[M]          = %.4f\n" plan.Rmcast.Planner.expected_m;
+  Printf.printf "  P(no repair round)      = %.4f\n" plan.Rmcast.Planner.single_round_probability;
+  `Ok ()
+
+let plan_cmd =
+  let target =
+    Arg.(
+      value & opt float 0.9
+      & info [ "target" ] ~docv:"Q" ~doc:"Target probability of single-round delivery.")
+  in
+  let doc = "Choose proactive parities and parity budget for a population." in
+  Cmd.v (Cmd.info "plan" ~doc) Term.(ret (const plan $ k_arg $ p_arg $ receivers_arg $ target))
+
+(* --- endhost --------------------------------------------------------- *)
+
+let endhost k p receivers =
+  let n2 = Rmcast.Endhost.n2 ~p ~receivers () in
+  let np = Rmcast.Endhost.np ~p ~k ~receivers () in
+  let np_pre = Rmcast.Endhost.np ~pre_encoded:true ~p ~k ~receivers () in
+  let show name (rates : Rmcast.Endhost.rates) =
+    Printf.printf "  %-16s sender %8.4f  receiver %8.4f  throughput %8.4f\n" name
+      (rates.Rmcast.Endhost.sender /. 1000.0)
+      (rates.Rmcast.Endhost.receiver /. 1000.0)
+      (rates.Rmcast.Endhost.throughput /. 1000.0)
+  in
+  Printf.printf "End-host model (packets/ms), k = %d, p = %g, R = %d:\n" k p receivers;
+  show "N2" n2;
+  show "NP" np;
+  show "NP pre-encoded" np_pre;
+  `Ok ()
+
+let endhost_cmd =
+  let doc = "Processing rates and throughput of N2 vs NP (paper §5)." in
+  Cmd.v (Cmd.info "endhost" ~doc) Term.(ret (const endhost $ k_arg $ p_arg $ receivers_arg))
+
+(* --- codec ----------------------------------------------------------- *)
+
+let payload_arg =
+  Arg.(value & opt int 1024 & info [ "payload" ] ~docv:"BYTES" ~doc:"Packet payload size.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let codec_encode input output k h payload_size =
+  let contents = read_file input in
+  let packets = Rmcast.Transfer.packetize ~payload_size contents in
+  let buffer = Buffer.create (Array.length packets * (payload_size + 32)) in
+  let tg_count = (Array.length packets + k - 1) / k in
+  for tg_id = 0 to tg_count - 1 do
+    let base = tg_id * k in
+    let len = min k (Array.length packets - base) in
+    let data = Array.sub packets base len in
+    let codec = Rmcast.Rse.create ~k:len ~h () in
+    Array.iteri
+      (fun index payload ->
+        Buffer.add_bytes buffer
+          (Rmcast.Header.encode (Rmcast.Header.Data { tg_id; k = len; index; payload })))
+      data;
+    Array.iteri
+      (fun index payload ->
+        Buffer.add_bytes buffer
+          (Rmcast.Header.encode
+             (Rmcast.Header.Parity { tg_id; k = len; index; round = 0; payload })))
+      (Rmcast.Rse.encode codec data)
+  done;
+  write_file output (Buffer.contents buffer);
+  Printf.printf "%s: %d bytes -> %s: %d packets in %d TGs (k=%d, h=%d)\n" input
+    (String.length contents) output
+    (Array.length packets + (tg_count * h))
+    tg_count k h;
+  `Ok ()
+
+let parse_container contents =
+  let messages = ref [] in
+  let offset = ref 0 in
+  let header = Rmcast.Header.header_size in
+  while !offset + header <= String.length contents do
+    let payload_len =
+      Int32.to_int (Bytes.get_int32_be (Bytes.of_string (String.sub contents (!offset + 18) 4)) 0)
+    in
+    let total = header + payload_len in
+    let chunk = Bytes.of_string (String.sub contents !offset total) in
+    (match Rmcast.Header.decode chunk with
+    | Ok message -> messages := message :: !messages
+    | Error e -> failwith ("corrupt container: " ^ e));
+    offset := !offset + total
+  done;
+  List.rev !messages
+
+let codec_decode input output payload_size drop_rate seed =
+  let rng = Rmcast.Rng.create ~seed () in
+  let messages = parse_container (read_file input) in
+  let kept, dropped =
+    List.partition (fun _ -> not (Rmcast.Rng.bernoulli rng drop_rate)) messages
+  in
+  Printf.printf "container: %d packets, dropped %d (rate %g)\n" (List.length messages)
+    (List.length dropped) drop_rate;
+  (* Group by TG. *)
+  let groups : (int, (int * int * Bytes.t) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let push tg_id k index payload =
+    let cell =
+      match Hashtbl.find_opt groups tg_id with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.replace groups tg_id c;
+        c
+    in
+    cell := (k, index, payload) :: !cell
+  in
+  List.iter
+    (function
+      | Rmcast.Header.Data { tg_id; k; index; payload } -> push tg_id k index payload
+      | Rmcast.Header.Parity { tg_id; k; index; round = _; payload } ->
+        push tg_id k (k + index) payload
+      | Rmcast.Header.Poll _ | Rmcast.Header.Nak _ | Rmcast.Header.Exhausted _ -> ())
+    kept;
+  let tg_ids = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) groups []) in
+  let recovered =
+    List.map
+      (fun tg_id ->
+        let entries = !(Hashtbl.find groups tg_id) in
+        let k = match entries with (k, _, _) :: _ -> k | [] -> failwith "empty TG" in
+        (* The generator only needs rows up to the highest parity index
+           actually present in the container. *)
+        let h =
+          List.fold_left (fun acc (_, index, _) -> max acc (index - k + 1)) 0 entries
+        in
+        let codec = Rmcast.Rse.create ~k ~h () in
+        let received = Array.of_list (List.map (fun (_, index, payload) -> (index, payload)) entries) in
+        if Array.length received < k then
+          failwith (Printf.sprintf "TG %d unrecoverable: %d of %d packets" tg_id
+                      (Array.length received) k);
+        Rmcast.Rse.decode codec received)
+      tg_ids
+  in
+  let packets = Array.concat recovered in
+  write_file output (Rmcast.Transfer.reassemble ~payload_size packets);
+  Printf.printf "recovered %d TGs -> %s\n" (List.length tg_ids) output;
+  `Ok ()
+
+let codec_encode_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let output = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT") in
+  let doc = "Encode a file into a container of data + parity packets." in
+  Cmd.v
+    (Cmd.info "encode" ~doc)
+    Term.(ret (const codec_encode $ input $ output $ k_arg $ h_arg $ payload_arg))
+
+let codec_decode_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let output = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT") in
+  let drop =
+    Arg.(value & opt float 0.0 & info [ "drop" ] ~docv:"RATE" ~doc:"Random packet drop rate.")
+  in
+  let doc = "Decode a container back into the original file, tolerating drops." in
+  Cmd.v
+    (Cmd.info "decode" ~doc)
+    Term.(ret (const codec_decode $ input $ output $ payload_arg $ drop $ seed_arg))
+
+let codec_cmd =
+  let doc = "File-level FEC using the wire format." in
+  Cmd.group (Cmd.info "codec" ~doc) [ codec_encode_cmd; codec_decode_cmd ]
+
+(* --- transfer -------------------------------------------------------- *)
+
+let transfer k h a p receivers seed bytes =
+  let rng = Rmcast.Rng.create ~seed () in
+  let network = Rmcast.Network.independent (Rmcast.Rng.split rng) ~receivers ~p in
+  let message = String.init bytes (fun i -> Char.chr ((i * 37) mod 256)) in
+  let options = { Rmcast.Transfer.default_options with k; h; proactive = a } in
+  let outcome = Rmcast.Transfer.send ~options ~network ~rng:(Rmcast.Rng.split rng) message in
+  let report = outcome.Rmcast.Transfer.report in
+  Printf.printf "verified=%b data=%d parity=%d naks=%d suppressed=%d E[M]=%.4f efficiency=%.1f%%\n"
+    outcome.Rmcast.Transfer.verified report.Rmcast.Np.data_tx report.Rmcast.Np.parity_tx
+    report.Rmcast.Np.naks_sent report.Rmcast.Np.naks_suppressed
+    (Rmcast.Np.transmissions_per_packet report)
+    (100.0 *. outcome.Rmcast.Transfer.efficiency);
+  `Ok ()
+
+let transfer_cmd =
+  let bytes =
+    Arg.(value & opt int 100_000 & info [ "bytes" ] ~docv:"N" ~doc:"Message size in bytes.")
+  in
+  let doc = "Run a full NP transfer over a simulated lossy network." in
+  Cmd.v
+    (Cmd.info "transfer" ~doc)
+    Term.(
+      ret (const transfer $ k_arg $ Arg.(value & opt int 40 & info [ "parities" ]) $ a_arg $ p_arg
+           $ receivers_arg $ seed_arg $ bytes))
+
+(* --- latency --------------------------------------------------------- *)
+
+let latency k h a p receivers spacing feedback_delay =
+  let population = Rmcast.Receivers.homogeneous ~p ~count:receivers in
+  let timing = { Rmcast.Latency.spacing; feedback_delay } in
+  Printf.printf "Expected TG completion time [s], k = %d, p = %g, R = %d\n" k p receivers;
+  Printf.printf "(packet spacing %g s, feedback delay %g s)\n" spacing feedback_delay;
+  Printf.printf "  %-22s %10.4f\n" "no FEC" (Rmcast.Latency.no_fec ~population ~k timing);
+  Printf.printf "  %-22s %10.4f\n"
+    (Printf.sprintf "layered (k+%d)" h)
+    (Rmcast.Latency.layered ~population ~k ~h timing);
+  Printf.printf "  %-22s %10.4f\n" "integrated"
+    (Rmcast.Latency.integrated ~population ~k timing ());
+  if a > 0 then
+    Printf.printf "  %-22s %10.4f\n"
+      (Printf.sprintf "integrated (a=%d)" a)
+      (Rmcast.Latency.integrated ~population ~k ~a timing ());
+  `Ok ()
+
+let latency_cmd =
+  let spacing =
+    Arg.(value & opt float 0.04 & info [ "spacing" ] ~docv:"S" ~doc:"Packet spacing, seconds.")
+  in
+  let feedback_delay =
+    Arg.(value & opt float 0.3 & info [ "feedback-delay" ] ~docv:"T" ~doc:"Round gap, seconds.")
+  in
+  let doc = "Expected completion latency of the recovery schemes." in
+  Cmd.v
+    (Cmd.info "latency" ~doc)
+    Term.(
+      ret (const latency $ k_arg $ h_arg $ a_arg $ p_arg $ receivers_arg $ spacing
+           $ feedback_delay))
+
+(* --- feedback ---------------------------------------------------------- *)
+
+let feedback k a p receivers slot delay seed =
+  let slot_counts = Rmcast.Feedback.slot_counts ~k ~a ~p ~receivers in
+  let firers = Array.fold_left ( + ) 0 slot_counts in
+  Printf.printf "Round 1 of NP at k = %d, a = %d, p = %g, R = %d:\n" k a p receivers;
+  Printf.printf "  receivers needing repair : %d\n" firers;
+  Printf.printf "  slot occupancy           : [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int slot_counts)));
+  let naks =
+    Rmcast.Feedback.simulate_suppression
+      (Rmcast.Rng.create ~seed ())
+      ~slot_counts ~slot ~delay ~reps:5_000
+  in
+  Printf.printf "  expected NAKs (slot %.0f ms, delay %.0f ms): %.2f\n" (1000.0 *. slot)
+    (1000.0 *. delay) naks;
+  Printf.printf "  without slotting (one window): %.2f\n"
+    (Rmcast.Feedback.expected_naks_single_window ~firers ~window:slot ~delay);
+  Printf.printf "  recommended slot for this delay: %.0f ms\n"
+    (1000.0 *. Rmcast.Feedback.recommended_slot ~delay);
+  `Ok ()
+
+let feedback_cmd =
+  let slot = Arg.(value & opt float 0.1 & info [ "slot" ] ~docv:"TS" ~doc:"Slot size, seconds.") in
+  let delay =
+    Arg.(value & opt float 0.025 & info [ "delay" ] ~docv:"D" ~doc:"One-way delay, seconds.")
+  in
+  let doc = "NAK volume under slotting and damping." in
+  Cmd.v
+    (Cmd.info "feedback" ~doc)
+    Term.(ret (const feedback $ k_arg $ a_arg $ p_arg $ receivers_arg $ slot $ delay $ seed_arg))
+
+(* --- trace ----------------------------------------------------------- *)
+
+let trace_record out model p burst packets rate seed =
+  let rng = Rmcast.Rng.create ~seed () in
+  let spacing = 1.0 /. rate in
+  let loss =
+    match model with
+    | `Bernoulli -> Rmcast.Loss.bernoulli rng ~p
+    | `Markov -> Rmcast.Loss.markov2 rng ~p ~mean_burst:burst ~send_rate:rate
+  in
+  let trace = Rmcast.Trace_io.record loss ~packets ~spacing in
+  Rmcast.Trace_io.save ~path:out trace;
+  Format.printf "%s:@,%a@." out Rmcast.Trace_io.pp_stats (Rmcast.Trace_io.stats trace);
+  `Ok ()
+
+let trace_stats path =
+  let trace = Rmcast.Trace_io.load ~path in
+  Format.printf "%a@." Rmcast.Trace_io.pp_stats (Rmcast.Trace_io.stats trace);
+  `Ok ()
+
+let trace_model_arg =
+  let parse = function
+    | "bernoulli" -> Ok `Bernoulli
+    | "markov" | "burst" -> Ok `Markov
+    | other -> Error (`Msg (Printf.sprintf "unknown model %S" other))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf (match m with `Bernoulli -> "bernoulli" | `Markov -> "markov")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Markov
+    & info [ "model" ] ~docv:"MODEL" ~doc:"Loss model: bernoulli or markov (bursty).")
+
+let trace_record_cmd =
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUTPUT") in
+  let burst =
+    Arg.(value & opt float 2.0 & info [ "burst" ] ~docv:"B" ~doc:"Mean burst length (markov).")
+  in
+  let packets =
+    Arg.(value & opt int 100_000 & info [ "packets" ] ~docv:"N" ~doc:"Trace length in packets.")
+  in
+  let rate =
+    Arg.(value & opt float 25.0 & info [ "rate" ] ~docv:"PKTS/S" ~doc:"Packet rate.")
+  in
+  let doc = "Record a synthetic loss trace to a file." in
+  Cmd.v
+    (Cmd.info "record" ~doc)
+    Term.(
+      ret (const trace_record $ out $ trace_model_arg $ p_arg $ burst $ packets $ rate $ seed_arg))
+
+let trace_stats_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  let doc = "Loss rate and burst statistics of a trace file." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const trace_stats $ path))
+
+let trace_cmd =
+  let doc = "Record and inspect packet-loss traces." in
+  Cmd.group (Cmd.info "trace" ~doc) [ trace_record_cmd; trace_stats_cmd ]
+
+(* --- udp --------------------------------------------------------------- *)
+
+let udp receivers p seed packets payload =
+  let config = { Rmcast.Udp_np.default_config with payload_size = payload } in
+  let rng = Rmcast.Rng.create ~seed () in
+  let data =
+    Array.init packets (fun _ ->
+        Bytes.init payload (fun _ -> Char.chr (Rmcast.Rng.int rng 256)))
+  in
+  let report = Rmcast.Udp_np.run_local ~config ~receivers ~loss:p ~seed:(seed + 1) ~data () in
+  Printf.printf
+    "completed %d/%d receivers, verified=%b\ndata=%d parity=%d naks=%d suppressed=%d dropped=%d\nwall=%.3f s\n"
+    report.Rmcast.Udp_np.completed receivers report.Rmcast.Udp_np.verified
+    report.Rmcast.Udp_np.data_tx report.Rmcast.Udp_np.parity_tx report.Rmcast.Udp_np.naks_sent
+    report.Rmcast.Udp_np.naks_suppressed report.Rmcast.Udp_np.datagrams_dropped
+    report.Rmcast.Udp_np.wall_seconds;
+  if report.Rmcast.Udp_np.verified then `Ok () else `Error (false, "delivery failed")
+
+let udp_cmd =
+  let packets =
+    Arg.(value & opt int 100 & info [ "packets" ] ~docv:"N" ~doc:"Number of data packets.")
+  in
+  let payload =
+    Arg.(value & opt int 512 & info [ "payload" ] ~docv:"BYTES" ~doc:"Payload size per packet.")
+  in
+  let doc = "Run protocol NP over real UDP sockets on the loopback interface." in
+  Cmd.v
+    (Cmd.info "udp" ~doc)
+    Term.(ret (const udp $ receivers_arg $ p_arg $ seed_arg $ packets $ payload))
+
+(* --- capacity ----------------------------------------------------------- *)
+
+let capacity k p target =
+  let show name rates_at =
+    let cap = Rmcast.Endhost.capacity ~rates_at ~target in
+    if cap >= 100_000_000 then Printf.printf "  %-16s unbounded (>= 10^8)\n" name
+    else Printf.printf "  %-16s R <= %d\n" name cap
+  in
+  Printf.printf "Largest group meeting %.1f pkts/s end-system throughput (p = %g, k = %d):\n"
+    target p k;
+  show "N1" (fun receivers -> Rmcast.Endhost_n1.n1 ~p ~receivers ());
+  show "N2" (fun receivers -> Rmcast.Endhost.n2 ~p ~receivers ());
+  show "NP" (fun receivers -> Rmcast.Endhost.np ~p ~k ~receivers ());
+  show "NP pre-encoded" (fun receivers ->
+      Rmcast.Endhost.np ~pre_encoded:true ~p ~k ~receivers ());
+  `Ok ()
+
+let capacity_cmd =
+  let target =
+    Arg.(value & opt float 500.0 & info [ "target" ] ~docv:"PKTS/S" ~doc:"Required throughput.")
+  in
+  let doc = "Capacity planning: largest group each protocol can serve." in
+  Cmd.v (Cmd.info "capacity" ~doc) Term.(ret (const capacity $ k_arg $ p_arg $ target))
+
+(* --- main ------------------------------------------------------------ *)
+
+let () =
+  let doc = "parity-based loss recovery for reliable multicast (SIGCOMM'97 reproduction)" in
+  let info = Cmd.info "rmc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_cmd; sweep_cmd; simulate_cmd; plan_cmd; endhost_cmd; latency_cmd;
+            feedback_cmd; capacity_cmd; codec_cmd; transfer_cmd; udp_cmd; trace_cmd ]))

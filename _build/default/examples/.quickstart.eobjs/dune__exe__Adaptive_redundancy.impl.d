@@ -1,0 +1,1 @@
+examples/adaptive_redundancy.ml: Char List Network Np Planner Printf Rmcast Rng Runner String Transfer

@@ -1,0 +1,1 @@
+examples/burst_loss_study.ml: List Loss Network Printf Rmcast Rng Runner Stats Timing

@@ -1,0 +1,1 @@
+examples/file_transfer.ml: Array Bytes Format Printf Rmcast String Sys

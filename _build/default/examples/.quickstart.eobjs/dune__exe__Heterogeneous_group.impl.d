@@ -1,0 +1,1 @@
+examples/heterogeneous_group.ml: Float Integrated List Network Printf Receivers Rmcast Rng Runner

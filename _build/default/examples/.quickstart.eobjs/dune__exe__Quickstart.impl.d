@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Char List Printf Rmcast String

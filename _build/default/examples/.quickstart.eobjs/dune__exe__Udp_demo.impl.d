@@ -1,0 +1,1 @@
+examples/udp_demo.ml: Array Bytes Char Printf Rmcast Sys

@@ -1,0 +1,68 @@
+(* Reliable multicast file transfer — the application protocol NP was
+   designed for (§5.1: "NP could be used, for instance, by a reliable file
+   transfer application").
+
+   The file (by default, this source file) is packetised, sent with NP over
+   a simulated 2%-loss network to 200 receivers, and every delivered copy is
+   verified bit-for-bit.  The wire format of each packet type is also
+   exercised: one packet of each kind is encoded to bytes and parsed back,
+   as a real UDP transport binding would do.
+
+   Run with:
+     dune exec examples/file_transfer.exe [-- FILE [RECEIVERS [LOSS]]] *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let length = in_channel_length ic in
+  let contents = really_input_string ic length in
+  close_in ic;
+  contents
+
+let () =
+  let argv = Sys.argv in
+  let path = if Array.length argv > 1 then argv.(1) else "examples/file_transfer.ml" in
+  let receivers = if Array.length argv > 2 then int_of_string argv.(2) else 200 in
+  let p = if Array.length argv > 3 then float_of_string argv.(3) else 0.02 in
+  let contents = read_file path in
+  Printf.printf "Transferring %s (%d bytes) to %d receivers at %.1f%% loss...\n%!" path
+    (String.length contents) receivers (100.0 *. p);
+
+  let rng = Rmcast.Rng.create ~seed:7 () in
+  let network = Rmcast.Network.independent (Rmcast.Rng.split rng) ~receivers ~p in
+  let options = { Rmcast.Transfer.default_options with k = 20; h = 40; payload_size = 1024 } in
+  let outcome = Rmcast.Transfer.send ~options ~network ~rng:(Rmcast.Rng.split rng) contents in
+  let report = outcome.Rmcast.Transfer.report in
+
+  Printf.printf "\nProtocol NP report:\n";
+  Printf.printf "  transmission groups     : %d (k = %d)\n" report.Rmcast.Np.transmission_groups
+    options.Rmcast.Transfer.k;
+  Printf.printf "  data / parity packets   : %d / %d\n" report.Rmcast.Np.data_tx
+    report.Rmcast.Np.parity_tx;
+  Printf.printf "  polls / NAKs / suppressed: %d / %d / %d\n" report.Rmcast.Np.polls
+    report.Rmcast.Np.naks_sent report.Rmcast.Np.naks_suppressed;
+  Printf.printf "  parities encoded        : %d, packets reconstructed: %d\n"
+    report.Rmcast.Np.parities_encoded report.Rmcast.Np.packets_decoded;
+  Printf.printf "  virtual duration        : %.2f s\n" report.Rmcast.Np.duration;
+  Printf.printf "  bytes on the wire       : %d (efficiency %.1f%%)\n"
+    outcome.Rmcast.Transfer.bytes_sent
+    (100.0 *. outcome.Rmcast.Transfer.efficiency);
+  Printf.printf "  every receiver verified : %b\n" outcome.Rmcast.Transfer.verified;
+  if not outcome.Rmcast.Transfer.verified then exit 1;
+
+  (* Wire-format demonstration: what these packets look like as bytes. *)
+  Printf.printf "\nWire format (header %d bytes + payload):\n" Rmcast.Header.header_size;
+  let show message =
+    let encoded = Rmcast.Header.encode message in
+    match Rmcast.Header.decode encoded with
+    | Ok decoded ->
+      assert (Rmcast.Header.equal message decoded);
+      Format.printf "  %3d bytes  %a@." (Bytes.length encoded) Rmcast.Header.pp decoded
+    | Error e -> failwith e
+  in
+  let payload = Bytes.make 1024 'x' in
+  show (Rmcast.Header.Data { tg_id = 0; k = 20; index = 3; payload });
+  show (Rmcast.Header.Parity { tg_id = 0; k = 20; index = 1; round = 2; payload });
+  show (Rmcast.Header.Poll { tg_id = 0; k = 20; size = 20; round = 1 });
+  show (Rmcast.Header.Nak { tg_id = 0; need = 2; round = 1 });
+  show (Rmcast.Header.Exhausted { tg_id = 0 });
+  Printf.printf "\nOK.\n"

@@ -1,0 +1,39 @@
+(* Protocol NP over real UDP sockets on the loopback interface.
+
+   Unlike the other examples (which run on the virtual-time simulator),
+   this one pushes actual datagrams through the kernel: one sender socket,
+   R receiver sockets, the wire format of Rmcast.Header on every packet,
+   wall-clock NAK timers, and receivers overhearing each other's NAK
+   datagrams for suppression.  Loss is injected at reception (control
+   packets spared, as in the paper's model).
+
+   Run with: dune exec examples/udp_demo.exe [-- RECEIVERS [LOSS]] *)
+
+let () =
+  let argv = Sys.argv in
+  let receivers = if Array.length argv > 1 then int_of_string argv.(1) else 8 in
+  let loss = if Array.length argv > 2 then float_of_string argv.(2) else 0.05 in
+  let config =
+    { Rmcast.Udp_np.default_config with k = 10; h = 20; payload_size = 1024 }
+  in
+  let packet_count = 200 in
+  let rng = Rmcast.Rng.create ~seed:17 () in
+  let data =
+    Array.init packet_count (fun _ ->
+        Bytes.init config.Rmcast.Udp_np.payload_size (fun _ ->
+            Char.chr (Rmcast.Rng.int rng 256)))
+  in
+  Printf.printf "UDP/loopback: %d packets x %d bytes -> %d receivers at %.0f%% loss\n%!"
+    packet_count config.Rmcast.Udp_np.payload_size receivers (100.0 *. loss);
+  let report = Rmcast.Udp_np.run_local ~config ~receivers ~loss ~seed:23 ~data () in
+  Printf.printf "  completed receivers : %d / %d (verified: %b)\n"
+    report.Rmcast.Udp_np.completed receivers report.Rmcast.Udp_np.verified;
+  Printf.printf "  datagrams           : %d data + %d parity (M = %.3f)\n"
+    report.Rmcast.Udp_np.data_tx report.Rmcast.Udp_np.parity_tx
+    (float_of_int (report.Rmcast.Udp_np.data_tx + report.Rmcast.Udp_np.parity_tx)
+    /. float_of_int report.Rmcast.Udp_np.data_tx);
+  Printf.printf "  dropped by loss     : %d\n" report.Rmcast.Udp_np.datagrams_dropped;
+  Printf.printf "  NAKs sent/suppressed: %d / %d\n" report.Rmcast.Udp_np.naks_sent
+    report.Rmcast.Udp_np.naks_suppressed;
+  Printf.printf "  wall time           : %.3f s\n" report.Rmcast.Udp_np.wall_seconds;
+  if not report.Rmcast.Udp_np.verified then exit 1

@@ -1,0 +1,1 @@
+lib/analysis/arq.ml: Receivers Rmc_numerics

@@ -1,0 +1,1 @@
+lib/analysis/arq.mli: Receivers

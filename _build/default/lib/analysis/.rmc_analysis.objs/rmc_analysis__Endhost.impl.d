@@ -1,0 +1,1 @@
+lib/analysis/endhost.ml: Arq Float Integrated Receivers Rounds

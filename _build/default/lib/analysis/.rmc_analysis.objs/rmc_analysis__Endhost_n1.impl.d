@@ -1,0 +1,1 @@
+lib/analysis/endhost_n1.ml: Arq Endhost Float Receivers

@@ -1,0 +1,1 @@
+lib/analysis/endhost_n1.mli: Endhost

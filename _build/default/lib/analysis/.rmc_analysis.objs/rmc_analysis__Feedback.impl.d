@@ -1,0 +1,1 @@
+lib/analysis/feedback.ml: Array Float Rmc_numerics

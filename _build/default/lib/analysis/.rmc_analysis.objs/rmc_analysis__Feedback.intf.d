@@ -1,0 +1,1 @@
+lib/analysis/feedback.mli: Rmc_numerics

@@ -1,0 +1,1 @@
+lib/analysis/hierarchy.ml: Arq Float Integrated List Receivers

@@ -1,0 +1,1 @@
+lib/analysis/integrated.ml: Array Layered List Receivers Rmc_numerics

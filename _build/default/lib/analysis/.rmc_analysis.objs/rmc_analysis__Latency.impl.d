@@ -1,0 +1,1 @@
+lib/analysis/latency.ml: Arq Integrated Layered Receivers Rmc_numerics Rounds

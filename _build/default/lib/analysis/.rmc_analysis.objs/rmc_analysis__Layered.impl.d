@@ -1,0 +1,1 @@
+lib/analysis/layered.ml: Receivers Rmc_numerics

@@ -1,0 +1,1 @@
+lib/analysis/receivers.ml: Float List

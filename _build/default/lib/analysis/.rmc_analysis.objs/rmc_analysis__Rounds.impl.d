@@ -1,0 +1,1 @@
+lib/analysis/rounds.ml: Receivers Rmc_numerics

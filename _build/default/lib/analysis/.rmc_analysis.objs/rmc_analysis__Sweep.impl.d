@@ -1,0 +1,1 @@
+lib/analysis/sweep.ml: Buffer Float Format List Printf String

@@ -1,0 +1,36 @@
+(** Reliable multicast without FEC (pure ARQ) — the paper's baseline.
+
+    A packet is retransmitted (multicast) until every receiver has it.  With
+    independent loss probability p per receiver, the number of transmissions
+    M' needed by the whole group has CDF [P(M' <= i) = (1 - p^i)^R], and the
+    expected bandwidth cost per packet is
+    [E[M'] = sum_{i>=0} (1 - (1 - p^i)^R)]. *)
+
+val expected_transmissions : population:Receivers.t -> float
+(** E[M'] for a possibly heterogeneous population (product form of §3.3). *)
+
+val expected_transmissions_homogeneous : p:float -> receivers:int -> float
+(** Convenience wrapper for a homogeneous population. *)
+
+val cdf : population:Receivers.t -> int -> float
+(** [P(M' <= i)]. *)
+
+(** {1 Per-receiver statistics}
+
+    [Mr] is the number of transmissions until one given receiver gets the
+    packet: geometric with [P(Mr <= m) = 1 - p^m].  The §5 end-host model
+    needs its conditional mean beyond two transmissions (timer overhead
+    term). *)
+
+module Per_receiver : sig
+  val cdf : p:float -> int -> float
+  val mean : p:float -> float
+  (** [1 / (1 - p)]. *)
+
+  val prob_gt : p:float -> int -> float
+  (** [P(Mr > m) = p^m]. *)
+
+  val mean_given_gt2 : p:float -> float
+  (** [E[Mr | Mr > 2]]; for [p = 0] (the event has probability 0) returns
+      [3.0], the infimum of the support, so the §5 formulas stay finite. *)
+end

@@ -1,0 +1,104 @@
+type constants = {
+  packet_send : float;
+  packet_recv : float;
+  nak_sender : float;
+  nak_send : float;
+  nak_recv : float;
+  timer : float;
+  encode_per_packet : float;
+  decode_per_packet : float;
+}
+
+let paper_constants =
+  {
+    packet_send = 1000e-6;
+    packet_recv = 1000e-6;
+    nak_sender = 500e-6;
+    nak_send = 500e-6;
+    nak_recv = 500e-6;
+    timer = 24e-6;
+    encode_per_packet = 700e-6;
+    decode_per_packet = 720e-6;
+  }
+
+type rates = { sender : float; receiver : float; throughput : float }
+
+let make_rates ~sender_time ~receiver_time =
+  let sender = 1.0 /. sender_time in
+  let receiver = 1.0 /. receiver_time in
+  { sender; receiver; throughput = Float.min sender receiver }
+
+let nak_cost_at_receiver c ~receivers =
+  let r = float_of_int receivers in
+  (* With probability 1/R this receiver is the one whose timer fires and who
+     multicasts the NAK; otherwise it receives a suppressed peer's NAK. *)
+  (c.nak_send /. r) +. ((r -. 1.0) /. r *. c.nak_recv)
+
+let n2 ?(constants = paper_constants) ~p ~receivers () =
+  let c = constants in
+  let population = Receivers.homogeneous ~p ~count:receivers in
+  let m = Arq.expected_transmissions ~population in
+  let sender_time = (m *. c.packet_send) +. ((m -. 1.0) *. c.nak_sender) in
+  let timer_term =
+    Arq.Per_receiver.prob_gt ~p 2 *. (Arq.Per_receiver.mean_given_gt2 ~p -. 2.0) *. c.timer
+  in
+  let receiver_time =
+    (m *. (1.0 -. p) *. c.packet_recv)
+    +. ((m -. 1.0) *. nak_cost_at_receiver c ~receivers)
+    +. timer_term
+  in
+  make_rates ~sender_time ~receiver_time
+
+let np_mean_transmissions ~p ~k ~receivers =
+  let population = Receivers.homogeneous ~p ~count:receivers in
+  Integrated.expected_transmissions_unbounded ~k ~population ()
+
+let np ?(constants = paper_constants) ?(pre_encoded = false) ?(nak_per_packet = false)
+    ~p ~k ~receivers () =
+  let c = constants in
+  let population = Receivers.homogeneous ~p ~count:receivers in
+  let m = np_mean_transmissions ~p ~k ~receivers in
+  let rounds = Rounds.expected_rounds ~population ~k in
+  (* NAKs per data packet: one per repair round spread over the TG of k
+     packets, or (variant) one per missing packet as in N2. *)
+  let naks_per_packet =
+    if nak_per_packet then m -. 1.0 else (rounds -. 1.0) /. float_of_int k
+  in
+  let encode_time =
+    if pre_encoded then 0.0 else float_of_int k *. (m -. 1.0) *. c.encode_per_packet
+  in
+  let sender_time =
+    encode_time +. (m *. c.packet_send) +. (naks_per_packet *. c.nak_sender)
+  in
+  let decode_time = float_of_int k *. p *. c.decode_per_packet in
+  let timer_term =
+    Rounds.prob_rounds_gt2 ~p ~k
+    *. (Rounds.mean_rounds_given_gt2 ~p ~k -. 2.0)
+    *. c.timer
+  in
+  let receiver_time =
+    (m *. (1.0 -. p) *. c.packet_recv)
+    +. (naks_per_packet *. nak_cost_at_receiver c ~receivers)
+    +. timer_term +. decode_time
+  in
+  make_rates ~sender_time ~receiver_time
+
+let capacity ~rates_at ~target =
+  if target <= 0.0 then invalid_arg "Endhost.capacity: target must be positive";
+  let meets r = (rates_at r).throughput >= target in
+  if not (meets 1) then 0
+  else begin
+    let rec grow hi = if hi >= 100_000_000 || not (meets hi) then hi else grow (2 * hi) in
+    let hi = grow 2 in
+    if meets hi then hi
+    else begin
+      let rec bisect lo hi =
+        if hi - lo <= 1 then lo
+        else begin
+          let mid = (lo + hi) / 2 in
+          if meets mid then bisect mid hi else bisect lo mid
+        end
+      in
+      bisect 1 hi
+    end
+  end

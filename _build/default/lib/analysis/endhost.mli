@@ -1,0 +1,60 @@
+(** End-host processing rates and achievable throughput (paper §5).
+
+    Compares a generic NAK-based reliable multicast protocol {b N2}
+    (Towsley-Kurose-Pingali [18]: multicast NAKs, retransmission of lost
+    originals, per-packet feedback) with the paper's hybrid protocol {b NP}
+    (per-TG feedback, parity retransmission, online or offline encoding).
+
+    All times are in seconds; rates in packets per second.  The achievable
+    end-system throughput is [min(sender rate, receiver rate)] (eq. 9).
+
+    Equations implemented: (10)-(16) plus E[T] from (17). *)
+
+type constants = {
+  packet_send : float;  (** E[Xp]: sender per-packet processing time *)
+  packet_recv : float;  (** E[Yp]: receiver per-packet processing time *)
+  nak_sender : float;  (** E[Xn]: NAK processing at the sender *)
+  nak_send : float;  (** E[Yn]: NAK processing + transmission at a receiver *)
+  nak_recv : float;  (** E[Y'n]: reception of another receiver's NAK *)
+  timer : float;  (** E[Yt]: timer start/cancel overhead *)
+  encode_per_packet : float;  (** c_e: per data packet per parity produced *)
+  decode_per_packet : float;  (** c_d: per data packet reconstructed *)
+}
+
+val paper_constants : constants
+(** The paper's DECstation 5000/200 measurements: Xp = Yp = 1 ms for 2-KByte
+    packets, Xn = Yn = Y'n = 0.5 ms, Yt = 24 us, c_e = 700 us, c_d = 720 us
+    (symbol size m = 8). *)
+
+type rates = { sender : float; receiver : float; throughput : float }
+(** [throughput = min sender receiver] (eq. 9), all in packets/second. *)
+
+val n2 : ?constants:constants -> p:float -> receivers:int -> unit -> rates
+(** Protocol N2, eqs. (10)-(11). *)
+
+val np :
+  ?constants:constants ->
+  ?pre_encoded:bool ->
+  ?nak_per_packet:bool ->
+  p:float ->
+  k:int ->
+  receivers:int ->
+  unit ->
+  rates
+(** Protocol NP, eqs. (12)-(16).
+    [pre_encoded] removes the encoding term from the sender (parities
+    computed offline, §5's improvement (i)).
+    [nak_per_packet] switches feedback from one NAK per transmission round
+    to one NAK per missing packet (the comparison discussed at the end of
+    §5: sender rate is unchanged, receiver rate dips slightly for very
+    large R). *)
+
+val np_mean_transmissions : p:float -> k:int -> receivers:int -> float
+(** [E[M^NP]], the eq. (6) integrated-FEC bound used inside {!np}. *)
+
+val capacity : rates_at:(int -> rates) -> target:float -> int
+(** Capacity planning: the largest receiver count (searched up to 10^8)
+    whose throughput still meets [target] packets/second, assuming the
+    protocol's throughput is non-increasing in R.  0 if even one receiver
+    cannot be served.  E.g.
+    [capacity ~rates_at:(fun r -> np ~p ~k ~receivers:r ()) ~target:500.0]. *)

@@ -1,0 +1,20 @@
+type constants = { base : Endhost.constants; ack_send : float; ack_recv : float }
+
+let paper_constants = { base = Endhost.paper_constants; ack_send = 500e-6; ack_recv = 500e-6 }
+
+let n1 ?(constants = paper_constants) ~p ~receivers () =
+  let c = constants.base in
+  let population = Receivers.homogeneous ~p ~count:receivers in
+  let m = Arq.expected_transmissions ~population in
+  let r = float_of_int receivers in
+  let sender_time =
+    (m *. (c.Endhost.packet_send +. c.Endhost.timer))
+    +. (r *. m *. (1.0 -. p) *. constants.ack_recv)
+  in
+  let receiver_time = m *. (1.0 -. p) *. (c.Endhost.packet_recv +. constants.ack_send) in
+  let sender = 1.0 /. sender_time in
+  let receiver = 1.0 /. receiver_time in
+  { Endhost.sender; receiver; throughput = Float.min sender receiver }
+
+let max_receivers_for_throughput ?(constants = paper_constants) ~p ~target () =
+  Endhost.capacity ~rates_at:(fun receivers -> n1 ~constants ~p ~receivers ()) ~target

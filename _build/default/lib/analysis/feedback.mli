@@ -1,0 +1,46 @@
+(** Feedback (NAK) volume under slotting and damping.
+
+    Protocol NP suppresses NAKs the SRM way (§5.1): each receiver that
+    still needs [l] packets arms a timer in slot [s - l] (needier
+    receivers answer earlier), uniformly damped within the slot; hearing a
+    NAK that covers one's own need cancels the timer.  A NAK datagram
+    takes [delay] seconds receiver-to-receiver, so every timer that fires
+    within [delay] of the first one escapes suppression.
+
+    This module quantifies that: how many NAKs does a round actually
+    produce, and how should the slot size be chosen against the delay?
+    The paper leaves the choice of T_s to "the requirements of the
+    application"; these tools make the trade-off computable.  The NP
+    machines (simulated and UDP) are validated against it in the tests. *)
+
+val expected_naks_single_window : firers:int -> window:float -> delay:float -> float
+(** Closed form for one window: [firers] timers uniform on [0, window],
+    suppression radius [delay].  A timer fires iff it is within [delay] of
+    the earliest timer, so
+    [E = N d + 1 - d^N] with [d = min 1 (delay/window)]
+    (equals N when [delay >= window] — no suppression possible). *)
+
+val simulate_suppression :
+  Rmc_numerics.Rng.t ->
+  slot_counts:int array ->
+  slot:float ->
+  delay:float ->
+  reps:int ->
+  float
+(** Monte-Carlo mean NAK count with full slotting: [slot_counts.(s)]
+    receivers arm timers uniformly inside slot [s] (offset [s * slot]); a
+    timer fires iff no timer anywhere fired more than [delay] before it.
+    (Suppression across slots is what makes NP's feedback nearly constant
+    in R.) *)
+
+val slot_counts : k:int -> a:int -> p:float -> receivers:int -> int array
+(** Expected slot occupancy for one NP repair round after the initial
+    volley: receivers are placed in slot [s = (k+a) - l] by their loss
+    count [l ~ Bin(k+a, p)] (slot 0 collects [l >= k+a], losses beyond
+    need 0 are dropped).  Rounded expectations, so tiny occupancies
+    truncate to zero. *)
+
+val recommended_slot : delay:float -> float
+(** [4 * delay]: keeps the expected escape count per busy slot near
+    [1 + 4·occupancy·delay/slot <= ~2] while adding at most a few RTTs of
+    latency; the default used by {!Rmc_proto.Np}. *)

@@ -1,0 +1,45 @@
+type tier_scheme = Tier_no_fec | Tier_integrated
+
+type plan = { groups : int; top : tier_scheme; bottom : tier_scheme; local_cost : float }
+
+let tier_m scheme ~k ~p ~receivers =
+  if receivers < 1 then 1.0
+  else begin
+    let population = Receivers.homogeneous ~p ~count:receivers in
+    match scheme with
+    | Tier_no_fec -> Arq.expected_transmissions ~population
+    | Tier_integrated -> Integrated.expected_transmissions_unbounded ~k ~population ()
+  end
+
+let flat_cost scheme ~k ~p ~receivers = tier_m scheme ~k ~p ~receivers
+
+let expected_cost plan ~k ~p ~receivers =
+  if plan.groups < 1 || plan.groups > receivers then
+    invalid_arg "Hierarchy.expected_cost: need 1 <= groups <= receivers";
+  if plan.local_cost <= 0.0 || plan.local_cost > 1.0 then
+    invalid_arg "Hierarchy.expected_cost: local_cost outside (0, 1]";
+  (* Top tier: the repairers (one per group) recover against the sender;
+     these transmissions are global. *)
+  let top = tier_m plan.top ~k ~p ~receivers:plan.groups in
+  (* Bottom tier: each group of R/G members recovers from its repairer.
+     The members already received the sender's transmissions, so only the
+     tier's *additional* transmissions (E[M] - 1) are new, and they are
+     local. *)
+  let members = (receivers + plan.groups - 1) / plan.groups in
+  let bottom = tier_m plan.bottom ~k ~p ~receivers:members -. 1.0 in
+  top +. (float_of_int plan.groups *. plan.local_cost *. bottom)
+
+let best_group_count ~top ~bottom ~local_cost ~k ~p ~receivers =
+  let candidates =
+    List.sort_uniq compare
+      (receivers :: 1
+      :: List.concat_map
+           (fun g -> if g <= receivers then [ g ] else [])
+           (List.init 40 (fun i -> int_of_float (Float.round (2.0 ** (0.5 *. float_of_int i))))))
+  in
+  let candidates = List.filter (fun g -> g >= 1 && g <= receivers) candidates in
+  List.fold_left
+    (fun (best_g, best_cost) g ->
+      let cost = expected_cost { groups = g; top; bottom; local_cost } ~k ~p ~receivers in
+      if cost < best_cost then (g, cost) else (best_g, best_cost))
+    (1, Float.infinity) candidates

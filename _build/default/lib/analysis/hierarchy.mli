@@ -1,0 +1,47 @@
+(** Two-tier (hierarchical) recovery versus flat FEC.
+
+    The paper's introduction lists hierarchy (RMTP [6], LGC [7], TMTP [8])
+    as the other road to scalable reliable multicast, with its own costs
+    (designated repairers, failure handling), and remarks that FEC can be
+    combined with it.  This model quantifies that comparison.
+
+    The population of R receivers is split into G local groups, each with
+    a designated repairer.  The sender multicasts to everyone; a repairer
+    first completes the TG itself against the sender (top tier, group of
+    size G), then repairs its members locally (bottom tier, group of size
+    R/G) — local repairs travel a subtree, not the whole tree, so their
+    network cost is discounted by [local_cost] (<= 1, roughly the fraction
+    of links a local multicast touches).
+
+    Each tier can run any recovery scheme; the interesting cells are
+    no-FEC vs integrated FEC per tier.  Every receiver still sees loss
+    probability p against the sender's original transmissions, and the
+    bottom tier sees p against local repairs. *)
+
+type tier_scheme = Tier_no_fec | Tier_integrated
+(** Recovery used inside a tier ([Tier_integrated] = eq. (6) bound). *)
+
+type plan = {
+  groups : int;  (** G: local groups = size of the top-tier "population" *)
+  top : tier_scheme;
+  bottom : tier_scheme;
+  local_cost : float;  (** network cost of one local transmission, in units
+                           of a global transmission; in (0, 1] *)
+}
+
+val expected_cost :
+  plan -> k:int -> p:float -> receivers:int -> float
+(** Expected network cost per data packet, in global-transmission units:
+    [E[M_top](G) + G * local_cost * (E[M_bottom](R/G) - 1)]
+    — the initial multicast plus top-tier repairs reach everyone; each
+    group then pays only the {e extra} transmissions its members need,
+    discounted by locality.  Requires [1 <= groups <= receivers]. *)
+
+val best_group_count :
+  top:tier_scheme -> bottom:tier_scheme -> local_cost:float -> k:int -> p:float ->
+  receivers:int -> int * float
+(** Scan group counts (divisor-ish grid) for the cheapest split; returns
+    (G, cost). *)
+
+val flat_cost : tier_scheme -> k:int -> p:float -> receivers:int -> float
+(** Single-tier baseline: [E[M]] of the scheme over all R receivers. *)

@@ -1,0 +1,34 @@
+(** Receiver populations for the analytical models.
+
+    §3 assumes R homogeneous receivers with loss probability p; §3.3 has
+    classes of receivers with different loss probabilities (e.g. 1% of the
+    population behind a 25%-loss router).  Representing the population as
+    (loss probability, count) classes keeps the hetero product forms
+    O(#classes) instead of O(R). *)
+
+type t
+(** A population: classes of receivers with per-class loss probability. *)
+
+val homogeneous : p:float -> count:int -> t
+(** [count] receivers each losing packets independently w.p. [p]. *)
+
+val classes : (float * int) list -> t
+(** Explicit (loss probability, count) classes. Counts must be >= 0, at
+    least one positive; probabilities in [0, 1). *)
+
+val two_class : p_low:float -> p_high:float -> high_fraction:float -> count:int -> t
+(** The paper's §3.3 population: [round (high_fraction * count)] receivers
+    at [p_high], the rest at [p_low].  [high_fraction] in [0, 1]. *)
+
+val size : t -> int
+val to_classes : t -> (float * int) list
+val max_p : t -> float
+
+val log_product_cdf : t -> (float -> float) -> float
+(** [log_product_cdf pop per_receiver_cdf] is
+    [ln (prod_r per_receiver_cdf p_r)] where the function is applied once per
+    class and raised to the class count — the building block of eqs. (7) and
+    (8). The per-receiver CDF values must be in [0, 1]. *)
+
+val product_survival : t -> (float -> float) -> float
+(** [1 - prod_r cdf(p_r)], stable when the product is close to 1. *)

@@ -1,0 +1,27 @@
+(** Transmission rounds of protocol NP (paper appendix, after [19]).
+
+    A round is one volley: the k data packets, then — per NAK — batches of
+    parities.  [Tr] is the number of rounds until receiver r can reconstruct
+    the TG; the appendix adopts from Ayanoglu et al. [19] the upper-bound
+    approximation [P(Tr <= m) = (1 - p^m)^k] (as if each receiver were sent
+    exactly the parities it asked for).  [T = max_r Tr] drives the NAK
+    processing terms of the §5 throughput model. *)
+
+val per_receiver_cdf : p:float -> k:int -> int -> float
+(** [P(Tr <= m) = (1 - p^m)^k]. *)
+
+val expected_rounds_per_receiver : p:float -> k:int -> float
+(** [E[Tr]]. *)
+
+val prob_rounds_gt2 : p:float -> k:int -> float
+(** [P(Tr > 2)]. *)
+
+val mean_rounds_given_gt2 : p:float -> k:int -> float
+(** [E[Tr | Tr > 2]]; returns 3.0 when the conditioning event has
+    probability 0 (p = 0). *)
+
+val group_cdf : population:Receivers.t -> k:int -> int -> float
+(** [P(T <= m) = prod_r P(Tr <= m)]. *)
+
+val expected_rounds : population:Receivers.t -> k:int -> float
+(** [E[T]] (eq. 17). *)

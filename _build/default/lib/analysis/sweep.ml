@@ -1,0 +1,65 @@
+let log_spaced_ints ~from ~upto ~per_decade =
+  if from < 1 || upto < from then invalid_arg "Sweep.log_spaced_ints: bad range";
+  if per_decade < 1 then invalid_arg "Sweep.log_spaced_ints: per_decade must be >= 1";
+  let step = 10.0 ** (1.0 /. float_of_int per_decade) in
+  let rec collect x acc =
+    if x > float_of_int upto then acc
+    else collect (x *. step) (int_of_float (Float.round x) :: acc)
+  in
+  let points = collect (float_of_int from) [] in
+  List.sort_uniq compare (upto :: points)
+
+let log_spaced_floats ~from ~upto ~per_decade =
+  if from <= 0.0 || upto < from then invalid_arg "Sweep.log_spaced_floats: bad range";
+  if per_decade < 1 then invalid_arg "Sweep.log_spaced_floats: per_decade must be >= 1";
+  let step = 10.0 ** (1.0 /. float_of_int per_decade) in
+  let rec collect x acc = if x > upto *. 1.0000001 then acc else collect (x *. step) (x :: acc) in
+  let points = collect from [] in
+  let points = if List.exists (fun x -> Float.abs (x -. upto) < 1e-9 *. upto) points then points else upto :: points in
+  List.rev points
+
+let powers_of_two ~max_exponent =
+  if max_exponent < 0 then invalid_arg "Sweep.powers_of_two: negative exponent";
+  List.init (max_exponent + 1) (fun d -> 1 lsl d)
+
+type series = { label : string; points : (float * float) list }
+
+let series ~label ~xs ~f = { label; points = List.map f xs }
+
+let to_csv ?(header = "series,x,y") all =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer header;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun { label; points } ->
+      let safe_label =
+        if String.exists (fun c -> c = ',' || c = '"' || c = '\n') label then
+          "\"" ^ String.concat "\"\"" (String.split_on_char '"' label) ^ "\""
+        else label
+      in
+      List.iter
+        (fun (x, y) ->
+          Buffer.add_string buffer (Printf.sprintf "%s,%.10g,%.10g\n" safe_label x y))
+        points)
+    all;
+  Buffer.contents buffer
+
+let pp_table ppf all =
+  let xs =
+    List.sort_uniq compare (List.concat_map (fun s -> List.map fst s.points) all)
+  in
+  Format.fprintf ppf "@[<v>%-12s" "x";
+  List.iter (fun s -> Format.fprintf ppf " %16s" s.label) all;
+  Format.pp_print_cut ppf ();
+  List.iter
+    (fun x ->
+      Format.fprintf ppf "%-12.6g" x;
+      List.iter
+        (fun s ->
+          match List.assoc_opt x s.points with
+          | Some y -> Format.fprintf ppf " %16.6g" y
+          | None -> Format.fprintf ppf " %16s" "-")
+        all;
+      Format.pp_print_cut ppf ())
+    xs;
+  Format.fprintf ppf "@]"

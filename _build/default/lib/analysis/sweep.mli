@@ -1,0 +1,23 @@
+(** Parameter grids and series for regenerating the paper's figures. *)
+
+val log_spaced_ints : from:int -> upto:int -> per_decade:int -> int list
+(** Distinct, sorted, approximately log-spaced integers including both
+    endpoints — the receiver-count axis (1 .. 10^6) of most figures. *)
+
+val log_spaced_floats : from:float -> upto:float -> per_decade:int -> float list
+(** Log-spaced floats including both endpoints — the loss-probability axis
+    of Figure 8. Requires [0 < from <= upto]. *)
+
+val powers_of_two : max_exponent:int -> int list
+(** [2^0 .. 2^max_exponent] — the receiver axis of Figures 11/12. *)
+
+type series = { label : string; points : (float * float) list }
+
+val series : label:string -> xs:'a list -> f:('a -> float * float) -> series
+
+val to_csv : ?header:string -> series list -> string
+(** Long-format CSV "series,x,y" (one line per point), for plotting. *)
+
+val pp_table : Format.formatter -> series list -> unit
+(** Side-by-side text table: one row per x, one column per series (series
+    must share their x grid; rows missing from a series print "-"). *)

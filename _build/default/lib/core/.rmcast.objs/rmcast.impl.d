@@ -1,0 +1,1 @@
+lib/core/rmcast.ml: Planner Rmc_analysis Rmc_gf Rmc_matrix Rmc_numerics Rmc_proto Rmc_rse Rmc_sim Rmc_transport Rmc_wire Session Transfer

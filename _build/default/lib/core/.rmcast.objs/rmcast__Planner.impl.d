@@ -1,0 +1,1 @@
+lib/core/planner.ml: Rmc_analysis

@@ -1,0 +1,1 @@
+lib/core/session.ml: Float List Queue Rmc_proto String Transfer

@@ -1,0 +1,1 @@
+lib/core/session.mli: Rmc_numerics Rmc_sim Transfer

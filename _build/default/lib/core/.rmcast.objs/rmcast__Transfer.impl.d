@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Array Bytes Int32 Rmc_proto String

@@ -1,0 +1,1 @@
+lib/core/transfer.mli: Bytes Rmc_numerics Rmc_proto Rmc_sim

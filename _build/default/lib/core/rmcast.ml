@@ -1,0 +1,92 @@
+(** Parity-based loss recovery for reliable multicast.
+
+    Umbrella module: re-exports every layer of the library under one roof
+    and hosts the high-level {!Transfer} and {!Planner} APIs.
+
+    {2 Layers}
+
+    - {!Gf}, {!Gmatrix}: Galois-field arithmetic and linear algebra.
+    - {!Rse}, {!Rse_poly}, {!Fec_block}, {!Interleaver}: the Reed-Solomon
+      erasure codec and block bookkeeping.
+    - {!Rng}, {!Dist}, {!Sampler}, {!Series}, {!Special}, {!Stats}:
+      numerics.
+    - {!Arq}, {!Layered}, {!Integrated}, {!Rounds}, {!Endhost},
+      {!Receivers}, {!Sweep}: the paper's closed-form models.
+    - {!Engine}, {!Loss}, {!Network}, {!Topology}, {!Event_queue}: the
+      discrete-event simulator.
+    - {!Np}, {!N2}, {!Runner}, {!Tg_arq}, {!Tg_layered}, {!Tg_integrated},
+      {!Timing}, {!Tg_result}: protocol machines.
+    - {!Header}: the wire format.
+    - {!Transfer}, {!Planner}: the ten-line user path.
+
+    {2 Quickstart}
+
+    {[
+      let rng = Rmcast.Rng.create ~seed:42 () in
+      let network = Rmcast.Network.independent rng ~receivers:1000 ~p:0.01 in
+      let outcome = Rmcast.Transfer.send ~network ~rng "hello, multicast" in
+      assert outcome.Rmcast.Transfer.verified
+    ]} *)
+
+(* Codec *)
+module Gf = Rmc_gf.Gf
+module Gmatrix = Rmc_matrix.Gmatrix
+module Rse = Rmc_rse.Rse
+module Rse_poly = Rmc_rse.Rse_poly
+module Cauchy = Rmc_rse.Cauchy
+module Fec_block = Rmc_rse.Fec_block
+module Interleaver = Rmc_rse.Interleaver
+
+(* Numerics *)
+module Rng = Rmc_numerics.Rng
+module Dist = Rmc_numerics.Dist
+module Sampler = Rmc_numerics.Sampler
+module Series = Rmc_numerics.Series
+module Special = Rmc_numerics.Special
+module Stats = Rmc_numerics.Stats
+
+(* Analysis *)
+module Receivers = Rmc_analysis.Receivers
+module Arq = Rmc_analysis.Arq
+module Layered = Rmc_analysis.Layered
+module Integrated = Rmc_analysis.Integrated
+module Rounds = Rmc_analysis.Rounds
+module Endhost = Rmc_analysis.Endhost
+module Latency = Rmc_analysis.Latency
+module Feedback = Rmc_analysis.Feedback
+module Endhost_n1 = Rmc_analysis.Endhost_n1
+module Hierarchy = Rmc_analysis.Hierarchy
+module Sweep = Rmc_analysis.Sweep
+
+(* Simulator *)
+module Engine = Rmc_sim.Engine
+module Event_queue = Rmc_sim.Event_queue
+module Loss = Rmc_sim.Loss
+module Topology = Rmc_sim.Topology
+module Tree = Rmc_sim.Tree
+module Trace_io = Rmc_sim.Trace_io
+module Network = Rmc_sim.Network
+
+(* Protocols *)
+module Timing = Rmc_proto.Timing
+module Tg_result = Rmc_proto.Tg_result
+module Tg_arq = Rmc_proto.Tg_arq
+module Tg_layered = Rmc_proto.Tg_layered
+module Tg_integrated = Rmc_proto.Tg_integrated
+module Tg_carousel = Rmc_proto.Tg_carousel
+module Runner = Rmc_proto.Runner
+module Np = Rmc_proto.Np
+module N2 = Rmc_proto.N2
+module N1 = Rmc_proto.N1
+
+(* Wire *)
+module Header = Rmc_wire.Header
+
+(* Real-socket transport *)
+module Reactor = Rmc_transport.Reactor
+module Udp_np = Rmc_transport.Udp_np
+
+(* High-level API *)
+module Transfer = Transfer
+module Planner = Planner
+module Session = Session

@@ -1,0 +1,52 @@
+type t = {
+  options : Transfer.options;
+  gap : float;
+  queue : (string * string) Queue.t;
+}
+
+let create ?(options = Transfer.default_options) ?(gap = 0.1) () =
+  if gap < 0.0 then invalid_arg "Session.create: negative gap";
+  { options; gap; queue = Queue.create () }
+
+let enqueue t ~name payload =
+  if String.length payload = 0 then invalid_arg "Session.enqueue: empty payload";
+  Queue.push (name, payload) t.queue
+
+let pending t = Queue.length t.queue
+
+type delivery = { name : string; outcome : Transfer.outcome; started_at : float }
+
+type summary = {
+  deliveries : delivery list;
+  all_verified : bool;
+  total_bytes : int;
+  total_bytes_sent : int;
+  duration : float;
+}
+
+let run t ~network ~rng ?(progress = fun _ -> ()) () =
+  let clock = ref 0.0 in
+  let deliveries = ref [] in
+  let total_bytes = ref 0 in
+  let total_sent = ref 0 in
+  let verified = ref true in
+  while not (Queue.is_empty t.queue) do
+    let name, payload = Queue.pop t.queue in
+    let outcome =
+      Transfer.send ~options:t.options ~virtual_start:!clock ~network ~rng payload
+    in
+    let delivery = { name; outcome; started_at = !clock } in
+    clock := outcome.Transfer.report.Rmc_proto.Np.duration +. t.gap;
+    total_bytes := !total_bytes + String.length payload;
+    total_sent := !total_sent + outcome.Transfer.bytes_sent;
+    if not outcome.Transfer.verified then verified := false;
+    deliveries := delivery :: !deliveries;
+    progress delivery
+  done;
+  {
+    deliveries = List.rev !deliveries;
+    all_verified = !verified;
+    total_bytes = !total_bytes;
+    total_bytes_sent = !total_sent;
+    duration = Float.max 0.0 (!clock -. t.gap);
+  }

@@ -1,0 +1,64 @@
+type options = {
+  k : int;
+  h : int;
+  proactive : int;
+  payload_size : int;
+  pre_encode : bool;
+}
+
+let default_options = { k = 20; h = 40; proactive = 0; payload_size = 1024; pre_encode = false }
+
+type outcome = {
+  report : Rmc_proto.Np.report;
+  bytes_sent : int;
+  efficiency : float;
+  verified : bool;
+}
+
+(* The first 4 bytes carry the message length so that padding can be
+   stripped on reassembly. *)
+let packetize ~payload_size message =
+  if payload_size < 5 then invalid_arg "Transfer.packetize: payload_size must be >= 5";
+  let length = String.length message in
+  let total = 4 + length in
+  let packets = (total + payload_size - 1) / payload_size in
+  let buffer = Bytes.make (packets * payload_size) '\000' in
+  Bytes.set_int32_be buffer 0 (Int32.of_int length);
+  Bytes.blit_string message 0 buffer 4 length;
+  Array.init packets (fun i -> Bytes.sub buffer (i * payload_size) payload_size)
+
+let reassemble ~payload_size packets =
+  if Array.length packets = 0 then invalid_arg "Transfer.reassemble: no packets";
+  Array.iter
+    (fun p ->
+      if Bytes.length p <> payload_size then
+        invalid_arg "Transfer.reassemble: packet size mismatch")
+    packets;
+  let buffer = Bytes.concat Bytes.empty (Array.to_list packets) in
+  let length = Int32.to_int (Bytes.get_int32_be buffer 0) in
+  if length < 0 || length > Bytes.length buffer - 4 then
+    invalid_arg "Transfer.reassemble: corrupt length prefix";
+  Bytes.sub_string buffer 4 length
+
+let send ?(options = default_options) ?(virtual_start = 0.0) ~network ~rng message =
+  if String.length message = 0 then invalid_arg "Transfer.send: empty message";
+  let data = packetize ~payload_size:options.payload_size message in
+  let config =
+    {
+      Rmc_proto.Np.default_config with
+      k = options.k;
+      h = options.h;
+      proactive = options.proactive;
+      payload_size = options.payload_size;
+      pre_encode = options.pre_encode;
+    }
+  in
+  let report = Rmc_proto.Np.run ~config ~start:virtual_start ~network ~rng ~data () in
+  let payload_packets = report.Rmc_proto.Np.data_tx + report.Rmc_proto.Np.parity_tx in
+  let bytes_sent = payload_packets * options.payload_size in
+  {
+    report;
+    bytes_sent;
+    efficiency = float_of_int (String.length message) /. float_of_int bytes_sent;
+    verified = report.Rmc_proto.Np.delivered_intact && report.Rmc_proto.Np.ejected = [];
+  }

@@ -1,0 +1,43 @@
+(** High-level reliable multicast transfer.
+
+    Wraps protocol {!Rmc_proto.Np}: takes an arbitrary byte string, chunks
+    it into fixed-size packets (padding the last one), groups packets into
+    TGs and runs the full NP machine over a simulated lossy network.  This
+    is the ten-line path from "I have a file and a receiver population" to
+    the paper's protocol. *)
+
+type options = {
+  k : int;  (** transmission group size *)
+  h : int;  (** parity budget per TG *)
+  proactive : int;  (** parities sent up front with each TG *)
+  payload_size : int;  (** bytes of user data per packet *)
+  pre_encode : bool;
+}
+
+val default_options : options
+(** k = 20, h = 40, proactive = 0, 1024-byte packets, online encoding. *)
+
+type outcome = {
+  report : Rmc_proto.Np.report;  (** full protocol counters *)
+  bytes_sent : int;  (** payload bytes multicast, parities included *)
+  efficiency : float;  (** user bytes / payload bytes multicast *)
+  verified : bool;  (** every receiver reassembled the exact input *)
+}
+
+val send :
+  ?options:options ->
+  ?virtual_start:float ->
+  network:Rmc_sim.Network.t ->
+  rng:Rmc_numerics.Rng.t ->
+  string ->
+  outcome
+(** [virtual_start] (default 0) offsets the session in virtual time so
+    that several sends can share one network (see {!Rmc_proto.Np.run}).
+    @raise Invalid_argument on an empty message. *)
+
+val packetize : payload_size:int -> string -> Bytes.t array
+(** Split (and zero-pad) a message into payload-sized packets with a 4-byte
+    length prefix in the first packet, as {!send} does. *)
+
+val reassemble : payload_size:int -> Bytes.t array -> string
+(** Inverse of {!packetize}. @raise Invalid_argument on malformed input. *)

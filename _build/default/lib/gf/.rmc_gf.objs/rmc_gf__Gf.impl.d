@@ -1,0 +1,1 @@
+lib/gf/gf.ml: Array Bytes Char Hashtbl

@@ -1,0 +1,181 @@
+type t = {
+  m : int;
+  size : int;
+  poly : int;
+  exp_table : int array; (* alpha^i for i in [0, 2*(size-1)); doubled to skip a mod *)
+  log_table : int array; (* log_table.(0) = -1 sentinel *)
+  mul256 : Bytes.t; (* 64K flat product table when m = 8, empty otherwise *)
+}
+
+(* Standard primitive polynomials (low-weight, as in Rizzo's fec.c). *)
+let primitive_polynomials =
+  [|
+    (* index = m, entries 0 and 1 unused *)
+    0; 0; 0x7; 0xB; 0x13; 0x25; 0x43; 0x89; 0x11D; 0x211; 0x409; 0x805; 0x1053; 0x201B;
+    0x4443; 0x8003; 0x1100B;
+  |]
+
+let build_tables m poly =
+  let size = 1 lsl m in
+  let order = size - 1 in
+  let exp_table = Array.make (2 * order) 0 in
+  let log_table = Array.make size (-1) in
+  let x = ref 1 in
+  for i = 0 to order - 1 do
+    exp_table.(i) <- !x;
+    exp_table.(i + order) <- !x;
+    if log_table.(!x) <> -1 then
+      failwith "Gf.create: reduction polynomial is not primitive";
+    log_table.(!x) <- i;
+    x := !x lsl 1;
+    if !x land size <> 0 then x := !x lxor poly
+  done;
+  if !x <> 1 then failwith "Gf.create: reduction polynomial is not primitive";
+  (exp_table, log_table)
+
+let build_mul256 exp_table log_table =
+  let table = Bytes.make (256 * 256) '\000' in
+  for a = 1 to 255 do
+    let la = log_table.(a) in
+    for b = 1 to 255 do
+      let product = exp_table.(la + log_table.(b)) in
+      Bytes.unsafe_set table ((a lsl 8) lor b) (Char.unsafe_chr product)
+    done
+  done;
+  table
+
+let make m =
+  if m < 2 || m > 16 then invalid_arg "Gf.create: m must be in [2, 16]";
+  let poly = primitive_polynomials.(m) in
+  let exp_table, log_table = build_tables m poly in
+  let mul256 = if m = 8 then build_mul256 exp_table log_table else Bytes.empty in
+  { m; size = 1 lsl m; poly; exp_table; log_table; mul256 }
+
+let cache : (int, t) Hashtbl.t = Hashtbl.create 8
+
+let create m =
+  match Hashtbl.find_opt cache m with
+  | Some field -> field
+  | None ->
+    let field = make m in
+    Hashtbl.replace cache m field;
+    field
+
+let gf256 = create 8
+let m field = field.m
+let size field = field.size
+let primitive_polynomial field = field.poly
+let zero = 0
+let one = 1
+let add a b = a lxor b
+let sub = add
+let valid field x = x >= 0 && x < field.size
+
+let mul field a b =
+  if a = 0 || b = 0 then 0 else field.exp_table.(field.log_table.(a) + field.log_table.(b))
+
+let inv field a =
+  if a = 0 then raise Division_by_zero
+  else field.exp_table.(field.size - 1 - field.log_table.(a))
+
+let div field a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else begin
+    let order = field.size - 1 in
+    field.exp_table.(field.log_table.(a) - field.log_table.(b) + order)
+  end
+
+let exp field i =
+  let order = field.size - 1 in
+  let i = ((i mod order) + order) mod order in
+  field.exp_table.(i)
+
+let log field a =
+  if a = 0 then invalid_arg "Gf.log: log of zero" else field.log_table.(a)
+
+let pow field x e =
+  if e < 0 then invalid_arg "Gf.pow: negative exponent";
+  if e = 0 then 1
+  else if x = 0 then 0
+  else begin
+    let order = field.size - 1 in
+    field.exp_table.((field.log_table.(x) * e) mod order)
+  end
+
+let require_gf256 field name =
+  if field.m <> 8 then invalid_arg (name ^ ": byte kernels need GF(2^8)")
+
+let mul_add_into field ~dst ~src ~coeff =
+  require_gf256 field "Gf.mul_add_into";
+  let len = Bytes.length src in
+  if Bytes.length dst <> len then invalid_arg "Gf.mul_add_into: length mismatch";
+  if coeff = 0 then ()
+  else if coeff = 1 then
+    for i = 0 to len - 1 do
+      Bytes.unsafe_set dst i
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get dst i) lxor Char.code (Bytes.unsafe_get src i)))
+    done
+  else begin
+    let row = coeff lsl 8 in
+    let table = field.mul256 in
+    for i = 0 to len - 1 do
+      let product = Char.code (Bytes.unsafe_get table (row lor Char.code (Bytes.unsafe_get src i))) in
+      Bytes.unsafe_set dst i (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst i) lxor product))
+    done
+  end
+
+let mul_into field ~dst ~src ~coeff =
+  require_gf256 field "Gf.mul_into";
+  let len = Bytes.length src in
+  if Bytes.length dst <> len then invalid_arg "Gf.mul_into: length mismatch";
+  if coeff = 0 then Bytes.fill dst 0 len '\000'
+  else if coeff = 1 then Bytes.blit src 0 dst 0 len
+  else begin
+    let row = coeff lsl 8 in
+    let table = field.mul256 in
+    for i = 0 to len - 1 do
+      Bytes.unsafe_set dst i
+        (Bytes.unsafe_get table (row lor Char.code (Bytes.unsafe_get src i)))
+    done
+  end
+
+let xor_into ~dst ~src =
+  let len = Bytes.length src in
+  if Bytes.length dst <> len then invalid_arg "Gf.xor_into: length mismatch";
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst i) lxor Char.code (Bytes.unsafe_get src i)))
+  done
+
+let symbol_bytes field =
+  match field.m with
+  | 8 -> 1
+  | 16 -> 2
+  | _ -> invalid_arg "Gf.symbol_bytes: vector kernels exist only for m = 8 and m = 16"
+
+let mul_add_into_symbols field ~dst ~src ~coeff =
+  match field.m with
+  | 8 -> mul_add_into field ~dst ~src ~coeff
+  | 16 ->
+    let len = Bytes.length src in
+    if Bytes.length dst <> len then invalid_arg "Gf.mul_add_into_symbols: length mismatch";
+    if len land 1 <> 0 then
+      invalid_arg "Gf.mul_add_into_symbols: odd length for 16-bit symbols";
+    if coeff <> 0 then begin
+      (* exp_table is doubled, so log_coeff + log s needs no reduction. *)
+      let log_coeff = field.log_table.(coeff) in
+      let exp_table = field.exp_table and log_table = field.log_table in
+      let i = ref 0 in
+      while !i < len do
+        let s = Bytes.get_uint16_be src !i in
+        if s <> 0 then begin
+          let product = Array.unsafe_get exp_table (log_coeff + Array.unsafe_get log_table s) in
+          Bytes.set_uint16_be dst !i (Bytes.get_uint16_be dst !i lxor product)
+        end;
+        i := !i + 2
+      done
+    end
+  | _ -> invalid_arg "Gf.mul_add_into_symbols: vector kernels exist only for m = 8 and m = 16"

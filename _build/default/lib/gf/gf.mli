@@ -1,0 +1,97 @@
+(** Arithmetic in the Galois fields GF(2^m), 2 <= m <= 16.
+
+    The Reed-Solomon erasure code of the paper (§2, after McAuley and Rizzo)
+    works on m-bit symbols; packets longer than one symbol are striped into
+    S = P/m parallel codewords.  The paper (and Rizzo's widely used
+    implementation) uses m = 8, which this module specialises with
+    precomputed multiplication tables; other field sizes are supported
+    through log/antilog tables.
+
+    Field elements are represented as [int] in [0, 2^m - 1]: the bits are the
+    coefficients of a polynomial over GF(2), reduced modulo a fixed primitive
+    polynomial.  Addition is XOR; multiplication uses discrete-log tables
+    built from the primitive element alpha = x (= 2). *)
+
+type t
+(** A field descriptor GF(2^m): tables plus parameters. Immutable. *)
+
+val create : int -> t
+(** [create m] builds GF(2^m) using the standard primitive polynomial for
+    that width (for m = 8: 0x11D, x^8+x^4+x^3+x^2+1, the polynomial used by
+    Rizzo's coder). Requires [2 <= m <= 16]. Descriptors are cached, so
+    repeated calls are cheap. *)
+
+val gf256 : t
+(** The workhorse field GF(2^8). *)
+
+val m : t -> int
+(** Symbol width in bits. *)
+
+val size : t -> int
+(** Number of field elements, [2^m]. *)
+
+val primitive_polynomial : t -> int
+(** The reduction polynomial, including its top bit (degree-m term). *)
+
+val zero : int
+val one : int
+
+val add : int -> int -> int
+(** Field addition = XOR = field subtraction; characteristic 2. *)
+
+val sub : int -> int -> int
+
+val mul : t -> int -> int -> int
+(** Field multiplication. *)
+
+val div : t -> int -> int -> int
+(** Field division. @raise Division_by_zero on zero divisor. *)
+
+val inv : t -> int -> int
+(** Multiplicative inverse. @raise Division_by_zero on zero. *)
+
+val exp : t -> int -> int
+(** [exp f i] is alpha^i, defined for any integer i (reduced mod 2^m - 1). *)
+
+val log : t -> int -> int
+(** Discrete log base alpha, in [0, 2^m - 2].
+    @raise Invalid_argument on zero. *)
+
+val pow : t -> int -> int -> int
+(** [pow f x e] is x^e for e >= 0, with [pow f 0 0 = 1]. *)
+
+val valid : t -> int -> bool
+(** Whether an int is a representation of a field element. *)
+
+(** {1 Byte-vector kernels (GF(2^8) only)}
+
+    These are the inner loops of encoding and decoding: operating on whole
+    packets at once.  They require the {!gf256} field and 8-bit symbols. *)
+
+val mul_add_into : t -> dst:Bytes.t -> src:Bytes.t -> coeff:int -> unit
+(** [mul_add_into f ~dst ~src ~coeff] computes
+    [dst.(i) <- dst.(i) xor (coeff * src.(i))] for every byte — the
+    multiply-accumulate at the heart of matrix-vector coding.
+    Requires [Bytes.length dst = Bytes.length src] and an 8-bit field. *)
+
+val mul_into : t -> dst:Bytes.t -> src:Bytes.t -> coeff:int -> unit
+(** [dst.(i) <- coeff * src.(i)]; same requirements. *)
+
+val xor_into : dst:Bytes.t -> src:Bytes.t -> unit
+(** [dst.(i) <- dst.(i) xor src.(i)]; the [coeff = 1] special case, also the
+    whole codec for a single-parity (h = 1) code. *)
+
+(** {1 Symbol-generic kernels}
+
+    The same multiply-accumulate for any supported symbol width: m = 8
+    uses the byte kernels above; m = 16 treats packets as big-endian
+    16-bit symbols (packet length must be even).  These enable FEC blocks
+    with up to 2^16 - 1 packets. *)
+
+val symbol_bytes : t -> int
+(** Bytes per symbol: 1 for m = 8, 2 for m = 16.
+    @raise Invalid_argument for other widths (no vector kernels). *)
+
+val mul_add_into_symbols : t -> dst:Bytes.t -> src:Bytes.t -> coeff:int -> unit
+(** [dst <- dst + coeff * src] over the field's symbols.  Lengths must
+    match and be multiples of {!symbol_bytes}. *)

@@ -1,0 +1,1 @@
+lib/matrix/gmatrix.ml: Array Format Rmc_gf

@@ -1,0 +1,1 @@
+lib/matrix/gmatrix.mli: Format Rmc_gf

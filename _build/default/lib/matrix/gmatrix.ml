@@ -1,0 +1,178 @@
+module Gf = Rmc_gf.Gf
+
+type t = { field : Gf.t; rows : int; cols : int; cells : int array (* row-major *) }
+
+let create field ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Gmatrix.create: dimensions must be positive";
+  { field; rows; cols; cells = Array.make (rows * cols) 0 }
+
+let field t = t.field
+let rows t = t.rows
+let cols t = t.cols
+
+let check_index t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Gmatrix: index out of range"
+
+let get t i j =
+  check_index t i j;
+  t.cells.((i * t.cols) + j)
+
+let set t i j v =
+  check_index t i j;
+  if not (Gf.valid t.field v) then invalid_arg "Gmatrix.set: not a field element";
+  t.cells.((i * t.cols) + j) <- v
+
+let unsafe_get t i j = Array.unsafe_get t.cells ((i * t.cols) + j)
+let unsafe_set t i j v = Array.unsafe_set t.cells ((i * t.cols) + j) v
+
+let identity field n =
+  let m = create field ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    unsafe_set m i i 1
+  done;
+  m
+
+let copy t = { t with cells = Array.copy t.cells }
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Gf.m a.field = Gf.m b.field
+  && a.cells = b.cells
+
+let of_arrays field rows_data =
+  let nrows = Array.length rows_data in
+  if nrows = 0 then invalid_arg "Gmatrix.of_arrays: empty";
+  let ncols = Array.length rows_data.(0) in
+  let m = create field ~rows:nrows ~cols:ncols in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> ncols then invalid_arg "Gmatrix.of_arrays: ragged rows";
+      Array.iteri (fun j v -> set m i j v) row)
+    rows_data;
+  m
+
+let to_arrays t = Array.init t.rows (fun i -> Array.init t.cols (fun j -> unsafe_get t i j))
+let row t i = Array.init t.cols (fun j -> get t i j)
+
+let submatrix_rows t indices =
+  let m = create t.field ~rows:(Array.length indices) ~cols:t.cols in
+  Array.iteri
+    (fun dst src ->
+      if src < 0 || src >= t.rows then invalid_arg "Gmatrix.submatrix_rows: bad row index";
+      Array.blit t.cells (src * t.cols) m.cells (dst * t.cols) t.cols)
+    indices;
+  m
+
+let vandermonde field ~rows ~cols =
+  if rows > Gf.size field - 1 then
+    invalid_arg "Gmatrix.vandermonde: more rows than distinct evaluation points";
+  let m = create field ~rows ~cols in
+  for i = 0 to rows - 1 do
+    (* Row i evaluates at alpha^i; entry (i, j) = alpha^(i*j). *)
+    for j = 0 to cols - 1 do
+      unsafe_set m i j (Gf.exp field (i * j))
+    done
+  done;
+  (* Row 0 evaluates at alpha^0 = 1 so every entry is 1 except that we want
+     the first data symbol weighted 1 and others by powers: V(0,j) = 1^j = 1.
+     The loop above already yields exactly that. *)
+  m
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Gmatrix.mul: dimension mismatch";
+  if Gf.m a.field <> Gf.m b.field then invalid_arg "Gmatrix.mul: field mismatch";
+  let f = a.field in
+  let out = create f ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for l = 0 to a.cols - 1 do
+      let ail = unsafe_get a i l in
+      if ail <> 0 then
+        for j = 0 to b.cols - 1 do
+          let blj = unsafe_get b l j in
+          if blj <> 0 then
+            unsafe_set out i j (Gf.add (unsafe_get out i j) (Gf.mul f ail blj))
+        done
+    done
+  done;
+  out
+
+let mul_vector a v =
+  if Array.length v <> a.cols then invalid_arg "Gmatrix.mul_vector: dimension mismatch";
+  let f = a.field in
+  Array.init a.rows (fun i ->
+      let acc = ref 0 in
+      for j = 0 to a.cols - 1 do
+        acc := Gf.add !acc (Gf.mul f (unsafe_get a i j) v.(j))
+      done;
+      !acc)
+
+(* Gauss-Jordan with an augmented identity.  O(n^3) field operations. *)
+let invert t =
+  if t.rows <> t.cols then invalid_arg "Gmatrix.invert: not square";
+  let n = t.rows in
+  let f = t.field in
+  let work = copy t in
+  let inverse = identity f n in
+  let swap_rows m r1 r2 =
+    if r1 <> r2 then
+      for j = 0 to n - 1 do
+        let tmp = unsafe_get m r1 j in
+        unsafe_set m r1 j (unsafe_get m r2 j);
+        unsafe_set m r2 j tmp
+      done
+  in
+  for col = 0 to n - 1 do
+    (* Find a nonzero pivot in this column at or below the diagonal. *)
+    let pivot_row = ref (-1) in
+    (try
+       for r = col to n - 1 do
+         if unsafe_get work r col <> 0 then begin
+           pivot_row := r;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !pivot_row = -1 then failwith "Gmatrix.invert: singular matrix";
+    swap_rows work col !pivot_row;
+    swap_rows inverse col !pivot_row;
+    (* Scale the pivot row to make the pivot 1. *)
+    let pivot_inv = Gf.inv f (unsafe_get work col col) in
+    for j = 0 to n - 1 do
+      unsafe_set work col j (Gf.mul f pivot_inv (unsafe_get work col j));
+      unsafe_set inverse col j (Gf.mul f pivot_inv (unsafe_get inverse col j))
+    done;
+    (* Eliminate the column everywhere else. *)
+    for r = 0 to n - 1 do
+      if r <> col then begin
+        let factor = unsafe_get work r col in
+        if factor <> 0 then
+          for j = 0 to n - 1 do
+            unsafe_set work r j
+              (Gf.add (unsafe_get work r j) (Gf.mul f factor (unsafe_get work col j)));
+            unsafe_set inverse r j
+              (Gf.add (unsafe_get inverse r j) (Gf.mul f factor (unsafe_get inverse col j)))
+          done
+      end
+    done
+  done;
+  inverse
+
+let systematise g =
+  if g.rows < g.cols then invalid_arg "Gmatrix.systematise: needs rows >= cols";
+  let k = g.cols in
+  let top = submatrix_rows g (Array.init k (fun i -> i)) in
+  let top_inv = invert top in
+  mul g top_inv
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to t.rows - 1 do
+    Format.fprintf ppf "@[<h>";
+    for j = 0 to t.cols - 1 do
+      Format.fprintf ppf "%3d " (unsafe_get t i j)
+    done;
+    Format.fprintf ppf "@]";
+    if i < t.rows - 1 then Format.pp_print_cut ppf ()
+  done;
+  Format.fprintf ppf "@]"

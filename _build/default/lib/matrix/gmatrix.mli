@@ -1,0 +1,59 @@
+(** Dense matrices over GF(2^m).
+
+    Supports exactly what the Reed-Solomon erasure codec needs: Vandermonde
+    construction, row reduction to systematic form, multiplication, and
+    inversion by Gauss-Jordan elimination (every nonzero field element is
+    invertible, so no pivoting subtleties beyond nonzero-pivot search). *)
+
+type t
+(** A [rows] x [cols] matrix of field elements. Mutable contents. *)
+
+val create : Rmc_gf.Gf.t -> rows:int -> cols:int -> t
+(** Zero matrix. Requires positive dimensions. *)
+
+val field : t -> Rmc_gf.Gf.t
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> int
+val set : t -> int -> int -> int -> unit
+(** @raise Invalid_argument on out-of-range indices or non-field values. *)
+
+val identity : Rmc_gf.Gf.t -> int -> t
+val copy : t -> t
+val equal : t -> t -> bool
+
+val of_arrays : Rmc_gf.Gf.t -> int array array -> t
+val to_arrays : t -> int array array
+
+val row : t -> int -> int array
+(** Copy of one row. *)
+
+val submatrix_rows : t -> int array -> t
+(** [submatrix_rows m indices] stacks the listed rows (in order) into a new
+    matrix. *)
+
+val vandermonde : Rmc_gf.Gf.t -> rows:int -> cols:int -> t
+(** [vandermonde f ~rows ~cols] is the matrix V with
+    [V.(i).(j) = alpha^(i*j)] — rows are evaluation points alpha^i, columns
+    are powers.  Any [cols] rows of it are linearly independent provided
+    [rows <= 2^m - 1]. *)
+
+val mul : t -> t -> t
+(** Matrix product. @raise Invalid_argument on dimension mismatch. *)
+
+val mul_vector : t -> int array -> int array
+
+val invert : t -> t
+(** Gauss-Jordan inverse of a square matrix.
+    @raise Invalid_argument if not square.
+    @raise Failure if singular. *)
+
+val systematise : t -> t
+(** [systematise g] for a [n] x [k] matrix (n >= k) whose top [k] x [k] block
+    is invertible: multiply on the right by the inverse of that block, so the
+    result has the identity as its top block.  This turns a Vandermonde
+    matrix into the generator of a systematic code (Rizzo's construction).
+    @raise Failure if the top block is singular. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/numerics/sampler.ml: Array Float Hashtbl Rng Special

@@ -1,0 +1,124 @@
+module Binomial = struct
+  let check n p =
+    if n < 0 then invalid_arg "Binomial: n < 0";
+    if p < 0.0 || p > 1.0 then invalid_arg "Binomial: p outside [0,1]"
+
+  let log_pmf ~n ~p j =
+    check n p;
+    if j < 0 || j > n then neg_infinity
+    else if p = 0.0 then if j = 0 then 0.0 else neg_infinity
+    else if p = 1.0 then if j = n then 0.0 else neg_infinity
+    else
+      Special.log_choose n j
+      +. (float_of_int j *. log p)
+      +. (float_of_int (n - j) *. Float.log1p (-.p))
+
+  let pmf ~n ~p j = exp (log_pmf ~n ~p j)
+
+  (* Sum whichever tail has fewer terms; each term from the previous by the
+     pmf recurrence to avoid n calls to log_gamma. *)
+  let tail_sum ~n ~p ~from ~upto =
+    if from > upto then 0.0
+    else begin
+      let term = ref (pmf ~n ~p from) in
+      let acc = ref !term in
+      for j = from + 1 to upto do
+        let fj = float_of_int j in
+        (term := !term *. (float_of_int (n - j + 1) /. fj) *. (p /. (1.0 -. p)));
+        acc := !acc +. !term
+      done;
+      !acc
+    end
+
+  let cdf ~n ~p j =
+    check n p;
+    if j < 0 then 0.0
+    else if j >= n then 1.0
+    else if p = 0.0 then 1.0
+    else if p = 1.0 then 0.0
+    else if j <= n / 2 then Float.min 1.0 (tail_sum ~n ~p ~from:0 ~upto:j)
+    else Float.max 0.0 (1.0 -. tail_sum ~n ~p ~from:(j + 1) ~upto:n)
+
+  let survival ~n ~p j =
+    check n p;
+    if j < 0 then 1.0
+    else if j >= n then 0.0
+    else if p = 0.0 then 0.0
+    else if p = 1.0 then 1.0
+    else if j > n / 2 then Float.min 1.0 (tail_sum ~n ~p ~from:(j + 1) ~upto:n)
+    else Float.max 0.0 (1.0 -. tail_sum ~n ~p ~from:0 ~upto:j)
+
+  let mean ~n ~p = float_of_int n *. p
+  let variance ~n ~p = float_of_int n *. p *. (1.0 -. p)
+end
+
+module Negative_binomial = struct
+  let check k a p =
+    if k <= 0 then invalid_arg "Negative_binomial: k <= 0";
+    if a < 0 then invalid_arg "Negative_binomial: a < 0";
+    if p < 0.0 || p >= 1.0 then invalid_arg "Negative_binomial: p outside [0,1)"
+
+  let log_pmf ~k ~a ~p m =
+    check k a p;
+    if m < 0 then neg_infinity
+    else if m = 0 then log (Binomial.cdf ~n:(k + a) ~p a)
+    else if p = 0.0 then neg_infinity
+    else
+      Special.log_choose (k + a + m - 1) (k - 1)
+      +. (float_of_int (m + a) *. log p)
+      +. (float_of_int k *. Float.log1p (-.p))
+
+  let pmf ~k ~a ~p m = exp (log_pmf ~k ~a ~p m)
+
+  let cdf_array ~k ~a ~p mmax =
+    check k a p;
+    if mmax < 0 then invalid_arg "Negative_binomial.cdf_array: mmax < 0";
+    let cdf = Array.make (mmax + 1) 0.0 in
+    cdf.(0) <- Binomial.cdf ~n:(k + a) ~p a;
+    if p > 0.0 && mmax >= 1 then begin
+      (* pmf(m) / pmf(m-1) = p * (k+a+m-1) / (a+m) for m >= 2; seed at m=1. *)
+      let term = ref (pmf ~k ~a ~p 1) in
+      cdf.(1) <- Float.min 1.0 (cdf.(0) +. !term);
+      let m = ref 2 in
+      while !m <= mmax && !term > cdf.(!m - 1) *. 1e-17 do
+        (term :=
+           !term *. p *. (float_of_int (k + a + !m - 1) /. float_of_int (a + !m)));
+        cdf.(!m) <- Float.min 1.0 (cdf.(!m - 1) +. !term);
+        incr m
+      done;
+      (* Once increments fall below float resolution the true residual tail
+         is smaller than the accumulated rounding error; snap to 1 so that
+         group products (cdf^R for R up to 1e6) converge instead of stalling
+         at 1 - epsilon. *)
+      for j = !m to mmax do
+        cdf.(j) <- 1.0
+      done
+    end
+    else if p = 0.0 then
+      for m = 1 to mmax do
+        cdf.(m) <- 1.0
+      done;
+    cdf
+
+  let cdf ~k ~a ~p m =
+    if m < 0 then 0.0
+    else
+      let table = cdf_array ~k ~a ~p m in
+      table.(m)
+end
+
+module Geometric = struct
+  let check p = if p <= 0.0 || p > 1.0 then invalid_arg "Geometric: p outside (0,1]"
+
+  let pmf ~p m =
+    check p;
+    if m < 0 then 0.0 else Special.pow_1m (1.0 -. p) m *. p
+
+  let cdf ~p m =
+    check p;
+    if m < 0 then 0.0 else Special.one_minus_power_of_complement p (float_of_int (m + 1))
+
+  let mean ~p =
+    check p;
+    (1.0 -. p) /. p
+end

@@ -1,0 +1,51 @@
+(** Discrete probability distributions used by the analytical models.
+
+    All functions are numerically stable for the parameter ranges of the
+    paper: success probabilities down to 1e-6, counts up to 1e6. *)
+
+module Binomial : sig
+  val log_pmf : n:int -> p:float -> int -> float
+  (** [log_pmf ~n ~p j] is [ln P(Bin(n,p) = j)]. *)
+
+  val pmf : n:int -> p:float -> int -> float
+
+  val cdf : n:int -> p:float -> int -> float
+  (** [P(Bin(n,p) <= j)]; summed from the small tail for stability. *)
+
+  val survival : n:int -> p:float -> int -> float
+  (** [P(Bin(n,p) > j)] = [1 - cdf j], computed directly (not as the
+      complement) when that is the smaller tail. *)
+
+  val mean : n:int -> p:float -> float
+  val variance : n:int -> p:float -> float
+end
+
+module Negative_binomial : sig
+  (** Number of extra trials beyond the [k]-th needed to collect [k]
+      successes in Bernoulli(1-p) trials — in the paper's terms (§3.2,
+      integrated FEC): the number of additional parity packets a receiver
+      with loss probability [p] must be sent so that [k] packets arrive,
+      when [a] packets beyond the first [k] were already sent proactively.
+
+      [P(Lr = 0) = P(Bin(k+a, p) <= a)]
+      [P(Lr = m) = C(k+a+m-1, k-1) p^(m+a) (1-p)^k]  for m >= 1. *)
+
+  val log_pmf : k:int -> a:int -> p:float -> int -> float
+  val pmf : k:int -> a:int -> p:float -> int -> float
+
+  val cdf : k:int -> a:int -> p:float -> int -> float
+  (** [P(Lr <= m)]. *)
+
+  val cdf_array : k:int -> a:int -> p:float -> int -> float array
+  (** [cdf_array ~k ~a ~p mmax] tabulates [P(Lr <= m)] for m = 0..mmax in one
+      pass (the per-receiver CDF is needed at every index when taking the
+      maximum over R receivers). *)
+end
+
+module Geometric : sig
+  (** Failures before first success; support 0,1,2,... *)
+
+  val pmf : p:float -> int -> float
+  val cdf : p:float -> int -> float
+  val mean : p:float -> float
+end

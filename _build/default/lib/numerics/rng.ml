@@ -1,0 +1,92 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64: used only to expand a seed into four well-mixed words. *)
+let splitmix_next state =
+  let z = Int64.add !state 0x9e3779b97f4a7c15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_int64_seed seed =
+  let state = ref seed in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  (* An all-zero state is a fixed point of xoshiro; splitmix cannot produce
+     four zero words from any seed, but assert it anyway. *)
+  assert (not Int64.(equal s0 0L && equal s1 0L && equal s2 0L && equal s3 0L));
+  { s0; s1; s2; s3 }
+
+let create ?(seed = 0x1234_5678) () = of_int64_seed (Int64.of_int seed)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let bits64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_int64_seed (bits64 t)
+
+let float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float_pos t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  (Int64.to_float bits +. 1.0) *. 0x1p-53
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  if n land (n - 1) = 0 then Int64.to_int (Int64.shift_right_logical (bits64 t) 1) land (n - 1)
+  else begin
+    let bound = Int64.of_int n in
+    let rec draw () =
+      let r = Int64.shift_right_logical (bits64 t) 1 in
+      let v = Int64.rem r bound in
+      (* Discard draws from the incomplete final block of size [2^63 mod n]:
+         [r - v + (bound - 1)] overflows to negative exactly there. *)
+      if Int64.compare (Int64.add (Int64.sub r v) (Int64.sub bound 1L)) 0L < 0 then draw ()
+      else Int64.to_int v
+    in
+    draw ()
+  end
+
+let bool t = Int64.compare (bits64 t) 0L < 0
+let bernoulli t p = float t < p
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (float_pos t) /. rate
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p >= 1.0 then 0
+  else
+    let u = float_pos t in
+    let g = log u /. Float.log1p (-.p) in
+    (* Clamp: for tiny p the float result can round past max_int. *)
+    if g >= 1e18 then max_int else int_of_float g
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

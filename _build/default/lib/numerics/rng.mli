@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generation.
+
+    The generator is xoshiro256++ (Blackman & Vigna), seeded through
+    splitmix64.  Every stochastic component of the library takes an explicit
+    [Rng.t] so that simulations are reproducible and independent streams can
+    be split off for parallel or per-receiver use. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] builds a generator from a 63-bit seed (default
+    [0x9e3779b97f4a7c15] truncated).  Equal seeds give equal streams. *)
+
+val of_int64_seed : int64 -> t
+(** Seed from a full 64-bit value. *)
+
+val copy : t -> t
+(** Independent copy with identical current state. *)
+
+val split : t -> t
+(** [split rng] draws from [rng] to seed a fresh, statistically independent
+    generator.  [rng] advances. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [0, 1) with 53-bit resolution. *)
+
+val float_pos : t -> float
+(** Uniform float in (0, 1]; never returns 0, safe as [log] argument. *)
+
+val int : t -> int -> int
+(** [int rng n] is uniform in [0, n-1]. Requires [n > 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli rng p] is [true] with probability [p]. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential variate with the given rate (mean [1/rate]).
+    Requires [rate > 0]. *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success in Bernoulli([p]) trials;
+    support 0, 1, 2, ...  Requires [0 < p <= 1]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)

@@ -1,0 +1,106 @@
+let binomial_bernoulli_loop rng ~n ~p =
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng p then incr count
+  done;
+  !count
+
+(* Count successes by skipping over failures geometrically: expected cost
+   O(np), exact for any p in (0,1). *)
+let binomial_geometric rng ~n ~p =
+  let count = ref 0 in
+  let position = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let skip = Rng.geometric rng ~p in
+    if skip >= n - !position then continue := false
+    else begin
+      position := !position + skip + 1;
+      incr count;
+      if !position >= n then continue := false
+    end
+  done;
+  !count
+
+(* BTRS: transformed rejection with squeeze (Hörmann 1993), exact for
+   n*p >= 10 and p <= 1/2. *)
+let binomial_btrs rng ~n ~p =
+  let nf = float_of_int n in
+  let q = 1.0 -. p in
+  let spq = sqrt (nf *. p *. q) in
+  let b = 1.15 +. (2.53 *. spq) in
+  let a = -0.0873 +. (0.0248 *. b) +. (0.01 *. p) in
+  let c = (nf *. p) +. 0.5 in
+  let vr = 0.92 -. (4.2 /. b) in
+  let alpha = (2.83 +. (5.1 /. b)) *. spq in
+  let lpq = log (p /. q) in
+  let m = int_of_float ((nf +. 1.0) *. p) in
+  let h = Special.log_factorial m +. Special.log_factorial (n - m) in
+  let rec draw () =
+    let u = Rng.float rng -. 0.5 in
+    let v = Rng.float rng in
+    let us = 0.5 -. Float.abs u in
+    let kf = Float.floor ((((2.0 *. a /. us) +. b) *. u) +. c) in
+    if kf < 0.0 || kf > nf then draw ()
+    else begin
+      let k = int_of_float kf in
+      if us >= 0.07 && v <= vr then k
+      else begin
+        let v = log (v *. alpha /. ((a /. (us *. us)) +. b)) in
+        let accept =
+          v
+          <= h
+             -. Special.log_factorial k
+             -. Special.log_factorial (n - k)
+             +. (float_of_int (k - m) *. lpq)
+        in
+        if accept then k else draw ()
+      end
+    end
+  in
+  draw ()
+
+let rec binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Sampler.binomial: n < 0";
+  if p < 0.0 || p > 1.0 then invalid_arg "Sampler.binomial: p outside [0,1]";
+  if n = 0 || p = 0.0 then 0
+  else if p = 1.0 then n
+  else if p > 0.5 then n - binomial rng ~n ~p:(1.0 -. p)
+  else if n <= 32 then binomial_bernoulli_loop rng ~n ~p
+  else if float_of_int n *. p < 10.0 then binomial_geometric rng ~n ~p
+  else binomial_btrs rng ~n ~p
+
+let distinct_ints rng ~n ~k =
+  if k < 0 || k > n then invalid_arg "Sampler.distinct_ints: need 0 <= k <= n";
+  (* Floyd's algorithm: for j = n-k .. n-1, insert either a fresh uniform
+     draw in [0, j] or j itself on collision. *)
+  let seen = Hashtbl.create (2 * k) in
+  let out = Array.make k 0 in
+  let slot = ref 0 in
+  for j = n - k to n - 1 do
+    let candidate = Rng.int rng (j + 1) in
+    let chosen = if Hashtbl.mem seen candidate then j else candidate in
+    Hashtbl.replace seen chosen ();
+    out.(!slot) <- chosen;
+    incr slot
+  done;
+  out
+
+let subset_bernoulli rng ~n ~p =
+  let size = binomial rng ~n ~p in
+  let members = distinct_ints rng ~n ~k:size in
+  Array.sort compare members;
+  members
+
+let categorical rng ~weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Sampler.categorical: weights sum to <= 0";
+  let x = Rng.float rng *. total in
+  let rec scan i acc =
+    if i = Array.length weights - 1 then i
+    else begin
+      let acc = acc +. weights.(i) in
+      if x < acc then i else scan (i + 1) acc
+    end
+  in
+  scan 0 0.0

@@ -1,0 +1,27 @@
+let default_tolerance = 1e-12
+let default_max_terms = 10_000_000
+
+exception Did_not_converge of { terms : int; partial : float }
+
+let sum_survival ?(tolerance = default_tolerance) ?(max_terms = default_max_terms) s =
+  let rec loop i acc =
+    if i >= max_terms then raise (Did_not_converge { terms = i; partial = acc })
+    else begin
+      let term = s i in
+      if term < 0.0 then invalid_arg "Series.sum_survival: negative term";
+      let acc = acc +. term in
+      if term <= tolerance *. (1.0 +. acc) then acc else loop (i + 1) acc
+    end
+  in
+  loop 0 0.0
+
+let expectation_from_survival = sum_survival
+
+let expectation_from_cdf_max ?tolerance ?max_terms ~r cdf =
+  let survival_of_max i =
+    let c = cdf i in
+    if c <= 0.0 then 1.0
+    else if c >= 1.0 then 0.0
+    else -.Float.expm1 (r *. log c)
+  in
+  sum_survival ?tolerance ?max_terms survival_of_max

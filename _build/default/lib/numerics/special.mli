@@ -1,0 +1,37 @@
+(** Special functions and log-domain arithmetic.
+
+    The analytical models of the paper must be evaluated for receiver
+    populations up to [R = 10^6] and transmission-group sizes up to several
+    hundred; binomial coefficients and powers overflow or underflow long
+    before that, so everything here works in the log domain. *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is [ln (Gamma x)] for [x > 0] (Lanczos approximation,
+    absolute error below 1e-13 over the range used here). *)
+
+val log_factorial : int -> float
+(** [ln n!]; exact table below 256, [log_gamma] above. *)
+
+val log_choose : int -> int -> float
+(** [log_choose n k] is [ln (n choose k)]. Returns [neg_infinity] when
+    [k < 0 || k > n]. *)
+
+val log_add : float -> float -> float
+(** [log_add la lb = ln (e^la + e^lb)] without overflow. *)
+
+val log_sub : float -> float -> float
+(** [log_sub la lb = ln (e^la - e^lb)]. Requires [la >= lb]. *)
+
+val log1mexp : float -> float
+(** [log1mexp x = ln (1 - e^x)] for [x < 0], numerically stable near 0. *)
+
+val pow_1m : float -> int -> float
+(** [pow_1m q i = q^i] computed safely for [i >= 0] (0^0 = 1). *)
+
+val power_of_complement : float -> float -> float
+(** [power_of_complement x r = (1 - x)^r] via [exp (r * log1p (-x))];
+    accurate for tiny [x] and huge [r] (e.g. x = 1e-12, r = 1e6). *)
+
+val one_minus_power_of_complement : float -> float -> float
+(** [1 - (1 - x)^r], the probability that at least one of [r] independent
+    events of probability [x] occurs; stable for tiny [x]. *)

@@ -1,0 +1,85 @@
+module Accumulator = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let std_error t = if t.n = 0 then 0.0 else stddev t /. sqrt (float_of_int t.n)
+
+  let confidence95 t =
+    let half_width = 1.96 *. std_error t in
+    (t.mean -. half_width, t.mean +. half_width)
+
+  let merge a b =
+    if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
+    else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }
+    else begin
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let nf = float_of_int n in
+      let mean = a.mean +. (delta *. (float_of_int b.n /. nf)) in
+      let m2 =
+        a.m2 +. b.m2 +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. nf)
+      in
+      { n; mean; m2 }
+    end
+end
+
+module Histogram = struct
+  type t = { counts : (int, int) Hashtbl.t; mutable total : int; mutable max_value : int }
+
+  let create () = { counts = Hashtbl.create 64; total = 0; max_value = -1 }
+
+  let add_many t value occurrences =
+    if occurrences < 0 then invalid_arg "Histogram.add_many: negative count";
+    if occurrences > 0 then begin
+      let current = Option.value ~default:0 (Hashtbl.find_opt t.counts value) in
+      Hashtbl.replace t.counts value (current + occurrences);
+      t.total <- t.total + occurrences;
+      if value > t.max_value then t.max_value <- value
+    end
+
+  let add t value = add_many t value 1
+  let count t value = Option.value ~default:0 (Hashtbl.find_opt t.counts value)
+  let total t = t.total
+  let max_value t = t.max_value
+
+  let to_sorted_list t =
+    Hashtbl.fold (fun value occurrences acc -> (value, occurrences) :: acc) t.counts []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let mean t =
+    if t.total = 0 then 0.0
+    else begin
+      let weighted =
+        Hashtbl.fold
+          (fun value occurrences acc -> acc +. (float_of_int value *. float_of_int occurrences))
+          t.counts 0.0
+      in
+      weighted /. float_of_int t.total
+    end
+end
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let position = q *. float_of_int (n - 1) in
+  let low = int_of_float (Float.floor position) in
+  let high = int_of_float (Float.ceil position) in
+  if low = high then sorted.(low)
+  else begin
+    let weight = position -. float_of_int low in
+    (sorted.(low) *. (1.0 -. weight)) +. (sorted.(high) *. weight)
+  end

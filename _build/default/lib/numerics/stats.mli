@@ -1,0 +1,50 @@
+(** Streaming statistics for simulation results. *)
+
+module Accumulator : sig
+  (** Welford's online mean/variance accumulator. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** Mean of the observations; 0 when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; 0 when fewer than two observations. *)
+
+  val stddev : t -> float
+
+  val std_error : t -> float
+  (** Standard error of the mean. *)
+
+  val confidence95 : t -> float * float
+  (** Normal-approximation 95% confidence interval for the mean. *)
+
+  val merge : t -> t -> t
+  (** Combine two accumulators (Chan's parallel update). *)
+end
+
+module Histogram : sig
+  (** Integer-valued histogram (burst lengths, retransmission counts...). *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val add_many : t -> int -> int -> unit
+  val count : t -> int -> int
+  val total : t -> int
+  val max_value : t -> int
+  (** Largest value observed; -1 when empty. *)
+
+  val to_sorted_list : t -> (int * int) list
+  (** (value, occurrences) pairs sorted by value. *)
+
+  val mean : t -> float
+end
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with linear interpolation; [xs] need not be sorted
+    (a sorted copy is made). Requires a non-empty array and [0 <= q <= 1]. *)

@@ -1,0 +1,1 @@
+lib/proto/loser_set.ml: Hashtbl Rmc_sim

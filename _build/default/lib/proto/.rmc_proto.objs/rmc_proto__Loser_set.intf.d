@@ -1,0 +1,1 @@
+lib/proto/loser_set.mli: Rmc_sim

@@ -1,0 +1,1 @@
+lib/proto/n1.ml: Array Bytes Fun Queue Rmc_sim

@@ -1,0 +1,1 @@
+lib/proto/n1.mli: Bytes Rmc_numerics Rmc_sim

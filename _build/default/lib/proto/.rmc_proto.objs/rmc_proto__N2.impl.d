@@ -1,0 +1,1 @@
+lib/proto/n2.ml: Array Bytes Hashtbl Option Queue Rmc_numerics Rmc_sim

@@ -1,0 +1,1 @@
+lib/proto/n2.mli: Bytes Rmc_numerics Rmc_sim

@@ -1,0 +1,1 @@
+lib/proto/np.ml: Array Bytes List Queue Rmc_numerics Rmc_rse Rmc_sim

@@ -1,0 +1,1 @@
+lib/proto/np.mli: Bytes Rmc_numerics Rmc_sim

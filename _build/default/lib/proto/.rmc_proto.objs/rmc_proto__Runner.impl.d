@@ -1,0 +1,1 @@
+lib/proto/runner.ml: Printf Rmc_numerics Rmc_sim Tg_arq Tg_carousel Tg_integrated Tg_layered Tg_result Timing

@@ -1,0 +1,1 @@
+lib/proto/runner.mli: Rmc_numerics Rmc_sim Tg_result Timing

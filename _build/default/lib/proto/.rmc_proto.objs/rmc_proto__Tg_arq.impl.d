@@ -1,0 +1,1 @@
+lib/proto/tg_arq.ml: Array Hashtbl List Loser_set Rmc_sim Tg_result Timing

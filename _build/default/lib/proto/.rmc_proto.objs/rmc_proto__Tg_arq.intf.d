@@ -1,0 +1,1 @@
+lib/proto/tg_arq.mli: Rmc_sim Tg_result Timing

@@ -1,0 +1,1 @@
+lib/proto/tg_carousel.ml: Bytes Char Hashtbl List Loser_set Rmc_sim Tg_result Timing

@@ -1,0 +1,1 @@
+lib/proto/tg_carousel.mli: Rmc_sim Tg_result Timing

@@ -1,0 +1,1 @@
+lib/proto/tg_integrated.ml: Hashtbl List Loser_set Option Rmc_sim Tg_result Timing

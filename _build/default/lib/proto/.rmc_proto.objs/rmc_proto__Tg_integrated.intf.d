@@ -1,0 +1,1 @@
+lib/proto/tg_integrated.mli: Rmc_sim Tg_result Timing

@@ -1,0 +1,1 @@
+lib/proto/tg_layered.ml: Hashtbl List Loser_set Rmc_sim Tg_result Timing

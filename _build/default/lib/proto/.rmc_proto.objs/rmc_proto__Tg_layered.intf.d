@@ -1,0 +1,1 @@
+lib/proto/tg_layered.mli: Rmc_sim Tg_result Timing

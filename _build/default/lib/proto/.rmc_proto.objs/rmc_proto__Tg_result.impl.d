@@ -1,0 +1,1 @@
+lib/proto/tg_result.ml: Format

@@ -1,0 +1,13 @@
+type t = (int, unit) Hashtbl.t
+
+let of_transmission tx =
+  let set = Hashtbl.create 64 in
+  Rmc_sim.Network.iter_losers tx (fun r -> Hashtbl.replace set r ());
+  set
+
+let size = Hashtbl.length
+let mem set r = Hashtbl.mem set r
+let iter set f = Hashtbl.iter (fun r () -> f r) set
+
+let count_outside set inside =
+  Hashtbl.fold (fun r () acc -> if inside r then acc else acc + 1) set 0

@@ -1,0 +1,15 @@
+(** One multicast transmission's set of losing receivers, materialised as a
+    hash set so protocol machines can both iterate it and test membership.
+    Internal helper shared by the TG machines. *)
+
+type t
+
+val of_transmission : Rmc_sim.Network.transmission -> t
+val size : t -> int
+val mem : t -> int -> bool
+val iter : t -> (int -> unit) -> unit
+
+val count_outside : t -> (int -> bool) -> int
+(** Losers NOT satisfying the predicate — used to compute how many of the
+    already-complete receivers actually received a transmission
+    (unnecessary-reception accounting). *)

@@ -1,0 +1,43 @@
+(** Protocol N1 (Towsley, Kurose, Pingali [18]): sender-initiated reliable
+    multicast — the third baseline of the §5 family, as an event-driven
+    machine.
+
+    Every receiver positively ACKs every packet it receives (unicast to
+    the sender); the sender holds a retransmission timer per packet and
+    re-multicasts it whenever the timer expires with ACKs still missing.
+    Reliability needs no receiver timers at all, but the sender absorbs
+    R ACKs per transmission — the ACK implosion that motivates N2 and NP.
+    Compare {!Endhost_n1} in the analysis layer. *)
+
+type config = {
+  payload_size : int;
+  spacing : float;
+  delay : float;  (** one-way latency *)
+  rto : float;  (** retransmission timeout *)
+}
+
+val default_config : config
+(** 1 KiB payloads, 1 ms pacing, 25 ms delay, rto = 120 ms (> RTT + pacing
+    backlog). *)
+
+type report = {
+  config : config;
+  receivers : int;
+  packets : int;
+  data_tx : int;  (** transmissions including timer-driven retransmissions *)
+  acks_received : int;
+  timer_expiries : int;  (** timers that fired and caused a retransmission *)
+  unnecessary_receptions : int;
+  duration : float;
+  delivered_intact : bool;
+}
+
+val transmissions_per_packet : report -> float
+
+val run :
+  ?config:config ->
+  network:Rmc_sim.Network.t ->
+  rng:Rmc_numerics.Rng.t ->
+  data:Bytes.t array ->
+  unit ->
+  report

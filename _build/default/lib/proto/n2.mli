@@ -1,0 +1,47 @@
+(** Protocol N2 (Towsley, Kurose, Pingali [18]): the paper's non-FEC
+    comparison point, as an event-driven machine.
+
+    Receiver-initiated, NAK-based reliable multicast with per-{e packet}
+    feedback: the sender multicasts the data stream and a POLL; receivers
+    NAK each packet they miss (one multicast NAK per missing packet, with
+    slotting + damping suppression as in SRM); the sender retransmits the
+    {e original} packets that were NAKed and polls again, until silence.
+
+    Contrast with {!Np}: per-packet NAKs instead of per-TG, and
+    retransmission of originals — a retransmitted packet is useful only to
+    the receivers that lost that very packet, so expect many unnecessary
+    receptions and more rounds at scale. *)
+
+type config = {
+  payload_size : int;
+  spacing : float;
+  delay : float;
+  slot : float;
+  damping_slots : int;  (** NAK timers drawn uniformly over this many slots *)
+}
+
+val default_config : config
+
+type report = {
+  config : config;
+  receivers : int;
+  packets : int;
+  data_tx : int;  (** includes retransmissions *)
+  polls : int;
+  naks_sent : int;
+  naks_suppressed : int;
+  unnecessary_receptions : int;
+  rounds : int;
+  duration : float;
+  delivered_intact : bool;
+}
+
+val transmissions_per_packet : report -> float
+
+val run :
+  ?config:config ->
+  network:Rmc_sim.Network.t ->
+  rng:Rmc_numerics.Rng.t ->
+  data:Bytes.t array ->
+  unit ->
+  report

@@ -1,0 +1,339 @@
+module Engine = Rmc_sim.Engine
+module Network = Rmc_sim.Network
+module Rng = Rmc_numerics.Rng
+module Rse = Rmc_rse.Rse
+module Fec_block = Rmc_rse.Fec_block
+
+type config = {
+  k : int;
+  h : int;
+  proactive : int;
+  payload_size : int;
+  spacing : float;
+  delay : float;
+  slot : float;
+  pre_encode : bool;
+}
+
+let default_config =
+  {
+    k = 20;
+    h = 40;
+    proactive = 0;
+    payload_size = 1024;
+    spacing = 0.001;
+    delay = 0.025;
+    (* Suppression only works when a slot outlasts the receiver-to-receiver
+       propagation delay (the first NAK must arrive before same-slot peers
+       fire); 4x the default delay keeps most same-slot timers quiet. *)
+    slot = 0.100;
+    pre_encode = false;
+  }
+
+type report = {
+  config : config;
+  receivers : int;
+  transmission_groups : int;
+  data_tx : int;
+  parity_tx : int;
+  polls : int;
+  naks_sent : int;
+  naks_suppressed : int;
+  parities_encoded : int;
+  packets_decoded : int;
+  unnecessary_receptions : int;
+  ejected : (int * int) list;
+  duration : float;
+  delivered_intact : bool;
+}
+
+let transmissions_per_packet report =
+  float_of_int (report.data_tx + report.parity_tx) /. float_of_int report.data_tx
+
+(* ------------------------------------------------------------------ *)
+
+type tg_sender = {
+  tg_id : int;
+  block : Fec_block.Sender.t;
+  mutable serviced_round : int; (* highest round whose NAK was handled *)
+}
+
+type tg_receiver = {
+  rx : Fec_block.Receiver.t;
+  mutable delivered : bool;
+  mutable nak_timer : Engine.timer option;
+  mutable nak_round : int; (* round the pending/last NAK belongs to *)
+  mutable gave_up : bool;
+}
+
+type job =
+  | Packet of { tg : tg_sender; index : int } (* < k data, >= k parity *)
+  | Poll of { tg : tg_sender; size : int; round : int }
+  | Exhausted of { tg : tg_sender }
+
+let validate_config c =
+  if c.k < 1 then invalid_arg "Np: k must be >= 1";
+  if c.h < 0 || c.proactive < 0 || c.proactive > c.h then
+    invalid_arg "Np: need 0 <= proactive <= h";
+  if c.payload_size < 1 then invalid_arg "Np: payload_size must be >= 1";
+  if c.spacing <= 0.0 || c.delay < 0.0 || c.slot <= 0.0 then
+    invalid_arg "Np: spacing/slot must be positive, delay non-negative"
+
+let run ?(config = default_config) ?(start = 0.0) ~network ~rng ~data () =
+  validate_config config;
+  let c = config in
+  if Array.length data = 0 then invalid_arg "Np.run: no data";
+  Array.iter
+    (fun payload ->
+      if Bytes.length payload <> c.payload_size then
+        invalid_arg "Np.run: payload size mismatch")
+    data;
+  let receivers = Network.receivers network in
+  let engine = Engine.create () in
+
+  (* --- counters --- *)
+  let data_tx = ref 0 and parity_tx = ref 0 and polls = ref 0 in
+  let naks_sent = ref 0 and naks_suppressed = ref 0 in
+  let parities_encoded = ref 0 and packets_decoded = ref 0 in
+  let unnecessary = ref 0 in
+  let ejected = ref [] in
+  let intact = ref true in
+
+  (* --- transmission groups --- *)
+  let total = Array.length data in
+  let tg_count = (total + c.k - 1) / c.k in
+  let tgs =
+    Array.init tg_count (fun i ->
+        let base = i * c.k in
+        let len = min c.k (total - base) in
+        let codec = Rse.create ~k:len ~h:c.h () in
+        let block = Fec_block.Sender.create codec (Array.sub data base len) in
+        if c.pre_encode then begin
+          Fec_block.Sender.precompute block;
+          parities_encoded := !parities_encoded + c.h
+        end;
+        { tg_id = i; block; serviced_round = 0 })
+  in
+  let tg_k tg = Rse.k (Fec_block.Sender.codec tg.block) in
+
+  (* --- receiver state --- *)
+  let rx_states =
+    Array.init receivers (fun _ ->
+        Array.map
+          (fun tg ->
+            {
+              rx = Fec_block.Receiver.create (Fec_block.Sender.codec tg.block);
+              delivered = false;
+              nak_timer = None;
+              nak_round = 0;
+              gave_up = false;
+            })
+          tgs)
+  in
+
+  (* --- sender job queue: repairs pre-empt the data stream --- *)
+  let repair_queue : job Queue.t = Queue.create () in
+  let stream_queue : job Queue.t = Queue.create () in
+  let sending = ref false in
+
+  let next_job () =
+    if not (Queue.is_empty repair_queue) then Some (Queue.pop repair_queue)
+    else if not (Queue.is_empty stream_queue) then Some (Queue.pop stream_queue)
+    else None
+  in
+
+  (* Forward declarations to untangle the sender/receiver event cycle. *)
+  let handle_nak_at_sender = ref (fun ~tg:_ ~need:_ ~round:_ -> ()) in
+  let overhear_nak = ref (fun ~receiver:_ ~tg_id:_ ~need:_ ~round:_ -> ()) in
+
+  let deliver_packet ~receiver ~tg ~index payload =
+    let state = rx_states.(receiver).(tg.tg_id) in
+    if state.delivered || state.gave_up then incr unnecessary
+    else begin
+      let fresh = Fec_block.Receiver.add state.rx ~index payload in
+      if not fresh then incr unnecessary
+      else if Fec_block.Receiver.complete state.rx then begin
+        let reconstructed = List.length (Fec_block.Receiver.missing_data state.rx) in
+        packets_decoded := !packets_decoded + reconstructed;
+        let decoded = Fec_block.Receiver.decode state.rx in
+        let original = Fec_block.Sender.data tg.block in
+        if not (Array.for_all2 Bytes.equal decoded original) then intact := false;
+        state.delivered <- true;
+        (match state.nak_timer with
+        | Some timer ->
+          Engine.cancel timer;
+          state.nak_timer <- None
+        | None -> ())
+      end
+    end
+  in
+
+  let send_nak ~receiver ~tg ~round =
+    let state = rx_states.(receiver).(tg.tg_id) in
+    state.nak_timer <- None;
+    if (not state.delivered) && not state.gave_up then begin
+      let need = Fec_block.Receiver.needed state.rx in
+      if need > 0 then begin
+        incr naks_sent;
+        state.nak_round <- round;
+        (* The NAK is multicast: the sender reacts, the other receivers
+           suppress their own pending NAK for this round. *)
+        ignore
+          (Engine.after engine c.delay (fun () -> !handle_nak_at_sender ~tg ~need ~round));
+        for other = 0 to receivers - 1 do
+          if other <> receiver then
+            ignore
+              (Engine.after engine c.delay (fun () ->
+                   !overhear_nak ~receiver:other ~tg_id:tg.tg_id ~need ~round))
+        done
+      end
+    end
+  in
+
+  let deliver_poll ~receiver ~tg ~size ~round =
+    let state = rx_states.(receiver).(tg.tg_id) in
+    if (not state.delivered) && (not state.gave_up) && state.nak_round < round then begin
+      let need = Fec_block.Receiver.needed state.rx in
+      if need > 0 then begin
+        (* Slotting (paper §5.1): receivers missing more packets answer in
+           earlier slots; damping adds a uniform offset within the slot. *)
+        let slot_index = max 0 (size - need) in
+        let offset =
+          (float_of_int slot_index *. c.slot) +. (Rng.float rng *. c.slot)
+        in
+        (match state.nak_timer with Some t -> Engine.cancel t | None -> ());
+        state.nak_timer <-
+          Some (Engine.after engine offset (fun () -> send_nak ~receiver ~tg ~round))
+      end
+    end
+  in
+
+  let deliver_exhausted ~receiver ~tg =
+    let state = rx_states.(receiver).(tg.tg_id) in
+    if (not state.delivered) && not state.gave_up then begin
+      state.gave_up <- true;
+      (match state.nak_timer with Some t -> Engine.cancel t | None -> ());
+      state.nak_timer <- None;
+      ejected := (receiver, tg.tg_id) :: !ejected
+    end
+  in
+
+  (* --- the sender pump: one job per [spacing] tick (polls are free) --- *)
+  let rec pump () =
+    match next_job () with
+    | None -> sending := false
+    | Some job ->
+      let next_delay =
+        match job with
+        | Packet { tg; index } ->
+          let payload =
+            if index < tg_k tg then begin
+              incr data_tx;
+              (Fec_block.Sender.data tg.block).(index)
+            end
+            else begin
+              incr parity_tx;
+              Fec_block.Sender.parity tg.block (index - tg_k tg)
+            end
+          in
+          let tx = Network.transmit network ~time:(Engine.now engine) in
+          for r = 0 to receivers - 1 do
+            if not (Network.lost tx r) then
+              ignore
+                (Engine.after engine c.delay (fun () ->
+                     deliver_packet ~receiver:r ~tg ~index payload))
+          done;
+          c.spacing
+        | Poll { tg; size; round } ->
+          incr polls;
+          for r = 0 to receivers - 1 do
+            ignore
+              (Engine.after engine c.delay (fun () ->
+                   deliver_poll ~receiver:r ~tg ~size ~round))
+          done;
+          0.0
+        | Exhausted { tg } ->
+          for r = 0 to receivers - 1 do
+            ignore (Engine.after engine c.delay (fun () -> deliver_exhausted ~receiver:r ~tg))
+          done;
+          0.0
+      in
+      ignore (Engine.after engine next_delay pump)
+  in
+
+  (handle_nak_at_sender :=
+     fun ~tg ~need ~round ->
+       if tg.serviced_round < round then begin
+         tg.serviced_round <- round;
+         let remaining = Rse.h (Fec_block.Sender.codec tg.block) - Fec_block.Sender.parities_issued tg.block in
+         if remaining = 0 then Queue.push (Exhausted { tg }) repair_queue
+         else begin
+           let batch = min need remaining in
+           let fresh = Fec_block.Sender.next_parities tg.block batch in
+           if not c.pre_encode then parities_encoded := !parities_encoded + batch;
+           List.iter
+             (fun (j, _) -> Queue.push (Packet { tg; index = tg_k tg + j }) repair_queue)
+             fresh;
+           Queue.push (Poll { tg; size = batch; round = round + 1 }) repair_queue
+         end;
+         if not !sending then begin
+           sending := true;
+           ignore (Engine.after engine 0.0 pump)
+         end
+       end);
+
+  (overhear_nak :=
+     fun ~receiver ~tg_id ~need ~round ->
+       let state = rx_states.(receiver).(tg_id) in
+       match state.nak_timer with
+       | Some timer when state.nak_round < round || state.nak_round = 0 ->
+         (* Pending timer belongs to this round iff scheduled by its poll;
+            suppression applies when the overheard request covers ours. *)
+         let own_need = Fec_block.Receiver.needed state.rx in
+         if need >= own_need then begin
+           Engine.cancel timer;
+           state.nak_timer <- None;
+           state.nak_round <- round;
+           incr naks_suppressed
+         end
+       | _ -> ());
+
+  (* --- enqueue the initial stream: per TG, data + proactive parities + poll --- *)
+  Array.iter
+    (fun tg ->
+      let k = tg_k tg in
+      for index = 0 to k - 1 do
+        Queue.push (Packet { tg; index }) stream_queue
+      done;
+      let a = min c.proactive c.h in
+      if a > 0 then begin
+        let fresh = Fec_block.Sender.next_parities tg.block a in
+        if not c.pre_encode then parities_encoded := !parities_encoded + a;
+        List.iter (fun (j, _) -> Queue.push (Packet { tg; index = k + j }) stream_queue) fresh
+      end;
+      Queue.push (Poll { tg; size = k + a; round = 1 }) stream_queue)
+    tgs;
+  sending := true;
+  if start < 0.0 then invalid_arg "Np.run: negative start time";
+  ignore (Engine.at engine start pump);
+  Engine.run engine;
+
+  let all_delivered =
+    Array.for_all (fun per_tg -> Array.for_all (fun s -> s.delivered) per_tg) rx_states
+  in
+  {
+    config = c;
+    receivers;
+    transmission_groups = tg_count;
+    data_tx = !data_tx;
+    parity_tx = !parity_tx;
+    polls = !polls;
+    naks_sent = !naks_sent;
+    naks_suppressed = !naks_suppressed;
+    parities_encoded = !parities_encoded;
+    packets_decoded = !packets_decoded;
+    unnecessary_receptions = !unnecessary;
+    ejected = List.rev !ejected;
+    duration = Engine.now engine;
+    delivered_intact = !intact && all_delivered;
+  }

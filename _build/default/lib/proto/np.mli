@@ -1,0 +1,79 @@
+(** Protocol NP (paper §5.1): reliable multicast with integrated FEC,
+    receiver-initiated feedback and parity retransmission.
+
+    This is the full event-driven protocol machine — actual packet payloads
+    flow through the {!Rmc_rse} codec, NAK timers really run on the
+    simulation engine, and suppression happens because receivers overhear
+    each other's multicast NAKs.
+
+    Transmission of TG i proceeds in rounds:
+    - round 1 sends the k data packets (plus [proactive] parities) and a
+      POLL carrying the round size;
+    - a receiver missing l packets schedules its NAK(i, l) timer in slot
+      [s - l] (receivers missing more fire earlier), damped by a uniform
+      offset within the slot; overhearing NAK(i, m) with m >= l cancels it;
+    - the sender reacts to the first NAK of a round by interrupting the
+      current TG, multicasting l fresh parities and a new POLL, then
+      resuming.
+
+    Parities are drawn from a finite budget of [h] per TG; if a TG exhausts
+    its budget, receivers that still cannot decode are ejected (the paper's
+    §5 assumption makes this an edge case for any sensible [h]).
+
+    Control packets (POLL, NAK) are delivered reliably — the analysis'
+    assumption "NAKs are never lost"; data and parity packets suffer the
+    network's loss process. *)
+
+type config = {
+  k : int;  (** TG size *)
+  h : int;  (** parity budget per TG *)
+  proactive : int;  (** parities sent with the initial volley (a) *)
+  payload_size : int;  (** bytes per packet *)
+  spacing : float;  (** sender pacing, seconds per packet *)
+  delay : float;  (** one-way latency, sender <-> receivers, receiver <-> receiver *)
+  slot : float;  (** NAK slot size Ts *)
+  pre_encode : bool;  (** encode all parities before transmission starts (§5) *)
+}
+
+val default_config : config
+(** k = 20, h = 40, proactive = 0, 1 KiB payloads, 1 ms spacing, 25 ms
+    delay, 10 ms slots, no pre-encoding. *)
+
+type report = {
+  config : config;
+  receivers : int;
+  transmission_groups : int;
+  data_tx : int;  (** data packets multicast (sent exactly once each) *)
+  parity_tx : int;  (** parity packets multicast *)
+  polls : int;
+  naks_sent : int;  (** NAKs that fired (post-suppression) *)
+  naks_suppressed : int;  (** NAK timers cancelled by overhearing *)
+  parities_encoded : int;  (** coder invocations at the sender *)
+  packets_decoded : int;  (** data packets reconstructed across receivers *)
+  unnecessary_receptions : int;
+      (** receptions for TGs the receiver had already completed *)
+  ejected : (int * int) list;  (** (receiver, tg) pairs that gave up *)
+  duration : float;  (** virtual seconds until the last event *)
+  delivered_intact : bool;  (** every receiver decoded every TG correctly *)
+}
+
+val transmissions_per_packet : report -> float
+(** The E[M] estimate this run realises. *)
+
+val run :
+  ?config:config ->
+  ?start:float ->
+  network:Rmc_sim.Network.t ->
+  rng:Rmc_numerics.Rng.t ->
+  data:Bytes.t array ->
+  unit ->
+  report
+(** Transfer [data] (each element one packet payload, padded/validated to
+    [payload_size]) reliably to every receiver of [network].  The final TG
+    may be shorter than [k]; it gets its own codec.
+
+    [start] (virtual seconds, default 0) offsets the whole session — pass
+    the previous session's [duration] to run several transfers back to
+    back over one network (whose loss processes must see non-decreasing
+    times).
+    @raise Invalid_argument on empty data or wrong payload sizes. *)

@@ -1,0 +1,86 @@
+module Network = Rmc_sim.Network
+module Stats = Rmc_numerics.Stats
+
+type scheme =
+  | No_fec
+  | Layered of { h : int }
+  | Integrated_open_loop of { a : int }
+  | Integrated_nak of { a : int }
+  | Carousel of { h : int }
+
+let scheme_name = function
+  | No_fec -> "no-fec"
+  | Layered { h } -> Printf.sprintf "layered(h=%d)" h
+  | Integrated_open_loop { a } -> Printf.sprintf "integrated-1(a=%d)" a
+  | Integrated_nak { a } -> Printf.sprintf "integrated-2(a=%d)" a
+  | Carousel { h } -> Printf.sprintf "carousel(h=%d)" h
+
+let run_tg net ~k ~scheme ~timing ~start =
+  match scheme with
+  | No_fec -> Tg_arq.run net ~k ~timing ~start
+  | Layered { h } -> Tg_layered.run net ~k ~h ~timing ~start
+  | Integrated_open_loop { a } ->
+    Tg_integrated.run net ~k ~a ~variant:Tg_integrated.Open_loop ~timing ~start ()
+  | Integrated_nak { a } ->
+    Tg_integrated.run net ~k ~a ~variant:Tg_integrated.Nak_rounds ~timing ~start ()
+  | Carousel { h } -> Tg_carousel.run net ~k ~h ~timing ~start
+
+type estimate = {
+  scheme : scheme;
+  k : int;
+  receivers : int;
+  reps : int;
+  transmissions_per_packet : Stats.Accumulator.t;
+  rounds : Stats.Accumulator.t;
+  feedback : Stats.Accumulator.t;
+  unnecessary_per_receiver : Stats.Accumulator.t;
+  completion_time : Stats.Accumulator.t;
+}
+
+let mean_m e = Stats.Accumulator.mean e.transmissions_per_packet
+
+let estimate net ~k ~scheme ?(timing = Timing.instantaneous) ?(reps = 200) () =
+  if reps < 1 then invalid_arg "Runner.estimate: reps must be >= 1";
+  let receivers = Network.receivers net in
+  let m_acc = Stats.Accumulator.create () in
+  let rounds_acc = Stats.Accumulator.create () in
+  let feedback_acc = Stats.Accumulator.create () in
+  let unnecessary_acc = Stats.Accumulator.create () in
+  let completion_acc = Stats.Accumulator.create () in
+  let clock = ref 0.0 in
+  for _ = 1 to reps do
+    let result = run_tg net ~k ~scheme ~timing ~start:!clock in
+    Stats.Accumulator.add completion_acc (result.Tg_result.finish_time -. !clock);
+    clock := result.Tg_result.finish_time +. timing.feedback_delay;
+    Stats.Accumulator.add m_acc (Tg_result.per_packet result);
+    Stats.Accumulator.add rounds_acc (float_of_int result.Tg_result.rounds);
+    Stats.Accumulator.add feedback_acc (float_of_int result.Tg_result.feedback_messages);
+    Stats.Accumulator.add unnecessary_acc
+      (float_of_int result.Tg_result.unnecessary_receptions /. float_of_int receivers)
+  done;
+  {
+    scheme;
+    k;
+    receivers;
+    reps;
+    transmissions_per_packet = m_acc;
+    rounds = rounds_acc;
+    feedback = feedback_acc;
+    unnecessary_per_receiver = unnecessary_acc;
+    completion_time = completion_acc;
+  }
+
+let burst_length_histogram loss ~packets ~spacing =
+  if packets < 1 then invalid_arg "Runner.burst_length_histogram: packets must be >= 1";
+  if spacing <= 0.0 then invalid_arg "Runner.burst_length_histogram: spacing must be positive";
+  let histogram = Stats.Histogram.create () in
+  let run = ref 0 in
+  for i = 0 to packets - 1 do
+    if Rmc_sim.Loss.lost loss (float_of_int i *. spacing) then incr run
+    else if !run > 0 then begin
+      Stats.Histogram.add histogram !run;
+      run := 0
+    end
+  done;
+  if !run > 0 then Stats.Histogram.add histogram !run;
+  histogram

@@ -1,0 +1,54 @@
+(** Monte-Carlo estimation of the paper's metrics by repeated TG
+    transmissions over a simulated network. *)
+
+type scheme =
+  | No_fec  (** pure ARQ (§3 baseline / N2 data plane) *)
+  | Layered of { h : int }  (** FEC layer below RM (§3.1) *)
+  | Integrated_open_loop of { a : int }  (** "integrated FEC 1" (§4.2) *)
+  | Integrated_nak of { a : int }  (** "integrated FEC 2" / NP data plane *)
+  | Carousel of { h : int }  (** feedback-free FEC carousel (extension) *)
+
+val scheme_name : scheme -> string
+
+val run_tg :
+  Rmc_sim.Network.t -> k:int -> scheme:scheme -> timing:Timing.t -> start:float -> Tg_result.t
+(** One TG under the given scheme. *)
+
+type estimate = {
+  scheme : scheme;
+  k : int;
+  receivers : int;
+  reps : int;
+  transmissions_per_packet : Rmc_numerics.Stats.Accumulator.t;  (** M *)
+  rounds : Rmc_numerics.Stats.Accumulator.t;
+  feedback : Rmc_numerics.Stats.Accumulator.t;
+  unnecessary_per_receiver : Rmc_numerics.Stats.Accumulator.t;
+      (** unnecessary receptions per TG divided by R *)
+  completion_time : Rmc_numerics.Stats.Accumulator.t;
+      (** virtual seconds from the first transmission of a TG to its last
+          (meaningful when [timing] has nonzero gaps) *)
+}
+
+val mean_m : estimate -> float
+(** Shorthand for the mean of [transmissions_per_packet]. *)
+
+val estimate :
+  Rmc_sim.Network.t ->
+  k:int ->
+  scheme:scheme ->
+  ?timing:Timing.t ->
+  ?reps:int ->
+  unit ->
+  estimate
+(** [reps] (default 200) independent TGs back to back on the same network —
+    for temporal-loss networks the channel state carries over between TGs,
+    exactly as a long transfer would experience it.  TGs are separated by
+    [timing.feedback_delay]. *)
+
+val burst_length_histogram :
+  Rmc_sim.Loss.t ->
+  packets:int ->
+  spacing:float ->
+  Rmc_numerics.Stats.Histogram.t
+(** Feed [packets] packets spaced [spacing] apart through a loss process and
+    histogram the lengths of consecutive-loss runs (Figure 14). *)

@@ -1,0 +1,54 @@
+module Network = Rmc_sim.Network
+
+let run net ~k ~(timing : Timing.t) ~start =
+  if k < 1 then invalid_arg "Tg_arq.run: k must be >= 1";
+  let receivers = Network.receivers net in
+  (* missing.(s): receivers still lacking data packet s. *)
+  let missing = Array.init k (fun _ -> Hashtbl.create 16) in
+  let time = ref start in
+  let data_tx = ref 0 in
+  let unnecessary = ref 0 in
+  let feedback = ref 0 in
+  let rounds = ref 1 in
+  let send () =
+    let tx = Network.transmit net ~time:!time in
+    time := !time +. timing.spacing;
+    incr data_tx;
+    tx
+  in
+  for s = 0 to k - 1 do
+    let tx = send () in
+    Network.iter_losers tx (fun r -> Hashtbl.replace missing.(s) r ())
+  done;
+  let incomplete () = Array.exists (fun set -> Hashtbl.length set > 0) missing in
+  while incomplete () do
+    incr rounds;
+    time := !time +. timing.feedback_delay;
+    for s = 0 to k - 1 do
+      let still_missing = missing.(s) in
+      if Hashtbl.length still_missing > 0 then begin
+        incr feedback;
+        let losers = Loser_set.of_transmission (send ()) in
+        (* Receivers that already held packet s and received this copy did
+           not need it. *)
+        let holders = receivers - Hashtbl.length still_missing in
+        let losing_holders = Loser_set.count_outside losers (Hashtbl.mem still_missing) in
+        unnecessary := !unnecessary + holders - losing_holders;
+        let recovered =
+          Hashtbl.fold
+            (fun r () acc -> if Loser_set.mem losers r then acc else r :: acc)
+            still_missing []
+        in
+        List.iter (Hashtbl.remove still_missing) recovered
+      end
+    done
+  done;
+  {
+    Tg_result.k;
+    data_transmissions = !data_tx;
+    parity_transmissions = 0;
+    rounds = !rounds;
+    feedback_messages = !feedback;
+    unnecessary_receptions = !unnecessary;
+    finish_time = !time;
+  }

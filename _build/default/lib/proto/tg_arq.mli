@@ -1,0 +1,12 @@
+(** Reliable transmission of one TG without FEC (the paper's baseline and
+    the data-plane behaviour of protocol N2 [18]).
+
+    Round 1 multicasts the k data packets; every later round retransmits
+    exactly the packets that at least one receiver still misses (the NAK
+    union), until no receiver misses anything.  Feedback is counted as one
+    (suppressed) NAK per retransmitted packet per round — N2's per-packet
+    feedback. *)
+
+val run :
+  Rmc_sim.Network.t -> k:int -> timing:Timing.t -> start:float -> Tg_result.t
+(** Requires [k >= 1]. [start] is the virtual time of the first packet. *)

@@ -1,0 +1,56 @@
+module Network = Rmc_sim.Network
+
+type participant = { held : Bytes.t; (* bitmask over n positions *) mutable count : int }
+
+let has mask index = Char.code (Bytes.get mask (index lsr 3)) land (1 lsl (index land 7)) <> 0
+
+let mark mask index =
+  let byte = index lsr 3 in
+  Bytes.set mask byte (Char.chr (Char.code (Bytes.get mask byte) lor (1 lsl (index land 7))))
+
+let run net ~k ~h ~(timing : Timing.t) ~start =
+  if k < 1 then invalid_arg "Tg_carousel.run: k must be >= 1";
+  if h < 0 then invalid_arg "Tg_carousel.run: h must be >= 0";
+  let receivers = Network.receivers net in
+  let n = k + h in
+  let mask_bytes = (n + 7) / 8 in
+  let time = ref start in
+  let data_tx = ref 0 and parity_tx = ref 0 in
+  let cycles = ref 0 in
+  (* Receivers still collecting; they leave the group once they hold k. *)
+  let pending : (int, participant) Hashtbl.t = Hashtbl.create 64 in
+  for r = 0 to receivers - 1 do
+    Hashtbl.replace pending r { held = Bytes.make mask_bytes '\000'; count = 0 }
+  done;
+  while Hashtbl.length pending > 0 do
+    incr cycles;
+    let index = ref 0 in
+    while !index < n && Hashtbl.length pending > 0 do
+      let tx = Network.transmit net ~time:!time in
+      time := !time +. timing.spacing;
+      if !index < k then incr data_tx else incr parity_tx;
+      let losers = Loser_set.of_transmission tx in
+      let satisfied =
+        Hashtbl.fold
+          (fun r participant acc ->
+            if Loser_set.mem losers r || has participant.held !index then acc
+            else begin
+              mark participant.held !index;
+              participant.count <- participant.count + 1;
+              if participant.count >= k then r :: acc else acc
+            end)
+          pending []
+      in
+      List.iter (Hashtbl.remove pending) satisfied;
+      incr index
+    done
+  done;
+  {
+    Tg_result.k;
+    data_transmissions = !data_tx;
+    parity_transmissions = !parity_tx;
+    rounds = !cycles;
+    feedback_messages = 0;
+    unnecessary_receptions = 0;
+    finish_time = !time;
+  }

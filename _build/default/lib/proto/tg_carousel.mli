@@ -1,0 +1,28 @@
+(** Feedback-free FEC carousel (data-carousel / broadcast-disk model).
+
+    The extreme point of the FEC-ARQ spectrum that the paper's §1 rules
+    out for full reliability over an unbounded horizon but that satellite
+    and broadcast-file systems use in practice: the sender cycles through
+    the n = k + h packets of the FEC block forever, with {e no feedback
+    channel at all}; a receiver tunes in, collects any k distinct packets
+    across cycles, decodes and leaves.
+
+    Compared with integrated FEC (which sends exactly the parities that
+    are needed), the carousel pays for the missing feedback with
+    re-receptions: a receiver missing one packet of a cycle must wait for
+    useful indices to come around again.  {!Runner} exposes it as a
+    scheme so the cost of "no feedback" can sit on the same axes as the
+    paper's figures. *)
+
+val run :
+  Rmc_sim.Network.t ->
+  k:int ->
+  h:int ->
+  timing:Timing.t ->
+  start:float ->
+  Tg_result.t
+(** Cycle the (k, k+h) block until every receiver holds k distinct
+    packets.  [rounds] in the result counts full cycles (the last possibly
+    partial); [feedback_messages] is 0 by construction; unnecessary
+    receptions are 0 (receivers leave the group once satisfied).
+    Requires [k >= 1], [h >= 0]. *)

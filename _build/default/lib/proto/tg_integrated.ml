@@ -1,0 +1,80 @@
+module Network = Rmc_sim.Network
+
+type variant = Open_loop | Nak_rounds
+
+let run net ~k ?(a = 0) ~variant ~(timing : Timing.t) ~start () =
+  if k < 1 then invalid_arg "Tg_integrated.run: k must be >= 1";
+  if a < 0 then invalid_arg "Tg_integrated.run: a must be >= 0";
+  let receivers = Network.receivers net in
+  let time = ref start in
+  let data_tx = ref 0 and parity_tx = ref 0 in
+  let unnecessary = ref 0 and feedback = ref 0 in
+  let rounds = ref 1 in
+  let losses : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let send counter =
+    let tx = Network.transmit net ~time:!time in
+    time := !time +. timing.spacing;
+    incr counter;
+    tx
+  in
+  (* --- Initial volley: k data packets and a proactive parities. ------- *)
+  for _ = 1 to k + a do
+    let tx = Network.transmit net ~time:!time in
+    time := !time +. timing.spacing;
+    Network.iter_losers tx (fun r ->
+        Hashtbl.replace losses r (1 + Option.value ~default:0 (Hashtbl.find_opt losses r)))
+  done;
+  data_tx := k;
+  parity_tx := a;
+  (* needed r = max 0 (losses - a): how many more packets until it holds k
+     of the k+a+... sent so far. *)
+  let needing : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter (fun r l -> if l > a then Hashtbl.replace needing r (l - a)) losses;
+  let max_needed () = Hashtbl.fold (fun _ n acc -> max n acc) needing 0 in
+  (* Apply one received parity to every receiver still needing packets; the
+     updates are collected first because mutating a Hashtbl while folding
+     over it is undefined. *)
+  let apply_parity losers =
+    let updates =
+      Hashtbl.fold
+        (fun r needed acc -> if Loser_set.mem losers r then acc else (r, needed - 1) :: acc)
+        needing []
+    in
+    List.iter
+      (fun (r, needed) ->
+        if needed = 0 then Hashtbl.remove needing r else Hashtbl.replace needing r needed)
+      updates
+  in
+  (match variant with
+  | Open_loop ->
+    (* Parities stream at the packet rate; satisfied receivers have left the
+       group, so nothing they would receive counts as traffic to them. *)
+    while Hashtbl.length needing > 0 do
+      let losers = Loser_set.of_transmission (send parity_tx) in
+      apply_parity losers
+    done
+  | Nak_rounds ->
+    while Hashtbl.length needing > 0 do
+      incr rounds;
+      incr feedback;
+      time := !time +. timing.feedback_delay;
+      let batch = max_needed () in
+      for _ = 1 to batch do
+        let losers = Loser_set.of_transmission (send parity_tx) in
+        (* Receivers that already hold k packets but are still in the group
+           receive this parity without needing it. *)
+        let complete = receivers - Hashtbl.length needing in
+        let losing_complete = Loser_set.count_outside losers (Hashtbl.mem needing) in
+        unnecessary := !unnecessary + complete - losing_complete;
+        apply_parity losers
+      done
+    done);
+  {
+    Tg_result.k;
+    data_transmissions = !data_tx;
+    parity_transmissions = !parity_tx;
+    rounds = !rounds;
+    feedback_messages = !feedback;
+    unnecessary_receptions = !unnecessary;
+    finish_time = !time;
+  }

@@ -1,0 +1,34 @@
+(** Reliable transmission of one TG with integrated FEC (paper §3.2 generic
+    protocol, §4.2 timing variants).
+
+    Both variants send the k data packets (plus [a] proactive parities)
+    first; loss recovery then uses parity packets only — each new parity
+    repairs one missing packet at {e every} receiver that still needs one,
+    whatever the identity of its losses.
+
+    - {!Open_loop} ("integrated FEC 1", Fig. 13): parities follow the data
+      immediately at the same rate, with no feedback; a receiver leaves the
+      multicast group the moment it holds k packets, so it sees no
+      unnecessary parity.  The sender keeps sending until every receiver
+      has left (modelled by the simulator's oracle — in a deployment this
+      is a stream of redundancy bounded by group-departure signalling).
+
+    - {!Nak_rounds} ("integrated FEC 2" = hybrid ARQ, the data plane of
+      protocol NP): after each volley the receivers report (one suppressed
+      NAK) the maximum number of packets still missing; the sender
+      multicasts that many parities, [timing.feedback_delay] later. *)
+
+type variant = Open_loop | Nak_rounds
+
+val run :
+  Rmc_sim.Network.t ->
+  k:int ->
+  ?a:int ->
+  variant:variant ->
+  timing:Timing.t ->
+  start:float ->
+  unit ->
+  Tg_result.t
+(** [a] (default 0) proactive parities accompany the initial volley.  The
+    parity supply is unbounded (the analysis' n = infinity bound); callers
+    wanting finite n should use the NP protocol machine. *)

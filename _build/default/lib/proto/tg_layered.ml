@@ -1,0 +1,136 @@
+module Network = Rmc_sim.Network
+
+type participant = {
+  mutable round_losses : int; (* losses within the current block *)
+  mutable missing : int list; (* data packets not yet held *)
+  mutable missing_this_round : int list; (* of [missing], lost again this round *)
+}
+
+let run net ~k ~h ~(timing : Timing.t) ~start =
+  if k < 1 then invalid_arg "Tg_layered.run: k must be >= 1";
+  if h < 0 then invalid_arg "Tg_layered.run: h must be >= 0";
+  let receivers = Network.receivers net in
+  let time = ref start in
+  let data_tx = ref 0 and parity_tx = ref 0 in
+  let unnecessary = ref 0 and feedback = ref 0 in
+  let rounds = ref 0 in
+  (* Receivers that still miss something; everyone else is complete. *)
+  let pending : (int, participant) Hashtbl.t = Hashtbl.create 64 in
+  let send counter =
+    let tx = Network.transmit net ~time:!time in
+    time := !time +. timing.spacing;
+    incr counter;
+    tx
+  in
+  (* --- Round 1: the full TG plus h parities. ------------------------- *)
+  incr rounds;
+  let touch r =
+    match Hashtbl.find_opt pending r with
+    | Some participant -> participant
+    | None ->
+      let participant = { round_losses = 0; missing = []; missing_this_round = [] } in
+      Hashtbl.replace pending r participant;
+      participant
+  in
+  for s = 0 to k - 1 do
+    let tx = send data_tx in
+    Network.iter_losers tx (fun r ->
+        let participant = touch r in
+        participant.round_losses <- participant.round_losses + 1;
+        participant.missing <- s :: participant.missing)
+  done;
+  for _ = 1 to h do
+    let losers = Loser_set.of_transmission (send parity_tx) in
+    Loser_set.iter losers (fun r ->
+        let participant = touch r in
+        participant.round_losses <- participant.round_losses + 1);
+    (* Receivers that lost none of the k data packets have the whole TG;
+       every parity they receive is overhead traffic. *)
+    let complete = receivers - Hashtbl.length pending in
+    let losing_complete = Loser_set.count_outside losers (Hashtbl.mem pending) in
+    unnecessary := !unnecessary + complete - losing_complete
+  done;
+  let finish_round () =
+    let recovered =
+      Hashtbl.fold
+        (fun r participant acc ->
+          if participant.round_losses <= h then r :: acc
+          else begin
+            (* Decode failed: keep the originals that arrived, requeue the
+               rest, reset per-round counters. *)
+            participant.missing <- participant.missing_this_round;
+            participant.missing_this_round <- [];
+            participant.round_losses <- 0;
+            if participant.missing = [] then r :: acc else acc
+          end)
+        pending []
+    in
+    List.iter (Hashtbl.remove pending) recovered
+  in
+  (* After round 1 nothing was "missing this round" separately: a failed
+     decode leaves exactly the lost originals missing. *)
+  Hashtbl.iter
+    (fun _ participant -> participant.missing_this_round <- participant.missing)
+    pending;
+  finish_round ();
+  (* --- Repair rounds. ------------------------------------------------ *)
+  while Hashtbl.length pending > 0 do
+    incr rounds;
+    time := !time +. timing.feedback_delay;
+    (* Union of missing originals, with an index of who misses each. *)
+    let wanted : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun r participant ->
+        participant.missing_this_round <- [];
+        incr feedback;
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt wanted s with
+            | Some listref -> listref := r :: !listref
+            | None -> Hashtbl.replace wanted s (ref [ r ]))
+          participant.missing)
+      pending;
+    let block = List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) wanted []) in
+    let pending_mem r = Hashtbl.mem pending r in
+    let account_unnecessary losers =
+      let complete = receivers - Hashtbl.length pending in
+      let losing_complete = Loser_set.count_outside losers pending_mem in
+      unnecessary := !unnecessary + complete - losing_complete
+    in
+    List.iter
+      (fun s ->
+        let losers = Loser_set.of_transmission (send data_tx) in
+        Loser_set.iter losers (fun r ->
+            match Hashtbl.find_opt pending r with
+            | Some participant -> participant.round_losses <- participant.round_losses + 1
+            | None -> ());
+        (* Receivers missing s that lost it again must wait for decode or a
+           further round. *)
+        List.iter
+          (fun r ->
+            if Loser_set.mem losers r then begin
+              let participant = Hashtbl.find pending r in
+              participant.missing_this_round <- s :: participant.missing_this_round
+            end)
+          !(Hashtbl.find wanted s);
+        account_unnecessary losers)
+      block;
+    for _ = 1 to h do
+      let losers = Loser_set.of_transmission (send parity_tx) in
+      Loser_set.iter losers (fun r ->
+          match Hashtbl.find_opt pending r with
+          | Some participant -> participant.round_losses <- participant.round_losses + 1
+          | None -> ());
+      account_unnecessary losers
+    done;
+    finish_round ()
+  done;
+  {
+    Tg_result.k;
+    data_transmissions = !data_tx;
+    parity_transmissions = !parity_tx;
+    rounds = !rounds;
+    feedback_messages = !feedback;
+    unnecessary_receptions = !unnecessary;
+    finish_time = !time;
+  }

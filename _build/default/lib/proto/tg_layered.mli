@@ -1,0 +1,20 @@
+(** Reliable transmission of one TG with layered FEC (paper §3.1).
+
+    Each block carries its data packets followed by h parities, all spaced
+    [timing.spacing] apart.  A receiver that gets at least [u] of the
+    [u + h] packets of a block (u = originals in the block) decodes every
+    original in it; otherwise it keeps the originals it received verbatim
+    and discards the parities.  Originals still missing at some receiver
+    are re-sent — in their original slots, per §4.2 — inside a repair block
+    that again carries h fresh parities.  Rounds are separated by
+    [timing.feedback_delay].
+
+    The first block carries the full TG (u = k). *)
+
+val run :
+  Rmc_sim.Network.t ->
+  k:int ->
+  h:int ->
+  timing:Timing.t ->
+  start:float ->
+  Tg_result.t

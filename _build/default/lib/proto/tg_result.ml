@@ -1,0 +1,29 @@
+type t = {
+  k : int;
+  data_transmissions : int;
+  parity_transmissions : int;
+  rounds : int;
+  feedback_messages : int;
+  unnecessary_receptions : int;
+  finish_time : float;
+}
+
+let transmissions t = t.data_transmissions + t.parity_transmissions
+let per_packet t = float_of_int (transmissions t) /. float_of_int t.k
+
+let zero ~k ~finish_time =
+  {
+    k;
+    data_transmissions = 0;
+    parity_transmissions = 0;
+    rounds = 0;
+    feedback_messages = 0;
+    unnecessary_receptions = 0;
+    finish_time;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>k=%d data=%d parity=%d rounds=%d naks=%d unnecessary=%d M=%.3f@]" t.k
+    t.data_transmissions t.parity_transmissions t.rounds t.feedback_messages
+    t.unnecessary_receptions (per_packet t)

@@ -1,0 +1,23 @@
+(** Outcome of transmitting one transmission group reliably to all
+    receivers — the raw material of the paper's E[M] plots. *)
+
+type t = {
+  k : int;  (** data packets in the TG *)
+  data_transmissions : int;  (** data packets sent, retransmissions included *)
+  parity_transmissions : int;
+  rounds : int;  (** 1 = no recovery round was needed *)
+  feedback_messages : int;  (** NAKs reaching the sender (after suppression) *)
+  unnecessary_receptions : int;
+      (** receptions by receivers that had already completed the TG (the
+          duplicate traffic §2.1 promises parity repair nearly eliminates) *)
+  finish_time : float;  (** virtual time when the last transmission ended *)
+}
+
+val transmissions : t -> int
+(** Total packets multicast for this TG. *)
+
+val per_packet : t -> float
+(** [M] — transmissions divided by k, the paper's headline metric. *)
+
+val zero : k:int -> finish_time:float -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rse/cauchy.ml: Codec_core Rmc_gf Rmc_matrix

@@ -1,0 +1,1 @@
+lib/rse/cauchy.mli: Bytes Rmc_gf

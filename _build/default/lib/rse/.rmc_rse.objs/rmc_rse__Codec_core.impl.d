@@ -1,0 +1,1 @@
+lib/rse/codec_core.ml: Array Bytes List Option Printf Rmc_gf Rmc_matrix

@@ -1,0 +1,1 @@
+lib/rse/fec_block.ml: Array Bytes Fun List Option Rse

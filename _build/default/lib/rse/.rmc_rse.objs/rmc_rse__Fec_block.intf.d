@@ -1,0 +1,1 @@
+lib/rse/fec_block.mli: Bytes Rse

@@ -1,0 +1,1 @@
+lib/rse/interleaver.ml: Array

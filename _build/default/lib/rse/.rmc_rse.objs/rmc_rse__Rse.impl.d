@@ -1,0 +1,1 @@
+lib/rse/rse.ml: Codec_core Rmc_gf Rmc_matrix

@@ -1,0 +1,1 @@
+lib/rse/rse.mli: Bytes Rmc_gf

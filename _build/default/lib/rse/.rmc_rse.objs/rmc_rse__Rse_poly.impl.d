@@ -1,0 +1,1 @@
+lib/rse/rse_poly.ml: Array Bytes Codec_core List Rmc_gf Rmc_matrix

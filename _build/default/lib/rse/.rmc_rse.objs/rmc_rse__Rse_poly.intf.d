@@ -1,0 +1,1 @@
+lib/rse/rse_poly.mli: Bytes Rmc_gf

@@ -1,0 +1,33 @@
+(** Systematic Cauchy-matrix erasure code.
+
+    The third classical MDS construction (after the systematised
+    Vandermonde of {!Rse} and the polynomial evaluation of {!Rse_poly}),
+    introduced for packet FEC by Blömer et al. and popular in later
+    erasure-coding systems: parity row i has entries
+    [1 / (x_i + y_j)] over GF(2^m) with all [x_i], [y_j] distinct.
+
+    Stacked under an identity block it is MDS {e by construction} — every
+    square submatrix of a Cauchy matrix is nonsingular, so unlike
+    {!Rse_poly} no empirical check is needed, and unlike {!Rse} no O(k^3)
+    systematisation step is paid at construction time (useful when codecs
+    are built per-connection for many different (k, h)).
+
+    Same interface and wire compatibility (any k of n packets decode) as
+    {!Rse}; the parity {e values} differ between constructions, so encoder
+    and decoder must agree on the construction. *)
+
+type t
+
+val create : ?field:Rmc_gf.Gf.t -> k:int -> h:int -> unit -> t
+(** Requires [k >= 1], [h >= 0], [k + h <= 2^m - 1] (the Cauchy points
+    need k + h distinct field elements, which this bound guarantees). *)
+
+val k : t -> int
+val h : t -> int
+val n : t -> int
+val generator_row : t -> int -> int array
+val encode : t -> Bytes.t array -> Bytes.t array
+val encode_parity : t -> Bytes.t array -> int -> Bytes.t
+val decode : t -> (int * Bytes.t) array -> Bytes.t array
+val decode_data_loss : t -> data:Bytes.t option array -> parity:(int * Bytes.t) list -> Bytes.t array
+val is_mds_subset : t -> int array -> bool

@@ -1,0 +1,124 @@
+(* Shared machinery of the systematic block codecs (Rse, Rse_poly, Cauchy):
+   given an n x k generator whose top k x k block is the identity, encoding
+   is a matrix-vector product over whole packets and decoding solves the
+   k x k system formed by the generator rows of any k received packets.
+   Internal module — each public codec wraps it with its own construction
+   and error-message prefix. *)
+
+module Gf = Rmc_gf.Gf
+module Gmatrix = Rmc_matrix.Gmatrix
+
+type t = {
+  label : string;
+  field : Gf.t;
+  k : int;
+  h : int;
+  generator : Gmatrix.t; (* n x k, top block identity *)
+}
+
+let make ~label ~field ~k ~h ~generator =
+  assert (Gmatrix.rows generator = k + h && Gmatrix.cols generator = k);
+  { label; field; k; h; generator }
+
+let check_dimensions ~label ~field ~k ~h =
+  (* Reject fields without vector kernels up front. *)
+  ignore (Gf.symbol_bytes field);
+  if k < 1 then invalid_arg (label ^ ".create: k must be >= 1");
+  if h < 0 then invalid_arg (label ^ ".create: h must be >= 0");
+  if k + h > Gf.size field - 1 then
+    invalid_arg (label ^ ".create: k + h exceeds 2^m - 1 codeword positions")
+
+let n t = t.k + t.h
+let generator_row t e = Gmatrix.row t.generator e
+
+let check_payloads t operation packets =
+  let count = Array.length packets in
+  if count = 0 then invalid_arg (Printf.sprintf "%s.%s: no packets" t.label operation);
+  let len = Bytes.length packets.(0) in
+  Array.iter
+    (fun p ->
+      if Bytes.length p <> len then
+        invalid_arg (Printf.sprintf "%s.%s: unequal packet lengths" t.label operation))
+    packets;
+  len
+
+let encode_parity t data j =
+  if Array.length data <> t.k then
+    invalid_arg (t.label ^ ".encode_parity: expected k data packets");
+  if j < 0 || j >= t.h then invalid_arg (t.label ^ ".encode_parity: parity index out of range");
+  let len = check_payloads t "encode_parity" data in
+  let parity = Bytes.make len '\000' in
+  for c = 0 to t.k - 1 do
+    let coeff = Gmatrix.get t.generator (t.k + j) c in
+    if coeff <> 0 then Gf.mul_add_into_symbols t.field ~dst:parity ~src:data.(c) ~coeff
+  done;
+  parity
+
+let encode t data = Array.init t.h (fun j -> encode_parity t data j)
+
+let decode t received =
+  if Array.length received < t.k then
+    invalid_arg (t.label ^ ".decode: fewer than k packets received");
+  ignore (check_payloads t "decode" (Array.map snd received));
+  let seen = Array.make (n t) false in
+  Array.iter
+    (fun (index, _) ->
+      if index < 0 || index >= n t then invalid_arg (t.label ^ ".decode: index out of range");
+      if seen.(index) then invalid_arg (t.label ^ ".decode: duplicate packet index");
+      seen.(index) <- true)
+    received;
+  (* Prefer received data packets (their rows are unit vectors), then fill
+     with parities in arrival order. *)
+  let chosen = Array.make t.k (0, Bytes.empty) in
+  let selected = ref 0 in
+  let push entry =
+    if !selected < t.k then begin
+      chosen.(!selected) <- entry;
+      incr selected
+    end
+  in
+  Array.iter (fun ((index, _) as entry) -> if index < t.k then push entry) received;
+  Array.iter (fun ((index, _) as entry) -> if index >= t.k then push entry) received;
+  assert (!selected = t.k);
+  let data_present = Array.make t.k None in
+  Array.iter
+    (fun (index, payload) -> if index < t.k then data_present.(index) <- Some payload)
+    chosen;
+  if Array.for_all Option.is_some data_present then Array.map Option.get data_present
+  else begin
+    let system = Gmatrix.submatrix_rows t.generator (Array.map fst chosen) in
+    let inverse = Gmatrix.invert system in
+    let len = Bytes.length (snd chosen.(0)) in
+    Array.init t.k (fun j ->
+        match data_present.(j) with
+        | Some payload -> payload
+        | None ->
+          let out = Bytes.make len '\000' in
+          for r = 0 to t.k - 1 do
+            let coeff = Gmatrix.get inverse j r in
+            if coeff <> 0 then Gf.mul_add_into_symbols t.field ~dst:out ~src:(snd chosen.(r)) ~coeff
+          done;
+          out)
+  end
+
+let decode_data_loss t ~data ~parity =
+  if Array.length data <> t.k then
+    invalid_arg (t.label ^ ".decode_data_loss: expected k data slots");
+  let received = ref [] in
+  Array.iteri
+    (fun index slot ->
+      match slot with Some payload -> received := (index, payload) :: !received | None -> ())
+    data;
+  List.iter
+    (fun (j, payload) ->
+      if j < 0 || j >= t.h then
+        invalid_arg (t.label ^ ".decode_data_loss: parity index out of range");
+      received := (t.k + j, payload) :: !received)
+    parity;
+  decode t (Array.of_list (List.rev !received))
+
+let is_mds_subset t indices =
+  if Array.length indices <> t.k then
+    invalid_arg (t.label ^ ".is_mds_subset: expected k indices");
+  let system = Gmatrix.submatrix_rows t.generator indices in
+  match Gmatrix.invert system with _ -> true | exception Failure _ -> false

@@ -1,0 +1,81 @@
+module Sender = struct
+  type t = {
+    codec : Rse.t;
+    data : Bytes.t array;
+    cache : Bytes.t option array; (* parity j once encoded *)
+    mutable issued : int; (* next unissued parity index *)
+  }
+
+  let create codec data =
+    if Array.length data <> Rse.k codec then
+      invalid_arg "Fec_block.Sender.create: expected k data packets";
+    { codec; data; cache = Array.make (Rse.h codec) None; issued = 0 }
+
+  let codec t = t.codec
+  let data t = t.data
+
+  let parity t j =
+    if j < 0 || j >= Rse.h t.codec then
+      invalid_arg "Fec_block.Sender.parity: index out of range";
+    match t.cache.(j) with
+    | Some payload -> payload
+    | None ->
+      let payload = Rse.encode_parity t.codec t.data j in
+      t.cache.(j) <- Some payload;
+      payload
+
+  let parities_issued t = t.issued
+
+  let next_parities t l =
+    if l < 0 then invalid_arg "Fec_block.Sender.next_parities: negative count";
+    if t.issued + l > Rse.h t.codec then
+      failwith "Fec_block.Sender.next_parities: parity budget exhausted";
+    let out = List.init l (fun offset ->
+        let j = t.issued + offset in
+        (j, parity t j))
+    in
+    t.issued <- t.issued + l;
+    out
+
+  let precompute t =
+    for j = 0 to Rse.h t.codec - 1 do
+      ignore (parity t j)
+    done
+end
+
+module Receiver = struct
+  type t = {
+    codec : Rse.t;
+    slots : Bytes.t option array; (* length n *)
+    mutable received : int;
+  }
+
+  let create codec = { codec; slots = Array.make (Rse.n codec) None; received = 0 }
+
+  let add t ~index payload =
+    if index < 0 || index >= Rse.n t.codec then
+      invalid_arg "Fec_block.Receiver.add: index out of range";
+    match t.slots.(index) with
+    | Some _ -> false
+    | None ->
+      t.slots.(index) <- Some payload;
+      t.received <- t.received + 1;
+      true
+
+  let received t = t.received
+  let needed t = max 0 (Rse.k t.codec - t.received)
+  let complete t = t.received >= Rse.k t.codec
+  let has t index = Option.is_some t.slots.(index)
+
+  let missing_data t =
+    List.filter (fun i -> Option.is_none t.slots.(i)) (List.init (Rse.k t.codec) Fun.id)
+
+  let decode t =
+    if not (complete t) then failwith "Fec_block.Receiver.decode: not enough packets";
+    let received = ref [] in
+    Array.iteri
+      (fun index slot ->
+        match slot with Some payload -> received := (index, payload) :: !received | None -> ())
+      t.slots;
+    Rse.decode t.codec (Array.of_list (List.rev !received))
+end

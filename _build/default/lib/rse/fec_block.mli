@@ -1,0 +1,69 @@
+(** Runtime state of one transmission group (TG) and its FEC block.
+
+    The protocols of §3-5 all revolve around the same two objects:
+
+    - a {b sender block}: k data packets plus a parity generator that is
+      tapped on demand (protocol NP encodes parities only when a NAK asks for
+      them; layered FEC encodes h of them up front);
+    - a {b receiver block}: a bucket that accumulates whichever of the n
+      packets arrive and can tell at any time how many more packets are
+      needed ([needed]), decode once k have arrived, and list which data
+      packets are still missing.
+
+    These wrap {!Rse} and are shared by the simulator protocols, the wire
+    protocol and the examples. *)
+
+module Sender : sig
+  type t
+
+  val create : Rse.t -> Bytes.t array -> t
+  (** [create codec data] with [Array.length data = Rse.k codec]. *)
+
+  val codec : t -> Rse.t
+  val data : t -> Bytes.t array
+
+  val parity : t -> int -> Bytes.t
+  (** [parity t j] returns parity [j], encoding it on first use and caching
+      it (pre-encoding = calling {!precompute} ahead of time). *)
+
+  val parities_issued : t -> int
+  (** How many distinct parities have been produced so far. *)
+
+  val next_parities : t -> int -> (int * Bytes.t) list
+  (** [next_parities t l] returns the next [l] previously unissued parities
+      as [(parity_index, payload)] — what NP multicasts in a repair round.
+      @raise Failure if the codec runs out of parities ([> h] requested in
+      total); the caller must then re-group (paper §3.2). *)
+
+  val precompute : t -> unit
+  (** Force all [h] parities now (the paper's pre-encoding variant, §5). *)
+end
+
+module Receiver : sig
+  type t
+
+  val create : Rse.t -> t
+
+  val add : t -> index:int -> Bytes.t -> bool
+  (** Record the arrival of packet [index] (data [0..k-1], parity [k..n-1]).
+    Returns [false] if it was a duplicate (already held), [true] otherwise.
+    Arrivals beyond the k-th are accepted and ignored by {!decode}. *)
+
+  val received : t -> int
+  (** Distinct packets held. *)
+
+  val needed : t -> int
+  (** [max 0 (k - received)] — the number a NAK reports in protocol NP. *)
+
+  val complete : t -> bool
+  (** Whether decoding is possible ([received >= k]). *)
+
+  val has : t -> int -> bool
+
+  val missing_data : t -> int list
+  (** Indices of data packets not received verbatim (they may still be
+      reconstructible if [complete]). *)
+
+  val decode : t -> Bytes.t array
+  (** All k data packets. @raise Failure if [not (complete t)]. *)
+end

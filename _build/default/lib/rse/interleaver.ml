@@ -1,0 +1,33 @@
+type 'a t = { depth : int; span : int }
+
+let create ~depth ~span =
+  if depth <= 0 || span <= 0 then invalid_arg "Interleaver.create: dimensions must be positive";
+  { depth; span }
+
+let depth t = t.depth
+let span t = t.span
+
+let check_shape t blocks =
+  if Array.length blocks <> t.depth then
+    invalid_arg "Interleaver: expected depth blocks";
+  Array.iter
+    (fun b -> if Array.length b <> t.span then invalid_arg "Interleaver: expected span packets")
+    blocks
+
+let transmission_index t ~block ~offset =
+  if block < 0 || block >= t.depth then invalid_arg "Interleaver: block out of range";
+  if offset < 0 || offset >= t.span then invalid_arg "Interleaver: offset out of range";
+  (offset * t.depth) + block
+
+let interleave t blocks =
+  check_shape t blocks;
+  Array.init (t.depth * t.span) (fun i -> blocks.(i mod t.depth).(i / t.depth))
+
+let deinterleave t stream =
+  if Array.length stream <> t.depth * t.span then
+    invalid_arg "Interleaver.deinterleave: wrong stream length";
+  Array.init t.depth (fun r -> Array.init t.span (fun c -> stream.((c * t.depth) + r)))
+
+let burst_spread t ~burst =
+  if burst < 0 then invalid_arg "Interleaver.burst_spread: negative burst";
+  (burst + t.depth - 1) / t.depth

@@ -1,0 +1,34 @@
+(** Block interleaving (paper §4.2).
+
+    Interleaving spreads the packets of one FEC block over a longer wall-
+    clock interval so that a loss burst shorter than the interleaving span
+    hits at most one packet per block.  The paper's "integrated FEC 2" is an
+    implicit interleaver (parity rounds separated by the feedback delay);
+    this module provides the explicit classical form: a [depth] x [span]
+    matrix written row by row (one block per row) and read column by
+    column. *)
+
+type 'a t
+
+val create : depth:int -> span:int -> 'a t
+(** [depth] = number of blocks interleaved together; [span] = packets per
+    block. Requires both positive. *)
+
+val depth : 'a t -> int
+val span : 'a t -> int
+
+val interleave : 'a t -> 'a array array -> 'a array
+(** [interleave t blocks] with [depth] blocks of [span] packets each returns
+    the transmission order: element [c * depth + r] is [blocks.(r).(c)].
+    @raise Invalid_argument on shape mismatch. *)
+
+val deinterleave : 'a t -> 'a array -> 'a array array
+(** Inverse of {!interleave}. *)
+
+val transmission_index : 'a t -> block:int -> offset:int -> int
+(** Position in the interleaved stream of packet [offset] of block [block]. *)
+
+val burst_spread : 'a t -> burst:int -> int
+(** Worst-case number of packets a contiguous loss burst of length [burst]
+    removes from any single block: [ceil (burst / depth)] (the quantity that
+    must stay <= h for FEC to ride out the burst). *)

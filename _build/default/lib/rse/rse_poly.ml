@@ -1,0 +1,67 @@
+module Gf = Rmc_gf.Gf
+module Gmatrix = Rmc_matrix.Gmatrix
+
+type t = Codec_core.t
+
+let create ?(field = Gf.gf256) ~k ~h () =
+  Codec_core.check_dimensions ~label:"Rse_poly" ~field ~k ~h;
+  let generator = Gmatrix.create field ~rows:(k + h) ~cols:k in
+  for i = 0 to k - 1 do
+    Gmatrix.set generator i i 1
+  done;
+  (* Parity row j evaluates F at alpha^j: entry (k+j, c) = alpha^(j*c). *)
+  for j = 0 to h - 1 do
+    for c = 0 to k - 1 do
+      Gmatrix.set generator (k + j) c (Gf.exp field (j * c))
+    done
+  done;
+  Codec_core.make ~label:"Rse_poly" ~field ~k ~h ~generator
+
+let k (t : t) = t.Codec_core.k
+let h (t : t) = t.Codec_core.h
+let n = Codec_core.n
+
+let encode_parity (t : t) data j =
+  if Array.length data <> t.Codec_core.k then
+    invalid_arg "Rse_poly.encode_parity: expected k data packets";
+  if j < 0 || j >= t.Codec_core.h then
+    invalid_arg "Rse_poly.encode_parity: parity index out of range";
+  let len = Bytes.length data.(0) in
+  Array.iter
+    (fun p ->
+      if Bytes.length p <> len then invalid_arg "Rse_poly.encode_parity: unequal lengths")
+    data;
+  let field = t.Codec_core.field in
+  if Gf.m field <> 8 then Codec_core.encode_parity t data j
+  else begin
+    (* Horner evaluation at x = alpha^j across whole packets:
+       acc <- acc * x + d_c, from the highest coefficient down.  Equivalent
+       to the generator row but exercises the paper's eq. (1) directly. *)
+    let x = Gf.exp field j in
+    let acc = Bytes.make len '\000' in
+    for c = t.Codec_core.k - 1 downto 0 do
+      if x <> 1 then Gf.mul_into field ~dst:acc ~src:acc ~coeff:x;
+      Gf.xor_into ~dst:acc ~src:data.(c)
+    done;
+    acc
+  end
+
+let encode t data = Array.init (h t) (fun j -> encode_parity t data j)
+let decode = Codec_core.decode
+
+let mds_violations t =
+  let total = n t in
+  let violations = ref [] in
+  let subset = Array.make (k t) 0 in
+  let rec choose slot lowest =
+    if slot = k t then begin
+      if not (Codec_core.is_mds_subset t subset) then violations := Array.copy subset :: !violations
+    end
+    else
+      for candidate = lowest to total - (k t - slot) do
+        subset.(slot) <- candidate;
+        choose (slot + 1) (candidate + 1)
+      done
+  in
+  choose 0 0;
+  List.rev !violations

@@ -1,0 +1,38 @@
+(** The paper's textbook RSE construction (§2.1, eq. 1).
+
+    The k data packets are the coefficients of
+    [F(X) = d1 + d2 X + ... + dk X^(k-1)] and parity j (1-based in the paper)
+    is the evaluation [p_j = F(alpha^(j-1))].  Data packets are sent
+    unmodified, so the code is systematic by fiat: its generator stacks the
+    k x k identity on top of h Vandermonde evaluation rows.
+
+    Unlike the systematised-Vandermonde construction in {!Rse}, this mix of
+    unit rows and evaluation rows is {e not guaranteed} MDS over GF(2^m):
+    certain loss patterns of h packets can be undecodable (a generalised
+    Vandermonde minor can vanish).  {!decode} raises [Failure] in that case;
+    {!mds_violations} searches for such patterns.  This module exists to
+    reproduce the paper's formulation exactly and as the ablation partner of
+    {!Rse}; production use should prefer {!Rse}. *)
+
+type t
+
+val create : ?field:Rmc_gf.Gf.t -> k:int -> h:int -> unit -> t
+(** Same constraints as {!Rse.create}. *)
+
+val k : t -> int
+val h : t -> int
+val n : t -> int
+
+val encode : t -> Bytes.t array -> Bytes.t array
+(** Parities by direct polynomial evaluation (Horner across packets). *)
+
+val encode_parity : t -> Bytes.t array -> int -> Bytes.t
+
+val decode : t -> (int * Bytes.t) array -> Bytes.t array
+(** As {!Rse.decode}. @raise Failure if this particular index subset is one
+    of the rare non-MDS patterns of the construction. *)
+
+val mds_violations : t -> int array list
+(** Exhaustively enumerate the k-subsets of packet indices that fail to
+    decode (empty for an MDS-behaving instance).  Cost is [C(n, k)] matrix
+    inversions — intended for tests with small n. *)

@@ -1,0 +1,1 @@
+lib/sim/loss.ml: Array Float Rmc_numerics

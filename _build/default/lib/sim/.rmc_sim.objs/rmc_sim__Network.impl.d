@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Hashtbl List Loss Printf Rmc_numerics String Topology Tree

@@ -1,0 +1,1 @@
+lib/sim/network.mli: Loss Rmc_numerics Tree

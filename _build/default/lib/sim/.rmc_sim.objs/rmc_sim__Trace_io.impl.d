@@ -1,0 +1,1 @@
+lib/sim/trace_io.ml: Array Format List Loss Printf String

@@ -1,0 +1,1 @@
+lib/sim/tree.ml: Array Float List Rmc_numerics

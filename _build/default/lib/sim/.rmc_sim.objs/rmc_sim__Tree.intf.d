@@ -1,0 +1,1 @@
+lib/sim/tree.mli: Rmc_numerics

@@ -1,0 +1,43 @@
+type timer = { mutable cancelled : bool; action : unit -> unit }
+
+type t = { queue : timer Event_queue.t; mutable clock : float }
+
+let create () = { queue = Event_queue.create (); clock = 0.0 }
+let now t = t.clock
+
+let at t time action =
+  if time < t.clock then invalid_arg "Engine.at: scheduling in the past";
+  let timer = { cancelled = false; action } in
+  Event_queue.add t.queue ~time timer;
+  timer
+
+let after t delay action =
+  if delay < 0.0 then invalid_arg "Engine.after: negative delay";
+  at t (t.clock +. delay) action
+
+let cancel timer = timer.cancelled <- true
+let cancelled timer = timer.cancelled
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, timer) ->
+    t.clock <- time;
+    if not timer.cancelled then timer.action ();
+    true
+
+let run ?(until = Float.max_float) ?(max_events = 100_000_000) t =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | None -> continue := false
+    | Some time when time > until -> continue := false
+    | Some _ ->
+      ignore (step t);
+      incr executed;
+      if !executed >= max_events then
+        failwith "Engine.run: max_events exceeded (protocol livelock?)"
+  done
+
+let pending t = Event_queue.size t.queue

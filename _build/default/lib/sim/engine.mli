@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    A single virtual clock plus an event queue of closures.  Protocol
+    machines schedule sends, receptions, poll replies and NAK timers as
+    events; {!run} drains the queue in time order.  Timers can be cancelled
+    (NAK suppression needs this). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time (seconds). 0 before the first event fires. *)
+
+type timer
+(** Handle to a scheduled event. *)
+
+val at : t -> float -> (unit -> unit) -> timer
+(** [at sim time f] schedules [f] at absolute [time].
+    @raise Invalid_argument if [time < now sim]. *)
+
+val after : t -> float -> (unit -> unit) -> timer
+(** [after sim delay f] = [at sim (now sim +. delay) f]. Requires
+    [delay >= 0]. *)
+
+val cancel : timer -> unit
+(** Idempotent; cancelling a fired timer is a no-op. *)
+
+val cancelled : timer -> bool
+
+val step : t -> bool
+(** Execute the earliest pending event; [false] if the queue was empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the queue; stop early when virtual time would pass [until] or
+    after [max_events] events (safety valve, default 100 million).
+    @raise Failure if [max_events] is hit — a protocol livelock. *)
+
+val pending : t -> int
+(** Events still queued (cancelled timers may be counted until they drain). *)

@@ -1,0 +1,70 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 16 None; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let size t = t.size
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) None in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let entry t i = match t.heap.(i) with Some e -> e | None -> assert false
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes (entry t i) (entry t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.size && precedes (entry t left) (entry t !smallest) then smallest := left;
+  if right < t.size && precedes (entry t right) (entry t !smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~time payload =
+  if not (Float.is_finite time) then invalid_arg "Event_queue.add: time must be finite";
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- Some { time; seq = t.next_seq; payload };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek_time t = if t.size = 0 then None else Some (entry t 0).time
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = entry t 0 in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some (top.time, top.payload)
+  end
+
+let clear t =
+  Array.fill t.heap 0 (Array.length t.heap) None;
+  t.size <- 0

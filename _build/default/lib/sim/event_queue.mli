@@ -1,0 +1,20 @@
+(** Priority queue of timestamped events (binary min-heap).
+
+    Ties in time are broken by insertion order so that the simulation is
+    deterministic: two events scheduled for the same instant fire in the
+    order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Requires a finite, non-NaN time. *)
+
+val peek_time : 'a t -> float option
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, removing it. *)
+
+val clear : 'a t -> unit

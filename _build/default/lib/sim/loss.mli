@@ -1,0 +1,68 @@
+(** Packet-loss processes (paper §3 and §4.2).
+
+    A loss process answers "is a packet transmitted at virtual time t lost?".
+    Queries must come with non-decreasing times — the process carries state
+    forward (the Markov model's current channel state).
+
+    Two temporal models:
+    - {!bernoulli}: every packet independently lost with probability p
+      (§3's assumption);
+    - {!markov2}: the two-state continuous-time Markov chain of §4.2
+      (good state 0 / loss state 1, generator rates mu0 = 0->1 and
+      mu1 = 1->0).  A packet sent at time t is lost iff the chain is in
+      state 1 at t.  The chain is sampled only at query times using the
+      closed-form transition probabilities
+      [p11(dt) = pi1 + pi0 exp (-(mu0+mu1) dt)] etc., so skipping ahead is
+      O(1) no matter how much virtual time passed. *)
+
+type t
+
+val bernoulli : Rmc_numerics.Rng.t -> p:float -> t
+(** Requires [0 <= p < 1]. *)
+
+val markov2_rates : Rmc_numerics.Rng.t -> mu01:float -> mu10:float -> t
+(** Explicit generator rates (per second): [mu01] leaves the good state,
+    [mu10] leaves the loss state.  Both must be positive.  The chain starts
+    in a state drawn from the stationary distribution. *)
+
+val markov2 :
+  Rmc_numerics.Rng.t -> p:float -> mean_burst:float -> send_rate:float -> t
+(** The paper's parameterisation (§4.2): loss probability [p], mean burst
+    length [mean_burst] (in packets, > 1) at packet [send_rate] (packets
+    per second, spacing delta = 1/send_rate).  The rates are calibrated so
+    that the stationary loss probability is exactly [p] and consecutive
+    packets continue a loss run with probability exactly [1 - 1/mean_burst]
+    (geometric run length with mean [mean_burst]):
+    [mu10 = -send_rate * (1-p) * ln ((c - p)/(1 - p))] with
+    [c = 1 - 1/mean_burst], [mu01 = mu10 * p/(1-p)].  The published formula
+    transposes the two rates and drops the (1-p) factors; DESIGN.md §1. *)
+
+val gilbert_elliott :
+  Rmc_numerics.Rng.t ->
+  mu01:float ->
+  mu10:float ->
+  p_good:float ->
+  p_bad:float ->
+  t
+(** Two-state chain where {e both} states lose packets, with probabilities
+    [p_good] (state 0) and [p_bad] (state 1) — the classical
+    Gilbert-Elliott channel; {!markov2_rates} is the special case
+    [p_good = 0], [p_bad = 1].  Requires positive rates and
+    [0 <= p_good <= p_bad < 1]. *)
+
+val of_trace : spacing:float -> bool array -> t
+(** Trace-driven loss: packet sent at time [i * spacing] (rounded to the
+    nearest slot) is lost iff [trace.(i)]; queries beyond the trace wrap
+    around. For replaying measured loss traces. *)
+
+val lost : t -> float -> bool
+(** [lost t time]: fate of a packet sent at [time].
+    @raise Invalid_argument if [time] decreases between calls. *)
+
+val loss_probability : t -> float
+(** Stationary/marginal per-packet loss probability of the process. *)
+
+val expected_burst_length : t -> spacing:float -> float
+(** Expected run of consecutive losses for packets [spacing] apart:
+    [1 / (1 - P(lost at t+spacing | lost at t))]; equals [1/(1-p)] for the
+    Bernoulli process. *)

@@ -1,0 +1,42 @@
+(** Multicast tree topologies (paper §4.1).
+
+    The shared-loss model places the sender at the root of a full binary
+    tree (FBT) of height [d] with the R = 2^d receivers at the leaves; every
+    node (source, routers, leaves) drops a given transmission independently
+    with probability [p_node], and a receiver loses the packet iff any node
+    on its root-to-leaf path (d+1 nodes) drops it.  [p_node] is calibrated
+    so each receiver still sees end-to-end loss probability p:
+    [p = 1 - (1 - p_node)^(d+1)].
+
+    Nodes use heap indexing: root = 1, children of v are 2v and 2v+1;
+    leaves are [2^d .. 2^(d+1) - 1]; receiver r is leaf [2^d + r]. *)
+
+type t
+
+val full_binary : height:int -> t
+(** Requires [0 <= height <= 25]. Height 0 is a single node that is both
+    source and receiver. *)
+
+val height : t -> int
+val receivers : t -> int
+(** [2^height]. *)
+
+val node_count : t -> int
+(** [2^(height+1) - 1]. *)
+
+val node_loss_probability : t -> receiver_loss:float -> float
+(** [1 - (1-p)^(1/(d+1))]: per-node drop probability giving end-to-end
+    [receiver_loss]. *)
+
+val node_level : t -> int -> int
+(** Level of heap node [v] (root = 0). *)
+
+val leaf_to_receiver : t -> int -> int
+val receiver_to_leaf : t -> int -> int
+
+val receiver_range : t -> node:int -> int * int
+(** Inclusive range of receiver indices under heap node [node]. *)
+
+val path_has_failed_node : t -> failed:(int -> bool) -> receiver:int -> bool
+(** Whether any of the d+1 ancestors (leaf included, root included) of
+    [receiver] satisfies [failed] (by heap index). *)

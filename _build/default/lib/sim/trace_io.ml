@@ -1,0 +1,74 @@
+let save ~path trace =
+  let oc = open_out path in
+  output_string oc "# rmcast loss trace: 0 = delivered, 1 = lost\n";
+  Array.iteri
+    (fun i lost ->
+      output_char oc (if lost then '1' else '0');
+      if (i + 1) mod 64 = 0 then output_char oc '\n')
+    trace;
+  if Array.length trace mod 64 <> 0 then output_char oc '\n';
+  close_out oc
+
+let load ~path =
+  let ic = open_in path in
+  let outcomes = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if not (String.length line > 0 && line.[0] = '#') then
+         String.iter
+           (fun c ->
+             match c with
+             | '0' -> outcomes := false :: !outcomes
+             | '1' -> outcomes := true :: !outcomes
+             | ' ' | '\t' | '\r' -> ()
+             | other ->
+               close_in ic;
+               failwith (Printf.sprintf "Trace_io.load: unexpected character %C" other))
+           line
+     done
+   with End_of_file -> close_in ic);
+  if !outcomes = [] then failwith "Trace_io.load: empty trace";
+  Array.of_list (List.rev !outcomes)
+
+let record loss ~packets ~spacing =
+  if packets < 1 then invalid_arg "Trace_io.record: packets must be >= 1";
+  if spacing <= 0.0 then invalid_arg "Trace_io.record: spacing must be positive";
+  Array.init packets (fun i -> Loss.lost loss (float_of_int i *. spacing))
+
+type stats = {
+  packets : int;
+  losses : int;
+  loss_rate : float;
+  runs : int;
+  mean_burst : float;
+  max_burst : int;
+}
+
+let stats trace =
+  let packets = Array.length trace in
+  let losses = ref 0 and runs = ref 0 and max_burst = ref 0 in
+  let current = ref 0 in
+  Array.iter
+    (fun lost ->
+      if lost then begin
+        incr losses;
+        incr current;
+        if !current = 1 then incr runs;
+        if !current > !max_burst then max_burst := !current
+      end
+      else current := 0)
+    trace;
+  {
+    packets;
+    losses = !losses;
+    loss_rate = (if packets = 0 then 0.0 else float_of_int !losses /. float_of_int packets);
+    runs = !runs;
+    mean_burst = (if !runs = 0 then 0.0 else float_of_int !losses /. float_of_int !runs);
+    max_burst = !max_burst;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>packets    : %d@,losses     : %d (rate %.4f)@,bursts     : %d (mean %.3f, max %d)@]"
+    s.packets s.losses s.loss_rate s.runs s.mean_burst s.max_burst

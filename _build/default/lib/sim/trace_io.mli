@@ -1,0 +1,29 @@
+(** Loss-trace files.
+
+    A loss trace is the per-packet outcome sequence of a real (or
+    simulated) path — the kind of measurement Bolot's study [17] provides
+    and that {!Loss.of_trace} replays.  The file format is line-oriented
+    text: '0' = delivered, '1' = lost, whitespace ignored, '#' starts a
+    comment line — easy to produce from tcpdump post-processing and to
+    diff. *)
+
+val save : path:string -> bool array -> unit
+(** Write a trace (64 outcomes per line). *)
+
+val load : path:string -> bool array
+(** @raise Failure on malformed content or an empty trace. *)
+
+val record : Loss.t -> packets:int -> spacing:float -> bool array
+(** Sample a loss process at regular spacing into a trace. *)
+
+type stats = {
+  packets : int;
+  losses : int;
+  loss_rate : float;
+  runs : int;  (** number of loss bursts *)
+  mean_burst : float;
+  max_burst : int;
+}
+
+val stats : bool array -> stats
+val pp_stats : Format.formatter -> stats -> unit

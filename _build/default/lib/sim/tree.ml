@@ -1,0 +1,109 @@
+type t = {
+  parents : int array;
+  children : int list array;
+  depths : int array;
+  leaf_of_receiver : int array;
+  receiver_of_leaf : int array; (* -1 for interior nodes *)
+  ranges : (int * int) array; (* receiver range under each node *)
+}
+
+let root = 0
+
+let of_parents parents =
+  let count = Array.length parents in
+  if count = 0 then invalid_arg "Tree.of_parents: empty";
+  if parents.(0) <> -1 then invalid_arg "Tree.of_parents: node 0 must be the root";
+  Array.iteri
+    (fun v parent ->
+      if v > 0 && (parent < 0 || parent >= v) then
+        invalid_arg "Tree.of_parents: parents must precede children")
+    parents;
+  let children = Array.make count [] in
+  for v = count - 1 downto 1 do
+    children.(parents.(v)) <- v :: children.(parents.(v))
+  done;
+  let depths = Array.make count 0 in
+  for v = 1 to count - 1 do
+    depths.(v) <- depths.(parents.(v)) + 1
+  done;
+  (* Depth-first numbering of leaves and per-node receiver ranges. *)
+  let receiver_of_leaf = Array.make count (-1) in
+  let ranges = Array.make count (max_int, min_int) in
+  let next_receiver = ref 0 in
+  let rec visit v =
+    match children.(v) with
+    | [] ->
+      let r = !next_receiver in
+      incr next_receiver;
+      receiver_of_leaf.(v) <- r;
+      ranges.(v) <- (r, r)
+    | kids ->
+      List.iter visit kids;
+      let first =
+        List.fold_left (fun acc kid -> min acc (fst ranges.(kid))) max_int kids
+      in
+      let last = List.fold_left (fun acc kid -> max acc (snd ranges.(kid))) min_int kids in
+      ranges.(v) <- (first, last)
+  in
+  visit 0;
+  let leaf_of_receiver = Array.make !next_receiver 0 in
+  Array.iteri (fun v r -> if r >= 0 then leaf_of_receiver.(r) <- v) receiver_of_leaf;
+  { parents; children; depths; leaf_of_receiver; receiver_of_leaf; ranges }
+
+let random rng ~receivers ~max_children =
+  if receivers < 1 then invalid_arg "Tree.random: need at least one receiver";
+  if max_children < 2 then invalid_arg "Tree.random: max_children must be >= 2";
+  (* Recursive leaf splitting: a subtree that must carry [leaves] leaves
+     either is a leaf, or fans out into 2..max_children subtrees whose leaf
+     quotas are a random composition of [leaves]. *)
+  let parents = ref [] (* reversed; ids assigned in prefix order *) in
+  let counter = ref 0 in
+  let new_node parent =
+    let id = !counter in
+    incr counter;
+    parents := parent :: !parents;
+    id
+  in
+  let rec build parent leaves =
+    let v = new_node parent in
+    if leaves > 1 then begin
+      let fanout = 2 + Rmc_numerics.Rng.int rng (min max_children leaves - 1) in
+      let quotas = Array.make fanout 1 in
+      for _ = 1 to leaves - fanout do
+        let i = Rmc_numerics.Rng.int rng fanout in
+        quotas.(i) <- quotas.(i) + 1
+      done;
+      Array.iter (fun quota -> build v quota) quotas
+    end
+  in
+  build (-1) receivers;
+  of_parents (Array.of_list (List.rev !parents))
+
+let node_count t = Array.length t.parents
+let receivers t = Array.length t.leaf_of_receiver
+let parent t v = t.parents.(v)
+let children t v = t.children.(v)
+let depth t v = t.depths.(v)
+let max_depth t = Array.fold_left max 0 t.depths
+let is_leaf t v = t.children.(v) = []
+let receiver_of_leaf t v =
+  let r = t.receiver_of_leaf.(v) in
+  if r < 0 then invalid_arg "Tree.receiver_of_leaf: not a leaf";
+  r
+
+let leaf_of_receiver t r = t.leaf_of_receiver.(r)
+let receiver_range t v = t.ranges.(v)
+
+let path_to_root t ~receiver =
+  let rec climb v acc = if v = -1 then List.rev acc else climb t.parents.(v) (v :: acc) in
+  climb (leaf_of_receiver t receiver) []
+
+let path_has_failed_node t ~failed ~receiver =
+  let rec climb v = v <> -1 && (failed v || climb t.parents.(v)) in
+  climb (leaf_of_receiver t receiver)
+
+let uniform_node_loss t ~receiver ~end_to_end =
+  if end_to_end < 0.0 || end_to_end >= 1.0 then
+    invalid_arg "Tree.uniform_node_loss: loss outside [0,1)";
+  let path_length = depth t (leaf_of_receiver t receiver) + 1 in
+  -.Float.expm1 (Float.log1p (-.end_to_end) /. float_of_int path_length)

@@ -1,0 +1,59 @@
+(** Arbitrary multicast trees (generalisation of the paper's full binary
+    tree of §4.1).
+
+    Real multicast trees are neither full nor binary; this module models
+    any rooted tree with the sender at the root and the receivers at the
+    leaves.  Loss happens independently per node; a receiver loses a
+    packet iff any node on its root-to-leaf path drops it.  Leaves are
+    numbered 0..R-1 in depth-first order, so every interior node covers a
+    contiguous receiver range — which keeps "who lost this packet"
+    enumerable in time proportional to the failures, as with the FBT.
+
+    Node 0 is always the root. *)
+
+type t
+
+val of_parents : int array -> t
+(** [of_parents parents] with [parents.(0) = -1] and
+    [parents.(v)] < v for v > 0 (parents precede children).
+    @raise Invalid_argument on malformed input. *)
+
+val random : Rmc_numerics.Rng.t -> receivers:int -> max_children:int -> t
+(** A random tree with exactly [receivers] leaves: grown by repeatedly
+    attaching a new leaf under a uniformly chosen node with fewer than
+    [max_children] children (interior nodes are created as needed).
+    Requires [receivers >= 1], [max_children >= 2]. *)
+
+val node_count : t -> int
+val receivers : t -> int
+(** Number of leaves. *)
+
+val root : int
+(** 0. *)
+
+val parent : t -> int -> int
+(** -1 for the root. *)
+
+val children : t -> int -> int list
+val depth : t -> int -> int
+(** Root has depth 0. *)
+
+val max_depth : t -> int
+val is_leaf : t -> int -> bool
+val receiver_of_leaf : t -> int -> int
+val leaf_of_receiver : t -> int -> int
+
+val receiver_range : t -> int -> int * int
+(** Inclusive receiver range under a node (for a leaf, its own receiver
+    twice). *)
+
+val path_to_root : t -> receiver:int -> int list
+(** Nodes from the receiver's leaf up to and including the root. *)
+
+val path_has_failed_node : t -> failed:(int -> bool) -> receiver:int -> bool
+
+val uniform_node_loss : t -> receiver:int -> end_to_end:float -> float
+(** Per-node drop probability on this receiver's path giving the requested
+    end-to-end loss: [1 - (1-p)^(1/path_length)].  With non-uniform depths,
+    calibrating per-receiver yields heterogeneous node probabilities; see
+    {!Network.tree}. *)

@@ -1,0 +1,1 @@
+lib/transport/reactor.ml: Float Hashtbl List Rmc_sim Unix

@@ -1,0 +1,1 @@
+lib/transport/reactor.mli: Unix

@@ -1,0 +1,1 @@
+lib/transport/udp_np.ml: Array Bytes Fun Hashtbl List Queue Reactor Rmc_numerics Rmc_rse Rmc_wire Seq Unix

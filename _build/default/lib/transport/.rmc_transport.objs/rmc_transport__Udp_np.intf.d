@@ -1,0 +1,1 @@
+lib/transport/udp_np.mli: Bytes

@@ -1,0 +1,76 @@
+type timer = { mutable cancelled : bool; action : unit -> unit }
+
+type t = {
+  timers : timer Rmc_sim.Event_queue.t;
+  handlers : (Unix.file_descr, unit -> unit) Hashtbl.t;
+  mutable stopped : bool;
+}
+
+let create () =
+  { timers = Rmc_sim.Event_queue.create (); handlers = Hashtbl.create 8; stopped = false }
+
+let now _ = Unix.gettimeofday ()
+
+let after t delay action =
+  let timer = { cancelled = false; action } in
+  let fire_at = Unix.gettimeofday () +. Float.max 0.0 delay in
+  Rmc_sim.Event_queue.add t.timers ~time:fire_at timer;
+  timer
+
+let cancel timer = timer.cancelled <- true
+let cancelled timer = timer.cancelled
+
+let on_readable t fd callback = Hashtbl.replace t.handlers fd callback
+let remove t fd = Hashtbl.remove t.handlers fd
+let stop t = t.stopped <- true
+
+let fire_due_timers t =
+  let rec loop () =
+    match Rmc_sim.Event_queue.peek_time t.timers with
+    | Some time when time <= Unix.gettimeofday () ->
+      (match Rmc_sim.Event_queue.pop t.timers with
+      | Some (_, timer) -> if not timer.cancelled then timer.action ()
+      | None -> ());
+      if not t.stopped then loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let run ?(deadline = Float.max_float) t =
+  t.stopped <- false;
+  let continue = ref true in
+  while !continue && not t.stopped do
+    fire_due_timers t;
+    if t.stopped then continue := false
+    else begin
+      let current = Unix.gettimeofday () in
+      if current >= deadline then continue := false
+      else begin
+        let idle_fds = Hashtbl.length t.handlers = 0 in
+        let next_timer = Rmc_sim.Event_queue.peek_time t.timers in
+        match (next_timer, idle_fds) with
+        | None, true -> continue := false
+        | _ ->
+          let timeout =
+            let until_deadline = deadline -. current in
+            let until_timer =
+              match next_timer with
+              | Some time -> Float.max 0.0 (time -. current)
+              | None -> 0.250
+            in
+            Float.min 0.250 (Float.min until_deadline until_timer)
+          in
+          let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.handlers [] in
+          let readable, _, _ =
+            try Unix.select fds [] [] timeout
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt t.handlers fd with
+              | Some callback when not t.stopped -> callback ()
+              | Some _ | None -> ())
+            readable
+      end
+    end
+  done

@@ -1,0 +1,35 @@
+(** Minimal real-time event loop for the UDP transport.
+
+    The mirror image of {!Rmc_sim.Engine}: the same cancellable-timer API,
+    but driven by the wall clock and [Unix.select] instead of a virtual
+    clock.  Single-threaded; callbacks run on the loop.  Intended for the
+    loopback NP binding and small tools — not a general-purpose runtime. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). *)
+
+type timer
+
+val after : t -> float -> (unit -> unit) -> timer
+(** Schedule a callback [delay] seconds from now (clamped to >= 0). *)
+
+val cancel : timer -> unit
+val cancelled : timer -> bool
+
+val on_readable : t -> Unix.file_descr -> (unit -> unit) -> unit
+(** Register a callback fired whenever the descriptor is readable.  One
+    callback per descriptor; registering again replaces it. *)
+
+val remove : t -> Unix.file_descr -> unit
+
+val stop : t -> unit
+(** Make {!run} return after the current dispatch. *)
+
+val run : ?deadline:float -> t -> unit
+(** Dispatch timers and descriptor events until {!stop} is called, the
+    wall-clock [deadline] (absolute, seconds) passes, or there is nothing
+    left to wait for (no timers and no descriptors). *)

@@ -1,0 +1,457 @@
+module Rng = Rmc_numerics.Rng
+module Rse = Rmc_rse.Rse
+module Fec_block = Rmc_rse.Fec_block
+module Header = Rmc_wire.Header
+
+type config = {
+  k : int;
+  h : int;
+  proactive : int;
+  payload_size : int;
+  spacing : float;
+  slot : float;
+  linger : float;
+  session_timeout : float;
+}
+
+let default_config =
+  {
+    k = 8;
+    h = 16;
+    proactive = 0;
+    payload_size = 512;
+    spacing = 0.0005;
+    slot = 0.020;
+    linger = 0.050;
+    session_timeout = 5.0;
+  }
+
+type report = {
+  receivers : int;
+  transmission_groups : int;
+  data_tx : int;
+  parity_tx : int;
+  polls : int;
+  naks_sent : int;
+  naks_suppressed : int;
+  datagrams_dropped : int;
+  completed : int;
+  verified : bool;
+  ejected : (int * int) list;
+  wall_seconds : float;
+}
+
+(* --- socket helpers -------------------------------------------------- *)
+
+let make_socket () =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.set_nonblock socket;
+  socket
+
+let send_datagram socket message destination =
+  let packet = Header.encode message in
+  (* Loopback sends never legitimately short-write a datagram this small;
+     EAGAIN under extreme pressure is treated as network loss. *)
+  try ignore (Unix.sendto socket packet 0 (Bytes.length packet) [] destination)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let drain_socket socket handle =
+  let buffer = Bytes.create 65536 in
+  let rec loop () =
+    match Unix.recvfrom socket buffer 0 (Bytes.length buffer) [] with
+    | length, from ->
+      (match Header.decode (Bytes.sub buffer 0 length) with
+      | Ok message -> handle message from
+      | Error _ -> () (* malformed datagrams are dropped silently *));
+      loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+      (* ICMP port-unreachable bounce from a peer that closed; ignore. *)
+      loop ()
+  in
+  loop ()
+
+(* --- sender ----------------------------------------------------------- *)
+
+type tg_sender = {
+  tg_id : int;
+  block : Fec_block.Sender.t;
+  mutable serviced_round : int;
+}
+
+type sender_job =
+  | Send_packet of { tg : tg_sender; index : int }
+  | Send_poll of { tg : tg_sender; size : int; round : int }
+  | Send_exhausted of { tg : tg_sender }
+
+type sender = {
+  config : config;
+  reactor : Reactor.t;
+  socket : Unix.file_descr;
+  group : Unix.sockaddr list;
+  tgs : tg_sender array;
+  repair_queue : sender_job Queue.t;
+  stream_queue : sender_job Queue.t;
+  mutable sending : bool;
+  mutable data_tx : int;
+  mutable parity_tx : int;
+  mutable polls : int;
+}
+
+let sender_multicast sender message =
+  List.iter (send_datagram sender.socket message) sender.group
+
+let tg_k tg = Rse.k (Fec_block.Sender.codec tg.block)
+
+let rec sender_pump sender =
+  let job =
+    if not (Queue.is_empty sender.repair_queue) then Some (Queue.pop sender.repair_queue)
+    else if not (Queue.is_empty sender.stream_queue) then Some (Queue.pop sender.stream_queue)
+    else None
+  in
+  match job with
+  | None -> sender.sending <- false
+  | Some job ->
+    let delay =
+      match job with
+      | Send_packet { tg; index } ->
+        let k = tg_k tg in
+        (if index < k then begin
+           sender.data_tx <- sender.data_tx + 1;
+           sender_multicast sender
+             (Header.Data
+                { tg_id = tg.tg_id; k; index; payload = (Fec_block.Sender.data tg.block).(index) })
+         end
+         else begin
+           sender.parity_tx <- sender.parity_tx + 1;
+           sender_multicast sender
+             (Header.Parity
+                {
+                  tg_id = tg.tg_id;
+                  k;
+                  index = index - k;
+                  round = 0;
+                  payload = Fec_block.Sender.parity tg.block (index - k);
+                })
+         end);
+        sender.config.spacing
+      | Send_poll { tg; size; round } ->
+        sender.polls <- sender.polls + 1;
+        sender_multicast sender (Header.Poll { tg_id = tg.tg_id; k = tg_k tg; size; round });
+        0.0
+      | Send_exhausted { tg } ->
+        sender_multicast sender (Header.Exhausted { tg_id = tg.tg_id });
+        0.0
+    in
+    ignore (Reactor.after sender.reactor delay (fun () -> sender_pump sender))
+
+let sender_wake sender =
+  if not sender.sending then begin
+    sender.sending <- true;
+    ignore (Reactor.after sender.reactor 0.0 (fun () -> sender_pump sender))
+  end
+
+let sender_handle_nak sender ~tg_id ~need ~round =
+  if tg_id >= 0 && tg_id < Array.length sender.tgs then begin
+    let tg = sender.tgs.(tg_id) in
+    if tg.serviced_round < round then begin
+      tg.serviced_round <- round;
+      let remaining =
+        Rse.h (Fec_block.Sender.codec tg.block) - Fec_block.Sender.parities_issued tg.block
+      in
+      if remaining = 0 then Queue.push (Send_exhausted { tg }) sender.repair_queue
+      else begin
+        let batch = min need remaining in
+        let fresh = Fec_block.Sender.next_parities tg.block batch in
+        List.iter
+          (fun (j, _) ->
+            Queue.push (Send_packet { tg; index = tg_k tg + j }) sender.repair_queue)
+          fresh;
+        Queue.push (Send_poll { tg; size = batch; round = round + 1 }) sender.repair_queue
+      end;
+      sender_wake sender
+    end
+  end
+
+let create_sender reactor ~socket ~group ~config ~data =
+  let total = Array.length data in
+  let tg_count = (total + config.k - 1) / config.k in
+  let tgs =
+    Array.init tg_count (fun i ->
+        let base = i * config.k in
+        let len = min config.k (total - base) in
+        let codec = Rse.create ~k:len ~h:config.h () in
+        { tg_id = i; block = Fec_block.Sender.create codec (Array.sub data base len);
+          serviced_round = 0 })
+  in
+  let sender =
+    {
+      config;
+      reactor;
+      socket;
+      group;
+      tgs;
+      repair_queue = Queue.create ();
+      stream_queue = Queue.create ();
+      sending = false;
+      data_tx = 0;
+      parity_tx = 0;
+      polls = 0;
+    }
+  in
+  Array.iter
+    (fun tg ->
+      let k = tg_k tg in
+      for index = 0 to k - 1 do
+        Queue.push (Send_packet { tg; index }) sender.stream_queue
+      done;
+      let a = min config.proactive config.h in
+      if a > 0 then
+        List.iter
+          (fun (j, _) -> Queue.push (Send_packet { tg; index = k + j }) sender.stream_queue)
+          (Fec_block.Sender.next_parities tg.block a);
+      Queue.push (Send_poll { tg; size = k + a; round = 1 }) sender.stream_queue)
+    tgs;
+  Reactor.on_readable reactor socket (fun () ->
+      drain_socket socket (fun message _from ->
+          match message with
+          | Header.Nak { tg_id; need; round } -> sender_handle_nak sender ~tg_id ~need ~round
+          | Header.Data _ | Header.Parity _ | Header.Poll _ | Header.Exhausted _ -> ()));
+  sender_wake sender;
+  sender
+
+(* --- receiver ---------------------------------------------------------- *)
+
+type tg_receiver = {
+  rx : Fec_block.Receiver.t;
+  mutable delivered : bool;
+  mutable gave_up : bool;
+  mutable nak_timer : Reactor.timer option;
+  mutable nak_round : int;
+}
+
+type receiver = {
+  id : int;
+  config : config;
+  reactor : Reactor.t;
+  socket : Unix.file_descr;
+  sender_addr : Unix.sockaddr;
+  mutable peer_addrs : Unix.sockaddr list;
+  rng : Rng.t;
+  loss : float;
+  blocks : (int, tg_receiver) Hashtbl.t;
+  on_tg_complete : int -> Bytes.t array -> unit;
+  on_ejected : int -> unit;
+  mutable naks_sent : int;
+  mutable naks_suppressed : int;
+  mutable dropped : int;
+}
+
+let receiver_block receiver ~tg_id ~k =
+  match Hashtbl.find_opt receiver.blocks tg_id with
+  | Some block -> block
+  | None ->
+    let codec = Rse.create ~k ~h:receiver.config.h () in
+    let block =
+      { rx = Fec_block.Receiver.create codec; delivered = false; gave_up = false;
+        nak_timer = None; nak_round = 0 }
+    in
+    Hashtbl.replace receiver.blocks tg_id block;
+    block
+
+let receiver_store receiver ~tg_id ~k ~index payload =
+  let block = receiver_block receiver ~tg_id ~k in
+  if (not block.delivered) && not block.gave_up then
+    if Fec_block.Receiver.add block.rx ~index payload then
+      if Fec_block.Receiver.complete block.rx then begin
+        block.delivered <- true;
+        (match block.nak_timer with
+        | Some timer ->
+          Reactor.cancel timer;
+          block.nak_timer <- None
+        | None -> ());
+        receiver.on_tg_complete tg_id (Fec_block.Receiver.decode block.rx)
+      end
+
+let receiver_send_nak receiver ~tg_id ~round =
+  match Hashtbl.find_opt receiver.blocks tg_id with
+  | None -> ()
+  | Some block ->
+    block.nak_timer <- None;
+    if (not block.delivered) && not block.gave_up then begin
+      let need = Fec_block.Receiver.needed block.rx in
+      if need > 0 then begin
+        receiver.naks_sent <- receiver.naks_sent + 1;
+        block.nak_round <- round;
+        let nak = Header.Nak { tg_id; need; round } in
+        send_datagram receiver.socket nak receiver.sender_addr;
+        List.iter (send_datagram receiver.socket nak) receiver.peer_addrs
+      end
+    end
+
+let receiver_handle_poll receiver ~tg_id ~k ~size ~round =
+  let block = receiver_block receiver ~tg_id ~k in
+  if (not block.delivered) && (not block.gave_up) && block.nak_round < round then begin
+    let need = Fec_block.Receiver.needed block.rx in
+    if need > 0 then begin
+      let slot_index = max 0 (size - need) in
+      let offset =
+        (float_of_int slot_index *. receiver.config.slot)
+        +. (Rng.float receiver.rng *. receiver.config.slot)
+      in
+      (match block.nak_timer with Some t -> Reactor.cancel t | None -> ());
+      block.nak_timer <-
+        Some (Reactor.after receiver.reactor offset (fun () ->
+                  receiver_send_nak receiver ~tg_id ~round))
+    end
+  end
+
+let receiver_overhear_nak receiver ~tg_id ~need ~round =
+  match Hashtbl.find_opt receiver.blocks tg_id with
+  | None -> ()
+  | Some block ->
+    (match block.nak_timer with
+    | Some timer when block.nak_round < round ->
+      if need >= Fec_block.Receiver.needed block.rx then begin
+        Reactor.cancel timer;
+        block.nak_timer <- None;
+        block.nak_round <- round;
+        receiver.naks_suppressed <- receiver.naks_suppressed + 1
+      end
+    | Some _ | None -> ())
+
+let receiver_handle_exhausted receiver ~tg_id =
+  match Hashtbl.find_opt receiver.blocks tg_id with
+  | None -> ()
+  | Some block ->
+    if (not block.delivered) && not block.gave_up then begin
+      block.gave_up <- true;
+      (match block.nak_timer with Some t -> Reactor.cancel t | None -> ());
+      block.nak_timer <- None;
+      receiver.on_ejected tg_id
+    end
+
+let create_receiver reactor ~socket ~sender_addr ~config ~seed ~loss ~id ~on_tg_complete
+    ~on_ejected =
+  let receiver =
+    {
+      id;
+      config;
+      reactor;
+      socket;
+      sender_addr;
+      peer_addrs = [];
+      rng = Rng.create ~seed ();
+      loss;
+      blocks = Hashtbl.create 16;
+      on_tg_complete;
+      on_ejected;
+      naks_sent = 0;
+      naks_suppressed = 0;
+      dropped = 0;
+    }
+  in
+  Reactor.on_readable reactor socket (fun () ->
+      drain_socket socket (fun message from ->
+          let from_sender = from = receiver.sender_addr in
+          match message with
+          | Header.Data { tg_id; k; index; payload } ->
+            if Rng.bernoulli receiver.rng receiver.loss then
+              receiver.dropped <- receiver.dropped + 1
+            else receiver_store receiver ~tg_id ~k ~index payload
+          | Header.Parity { tg_id; k; index; round = _; payload } ->
+            if Rng.bernoulli receiver.rng receiver.loss then
+              receiver.dropped <- receiver.dropped + 1
+            else receiver_store receiver ~tg_id ~k ~index:(k + index) payload
+          | Header.Poll { tg_id; k; size; round } ->
+            receiver_handle_poll receiver ~tg_id ~k ~size ~round
+          | Header.Nak { tg_id; need; round } ->
+            if not from_sender then receiver_overhear_nak receiver ~tg_id ~need ~round
+          | Header.Exhausted { tg_id } -> receiver_handle_exhausted receiver ~tg_id));
+  receiver
+
+(* --- local session ----------------------------------------------------- *)
+
+let run_local ?(config = default_config) ~receivers ~loss ~seed ~data () =
+  if Array.length data = 0 then invalid_arg "Udp_np.run_local: no data";
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Udp_np.run_local: loss outside [0,1)";
+  Array.iter
+    (fun payload ->
+      if Bytes.length payload <> config.payload_size then
+        invalid_arg "Udp_np.run_local: payload size mismatch")
+    data;
+  if receivers < 1 then invalid_arg "Udp_np.run_local: need at least one receiver";
+  let reactor = Reactor.create () in
+  let started = Unix.gettimeofday () in
+  let tg_count = (Array.length data + config.k - 1) / config.k in
+
+  let sender_socket = make_socket () in
+  let receiver_sockets = Array.init receivers (fun _ -> make_socket ()) in
+  let addr_of socket = Unix.getsockname socket in
+  let sender_addr = addr_of sender_socket in
+  let receiver_addrs = Array.map addr_of receiver_sockets in
+
+  let completed_tgs = Array.make receivers 0 in
+  let verified = ref true in
+  let ejected = ref [] in
+  let finished = ref 0 in
+  let reference tg_id =
+    let base = tg_id * config.k in
+    let len = min config.k (Array.length data - base) in
+    Array.sub data base len
+  in
+  let maybe_finish () =
+    if !finished = receivers then
+      (* Let in-flight datagrams drain, then stop the loop. *)
+      ignore (Reactor.after reactor config.linger (fun () -> Reactor.stop reactor))
+  in
+  let rxs =
+    Array.init receivers (fun id ->
+        let on_tg_complete tg_id decoded =
+          if not (Array.for_all2 Bytes.equal decoded (reference tg_id)) then verified := false;
+          completed_tgs.(id) <- completed_tgs.(id) + 1;
+          if completed_tgs.(id) = tg_count then begin
+            incr finished;
+            maybe_finish ()
+          end
+        in
+        let on_ejected tg_id = ejected := (id, tg_id) :: !ejected in
+        create_receiver reactor ~socket:receiver_sockets.(id) ~sender_addr ~config
+          ~seed:(seed + (id * 7919)) ~loss ~id ~on_tg_complete ~on_ejected)
+  in
+  (* Each receiver overhears the NAKs of all the others. *)
+  Array.iteri
+    (fun id receiver ->
+      receiver.peer_addrs <-
+        Array.to_list
+          (Array.of_seq
+             (Seq.filter_map
+                (fun other -> if other = id then None else Some receiver_addrs.(other))
+                (Seq.init receivers Fun.id))))
+    rxs;
+  let group = Array.to_list receiver_addrs in
+  let sender = create_sender reactor ~socket:sender_socket ~group ~config ~data in
+
+  Reactor.run ~deadline:(started +. config.session_timeout) reactor;
+
+  let report =
+    {
+      receivers;
+      transmission_groups = tg_count;
+      data_tx = sender.data_tx;
+      parity_tx = sender.parity_tx;
+      polls = sender.polls;
+      naks_sent = Array.fold_left (fun acc r -> acc + r.naks_sent) 0 rxs;
+      naks_suppressed = Array.fold_left (fun acc r -> acc + r.naks_suppressed) 0 rxs;
+      datagrams_dropped = Array.fold_left (fun acc r -> acc + r.dropped) 0 rxs;
+      completed =
+        Array.fold_left (fun acc n -> if n = tg_count then acc + 1 else acc) 0 completed_tgs;
+      verified = !verified && Array.for_all (fun n -> n = tg_count) completed_tgs;
+      ejected = List.rev !ejected;
+      wall_seconds = Unix.gettimeofday () -. started;
+    }
+  in
+  Unix.close sender_socket;
+  Array.iter Unix.close receiver_sockets;
+  report

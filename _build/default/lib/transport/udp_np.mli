@@ -1,0 +1,57 @@
+(** Protocol NP over real UDP sockets.
+
+    The same state machine as {!Rmc_proto.Np}, bound to the wire format of
+    {!Rmc_wire.Header} and driven by the {!Reactor} wall-clock event loop.
+    Multicast is emulated by unicast fan-out (one [sendto] per group
+    member), which preserves every protocol property that matters here —
+    NAK suppression in particular: receivers really do overhear each
+    other's NAK datagrams and cancel their timers.
+
+    {!run_local} wires a full session over the loopback interface: one
+    sender and R receivers, each on its own ephemeral UDP port, with
+    Bernoulli loss injected on reception of data/parity datagrams (control
+    datagrams are spared, matching the §5 analysis assumptions).  This is
+    the path the integration tests and [examples/udp_demo.ml] exercise:
+    actual datagrams through the kernel's network stack. *)
+
+type config = {
+  k : int;
+  h : int;
+  proactive : int;
+  payload_size : int;
+  spacing : float;  (** sender pacing, seconds between packets *)
+  slot : float;  (** NAK slot size *)
+  linger : float;  (** quiet period after completion before shutdown *)
+  session_timeout : float;  (** hard wall-clock cap for {!run_local} *)
+}
+
+val default_config : config
+(** k = 8, h = 16, 512-byte payloads, 0.5 ms pacing, 20 ms slots, 5 s cap
+    — sized for loopback sessions that finish in well under a second. *)
+
+type report = {
+  receivers : int;
+  transmission_groups : int;
+  data_tx : int;
+  parity_tx : int;
+  polls : int;
+  naks_sent : int;  (** NAK datagrams actually sent by receivers *)
+  naks_suppressed : int;
+  datagrams_dropped : int;  (** by the injected loss *)
+  completed : int;  (** receivers that decoded every TG *)
+  verified : bool;  (** and every decoded payload matched *)
+  ejected : (int * int) list;
+  wall_seconds : float;
+}
+
+val run_local :
+  ?config:config ->
+  receivers:int ->
+  loss:float ->
+  seed:int ->
+  data:Bytes.t array ->
+  unit ->
+  report
+(** Run a complete session on 127.0.0.1.
+    @raise Invalid_argument on empty data, bad payload sizes, or
+    [loss] outside [0, 1). *)

@@ -1,0 +1,1 @@
+lib/wire/header.ml: Bytes Format Int32 Printf Result

@@ -1,0 +1,1 @@
+lib/wire/header.mli: Bytes Format

@@ -1,0 +1,123 @@
+type message =
+  | Data of { tg_id : int; k : int; index : int; payload : Bytes.t }
+  | Parity of { tg_id : int; k : int; index : int; round : int; payload : Bytes.t }
+  | Poll of { tg_id : int; k : int; size : int; round : int }
+  | Nak of { tg_id : int; need : int; round : int }
+  | Exhausted of { tg_id : int }
+
+let header_size = 22
+let magic = "RMCP"
+let version = 1
+
+let type_code = function
+  | Data _ -> 1
+  | Parity _ -> 2
+  | Poll _ -> 3
+  | Nak _ -> 4
+  | Exhausted _ -> 5
+
+let message_type_name = function
+  | Data _ -> "DATA"
+  | Parity _ -> "PARITY"
+  | Poll _ -> "POLL"
+  | Nak _ -> "NAK"
+  | Exhausted _ -> "EXHAUSTED"
+
+let set_u16 b off v = Bytes.set_uint16_be b off v
+let set_u32 b off v = Bytes.set_int32_be b off (Int32.of_int v)
+let get_u16 = Bytes.get_uint16_be
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xFFFFFFFF
+
+let fields = function
+  | Data { tg_id; k; index; payload } -> (tg_id, k, index, 0, Some payload)
+  | Parity { tg_id; k; index; round; payload } -> (tg_id, k, index, round, Some payload)
+  | Poll { tg_id; k; size; round } -> (tg_id, k, size, round, None)
+  | Nak { tg_id; need; round } -> (tg_id, 0, need, round, None)
+  | Exhausted { tg_id } -> (tg_id, 0, 0, 0, None)
+
+let validate_ranges ~tg_id ~k ~aux ~round =
+  if tg_id < 0 || tg_id > 0xFFFFFFF then invalid_arg "Header: tg_id out of range";
+  if k < 0 || k > 0xFFFF then invalid_arg "Header: k out of range";
+  if aux < 0 || aux > 0xFFFF then invalid_arg "Header: index/need/size out of range";
+  if round < 0 || round > 0xFFFFFFF then invalid_arg "Header: round out of range"
+
+let encode message =
+  let tg_id, k, aux, round, payload = fields message in
+  validate_ranges ~tg_id ~k ~aux ~round;
+  (match message with
+  | Data { k; index; _ } when index >= k -> invalid_arg "Header: data index must be < k"
+  | _ -> ());
+  let payload_len = match payload with Some p -> Bytes.length p | None -> 0 in
+  let buffer = Bytes.make (header_size + payload_len) '\000' in
+  Bytes.blit_string magic 0 buffer 0 4;
+  Bytes.set_uint8 buffer 4 version;
+  Bytes.set_uint8 buffer 5 (type_code message);
+  set_u32 buffer 6 tg_id;
+  set_u16 buffer 10 k;
+  set_u16 buffer 12 aux;
+  set_u32 buffer 14 round;
+  set_u32 buffer 18 payload_len;
+  (match payload with
+  | Some p -> Bytes.blit p 0 buffer header_size payload_len
+  | None -> ());
+  buffer
+
+let decode buffer =
+  let ( let* ) r f = Result.bind r f in
+  let check condition message = if condition then Ok () else Error message in
+  let* () = check (Bytes.length buffer >= header_size) "truncated header" in
+  let* () = check (Bytes.sub_string buffer 0 4 = magic) "bad magic" in
+  let* () = check (Bytes.get_uint8 buffer 4 = version) "unsupported version" in
+  let code = Bytes.get_uint8 buffer 5 in
+  let tg_id = get_u32 buffer 6 in
+  let k = get_u16 buffer 10 in
+  let aux = get_u16 buffer 12 in
+  let round = get_u32 buffer 14 in
+  let payload_len = get_u32 buffer 18 in
+  let* () =
+    check (Bytes.length buffer = header_size + payload_len) "length field mismatch"
+  in
+  let payload () = Bytes.sub buffer header_size payload_len in
+  match code with
+  | 1 ->
+    let* () = check (payload_len > 0) "DATA without payload" in
+    let* () = check (aux < k) "DATA index not below k" in
+    Ok (Data { tg_id; k; index = aux; payload = payload () })
+  | 2 ->
+    let* () = check (payload_len > 0) "PARITY without payload" in
+    Ok (Parity { tg_id; k; index = aux; round; payload = payload () })
+  | 3 ->
+    let* () = check (payload_len = 0) "POLL with payload" in
+    Ok (Poll { tg_id; k; size = aux; round })
+  | 4 ->
+    let* () = check (payload_len = 0) "NAK with payload" in
+    Ok (Nak { tg_id; need = aux; round })
+  | 5 ->
+    let* () = check (payload_len = 0) "EXHAUSTED with payload" in
+    Ok (Exhausted { tg_id })
+  | other -> Error (Printf.sprintf "unknown message type %d" other)
+
+let equal a b =
+  match (a, b) with
+  | Data x, Data y ->
+    x.tg_id = y.tg_id && x.k = y.k && x.index = y.index && Bytes.equal x.payload y.payload
+  | Parity x, Parity y ->
+    x.tg_id = y.tg_id && x.k = y.k && x.index = y.index && x.round = y.round
+    && Bytes.equal x.payload y.payload
+  | Poll x, Poll y -> x.tg_id = y.tg_id && x.k = y.k && x.size = y.size && x.round = y.round
+  | Nak x, Nak y -> x.tg_id = y.tg_id && x.need = y.need && x.round = y.round
+  | Exhausted x, Exhausted y -> x.tg_id = y.tg_id
+  | (Data _ | Parity _ | Poll _ | Nak _ | Exhausted _), _ -> false
+
+let pp ppf message =
+  match message with
+  | Data { tg_id; k; index; payload } ->
+    Format.fprintf ppf "DATA(tg=%d, k=%d, index=%d, %d bytes)" tg_id k index
+      (Bytes.length payload)
+  | Parity { tg_id; k; index; round; payload } ->
+    Format.fprintf ppf "PARITY(tg=%d, k=%d, index=%d, round=%d, %d bytes)" tg_id k index
+      round (Bytes.length payload)
+  | Poll { tg_id; k; size; round } ->
+    Format.fprintf ppf "POLL(tg=%d, k=%d, size=%d, round=%d)" tg_id k size round
+  | Nak { tg_id; need; round } -> Format.fprintf ppf "NAK(tg=%d, need=%d, round=%d)" tg_id need round
+  | Exhausted { tg_id } -> Format.fprintf ppf "EXHAUSTED(tg=%d)" tg_id

@@ -1,0 +1,44 @@
+(** Wire format for protocol NP packets.
+
+    A deployment of NP needs its five message types on the wire; this
+    module defines a compact, versioned, big-endian encoding with full
+    validation on decode.  The simulator does not use it (it passes OCaml
+    values around), but the file-transfer example and any real transport
+    binding do.
+
+    Layout (all integers big-endian):
+    {v
+    offset  size  field
+    0       4     magic "RMCP"
+    4       1     version (currently 1)
+    5       1     message type
+    6       4     tg_id
+    10      2     k       (data packets in this TG)
+    12      2     index / need / size (per message type)
+    14      4     round
+    18      4     payload length (DATA and PARITY only, else 0)
+    22      ...   payload
+    v} *)
+
+type message =
+  | Data of { tg_id : int; k : int; index : int; payload : Bytes.t }
+      (** [index] in [0, k). *)
+  | Parity of { tg_id : int; k : int; index : int; round : int; payload : Bytes.t }
+      (** [index] is the parity number within the FEC block ([>= 0]). *)
+  | Poll of { tg_id : int; k : int; size : int; round : int }
+      (** [size] = packets sent in the round being polled. *)
+  | Nak of { tg_id : int; need : int; round : int }
+  | Exhausted of { tg_id : int }
+
+val header_size : int
+(** Bytes preceding the payload (22). *)
+
+val encode : message -> Bytes.t
+
+val decode : Bytes.t -> (message, string) result
+(** Total parse-and-validate: never raises; returns a diagnostic on
+    malformed input (bad magic, truncation, out-of-range fields...). *)
+
+val message_type_name : message -> string
+val pp : Format.formatter -> message -> unit
+val equal : message -> message -> bool

@@ -1,0 +1,1 @@
+test/test_cauchy.ml: Alcotest Array Bytes Char List Printf QCheck QCheck_alcotest Rmcast

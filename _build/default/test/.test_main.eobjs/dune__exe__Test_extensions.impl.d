@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bytes Char Float List Printf Rmcast String

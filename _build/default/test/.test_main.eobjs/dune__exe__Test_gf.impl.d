@@ -1,0 +1,1 @@
+test/test_gf.ml: Alcotest Array Bytes Char List Printf QCheck QCheck_alcotest Rmcast

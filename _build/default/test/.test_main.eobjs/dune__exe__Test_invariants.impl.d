@@ -1,0 +1,1 @@
+test/test_invariants.ml: QCheck QCheck_alcotest Rmcast

@@ -1,0 +1,1 @@
+test/test_np.ml: Alcotest Array Bytes Char Float Printf QCheck QCheck_alcotest Rmcast

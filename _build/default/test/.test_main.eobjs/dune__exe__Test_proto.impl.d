@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Float List Printf Rmcast

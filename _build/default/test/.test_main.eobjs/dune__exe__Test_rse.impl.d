@@ -1,0 +1,1 @@
+test/test_rse.ml: Alcotest Array Bytes Char List Printf QCheck QCheck_alcotest Rmcast

@@ -1,0 +1,1 @@
+test/test_series_stats.ml: Alcotest Float List Printf Rmcast

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Filename Float Hashtbl List Printf Rmcast Sys

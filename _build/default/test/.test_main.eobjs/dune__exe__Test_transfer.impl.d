@@ -1,0 +1,1 @@
+test/test_transfer.ml: Alcotest Array Bytes Char Float List Printf Rmcast String

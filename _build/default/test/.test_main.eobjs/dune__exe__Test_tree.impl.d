@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Bytes Char Float Hashtbl List Printf Rmcast

@@ -1,0 +1,1 @@
+test/test_udp.ml: Alcotest Array Bytes Char List Rmcast Unix

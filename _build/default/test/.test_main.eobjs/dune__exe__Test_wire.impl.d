@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bytes QCheck QCheck_alcotest Rmcast

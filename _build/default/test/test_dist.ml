@@ -1,0 +1,157 @@
+module Dist = Rmcast.Dist
+
+let close ?(tol = 1e-10) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.15g - %.15g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. (1.0 +. Float.abs expected))
+
+(* Direct binomial pmf by multiplying factors — an independent oracle. *)
+let binomial_pmf_oracle n p j =
+  let rec choose n k = if k = 0 then 1.0 else choose (n - 1) (k - 1) *. float_of_int n /. float_of_int k in
+  choose n j *. (p ** float_of_int j) *. ((1.0 -. p) ** float_of_int (n - j))
+
+let test_binomial_pmf_oracle () =
+  List.iter
+    (fun (n, p) ->
+      for j = 0 to n do
+        close ~tol:1e-9
+          (Printf.sprintf "pmf(%d;%d,%g)" j n p)
+          (binomial_pmf_oracle n p j)
+          (Dist.Binomial.pmf ~n ~p j)
+      done)
+    [ (1, 0.3); (7, 0.01); (20, 0.25); (13, 0.5) ]
+
+let test_binomial_pmf_sums_to_one () =
+  List.iter
+    (fun (n, p) ->
+      let total = ref 0.0 in
+      for j = 0 to n do
+        total := !total +. Dist.Binomial.pmf ~n ~p j
+      done;
+      close (Printf.sprintf "sum pmf n=%d p=%g" n p) 1.0 !total)
+    [ (10, 0.1); (100, 0.01); (255, 0.5); (1000, 0.9) ]
+
+let test_binomial_cdf_survival_complement () =
+  List.iter
+    (fun (n, p, j) ->
+      close
+        (Printf.sprintf "cdf+survival n=%d p=%g j=%d" n p j)
+        1.0
+        (Dist.Binomial.cdf ~n ~p j +. Dist.Binomial.survival ~n ~p j))
+    [ (10, 0.3, 2); (100, 0.01, 0); (100, 0.01, 5); (50, 0.99, 49); (7, 0.25, 3) ]
+
+let test_binomial_cdf_edges () =
+  close "j<0" 0.0 (Dist.Binomial.cdf ~n:10 ~p:0.5 (-1));
+  close "j>=n" 1.0 (Dist.Binomial.cdf ~n:10 ~p:0.5 10);
+  close "p=0" 1.0 (Dist.Binomial.cdf ~n:10 ~p:0.0 0);
+  close "p=1 partial" 0.0 (Dist.Binomial.cdf ~n:10 ~p:1.0 9);
+  close "survival j<0" 1.0 (Dist.Binomial.survival ~n:10 ~p:0.5 (-1))
+
+let test_binomial_extreme_tail () =
+  (* P(Bin(1000, 1e-4) > 10) computed in the small tail without underflow
+     to zero or catastrophic cancellation: compare against direct sum. *)
+  let n = 1000 and p = 1e-4 in
+  let direct = ref 0.0 in
+  for j = 11 to 40 do
+    direct := !direct +. Dist.Binomial.pmf ~n ~p j
+  done;
+  close ~tol:1e-6 "deep tail" !direct (Dist.Binomial.survival ~n ~p 10)
+
+let test_binomial_moments () =
+  close "mean" 5.0 (Dist.Binomial.mean ~n:50 ~p:0.1);
+  close "variance" 4.5 (Dist.Binomial.variance ~n:50 ~p:0.1)
+
+let test_negative_binomial_pmf_sums () =
+  List.iter
+    (fun (k, a, p) ->
+      let total = ref 0.0 in
+      for m = 0 to 2000 do
+        total := !total +. Dist.Negative_binomial.pmf ~k ~a ~p m
+      done;
+      close ~tol:1e-9 (Printf.sprintf "sum k=%d a=%d p=%g" k a p) 1.0 !total)
+    [ (7, 0, 0.01); (7, 0, 0.25); (20, 2, 0.1); (1, 0, 0.5); (100, 5, 0.05) ]
+
+let test_negative_binomial_zero_case () =
+  (* P(Lr = 0) = P(Bin(k+a, p) <= a): with a = 0 that is (1-p)^k. *)
+  List.iter
+    (fun (k, p) ->
+      close
+        (Printf.sprintf "P(L=0) k=%d p=%g" k p)
+        ((1.0 -. p) ** float_of_int k)
+        (Dist.Negative_binomial.pmf ~k ~a:0 ~p 0))
+    [ (7, 0.01); (20, 0.25); (1, 0.6) ]
+
+let test_negative_binomial_m1 () =
+  (* P(Lr = 1) with a = 0: C(k, k-1) p (1-p)^k = k p (1-p)^k. *)
+  let k = 7 and p = 0.1 in
+  close "P(L=1)"
+    (7.0 *. p *. ((1.0 -. p) ** 7.0))
+    (Dist.Negative_binomial.pmf ~k ~a:0 ~p 1)
+
+let test_negative_binomial_cdf_array () =
+  let k = 7 and a = 1 and p = 0.05 in
+  let table = Dist.Negative_binomial.cdf_array ~k ~a ~p 50 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun m cdf ->
+      acc := !acc +. Dist.Negative_binomial.pmf ~k ~a ~p m;
+      close ~tol:1e-9 (Printf.sprintf "cdf_array m=%d" m) !acc cdf)
+    table
+
+let test_negative_binomial_cdf_monotone_to_one () =
+  let table = Dist.Negative_binomial.cdf_array ~k:20 ~a:0 ~p:0.25 1000 in
+  Array.iteri
+    (fun m cdf ->
+      if m > 0 then
+        Alcotest.(check bool) "monotone" true (cdf >= table.(m - 1)))
+    table;
+  close "tail reaches 1" 1.0 table.(1000)
+
+let test_negative_binomial_p_zero () =
+  let table = Dist.Negative_binomial.cdf_array ~k:7 ~a:0 ~p:0.0 5 in
+  Array.iter (fun cdf -> close "all mass at 0" 1.0 cdf) table
+
+let test_negative_binomial_invalid () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Negative_binomial: k <= 0") (fun () ->
+      ignore (Dist.Negative_binomial.pmf ~k:0 ~a:0 ~p:0.1 0))
+
+let test_geometric () =
+  let p = 0.25 in
+  close "pmf 0" p (Dist.Geometric.pmf ~p 0);
+  close "pmf 2" ((1.0 -. p) ** 2.0 *. p) (Dist.Geometric.pmf ~p 2);
+  close "cdf 0" p (Dist.Geometric.cdf ~p 0);
+  close "cdf 3" (1.0 -. ((1.0 -. p) ** 4.0)) (Dist.Geometric.cdf ~p 3);
+  close "mean" 3.0 (Dist.Geometric.mean ~p);
+  close "negative support" 0.0 (Dist.Geometric.pmf ~p (-1))
+
+let test_geometric_sampler_agreement () =
+  (* The Rng.geometric sampler and the Geometric pmf describe the same law. *)
+  let rng = Rmcast.Rng.create ~seed:77 () in
+  let p = 0.3 in
+  let n = 100_000 in
+  let zeros = ref 0 in
+  for _ = 1 to n do
+    if Rmcast.Rng.geometric rng ~p = 0 then incr zeros
+  done;
+  let rate = float_of_int !zeros /. float_of_int n in
+  Alcotest.(check bool) "P(0) matches" true (Float.abs (rate -. p) < 0.01)
+
+let suite =
+  [
+    Alcotest.test_case "binomial pmf vs oracle" `Quick test_binomial_pmf_oracle;
+    Alcotest.test_case "binomial pmf sums to 1" `Quick test_binomial_pmf_sums_to_one;
+    Alcotest.test_case "binomial cdf+survival=1" `Quick test_binomial_cdf_survival_complement;
+    Alcotest.test_case "binomial edge cases" `Quick test_binomial_cdf_edges;
+    Alcotest.test_case "binomial deep tail" `Quick test_binomial_extreme_tail;
+    Alcotest.test_case "binomial moments" `Quick test_binomial_moments;
+    Alcotest.test_case "negbin pmf sums to 1" `Quick test_negative_binomial_pmf_sums;
+    Alcotest.test_case "negbin P(L=0)" `Quick test_negative_binomial_zero_case;
+    Alcotest.test_case "negbin P(L=1)" `Quick test_negative_binomial_m1;
+    Alcotest.test_case "negbin cdf_array consistency" `Quick test_negative_binomial_cdf_array;
+    Alcotest.test_case "negbin cdf monotone to 1" `Quick test_negative_binomial_cdf_monotone_to_one;
+    Alcotest.test_case "negbin p=0" `Quick test_negative_binomial_p_zero;
+    Alcotest.test_case "negbin invalid args" `Quick test_negative_binomial_invalid;
+    Alcotest.test_case "geometric law" `Quick test_geometric;
+    Alcotest.test_case "geometric sampler agreement" `Quick test_geometric_sampler_agreement;
+  ]

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "rmcast"
+    [
+      ("rng", Test_rng.suite);
+      ("special", Test_special.suite);
+      ("dist", Test_dist.suite);
+      ("sampler", Test_sampler.suite);
+      ("series+stats", Test_series_stats.suite);
+      ("gf", Test_gf.suite);
+      ("matrix", Test_matrix.suite);
+      ("rse", Test_rse.suite);
+      ("analysis", Test_analysis.suite);
+      ("latency", Test_latency.suite);
+      ("sim", Test_sim.suite);
+      ("proto", Test_proto.suite);
+      ("np+n2", Test_np.suite);
+      ("wire", Test_wire.suite);
+      ("udp", Test_udp.suite);
+      ("tree+feedback", Test_tree.suite);
+      ("extensions", Test_extensions.suite);
+      ("invariants", Test_invariants.suite);
+      ("cauchy", Test_cauchy.suite);
+      ("transfer+planner", Test_transfer.suite);
+    ]

@@ -1,0 +1,202 @@
+module Gf = Rmcast.Gf
+module M = Rmcast.Gmatrix
+
+let f8 = Gf.gf256
+
+let random_matrix rng ~rows ~cols =
+  let m = M.create f8 ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      M.set m i j (Rmcast.Rng.int rng 256)
+    done
+  done;
+  m
+
+let random_invertible rng n =
+  (* Rejection: random square matrices over GF(256) are invertible with
+     probability ~ prod (1 - 256^-i) > 0.99. *)
+  let rec try_once () =
+    let m = random_matrix rng ~rows:n ~cols:n in
+    match M.invert m with _ -> m | exception Failure _ -> try_once ()
+  in
+  try_once ()
+
+let test_create_get_set () =
+  let m = M.create f8 ~rows:3 ~cols:2 in
+  Alcotest.(check int) "rows" 3 (M.rows m);
+  Alcotest.(check int) "cols" 2 (M.cols m);
+  Alcotest.(check int) "zero init" 0 (M.get m 2 1);
+  M.set m 2 1 77;
+  Alcotest.(check int) "set/get" 77 (M.get m 2 1)
+
+let test_bounds_checked () =
+  let m = M.create f8 ~rows:2 ~cols:2 in
+  Alcotest.check_raises "row oob" (Invalid_argument "Gmatrix: index out of range") (fun () ->
+      ignore (M.get m 2 0));
+  Alcotest.check_raises "bad value" (Invalid_argument "Gmatrix.set: not a field element")
+    (fun () -> M.set m 0 0 256)
+
+let test_identity_neutral () =
+  let rng = Rmcast.Rng.create ~seed:1 () in
+  let a = random_matrix rng ~rows:5 ~cols:5 in
+  let i5 = M.identity f8 5 in
+  Alcotest.(check bool) "I*A = A" true (M.equal (M.mul i5 a) a);
+  Alcotest.(check bool) "A*I = A" true (M.equal (M.mul a i5) a)
+
+let test_mul_against_manual () =
+  let a = M.of_arrays f8 [| [| 1; 2 |]; [| 3; 4 |] |] in
+  let b = M.of_arrays f8 [| [| 5; 6 |]; [| 7; 0 |] |] in
+  let c = M.mul a b in
+  (* entry (0,0) = 1*5 + 2*7 in GF(256) *)
+  Alcotest.(check int) "c00" (Gf.add (Gf.mul f8 1 5) (Gf.mul f8 2 7)) (M.get c 0 0);
+  Alcotest.(check int) "c01" (Gf.mul f8 1 6) (M.get c 0 1);
+  Alcotest.(check int) "c10" (Gf.add (Gf.mul f8 3 5) (Gf.mul f8 4 7)) (M.get c 1 0);
+  Alcotest.(check int) "c11" (Gf.mul f8 3 6) (M.get c 1 1)
+
+let test_mul_associative () =
+  let rng = Rmcast.Rng.create ~seed:2 () in
+  for _ = 1 to 20 do
+    let a = random_matrix rng ~rows:4 ~cols:3 in
+    let b = random_matrix rng ~rows:3 ~cols:5 in
+    let c = random_matrix rng ~rows:5 ~cols:2 in
+    Alcotest.(check bool) "(AB)C = A(BC)" true
+      (M.equal (M.mul (M.mul a b) c) (M.mul a (M.mul b c)))
+  done
+
+let test_mul_dimension_mismatch () =
+  let a = M.create f8 ~rows:2 ~cols:3 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Gmatrix.mul: dimension mismatch")
+    (fun () -> ignore (M.mul a a))
+
+let test_invert_roundtrip () =
+  let rng = Rmcast.Rng.create ~seed:3 () in
+  List.iter
+    (fun n ->
+      for _ = 1 to 10 do
+        let a = random_invertible rng n in
+        let inv = M.invert a in
+        Alcotest.(check bool)
+          (Printf.sprintf "A * A^-1 = I (n=%d)" n)
+          true
+          (M.equal (M.mul a inv) (M.identity f8 n));
+        Alcotest.(check bool)
+          (Printf.sprintf "A^-1 * A = I (n=%d)" n)
+          true
+          (M.equal (M.mul inv a) (M.identity f8 n))
+      done)
+    [ 1; 2; 5; 16 ]
+
+let test_invert_singular () =
+  let singular = M.of_arrays f8 [| [| 1; 2 |]; [| 1; 2 |] |] in
+  Alcotest.check_raises "singular" (Failure "Gmatrix.invert: singular matrix") (fun () ->
+      ignore (M.invert singular));
+  let zero = M.create f8 ~rows:3 ~cols:3 in
+  Alcotest.check_raises "zero matrix" (Failure "Gmatrix.invert: singular matrix") (fun () ->
+      ignore (M.invert zero))
+
+let test_invert_needs_pivot_swap () =
+  (* Zero on the diagonal forces a row swap. *)
+  let a = M.of_arrays f8 [| [| 0; 1 |]; [| 1; 0 |] |] in
+  let inv = M.invert a in
+  Alcotest.(check bool) "swap matrix self-inverse" true (M.equal inv a)
+
+let test_mul_vector () =
+  let a = M.of_arrays f8 [| [| 1; 0; 2 |]; [| 0; 1; 3 |] |] in
+  let v = [| 10; 20; 30 |] in
+  let out = M.mul_vector a v in
+  Alcotest.(check int) "row 0" (Gf.add 10 (Gf.mul f8 2 30)) out.(0);
+  Alcotest.(check int) "row 1" (Gf.add 20 (Gf.mul f8 3 30)) out.(1)
+
+let test_vandermonde_structure () =
+  let v = M.vandermonde f8 ~rows:5 ~cols:3 in
+  for i = 0 to 4 do
+    for j = 0 to 2 do
+      Alcotest.(check int)
+        (Printf.sprintf "V(%d,%d)" i j)
+        (Gf.exp f8 (i * j))
+        (M.get v i j)
+    done
+  done;
+  (* First row all ones, first column all ones. *)
+  for j = 0 to 2 do
+    Alcotest.(check int) "row 0" 1 (M.get v 0 j)
+  done
+
+let test_vandermonde_any_square_subset_invertible () =
+  let v = M.vandermonde f8 ~rows:12 ~cols:4 in
+  (* every 4-subset of 12 rows must be invertible (distinct eval points) *)
+  let rng = Rmcast.Rng.create ~seed:4 () in
+  for _ = 1 to 100 do
+    let rows = Rmcast.Sampler.distinct_ints rng ~n:12 ~k:4 in
+    let sub = M.submatrix_rows v rows in
+    match M.invert sub with
+    | _ -> ()
+    | exception Failure _ -> Alcotest.fail "Vandermonde subset singular"
+  done
+
+let test_vandermonde_row_limit () =
+  Alcotest.check_raises "too many rows"
+    (Invalid_argument "Gmatrix.vandermonde: more rows than distinct evaluation points")
+    (fun () -> ignore (M.vandermonde f8 ~rows:256 ~cols:3))
+
+let test_systematise () =
+  let v = M.vandermonde f8 ~rows:9 ~cols:5 in
+  let g = M.systematise v in
+  Alcotest.(check int) "rows kept" 9 (M.rows g);
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      Alcotest.(check int)
+        (Printf.sprintf "identity top (%d,%d)" i j)
+        (if i = j then 1 else 0)
+        (M.get g i j)
+    done
+  done
+
+let test_systematise_preserves_mds () =
+  let g = M.systematise (M.vandermonde f8 ~rows:10 ~cols:4) in
+  let rng = Rmcast.Rng.create ~seed:5 () in
+  for _ = 1 to 100 do
+    let rows = Rmcast.Sampler.distinct_ints rng ~n:10 ~k:4 in
+    match M.invert (M.submatrix_rows g rows) with
+    | _ -> ()
+    | exception Failure _ -> Alcotest.fail "systematised subset singular"
+  done
+
+let test_submatrix_rows () =
+  let a = M.of_arrays f8 [| [| 1; 2 |]; [| 3; 4 |]; [| 5; 6 |] |] in
+  let sub = M.submatrix_rows a [| 2; 0 |] in
+  Alcotest.(check (array (array int))) "rows picked" [| [| 5; 6 |]; [| 1; 2 |] |]
+    (M.to_arrays sub)
+
+let test_copy_is_deep () =
+  let a = M.of_arrays f8 [| [| 1 |] |] in
+  let b = M.copy a in
+  M.set b 0 0 9;
+  Alcotest.(check int) "original untouched" 1 (M.get a 0 0)
+
+let test_of_arrays_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Gmatrix.of_arrays: ragged rows")
+    (fun () -> ignore (M.of_arrays f8 [| [| 1; 2 |]; [| 3 |] |]))
+
+let suite =
+  [
+    Alcotest.test_case "create/get/set" `Quick test_create_get_set;
+    Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+    Alcotest.test_case "identity neutral" `Quick test_identity_neutral;
+    Alcotest.test_case "mul vs manual" `Quick test_mul_against_manual;
+    Alcotest.test_case "mul associative" `Quick test_mul_associative;
+    Alcotest.test_case "mul dimension mismatch" `Quick test_mul_dimension_mismatch;
+    Alcotest.test_case "invert roundtrip" `Quick test_invert_roundtrip;
+    Alcotest.test_case "invert singular" `Quick test_invert_singular;
+    Alcotest.test_case "invert with pivot swap" `Quick test_invert_needs_pivot_swap;
+    Alcotest.test_case "mul_vector" `Quick test_mul_vector;
+    Alcotest.test_case "vandermonde structure" `Quick test_vandermonde_structure;
+    Alcotest.test_case "vandermonde subsets invertible" `Quick
+      test_vandermonde_any_square_subset_invertible;
+    Alcotest.test_case "vandermonde row limit" `Quick test_vandermonde_row_limit;
+    Alcotest.test_case "systematise identity top" `Quick test_systematise;
+    Alcotest.test_case "systematise preserves MDS" `Quick test_systematise_preserves_mds;
+    Alcotest.test_case "submatrix_rows" `Quick test_submatrix_rows;
+    Alcotest.test_case "copy is deep" `Quick test_copy_is_deep;
+    Alcotest.test_case "of_arrays ragged" `Quick test_of_arrays_ragged;
+  ]

@@ -1,0 +1,273 @@
+module Runner = Rmcast.Runner
+module Network = Rmcast.Network
+module Rng = Rmcast.Rng
+module Timing = Rmcast.Timing
+module Tg_result = Rmcast.Tg_result
+
+let timing = Timing.instantaneous
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. (1.0 +. Float.abs expected))
+
+let lossless ~receivers = Network.independent (Rng.create ~seed:1 ()) ~receivers ~p:0.0
+
+(* --- exact behaviour without loss --- *)
+
+let test_arq_lossless () =
+  let result = Rmcast.Tg_arq.run (lossless ~receivers:100) ~k:7 ~timing ~start:0.0 in
+  Alcotest.(check int) "exactly k" 7 result.Tg_result.data_transmissions;
+  Alcotest.(check int) "no parities" 0 result.Tg_result.parity_transmissions;
+  Alcotest.(check int) "single round" 1 result.Tg_result.rounds;
+  Alcotest.(check int) "no feedback" 0 result.Tg_result.feedback_messages;
+  Alcotest.(check int) "no duplicates" 0 result.Tg_result.unnecessary_receptions;
+  close "M=1" 1.0 (Tg_result.per_packet result)
+
+let test_layered_lossless () =
+  let result = Rmcast.Tg_layered.run (lossless ~receivers:100) ~k:7 ~h:2 ~timing ~start:0.0 in
+  Alcotest.(check int) "k data" 7 result.Tg_result.data_transmissions;
+  Alcotest.(check int) "h parities" 2 result.Tg_result.parity_transmissions;
+  Alcotest.(check int) "single round" 1 result.Tg_result.rounds;
+  (* every parity reception is unnecessary when nobody lost anything *)
+  Alcotest.(check int) "parity overhead receptions" 200 result.Tg_result.unnecessary_receptions;
+  close "M = n/k" (9.0 /. 7.0) (Tg_result.per_packet result)
+
+let test_integrated_lossless () =
+  let result =
+    Rmcast.Tg_integrated.run (lossless ~receivers:100) ~k:7
+      ~variant:Rmcast.Tg_integrated.Nak_rounds ~timing ~start:0.0 ()
+  in
+  Alcotest.(check int) "k only" 7 (Tg_result.transmissions result);
+  Alcotest.(check int) "one round" 1 result.Tg_result.rounds;
+  Alcotest.(check int) "no NAKs" 0 result.Tg_result.feedback_messages
+
+let test_integrated_proactive_lossless () =
+  let result =
+    Rmcast.Tg_integrated.run (lossless ~receivers:10) ~k:7 ~a:2
+      ~variant:Rmcast.Tg_integrated.Open_loop ~timing ~start:0.0 ()
+  in
+  Alcotest.(check int) "k + a packets" 9 (Tg_result.transmissions result)
+
+(* --- agreement with the analysis (the paper's own cross-check) --- *)
+
+let mc_tolerance = 0.05 (* 5%: 300 reps of a bounded variable *)
+
+let agreement name ~analysis ~simulated =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: sim %.4f vs analysis %.4f" name simulated analysis)
+    true
+    (Float.abs (simulated -. analysis) /. analysis < mc_tolerance)
+
+let test_arq_matches_analysis () =
+  let e =
+    Runner.estimate
+      (Network.independent (Rng.create ~seed:2 ()) ~receivers:1000 ~p:0.01)
+      ~k:7 ~scheme:Runner.No_fec ~reps:300 ()
+  in
+  agreement "no-FEC"
+    ~analysis:
+      (Rmcast.Arq.expected_transmissions
+         ~population:(Rmcast.Receivers.homogeneous ~p:0.01 ~count:1000))
+    ~simulated:(Runner.mean_m e)
+
+let test_integrated_matches_bound () =
+  let e =
+    Runner.estimate
+      (Network.independent (Rng.create ~seed:3 ()) ~receivers:1000 ~p:0.01)
+      ~k:7 ~scheme:(Runner.Integrated_nak { a = 0 }) ~reps:300 ()
+  in
+  agreement "integrated"
+    ~analysis:
+      (Rmcast.Integrated.expected_transmissions_unbounded ~k:7
+         ~population:(Rmcast.Receivers.homogeneous ~p:0.01 ~count:1000) ())
+    ~simulated:(Runner.mean_m e)
+
+let test_layered_near_analysis () =
+  (* The protocol machine repairs in small blocks, so it is slightly above
+     the eq. (3) model which amortises repairs into full blocks; accept
+     [analysis, analysis * 1.12]. *)
+  let analysis =
+    Rmcast.Layered.expected_transmissions ~k:7 ~h:1
+      ~population:(Rmcast.Receivers.homogeneous ~p:0.01 ~count:1000)
+  in
+  let e =
+    Runner.estimate
+      (Network.independent (Rng.create ~seed:4 ()) ~receivers:1000 ~p:0.01)
+      ~k:7 ~scheme:(Runner.Layered { h = 1 }) ~reps:300 ()
+  in
+  let simulated = Runner.mean_m e in
+  Alcotest.(check bool)
+    (Printf.sprintf "layered: sim %.4f vs analysis %.4f" simulated analysis)
+    true
+    (simulated > analysis *. 0.97 && simulated < analysis *. 1.12)
+
+let test_open_loop_matches_nak_variant () =
+  (* Without temporal correlation the two integrated variants have the same
+     transmission count distribution. *)
+  let run scheme seed =
+    Runner.mean_m
+      (Runner.estimate
+         (Network.independent (Rng.create ~seed ()) ~receivers:500 ~p:0.02)
+         ~k:10 ~scheme ~reps:300 ())
+  in
+  let open_loop = run (Runner.Integrated_open_loop { a = 0 }) 5 in
+  let nak = run (Runner.Integrated_nak { a = 0 }) 6 in
+  close ~tol:0.05 "variants agree under memoryless loss" open_loop nak
+
+(* --- orderings the paper reports --- *)
+
+let test_fbt_below_independent () =
+  (* Figures 11/12: shared loss needs fewer transmissions. *)
+  let run net scheme seed =
+    Runner.mean_m
+      (Runner.estimate (net (Rng.create ~seed ())) ~k:7 ~scheme ~reps:200 ())
+  in
+  let independent rng = Network.independent rng ~receivers:1024 ~p:0.01 in
+  let fbt rng = Network.fbt rng ~height:10 ~p:0.01 in
+  Alcotest.(check bool) "no-FEC" true
+    (run fbt Runner.No_fec 7 < run independent Runner.No_fec 8);
+  Alcotest.(check bool) "integrated" true
+    (run fbt (Runner.Integrated_nak { a = 0 }) 9
+    < run independent (Runner.Integrated_nak { a = 0 }) 10)
+
+let test_burst_loss_hurts_layered () =
+  (* Figure 15: layered (7,1) under burst loss is worse than no FEC. *)
+  let burst_net seed =
+    Network.temporal (Rng.create ~seed ()) ~receivers:500 ~make:(fun rng ->
+        Rmcast.Loss.markov2 rng ~p:0.01 ~mean_burst:2.0 ~send_rate:25.0)
+  in
+  let timing = Timing.paper_burst in
+  let layered =
+    Runner.mean_m
+      (Runner.estimate (burst_net 11) ~k:7 ~scheme:(Runner.Layered { h = 1 }) ~timing ~reps:150 ())
+  in
+  let nofec =
+    Runner.mean_m (Runner.estimate (burst_net 12) ~k:7 ~scheme:Runner.No_fec ~timing ~reps:150 ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "layered %.3f > no-FEC %.3f under bursts" layered nofec)
+    true (layered > nofec)
+
+let test_burst_loss_large_k_integrated_resists () =
+  (* Figure 16: k=100 integrated rides out bursts better than k=7. *)
+  let burst_net seed =
+    Network.temporal (Rng.create ~seed ()) ~receivers:200 ~make:(fun rng ->
+        Rmcast.Loss.markov2 rng ~p:0.01 ~mean_burst:2.0 ~send_rate:25.0)
+  in
+  let timing = Timing.paper_burst in
+  let run k seed =
+    Runner.mean_m
+      (Runner.estimate (burst_net seed) ~k ~scheme:(Runner.Integrated_nak { a = 0 }) ~timing
+         ~reps:100 ())
+  in
+  Alcotest.(check bool) "k=100 < k=7" true (run 100 13 < run 7 14)
+
+let test_unnecessary_receptions_ordering () =
+  (* §2.1: parity repair nearly eliminates duplicate receptions. *)
+  let run scheme seed =
+    let e =
+      Runner.estimate
+        (Network.independent (Rng.create ~seed ()) ~receivers:1000 ~p:0.02)
+        ~k:7 ~scheme ~reps:100 ()
+    in
+    Rmcast.Stats.Accumulator.mean e.Runner.unnecessary_per_receiver
+  in
+  let nofec = run Runner.No_fec 15 in
+  let integrated = run (Runner.Integrated_nak { a = 0 }) 16 in
+  Alcotest.(check bool)
+    (Printf.sprintf "unnecessary: integrated %.4f << no-FEC %.4f" integrated nofec)
+    true
+    (integrated < 0.5 *. nofec)
+
+let test_open_loop_no_unnecessary () =
+  let e =
+    Runner.estimate
+      (Network.independent (Rng.create ~seed:17 ()) ~receivers:1000 ~p:0.05)
+      ~k:7 ~scheme:(Runner.Integrated_open_loop { a = 0 }) ~reps:50 ()
+  in
+  close "receivers leave when done" 0.0
+    (Rmcast.Stats.Accumulator.mean e.Runner.unnecessary_per_receiver)
+
+(* --- feedback --- *)
+
+let test_integrated_feedback_is_one_per_round () =
+  let net = Network.independent (Rng.create ~seed:18 ()) ~receivers:2000 ~p:0.05 in
+  for i = 0 to 19 do
+    let result =
+      Rmcast.Tg_integrated.run net ~k:20 ~variant:Rmcast.Tg_integrated.Nak_rounds ~timing
+        ~start:(float_of_int i) ()
+    in
+    Alcotest.(check int) "one NAK per repair round"
+      (result.Tg_result.rounds - 1)
+      result.Tg_result.feedback_messages
+  done
+
+let test_rounds_grow_with_population () =
+  let rounds receivers seed =
+    let e =
+      Runner.estimate
+        (Network.independent (Rng.create ~seed ()) ~receivers ~p:0.05)
+        ~k:20 ~scheme:(Runner.Integrated_nak { a = 0 }) ~reps:100 ()
+    in
+    Rmcast.Stats.Accumulator.mean e.Runner.rounds
+  in
+  Alcotest.(check bool) "more receivers, more rounds" true (rounds 10_000 19 > rounds 10 20)
+
+(* --- estimator plumbing --- *)
+
+let test_estimate_metadata () =
+  let e =
+    Runner.estimate
+      (Network.independent (Rng.create ~seed:21 ()) ~receivers:10 ~p:0.1)
+      ~k:5 ~scheme:Runner.No_fec ~reps:17 ()
+  in
+  Alcotest.(check int) "reps recorded" 17 e.Runner.reps;
+  Alcotest.(check int) "k recorded" 5 e.Runner.k;
+  Alcotest.(check int) "receivers recorded" 10 e.Runner.receivers;
+  Alcotest.(check int) "accumulator count" 17
+    (Rmcast.Stats.Accumulator.count e.Runner.transmissions_per_packet)
+
+let test_scheme_names () =
+  Alcotest.(check string) "no-fec" "no-fec" (Runner.scheme_name Runner.No_fec);
+  Alcotest.(check string) "layered" "layered(h=2)" (Runner.scheme_name (Runner.Layered { h = 2 }));
+  Alcotest.(check string) "i1" "integrated-1(a=1)"
+    (Runner.scheme_name (Runner.Integrated_open_loop { a = 1 }));
+  Alcotest.(check string) "i2" "integrated-2(a=0)"
+    (Runner.scheme_name (Runner.Integrated_nak { a = 0 }))
+
+let test_burst_histogram_totals () =
+  let loss = Rmcast.Loss.bernoulli (Rng.create ~seed:22 ()) ~p:0.1 in
+  let hist = Rmcast.Runner.burst_length_histogram loss ~packets:50_000 ~spacing:1.0 in
+  (* Total losses = sum over runs of run length ~ p * packets. *)
+  let losses =
+    List.fold_left (fun acc (len, count) -> acc + (len * count)) 0
+      (Rmcast.Stats.Histogram.to_sorted_list hist)
+  in
+  close ~tol:0.1 "loss mass" 5000.0 (float_of_int losses);
+  (* Bernoulli: P(run = l) ~ geometric, mean 1/(1-p) ~ 1.11. *)
+  close ~tol:0.05 "mean run" (1.0 /. 0.9) (Rmcast.Stats.Histogram.mean hist)
+
+let suite =
+  [
+    Alcotest.test_case "ARQ lossless exact" `Quick test_arq_lossless;
+    Alcotest.test_case "layered lossless exact" `Quick test_layered_lossless;
+    Alcotest.test_case "integrated lossless exact" `Quick test_integrated_lossless;
+    Alcotest.test_case "integrated proactive lossless" `Quick test_integrated_proactive_lossless;
+    Alcotest.test_case "ARQ sim = analysis" `Quick test_arq_matches_analysis;
+    Alcotest.test_case "integrated sim = bound" `Quick test_integrated_matches_bound;
+    Alcotest.test_case "layered sim near analysis" `Quick test_layered_near_analysis;
+    Alcotest.test_case "open-loop = NAK-rounds (memoryless)" `Quick test_open_loop_matches_nak_variant;
+    Alcotest.test_case "FBT below independent (Figs 11/12)" `Quick test_fbt_below_independent;
+    Alcotest.test_case "bursts hurt layered (Fig 15)" `Quick test_burst_loss_hurts_layered;
+    Alcotest.test_case "large k resists bursts (Fig 16)" `Quick
+      test_burst_loss_large_k_integrated_resists;
+    Alcotest.test_case "unnecessary receptions ordering" `Quick test_unnecessary_receptions_ordering;
+    Alcotest.test_case "open loop: zero unnecessary" `Quick test_open_loop_no_unnecessary;
+    Alcotest.test_case "one NAK per repair round" `Quick test_integrated_feedback_is_one_per_round;
+    Alcotest.test_case "rounds grow with R" `Quick test_rounds_grow_with_population;
+    Alcotest.test_case "estimate metadata" `Quick test_estimate_metadata;
+    Alcotest.test_case "scheme names" `Quick test_scheme_names;
+    Alcotest.test_case "burst histogram mass" `Quick test_burst_histogram_totals;
+  ]

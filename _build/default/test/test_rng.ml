@@ -1,0 +1,172 @@
+module Rng = Rmcast.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 () in
+  let b = Rng.create ~seed:123 () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create ~seed:1 () in
+  let b = Rng.create ~seed:2 () in
+  let equal_count = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr equal_count
+  done;
+  Alcotest.(check bool) "streams differ" true (!equal_count < 4)
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:5 () in
+  let b = Rng.copy a in
+  let xa = Rng.bits64 a in
+  let xb = Rng.bits64 b in
+  Alcotest.(check int64) "copy replays" xa xb;
+  ignore (Rng.bits64 a);
+  (* advancing a does not affect b *)
+  let a' = Rng.bits64 a and b' = Rng.bits64 b in
+  Alcotest.(check bool) "diverged positions differ" true (not (Int64.equal a' b'))
+
+let test_split_streams_differ () =
+  let parent = Rng.create ~seed:9 () in
+  let child = Rng.split parent in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 parent) (Rng.bits64 child) then incr matches
+  done;
+  Alcotest.(check bool) "split independent" true (!matches < 4)
+
+let test_float_range () =
+  let rng = Rng.create ~seed:3 () in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_float_pos_range () =
+  let rng = Rng.create ~seed:3 () in
+  for _ = 1 to 10_000 do
+    let x = Rng.float_pos rng in
+    Alcotest.(check bool) "in (0,1]" true (x > 0.0 && x <= 1.0)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create ~seed:17 () in
+  let n = 200_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.005)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:4 () in
+  List.iter
+    (fun bound ->
+      for _ = 1 to 2_000 do
+        let x = Rng.int rng bound in
+        Alcotest.(check bool) "in range" true (x >= 0 && x < bound)
+      done)
+    [ 1; 2; 3; 7; 16; 1000; 1 lsl 30 ]
+
+let test_int_uniform () =
+  let rng = Rng.create ~seed:21 () in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun count ->
+      let expected = n / 10 in
+      Alcotest.(check bool) "bucket within 5%" true
+        (abs (count - expected) < expected / 20 + 50))
+    buckets
+
+let test_int_invalid () =
+  let rng = Rng.create () in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_bernoulli_rate () =
+  let rng = Rng.create ~seed:6 () in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.01)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:8 () in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~rate:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_float "exponential positive rate required" 0.0 0.0;
+  Alcotest.(check bool) "mean near 1/4" true (Float.abs (mean -. 0.25) < 0.01)
+
+let test_exponential_invalid () =
+  let rng = Rng.create () in
+  Alcotest.check_raises "rate 0" (Invalid_argument "Rng.exponential: rate must be positive")
+    (fun () -> ignore (Rng.exponential rng ~rate:0.0))
+
+let test_geometric_mean () =
+  let rng = Rng.create ~seed:10 () in
+  let n = 100_000 in
+  let p = 0.2 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric rng ~p
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  (* E = (1-p)/p = 4 *)
+  Alcotest.(check bool) "mean near 4" true (Float.abs (mean -. 4.0) < 0.1)
+
+let test_geometric_p_one () =
+  let rng = Rng.create () in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "always 0" 0 (Rng.geometric rng ~p:1.0)
+  done
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create ~seed:12 () in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_shuffle_moves_things () =
+  let rng = Rng.create ~seed:13 () in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle_in_place rng a;
+  Alcotest.(check bool) "not identity" true (a <> Array.init 100 Fun.id)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "copy replays then diverges" `Quick test_copy_independent;
+    Alcotest.test_case "split gives independent stream" `Quick test_split_streams_differ;
+    Alcotest.test_case "float in [0,1)" `Quick test_float_range;
+    Alcotest.test_case "float_pos in (0,1]" `Quick test_float_pos_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniform;
+    Alcotest.test_case "int rejects bad bound" `Quick test_int_invalid;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "exponential rejects rate 0" `Quick test_exponential_invalid;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "geometric p=1" `Quick test_geometric_p_one;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_things;
+  ]

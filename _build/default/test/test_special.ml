@@ -1,0 +1,123 @@
+module Special = Rmcast.Special
+
+let close ?(tol = 1e-10) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.15g - %.15g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. (1.0 +. Float.abs expected))
+
+let test_log_gamma_known () =
+  close "Gamma(1)" 0.0 (Special.log_gamma 1.0);
+  close "Gamma(2)" 0.0 (Special.log_gamma 2.0);
+  close "Gamma(5) = 24" (log 24.0) (Special.log_gamma 5.0);
+  close "Gamma(0.5) = sqrt pi" (0.5 *. log Float.pi) (Special.log_gamma 0.5);
+  close "Gamma(11) = 10!" (log 3628800.0) (Special.log_gamma 11.0)
+
+let test_log_gamma_recurrence () =
+  (* Gamma(x+1) = x Gamma(x) *)
+  List.iter
+    (fun x ->
+      close
+        (Printf.sprintf "recurrence at %g" x)
+        (Special.log_gamma x +. log x)
+        (Special.log_gamma (x +. 1.0)))
+    [ 0.3; 1.7; 12.5; 100.25; 5000.5 ]
+
+let test_log_gamma_invalid () =
+  Alcotest.check_raises "non-positive" (Invalid_argument "Special.log_gamma: requires x > 0")
+    (fun () -> ignore (Special.log_gamma 0.0))
+
+let test_log_factorial () =
+  close "0!" 0.0 (Special.log_factorial 0);
+  close "1!" 0.0 (Special.log_factorial 1);
+  close "5!" (log 120.0) (Special.log_factorial 5);
+  close "12!" (log 479001600.0) (Special.log_factorial 12);
+  (* table/lanczos boundary *)
+  close ~tol:1e-12 "255! vs 256!/256"
+    (Special.log_factorial 256 -. log 256.0)
+    (Special.log_factorial 255)
+
+let test_log_choose () =
+  close "C(10,3)" (log 120.0) (Special.log_choose 10 3);
+  close "C(52,5)" (log 2598960.0) (Special.log_choose 52 5);
+  close "C(n,0)" 0.0 (Special.log_choose 1000 0);
+  close "C(n,n)" 0.0 (Special.log_choose 1000 1000);
+  Alcotest.(check (float 0.0)) "out of range" neg_infinity (Special.log_choose 5 6);
+  Alcotest.(check (float 0.0)) "negative k" neg_infinity (Special.log_choose 5 (-1))
+
+let test_log_choose_symmetry () =
+  List.iter
+    (fun (n, k) ->
+      close
+        (Printf.sprintf "C(%d,%d) symmetric" n k)
+        (Special.log_choose n k)
+        (Special.log_choose n (n - k)))
+    [ (100, 13); (1000, 400); (7, 3) ]
+
+let test_log_choose_pascal () =
+  (* C(n,k) = C(n-1,k-1) + C(n-1,k) *)
+  List.iter
+    (fun (n, k) ->
+      close ~tol:1e-12
+        (Printf.sprintf "Pascal at (%d,%d)" n k)
+        (Special.log_add (Special.log_choose (n - 1) (k - 1)) (Special.log_choose (n - 1) k))
+        (Special.log_choose n k))
+    [ (10, 4); (60, 30); (200, 13) ]
+
+let test_log_add () =
+  close "ln(1+1)" (log 2.0) (Special.log_add 0.0 0.0);
+  close "asymmetric" (log 3.0) (Special.log_add (log 1.0) (log 2.0));
+  close "with -inf" 5.0 (Special.log_add neg_infinity 5.0);
+  close "huge gap" 100.0 (Special.log_add 100.0 (-1000.0))
+
+let test_log_sub () =
+  close "ln(2-1)" 0.0 (Special.log_sub (log 2.0) 0.0);
+  Alcotest.(check (float 0.0)) "equal gives -inf" neg_infinity (Special.log_sub 3.0 3.0);
+  Alcotest.check_raises "order enforced"
+    (Invalid_argument "Special.log_sub: requires la >= lb") (fun () ->
+      ignore (Special.log_sub 0.0 1.0))
+
+let test_log1mexp () =
+  close "ln(1-e^-1)" (log (1.0 -. exp (-1.0))) (Special.log1mexp (-1.0));
+  (* near 0: 1 - e^(-eps) = eps - eps^2/2 + ..., so ln = ln eps + ln(1-eps/2) *)
+  close ~tol:1e-9 "tiny x" (log 1e-10) (Special.log1mexp (-1e-10));
+  Alcotest.check_raises "requires negative"
+    (Invalid_argument "Special.log1mexp: requires x < 0") (fun () ->
+      ignore (Special.log1mexp 0.0))
+
+let test_pow_1m () =
+  close "q^0" 1.0 (Special.pow_1m 0.3 0);
+  close "0^0" 1.0 (Special.pow_1m 0.0 0);
+  close "0^5" 0.0 (Special.pow_1m 0.0 5);
+  close "0.5^10" (0.5 ** 10.0) (Special.pow_1m 0.5 10);
+  close "1^100" 1.0 (Special.pow_1m 1.0 100)
+
+let test_power_of_complement () =
+  close "(1-0.5)^2" 0.25 (Special.power_of_complement 0.5 2.0);
+  close "x=0" 1.0 (Special.power_of_complement 0.0 1e6);
+  close "x=1" 0.0 (Special.power_of_complement 1.0 3.0);
+  (* tiny x huge r: (1-1e-12)^1e6 = exp(-1e-6) approx *)
+  close ~tol:1e-9 "tiny x huge r" (exp (-1e-6)) (Special.power_of_complement 1e-12 1e6)
+
+let test_one_minus_power_of_complement () =
+  close "complement identity" 0.75 (Special.one_minus_power_of_complement 0.5 2.0);
+  (* for tiny x, 1-(1-x)^r ~ r*x *)
+  close ~tol:1e-6 "linearisation" 1e-6 (Special.one_minus_power_of_complement 1e-12 1e6);
+  close "x=0" 0.0 (Special.one_minus_power_of_complement 0.0 1e6)
+
+let suite =
+  [
+    Alcotest.test_case "log_gamma known values" `Quick test_log_gamma_known;
+    Alcotest.test_case "log_gamma recurrence" `Quick test_log_gamma_recurrence;
+    Alcotest.test_case "log_gamma rejects x<=0" `Quick test_log_gamma_invalid;
+    Alcotest.test_case "log_factorial" `Quick test_log_factorial;
+    Alcotest.test_case "log_choose values" `Quick test_log_choose;
+    Alcotest.test_case "log_choose symmetry" `Quick test_log_choose_symmetry;
+    Alcotest.test_case "log_choose Pascal rule" `Quick test_log_choose_pascal;
+    Alcotest.test_case "log_add" `Quick test_log_add;
+    Alcotest.test_case "log_sub" `Quick test_log_sub;
+    Alcotest.test_case "log1mexp" `Quick test_log1mexp;
+    Alcotest.test_case "pow_1m" `Quick test_pow_1m;
+    Alcotest.test_case "power_of_complement" `Quick test_power_of_complement;
+    Alcotest.test_case "one_minus_power_of_complement" `Quick test_one_minus_power_of_complement;
+  ]

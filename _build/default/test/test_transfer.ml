@@ -1,0 +1,171 @@
+module Transfer = Rmcast.Transfer
+module Planner = Rmcast.Planner
+module Network = Rmcast.Network
+module Rng = Rmcast.Rng
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. (1.0 +. Float.abs expected))
+
+(* --- packetize / reassemble --- *)
+
+let test_packetize_roundtrip () =
+  List.iter
+    (fun length ->
+      let message = String.init length (fun i -> Char.chr (i mod 251)) in
+      let packets = Transfer.packetize ~payload_size:64 message in
+      Alcotest.(check string)
+        (Printf.sprintf "roundtrip %d bytes" length)
+        message
+        (Transfer.reassemble ~payload_size:64 packets))
+    [ 1; 59; 60; 61; 64; 128; 1000; 12345 ]
+
+let test_packetize_sizes () =
+  let packets = Transfer.packetize ~payload_size:100 (String.make 96 'a') in
+  Alcotest.(check int) "4-byte prefix fits in one" 1 (Array.length packets);
+  let packets = Transfer.packetize ~payload_size:100 (String.make 97 'a') in
+  Alcotest.(check int) "spills into two" 2 (Array.length packets);
+  Array.iter (fun p -> Alcotest.(check int) "padded" 100 (Bytes.length p)) packets
+
+let test_reassemble_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Transfer.reassemble: no packets") (fun () ->
+      ignore (Transfer.reassemble ~payload_size:10 [||]));
+  Alcotest.check_raises "size" (Invalid_argument "Transfer.reassemble: packet size mismatch")
+    (fun () -> ignore (Transfer.reassemble ~payload_size:10 [| Bytes.make 9 ' ' |]));
+  let corrupt = Bytes.make 10 '\xFF' in
+  Alcotest.check_raises "corrupt prefix"
+    (Invalid_argument "Transfer.reassemble: corrupt length prefix") (fun () ->
+      ignore (Transfer.reassemble ~payload_size:10 [| corrupt |]))
+
+(* --- send --- *)
+
+let test_send_verified () =
+  let rng = Rng.create ~seed:1 () in
+  let network = Network.independent (Rng.split rng) ~receivers:50 ~p:0.02 in
+  let message = String.init 20_000 (fun i -> Char.chr ((i * 31) mod 256)) in
+  let options = { Transfer.default_options with payload_size = 512; k = 10; h = 20 } in
+  let outcome = Transfer.send ~options ~network ~rng:(Rng.split rng) message in
+  Alcotest.(check bool) "verified" true outcome.Transfer.verified;
+  Alcotest.(check bool) "efficiency below 1" true (outcome.Transfer.efficiency < 1.0);
+  Alcotest.(check bool) "efficiency sane" true (outcome.Transfer.efficiency > 0.5)
+
+let test_send_lossless_efficiency () =
+  let rng = Rng.create ~seed:2 () in
+  let network = Network.independent (Rng.split rng) ~receivers:10 ~p:0.0 in
+  let message = String.make 10_236 'q' in
+  (* 10236 + 4 = 10240 = exactly 10 packets of 1024 *)
+  let outcome = Transfer.send ~network ~rng:(Rng.split rng) message in
+  Alcotest.(check int) "no overhead packets" 10_240 outcome.Transfer.bytes_sent;
+  close "efficiency = message/sent" (10_236.0 /. 10_240.0) outcome.Transfer.efficiency
+
+let test_send_empty_rejected () =
+  let rng = Rng.create ~seed:3 () in
+  let network = Network.independent rng ~receivers:2 ~p:0.0 in
+  Alcotest.check_raises "empty" (Invalid_argument "Transfer.send: empty message") (fun () ->
+      ignore (Transfer.send ~network ~rng ""))
+
+(* --- planner --- *)
+
+let test_plan_lossless () =
+  let plan = Planner.plan ~k:20 ~p:0.0 ~receivers:1000 () in
+  Alcotest.(check int) "no proactive parities" 0 plan.Planner.proactive;
+  Alcotest.(check int) "no budget" 0 plan.Planner.budget;
+  close "E[M] = 1" 1.0 plan.Planner.expected_m;
+  close "single round certain" 1.0 plan.Planner.single_round_probability
+
+let test_plan_meets_target () =
+  let plan = Planner.plan ~k:20 ~p:0.05 ~receivers:1000 ~target_single_round:0.9 () in
+  Alcotest.(check bool) "target met" true (plan.Planner.single_round_probability >= 0.9);
+  Alcotest.(check bool) "not trivially k" true (plan.Planner.proactive < 20);
+  Alcotest.(check bool) "budget covers proactive" true (plan.Planner.budget >= plan.Planner.proactive)
+
+let test_plan_proactive_monotone_in_receivers () =
+  let at receivers = (Planner.plan ~k:20 ~p:0.05 ~receivers ()).Planner.proactive in
+  Alcotest.(check bool) "more receivers need more parities" true (at 100_000 >= at 10);
+  Alcotest.(check bool) "nontrivial at scale" true (at 100_000 > 0)
+
+let test_plan_budget_residual () =
+  (* With the budget chosen at 1e-6 residual, NP should essentially never
+     eject: verify by running the protocol at the planned parameters. *)
+  let p = 0.05 and receivers = 100 in
+  let plan = Planner.plan ~k:10 ~p ~receivers () in
+  let rng = Rng.create ~seed:4 () in
+  let config =
+    {
+      Rmcast.Np.default_config with
+      k = plan.Planner.k;
+      h = plan.Planner.budget;
+      proactive = plan.Planner.proactive;
+      payload_size = 128;
+    }
+  in
+  let data = Array.init 200 (fun _ -> Bytes.init 128 (fun _ -> Char.chr (Rng.int rng 256))) in
+  let network = Network.independent (Rng.split rng) ~receivers ~p in
+  let report = Rmcast.Np.run ~config ~network ~rng:(Rng.split rng) ~data () in
+  Alcotest.(check bool) "planned run intact" true report.Rmcast.Np.delivered_intact;
+  Alcotest.(check (list (pair int int))) "no ejections" [] report.Rmcast.Np.ejected
+
+let test_plan_validation () =
+  Alcotest.check_raises "bad p" (Invalid_argument "Planner.plan: p outside [0,1)") (fun () ->
+      ignore (Planner.plan ~k:10 ~p:1.0 ~receivers:10 ()))
+
+let test_loss_estimate () =
+  close "laplace smoothing" (1.0 /. 2.0) (Planner.loss_estimate ~lost:0 ~total:0);
+  close "typical" (11.0 /. 102.0) (Planner.loss_estimate ~lost:10 ~total:100);
+  Alcotest.check_raises "bad counts"
+    (Invalid_argument "Planner.loss_estimate: need 0 <= lost <= total") (fun () ->
+      ignore (Planner.loss_estimate ~lost:5 ~total:3))
+
+let test_effective_receivers_inverts_analysis () =
+  (* Feeding the model's own E[M] back should recover R (up to grid
+     effects). *)
+  List.iter
+    (fun r ->
+      let m =
+        Rmcast.Arq.expected_transmissions
+          ~population:(Rmcast.Receivers.homogeneous ~p:0.01 ~count:r)
+      in
+      let recovered = Planner.effective_receivers ~measured_m_nofec:m ~p:0.01 in
+      Alcotest.(check bool)
+        (Printf.sprintf "R=%d recovered as %d" r recovered)
+        true
+        (float_of_int (abs (recovered - r)) /. float_of_int r < 0.02))
+    [ 10; 1000; 100_000 ]
+
+let test_effective_receivers_shrinks_under_shared_loss () =
+  (* Measured no-FEC E[M] over an FBT is below the independent-loss value,
+     so the effective population must be smaller than the real one. *)
+  let height = 10 in
+  let receivers = 1 lsl height in
+  let e =
+    Rmcast.Runner.estimate
+      (Network.fbt (Rng.create ~seed:5 ()) ~height ~p:0.01)
+      ~k:7 ~scheme:Rmcast.Runner.No_fec ~reps:300 ()
+  in
+  let effective =
+    Planner.effective_receivers ~measured_m_nofec:(Rmcast.Runner.mean_m e) ~p:0.01
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "effective %d < actual %d" effective receivers)
+    true (effective < receivers)
+
+let suite =
+  [
+    Alcotest.test_case "packetize roundtrip" `Quick test_packetize_roundtrip;
+    Alcotest.test_case "packetize sizes" `Quick test_packetize_sizes;
+    Alcotest.test_case "reassemble validation" `Quick test_reassemble_validation;
+    Alcotest.test_case "send verified under loss" `Quick test_send_verified;
+    Alcotest.test_case "send lossless efficiency" `Quick test_send_lossless_efficiency;
+    Alcotest.test_case "send rejects empty" `Quick test_send_empty_rejected;
+    Alcotest.test_case "plan lossless" `Quick test_plan_lossless;
+    Alcotest.test_case "plan meets single-round target" `Quick test_plan_meets_target;
+    Alcotest.test_case "plan proactive monotone in R" `Quick test_plan_proactive_monotone_in_receivers;
+    Alcotest.test_case "planned budget avoids ejection" `Quick test_plan_budget_residual;
+    Alcotest.test_case "plan validation" `Quick test_plan_validation;
+    Alcotest.test_case "loss estimate" `Quick test_loss_estimate;
+    Alcotest.test_case "effective receivers inversion" `Quick test_effective_receivers_inverts_analysis;
+    Alcotest.test_case "effective receivers under shared loss" `Quick
+      test_effective_receivers_shrinks_under_shared_loss;
+  ]

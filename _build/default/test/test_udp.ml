@@ -1,0 +1,126 @@
+module Udp = Rmcast.Udp_np
+module Reactor = Rmcast.Reactor
+
+let payloads ~count ~size seed =
+  let rng = Rmcast.Rng.create ~seed () in
+  Array.init count (fun _ -> Bytes.init size (fun _ -> Char.chr (Rmcast.Rng.int rng 256)))
+
+let config = { Udp.default_config with session_timeout = 20.0 }
+
+let test_lossless_session () =
+  let data = payloads ~count:40 ~size:config.Udp.payload_size 1 in
+  let report = Udp.run_local ~config ~receivers:3 ~loss:0.0 ~seed:2 ~data () in
+  Alcotest.(check bool) "verified" true report.Udp.verified;
+  Alcotest.(check int) "all receivers" 3 report.Udp.completed;
+  Alcotest.(check int) "data once each" 40 report.Udp.data_tx;
+  Alcotest.(check int) "no parities" 0 report.Udp.parity_tx;
+  Alcotest.(check int) "no NAKs" 0 report.Udp.naks_sent;
+  Alcotest.(check int) "nothing dropped" 0 report.Udp.datagrams_dropped
+
+let test_lossy_session_recovers () =
+  let data = payloads ~count:64 ~size:config.Udp.payload_size 3 in
+  let report = Udp.run_local ~config ~receivers:5 ~loss:0.1 ~seed:4 ~data () in
+  Alcotest.(check bool) "verified" true report.Udp.verified;
+  Alcotest.(check int) "all receivers" 5 report.Udp.completed;
+  Alcotest.(check bool) "loss actually injected" true (report.Udp.datagrams_dropped > 0);
+  Alcotest.(check bool) "parity repair used" true (report.Udp.parity_tx > 0);
+  Alcotest.(check (list (pair int int))) "nobody ejected" [] report.Udp.ejected
+
+let test_single_receiver_high_loss () =
+  let data = payloads ~count:32 ~size:config.Udp.payload_size 5 in
+  let report = Udp.run_local ~config ~receivers:1 ~loss:0.25 ~seed:6 ~data () in
+  Alcotest.(check bool) "verified" true report.Udp.verified
+
+let test_determinism_of_injected_loss () =
+  (* Same seed, same loss pattern: the drop counter is reproducible even
+     though wall-clock timing is not. *)
+  let data = payloads ~count:16 ~size:config.Udp.payload_size 7 in
+  let r1 = Udp.run_local ~config ~receivers:2 ~loss:0.2 ~seed:8 ~data () in
+  let r2 = Udp.run_local ~config ~receivers:2 ~loss:0.2 ~seed:8 ~data () in
+  Alcotest.(check bool) "both verified" true (r1.Udp.verified && r2.Udp.verified);
+  (* drops depend only on the per-receiver RNG stream over received data
+     packets; retransmission counts may differ slightly, so compare loosely *)
+  Alcotest.(check bool) "drop counts comparable" true
+    (abs (r1.Udp.datagrams_dropped - r2.Udp.datagrams_dropped)
+    <= (r1.Udp.datagrams_dropped + r2.Udp.datagrams_dropped) / 2 + 4)
+
+let test_validation () =
+  Alcotest.check_raises "empty data" (Invalid_argument "Udp_np.run_local: no data") (fun () ->
+      ignore (Udp.run_local ~receivers:1 ~loss:0.0 ~seed:0 ~data:[||] ()));
+  Alcotest.check_raises "bad loss" (Invalid_argument "Udp_np.run_local: loss outside [0,1)")
+    (fun () ->
+      ignore
+        (Udp.run_local ~receivers:1 ~loss:1.0 ~seed:0
+           ~data:(payloads ~count:1 ~size:Udp.default_config.Udp.payload_size 9)
+           ()))
+
+(* --- reactor unit tests --- *)
+
+let test_reactor_timer_order () =
+  let reactor = Reactor.create () in
+  let log = ref [] in
+  ignore (Reactor.after reactor 0.02 (fun () -> log := 2 :: !log));
+  ignore (Reactor.after reactor 0.01 (fun () -> log := 1 :: !log));
+  ignore (Reactor.after reactor 0.03 (fun () -> log := 3 :: !log));
+  Reactor.run reactor;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_reactor_cancel () =
+  let reactor = Reactor.create () in
+  let fired = ref false in
+  let timer = Reactor.after reactor 0.01 (fun () -> fired := true) in
+  Reactor.cancel timer;
+  Reactor.run reactor;
+  Alcotest.(check bool) "cancelled timer silent" false !fired;
+  Alcotest.(check bool) "flag" true (Reactor.cancelled timer)
+
+let test_reactor_stop () =
+  let reactor = Reactor.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count >= 3 then Reactor.stop reactor else ignore (Reactor.after reactor 0.001 tick)
+  in
+  ignore (Reactor.after reactor 0.001 tick);
+  ignore (Reactor.after reactor 10.0 (fun () -> count := 1000));
+  Reactor.run reactor;
+  Alcotest.(check int) "stopped at 3" 3 !count
+
+let test_reactor_deadline () =
+  let reactor = Reactor.create () in
+  let fired = ref false in
+  ignore (Reactor.after reactor 5.0 (fun () -> fired := true));
+  let start = Unix.gettimeofday () in
+  Reactor.run ~deadline:(start +. 0.05) reactor;
+  Alcotest.(check bool) "deadline respected" false !fired;
+  Alcotest.(check bool) "returned promptly" true (Unix.gettimeofday () -. start < 1.0)
+
+let test_reactor_fd_event () =
+  let reactor = Reactor.create () in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_DGRAM 0 in
+  let received = ref "" in
+  Reactor.on_readable reactor a (fun () ->
+      let buffer = Bytes.create 64 in
+      let n = Unix.recv a buffer 0 64 [] in
+      received := Bytes.sub_string buffer 0 n;
+      Reactor.remove reactor a;
+      Reactor.stop reactor);
+  ignore (Reactor.after reactor 0.005 (fun () -> ignore (Unix.send b (Bytes.of_string "ping") 0 4 [])));
+  Reactor.run ~deadline:(Unix.gettimeofday () +. 2.0) reactor;
+  Unix.close a;
+  Unix.close b;
+  Alcotest.(check string) "datagram delivered" "ping" !received
+
+let suite =
+  [
+    Alcotest.test_case "reactor timer ordering" `Quick test_reactor_timer_order;
+    Alcotest.test_case "reactor cancel" `Quick test_reactor_cancel;
+    Alcotest.test_case "reactor stop" `Quick test_reactor_stop;
+    Alcotest.test_case "reactor deadline" `Quick test_reactor_deadline;
+    Alcotest.test_case "reactor fd events" `Quick test_reactor_fd_event;
+    Alcotest.test_case "udp lossless session" `Quick test_lossless_session;
+    Alcotest.test_case "udp lossy session recovers" `Quick test_lossy_session_recovers;
+    Alcotest.test_case "udp single receiver, 25% loss" `Quick test_single_receiver_high_loss;
+    Alcotest.test_case "udp seeded loss reproducible" `Quick test_determinism_of_injected_loss;
+    Alcotest.test_case "udp validation" `Quick test_validation;
+  ]

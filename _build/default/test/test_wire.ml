@@ -1,0 +1,119 @@
+module Header = Rmcast.Header
+
+let message = Alcotest.testable Header.pp Header.equal
+
+let roundtrip name msg =
+  match Header.decode (Header.encode msg) with
+  | Ok decoded -> Alcotest.check message name msg decoded
+  | Error e -> Alcotest.fail (name ^ ": decode failed: " ^ e)
+
+let test_roundtrip_all_types () =
+  roundtrip "data" (Header.Data { tg_id = 7; k = 20; index = 3; payload = Bytes.of_string "hello" });
+  roundtrip "parity"
+    (Header.Parity { tg_id = 1; k = 7; index = 2; round = 4; payload = Bytes.of_string "par" });
+  roundtrip "poll" (Header.Poll { tg_id = 0; k = 20; size = 20; round = 1 });
+  roundtrip "nak" (Header.Nak { tg_id = 9; need = 3; round = 2 });
+  roundtrip "exhausted" (Header.Exhausted { tg_id = 123456 })
+
+let test_roundtrip_extremes () =
+  roundtrip "max fields"
+    (Header.Parity
+       { tg_id = 0xFFFFFFF; k = 0xFFFF; index = 0xFFFF; round = 0xFFFFFFF;
+         payload = Bytes.make 65536 '\xAB' });
+  roundtrip "tiny payload" (Header.Data { tg_id = 0; k = 1; index = 0; payload = Bytes.make 1 '\x00' })
+
+let qcheck_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 5 >>= fun kind ->
+      int_range 0 100000 >>= fun tg_id ->
+      int_range 1 255 >>= fun k ->
+      int_range 0 (k - 1) >>= fun index ->
+      int_range 0 1000 >>= fun round ->
+      string_size ~gen:char (int_range 1 64) >>= fun payload ->
+      let payload = Bytes.of_string payload in
+      return
+        (match kind with
+        | 1 -> Header.Data { tg_id; k; index; payload }
+        | 2 -> Header.Parity { tg_id; k; index; round; payload }
+        | 3 -> Header.Poll { tg_id; k; size = index; round }
+        | 4 -> Header.Nak { tg_id; need = index; round }
+        | _ -> Header.Exhausted { tg_id }))
+  in
+  QCheck.Test.make ~count:500 ~name:"wire roundtrip" (QCheck.make gen) (fun msg ->
+      match Header.decode (Header.encode msg) with
+      | Ok decoded -> Header.equal msg decoded
+      | Error _ -> false)
+
+let expect_error name buffer expected =
+  match Header.decode buffer with
+  | Ok _ -> Alcotest.fail (name ^ ": decode unexpectedly succeeded")
+  | Error e -> Alcotest.(check string) name expected e
+
+let test_decode_bad_magic () =
+  let buffer = Header.encode (Header.Exhausted { tg_id = 1 }) in
+  Bytes.set buffer 0 'X';
+  expect_error "magic" buffer "bad magic"
+
+let test_decode_bad_version () =
+  let buffer = Header.encode (Header.Exhausted { tg_id = 1 }) in
+  Bytes.set_uint8 buffer 4 9;
+  expect_error "version" buffer "unsupported version"
+
+let test_decode_truncated () =
+  expect_error "truncated" (Bytes.make 5 'x') "truncated header";
+  let buffer = Header.encode (Header.Data { tg_id = 0; k = 2; index = 0; payload = Bytes.make 10 'a' }) in
+  expect_error "cut payload" (Bytes.sub buffer 0 (Bytes.length buffer - 3)) "length field mismatch"
+
+let test_decode_unknown_type () =
+  let buffer = Header.encode (Header.Exhausted { tg_id = 1 }) in
+  Bytes.set_uint8 buffer 5 77;
+  expect_error "type" buffer "unknown message type 77"
+
+let test_decode_data_without_payload () =
+  (* Hand-build a DATA header with zero payload length. *)
+  let buffer = Header.encode (Header.Exhausted { tg_id = 1 }) in
+  Bytes.set_uint8 buffer 5 1;
+  expect_error "empty data" buffer "DATA without payload"
+
+let test_decode_data_bad_index () =
+  let buffer = Header.encode (Header.Data { tg_id = 0; k = 5; index = 4; payload = Bytes.make 2 'z' }) in
+  (* bump index beyond k *)
+  Bytes.set_uint16_be buffer 12 5;
+  expect_error "index >= k" buffer "DATA index not below k"
+
+let test_decode_poll_with_payload () =
+  let poll = Header.encode (Header.Poll { tg_id = 0; k = 2; size = 2; round = 1 }) in
+  let with_payload = Bytes.cat poll (Bytes.of_string "junk") in
+  expect_error "poll payload" with_payload "length field mismatch"
+
+let test_encode_validation () =
+  Alcotest.check_raises "index >= k" (Invalid_argument "Header: data index must be < k")
+    (fun () ->
+      ignore (Header.encode (Header.Data { tg_id = 0; k = 3; index = 3; payload = Bytes.make 1 'a' })));
+  Alcotest.check_raises "k too large" (Invalid_argument "Header: k out of range") (fun () ->
+      ignore (Header.encode (Header.Poll { tg_id = 0; k = 70000; size = 0; round = 0 })))
+
+let test_header_size_exact () =
+  let buffer = Header.encode (Header.Nak { tg_id = 1; need = 2; round = 3 }) in
+  Alcotest.(check int) "control packets are header-only" Header.header_size (Bytes.length buffer)
+
+let test_type_names () =
+  Alcotest.(check string) "nak name" "NAK" (Header.message_type_name (Header.Nak { tg_id = 0; need = 0; round = 0 }))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip all types" `Quick test_roundtrip_all_types;
+    Alcotest.test_case "roundtrip extremes" `Quick test_roundtrip_extremes;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    Alcotest.test_case "bad magic" `Quick test_decode_bad_magic;
+    Alcotest.test_case "bad version" `Quick test_decode_bad_version;
+    Alcotest.test_case "truncation" `Quick test_decode_truncated;
+    Alcotest.test_case "unknown type" `Quick test_decode_unknown_type;
+    Alcotest.test_case "DATA without payload" `Quick test_decode_data_without_payload;
+    Alcotest.test_case "DATA index validation" `Quick test_decode_data_bad_index;
+    Alcotest.test_case "POLL with payload" `Quick test_decode_poll_with_payload;
+    Alcotest.test_case "encode validation" `Quick test_encode_validation;
+    Alcotest.test_case "control packet size" `Quick test_header_size_exact;
+    Alcotest.test_case "type names" `Quick test_type_names;
+  ]
