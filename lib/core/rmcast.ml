@@ -34,6 +34,7 @@ module Gmatrix = Rmc_matrix.Gmatrix
 module Rse = Rmc_rse.Rse
 module Rse_poly = Rmc_rse.Rse_poly
 module Cauchy = Rmc_rse.Cauchy
+module Parallel = Rmc_rse.Parallel
 module Fec_block = Rmc_rse.Fec_block
 module Interleaver = Rmc_rse.Interleaver
 

@@ -13,7 +13,10 @@
     built from the primitive element alpha = x (= 2). *)
 
 type t
-(** A field descriptor GF(2^m): tables plus parameters. Immutable. *)
+(** A field descriptor GF(2^m): tables plus parameters.  The arithmetic
+    tables are immutable; the descriptor additionally caches lazily built
+    kernel acceleration tables, published atomically so descriptors can be
+    shared freely across domains. *)
 
 val create : int -> t
 (** [create m] builds GF(2^m) using the standard primitive polynomial for
@@ -66,7 +69,25 @@ val valid : t -> int -> bool
 (** {1 Byte-vector kernels (GF(2^8) only)}
 
     These are the inner loops of encoding and decoding: operating on whole
-    packets at once.  They require the {!gf256} field and 8-bit symbols. *)
+    packets at once.  They require the {!gf256} field and 8-bit symbols.
+
+    Three implementation tiers sit behind each entry point, chosen by
+    vector length.  The {e word} tier moves 8 bytes per iteration: XOR as a
+    single 64-bit load/xor/store; multiply-accumulate as eight byte lookups
+    in the shared 64K product table packed into one 64-bit destination
+    read-modify-write.  Its per-coefficient table footprint is one 256-byte
+    product row, so it stays cache-resident under the arbitrary coefficient
+    mixes of real encode/decode calls.  The {e pair} tier (long vectors
+    only, >= 64 KiB) swaps the byte lookups for a lazily built 128 KiB
+    per-coefficient table mapping 16-bit source chunks straight to 16-bit
+    product chunks — fewer lookups per word, but a footprint that thrashes
+    when many coefficients alternate over short payloads, hence the length
+    gate.  The {e scalar} tier is the original byte-at-a-time loop; it
+    remains the semantic reference, handles the tail bytes of every
+    word-wide call, and is the fallback for short vectors (< 8 bytes) and
+    (pair tier only) big-endian hosts.  Dispatch is automatic; the
+    [*_scalar] entry points below expose the reference tier for
+    differential testing and baseline benchmarking. *)
 
 val mul_add_into : t -> dst:Bytes.t -> src:Bytes.t -> coeff:int -> unit
 (** [mul_add_into f ~dst ~src ~coeff] computes
@@ -80,6 +101,87 @@ val mul_into : t -> dst:Bytes.t -> src:Bytes.t -> coeff:int -> unit
 val xor_into : dst:Bytes.t -> src:Bytes.t -> unit
 (** [dst.(i) <- dst.(i) xor src.(i)]; the [coeff = 1] special case, also the
     whole codec for a single-parity (h = 1) code. *)
+
+(** {2 Range variants}
+
+    The same kernels restricted to the byte window [\[pos, pos + len)] of
+    both vectors.  These are the building blocks of the blocked encoder and
+    of domain-striped parallel coding, where each worker owns a disjoint
+    byte range of every packet.  [dst] and [src] must still have equal
+    {e total} lengths, and the window must lie within them. *)
+
+val xor_into_range : dst:Bytes.t -> src:Bytes.t -> pos:int -> len:int -> unit
+
+val mul_add_into_range :
+  t -> dst:Bytes.t -> src:Bytes.t -> coeff:int -> pos:int -> len:int -> unit
+
+val mul_add2_into_range :
+  t ->
+  dst:Bytes.t ->
+  src0:Bytes.t ->
+  coeff0:int ->
+  src1:Bytes.t ->
+  coeff1:int ->
+  pos:int ->
+  len:int ->
+  unit
+(** Fused two-source multiply-accumulate:
+    [dst.(i) <- dst.(i) xor coeff0*src0.(i) xor coeff1*src1.(i)].
+    Equivalent to two {!mul_add_into_range} calls but shares the
+    destination read-modify-write between the sources, which is worth
+    ~1.5x on parity accumulation.  Falls back to the two-call form when
+    either coefficient is 0 or 1 (those have cheaper dedicated paths). *)
+
+(** {2 Scalar reference kernels}
+
+    Byte-at-a-time implementations with identical semantics to the
+    dispatching kernels above.  Exported so differential tests can compare
+    tiers and so benchmarks can measure the seed baseline. *)
+
+val xor_into_scalar : dst:Bytes.t -> src:Bytes.t -> unit
+val mul_add_into_scalar : t -> dst:Bytes.t -> src:Bytes.t -> coeff:int -> unit
+val mul_into_scalar : t -> dst:Bytes.t -> src:Bytes.t -> coeff:int -> unit
+
+(** {2 Packed multi-row engine}
+
+    The blocked encoder's kernel: applies up to 8 rows of a coefficient
+    matrix to a set of source packets in a single streaming pass.  For
+    each source column a packed 2 KiB table maps a source byte to the
+    64-bit word holding the 8 per-row products side by side, so one byte
+    load, one table load and one 64-bit XOR advance all 8 output rows at
+    once.  Products accumulate in a caller-provided interleaved scratch
+    buffer and are transposed out per group of 8 rows.  Tables are built
+    once per coefficient matrix (per codec, or per decode loss pattern)
+    and total [ceil(rows/8) * cols * 2 KiB] — small enough to stay
+    cache-hot for typical FEC dimensions.  Byte-indexed throughout, so the
+    engine works on any endianness. *)
+
+val pack_rows : t -> int array array -> Bytes.t
+(** [pack_rows f rows] precomputes the packed product tables for the
+    coefficient matrix [rows] (an array of equal-length rows).  GF(2^8)
+    only. *)
+
+val rows_scratch_bytes : len:int -> int
+(** Scratch size required by {!mul_add_rows_into} for byte windows of
+    length [len] (currently [8 * len]). *)
+
+val mul_add_rows_into :
+  t ->
+  tables:Bytes.t ->
+  srcs:Bytes.t array ->
+  dsts:Bytes.t array ->
+  scratch:Bytes.t ->
+  pos:int ->
+  len:int ->
+  unit
+(** [mul_add_rows_into f ~tables ~srcs ~dsts ~scratch ~pos ~len] computes
+    [dsts.(j).(i) <- dsts.(j).(i) xor sum_c rows.(j).(c) * srcs.(c).(i)]
+    over the byte window [\[pos, pos + len)], where [rows] is the matrix
+    given to {!pack_rows} (which must have had [Array.length dsts] rows
+    and [Array.length srcs] columns).  All vectors must have equal total
+    length containing the window; [scratch] needs at least
+    {!rows_scratch_bytes} bytes and its contents are clobbered.  GF(2^8)
+    only. *)
 
 (** {1 Symbol-generic kernels}
 
@@ -95,3 +197,8 @@ val symbol_bytes : t -> int
 val mul_add_into_symbols : t -> dst:Bytes.t -> src:Bytes.t -> coeff:int -> unit
 (** [dst <- dst + coeff * src] over the field's symbols.  Lengths must
     match and be multiples of {!symbol_bytes}. *)
+
+val mul_add_into_symbols_range :
+  t -> dst:Bytes.t -> src:Bytes.t -> coeff:int -> pos:int -> len:int -> unit
+(** Range variant of {!mul_add_into_symbols}; for m = 16 both [pos] and
+    [len] must be even (symbol-aligned). *)

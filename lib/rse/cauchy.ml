@@ -4,19 +4,20 @@ module Gmatrix = Rmc_matrix.Gmatrix
 type t = Codec_core.t
 
 let create ?(field = Gf.gf256) ~k ~h () =
-  Codec_core.check_dimensions ~label:"Cauchy" ~field ~k ~h;
-  let generator = Gmatrix.create field ~rows:(k + h) ~cols:k in
-  for i = 0 to k - 1 do
-    Gmatrix.set generator i i 1
-  done;
-  (* Parity row i, column j: 1 / (x_i + y_j) with y_j = j (j < k) and
-     x_i = k + i — disjoint sets, all sums nonzero in characteristic 2. *)
-  for i = 0 to h - 1 do
-    for j = 0 to k - 1 do
-      Gmatrix.set generator (k + i) j (Gf.inv field (Gf.add (k + i) j))
-    done
-  done;
-  Codec_core.make ~label:"Cauchy" ~field ~k ~h ~generator
+  Codec_core.memo_create ~label:"Cauchy" ~field ~k ~h (fun () ->
+      Codec_core.check_dimensions ~label:"Cauchy" ~field ~k ~h;
+      let generator = Gmatrix.create field ~rows:(k + h) ~cols:k in
+      for i = 0 to k - 1 do
+        Gmatrix.set generator i i 1
+      done;
+      (* Parity row i, column j: 1 / (x_i + y_j) with y_j = j (j < k) and
+         x_i = k + i — disjoint sets, all sums nonzero in characteristic 2. *)
+      for i = 0 to h - 1 do
+        for j = 0 to k - 1 do
+          Gmatrix.set generator (k + i) j (Gf.inv field (Gf.add (k + i) j))
+        done
+      done;
+      Codec_core.make ~label:"Cauchy" ~field ~k ~h ~generator)
 
 let k (t : t) = t.Codec_core.k
 let h (t : t) = t.Codec_core.h

@@ -3,10 +3,42 @@
    is a matrix-vector product over whole packets and decoding solves the
    k x k system formed by the generator rows of any k received packets.
    Internal module — each public codec wraps it with its own construction
-   and error-message prefix. *)
+   and error-message prefix.
+
+   The hot paths are blocked: instead of streaming all k data packets once
+   per output row, encode and decode run [Gf.mul_add_rows_into] — the
+   packed multi-row engine, which streams each source packet once and
+   advances up to 8 output rows per 64-bit XOR — over cache-sized column
+   tiles, with the packed product tables built lazily per codec (encode)
+   or memoized per loss pattern (decode) and the interleaved scratch
+   recycled through a codec-owned workspace.  Fields without byte kernels
+   (GF(2^16)) take a symbol-tiled fallback.  Decoding is split into a
+   {e plan} (packet selection + matrix inversion, with the inverse and its
+   packed tables memoized per loss pattern) and a pure byte-range
+   accumulation, so multicore striping (see [Parallel]) can run the plan
+   once and shard only the accumulation. *)
 
 module Gf = Rmc_gf.Gf
 module Gmatrix = Rmc_matrix.Gmatrix
+
+(* Reusable decode scratch: index selection arrays, taken and returned with
+   a single atomic exchange so concurrent decodes on the same codec simply
+   fall back to fresh allocation instead of racing. *)
+type scratch = {
+  seen : bool array; (* n *)
+  chosen_idx : int array; (* k *)
+  chosen_payload : Bytes.t array; (* k *)
+}
+
+(* Everything a decode needs beyond packet selection, memoized per loss
+   pattern: the reconstruction rows of the inverted k x k system and their
+   packed product tables.  Steady-state loss patterns repeat, so most
+   decodes skip both the Gauss-Jordan and the table build. *)
+type solution = {
+  missing_js : int array; (* data indices to reconstruct, increasing *)
+  rows : int array array; (* inverse row per missing index *)
+  tables : Bytes.t; (* packed tables for [rows]; empty unless m = 8 *)
+}
 
 type t = {
   label : string;
@@ -14,11 +46,33 @@ type t = {
   k : int;
   h : int;
   generator : Gmatrix.t; (* n x k, top block identity *)
+  parity_rows : int array array; (* h x k: generator rows k..n-1 *)
+  enc_tables : Bytes.t option Atomic.t;
+      (* packed product tables for parity_rows, built on first encode *)
+  workspace : Bytes.t option Atomic.t;
+      (* interleaved accumulation scratch for the packed engine *)
+  scratch : scratch option Atomic.t;
+  inverse_cache : (int array, solution) Hashtbl.t;
+      (* chosen codeword indices -> reconstruction solution *)
+  cache_mutex : Mutex.t;
 }
 
 let make ~label ~field ~k ~h ~generator =
   assert (Gmatrix.rows generator = k + h && Gmatrix.cols generator = k);
-  { label; field; k; h; generator }
+  let parity_rows = Array.init h (fun j -> Gmatrix.row generator (k + j)) in
+  {
+    label;
+    field;
+    k;
+    h;
+    generator;
+    parity_rows;
+    enc_tables = Atomic.make None;
+    workspace = Atomic.make None;
+    scratch = Atomic.make None;
+    inverse_cache = Hashtbl.create 16;
+    cache_mutex = Mutex.create ();
+  }
 
 let check_dimensions ~label ~field ~k ~h =
   (* Reject fields without vector kernels up front. *)
@@ -27,6 +81,33 @@ let check_dimensions ~label ~field ~k ~h =
   if h < 0 then invalid_arg (label ^ ".create: h must be >= 0");
   if k + h > Gf.size field - 1 then
     invalid_arg (label ^ ".create: k + h exceeds 2^m - 1 codeword positions")
+
+(* Construction memo: building a codec inverts a k x k system to
+   systematise the generator, which protocol layers used to pay on every
+   transfer.  Codecs are immutable from the caller's perspective and all
+   their mutable internals are domain-safe, so sharing one instance per
+   (label, field, k, h) is sound. *)
+let memo : (string * int * int * int, t) Hashtbl.t = Hashtbl.create 32
+let memo_mutex = Mutex.create ()
+let memo_capacity = 512
+
+let memo_create ~label ~field ~k ~h build =
+  let key = (label, Gf.m field, k, h) in
+  Mutex.lock memo_mutex;
+  match Hashtbl.find_opt memo key with
+  | Some t ->
+    Mutex.unlock memo_mutex;
+    t
+  | None -> (
+    match build () with
+    | t ->
+      if Hashtbl.length memo >= memo_capacity then Hashtbl.reset memo;
+      Hashtbl.replace memo key t;
+      Mutex.unlock memo_mutex;
+      t
+    | exception e ->
+      Mutex.unlock memo_mutex;
+      raise e)
 
 let n t = t.k + t.h
 let generator_row t e = Gmatrix.row t.generator e
@@ -42,64 +123,252 @@ let check_payloads t operation packets =
     packets;
   len
 
+(* {1 The blocked accumulation engine}
+
+   Adds, for every output r, [sum_c rows.(r).(c) * srcs.(c)] into
+   [dsts.(r)] over the byte window [pos, pos + len).  For GF(2^8) this is
+   the packed multi-row engine: each source packet is streamed exactly
+   once and one 64-bit XOR advances up to 8 output rows, with payloads
+   walked in column tiles so the interleaved scratch (8 bytes per payload
+   position) stays cache-resident.  Fields without byte kernels take a
+   symbol-tiled loop over [Gf.mul_add_into_symbols_range]. *)
+
+let engine_tile = 4096 (* bytes per packed-engine tile; scratch = 8x this *)
+let tile_bytes = 32 * 1024 (* symbol-path column tile *)
+
+(* The interleaved scratch is recycled through the codec: one atomic
+   exchange claims it, so concurrent stripes of a parallel call (or
+   concurrent encodes on a shared codec) simply allocate their own. *)
+let take_workspace t ~len =
+  let need = Gf.rows_scratch_bytes ~len in
+  match Atomic.exchange t.workspace None with
+  | Some b when Bytes.length b >= need -> b
+  | _ -> Bytes.create need
+
+let release_workspace t b = Atomic.set t.workspace (Some b)
+
+let accumulate_packed t ~tables ~srcs ~dsts ~pos ~len =
+  let scratch = take_workspace t ~len:(min len engine_tile) in
+  let stop = pos + len in
+  let p = ref pos in
+  while !p < stop do
+    let chunk = min engine_tile (stop - !p) in
+    Gf.mul_add_rows_into t.field ~tables ~srcs ~dsts ~scratch ~pos:!p ~len:chunk;
+    p := !p + chunk
+  done;
+  release_workspace t scratch
+
+let accumulate_symbols t ~rows ~srcs ~dsts ~pos ~len =
+  let nsrc = Array.length srcs in
+  let stop = pos + len in
+  let p = ref pos in
+  while !p < stop do
+    let chunk = min tile_bytes (stop - !p) in
+    for r = 0 to Array.length dsts - 1 do
+      let row = rows.(r) and dst = dsts.(r) in
+      for c = 0 to nsrc - 1 do
+        let coeff = Array.unsafe_get row c in
+        if coeff <> 0 then
+          Gf.mul_add_into_symbols_range t.field ~dst ~src:srcs.(c) ~coeff ~pos:!p ~len:chunk
+      done
+    done;
+    p := !p + chunk
+  done
+
+(* Packed product tables for the parity rows, built on first use and
+   published with a plain atomic store (a racing second build produces an
+   identical table, so last-write-wins is fine). *)
+let enc_tables t =
+  match Atomic.get t.enc_tables with
+  | Some tables -> tables
+  | None ->
+    let tables = Gf.pack_rows t.field t.parity_rows in
+    Atomic.set t.enc_tables (Some tables);
+    tables
+
+(* {1 Encoding} *)
+
 let encode_parity t data j =
   if Array.length data <> t.k then
     invalid_arg (t.label ^ ".encode_parity: expected k data packets");
   if j < 0 || j >= t.h then invalid_arg (t.label ^ ".encode_parity: parity index out of range");
   let len = check_payloads t "encode_parity" data in
   let parity = Bytes.make len '\000' in
+  let row = t.parity_rows.(j) in
   for c = 0 to t.k - 1 do
-    let coeff = Gmatrix.get t.generator (t.k + j) c in
+    let coeff = row.(c) in
     if coeff <> 0 then Gf.mul_add_into_symbols t.field ~dst:parity ~src:data.(c) ~coeff
   done;
   parity
 
-let encode t data = Array.init t.h (fun j -> encode_parity t data j)
+(* Validation + output allocation without the byte work: the blocked and
+   parallel encoders share it. *)
+let encode_prepare t data =
+  if Array.length data <> t.k then
+    invalid_arg (t.label ^ ".encode_parity: expected k data packets");
+  let len = check_payloads t "encode_parity" data in
+  (Array.init t.h (fun _ -> Bytes.make len '\000'), len)
 
-let decode t received =
+let encode_into t data ~parity ~pos ~len =
+  if t.h = 0 || len = 0 then ()
+  else if Gf.m t.field = 8 then
+    accumulate_packed t ~tables:(enc_tables t) ~srcs:data ~dsts:parity ~pos ~len
+  else accumulate_symbols t ~rows:t.parity_rows ~srcs:data ~dsts:parity ~pos ~len
+
+let encode t data =
+  if t.h = 0 then [||]
+  else begin
+    let parity, len = encode_prepare t data in
+    encode_into t data ~parity ~pos:0 ~len;
+    parity
+  end
+
+(* {1 Decoding} *)
+
+type plan = {
+  outputs : Bytes.t array;
+      (* length k; present indices alias the caller's payloads, missing
+         indices are freshly zeroed buffers awaiting accumulation *)
+  sources : Bytes.t array; (* the k payloads chosen to form the system *)
+  missing_rows : int array array; (* inverse rows for each missing output *)
+  missing_tables : Bytes.t; (* packed tables for missing_rows (m = 8) *)
+  missing_dsts : Bytes.t array; (* outputs.(j) for each missing j *)
+  payload_len : int;
+}
+
+let take_scratch t =
+  match Atomic.exchange t.scratch None with
+  | Some s -> s
+  | None ->
+    {
+      seen = Array.make (n t) false;
+      chosen_idx = Array.make t.k 0;
+      chosen_payload = Array.make t.k Bytes.empty;
+    }
+
+let release_scratch t s =
+  Array.fill s.seen 0 (Array.length s.seen) false;
+  (* Drop payload references so the scratch does not pin caller buffers
+     beyond the call. *)
+  Array.fill s.chosen_payload 0 t.k Bytes.empty;
+  Atomic.set t.scratch (Some s)
+
+(* The reconstruction solution for a given selection of codeword indices,
+   memoized per loss pattern: which data indices are missing (derivable
+   from the selection alone), their rows of the inverted system, and the
+   packed product tables for those rows. *)
+let solve t chosen_idx =
+  Mutex.lock t.cache_mutex;
+  let cached = Hashtbl.find_opt t.inverse_cache chosen_idx in
+  Mutex.unlock t.cache_mutex;
+  match cached with
+  | Some solution -> solution
+  | None ->
+    let system = Gmatrix.submatrix_rows t.generator chosen_idx in
+    let inverse = Gmatrix.invert system in
+    let present = Array.make t.k false in
+    Array.iter (fun index -> if index < t.k then present.(index) <- true) chosen_idx;
+    let missing_js =
+      Array.of_list (List.filter (fun j -> not present.(j)) (List.init t.k Fun.id))
+    in
+    let rows = Array.map (fun j -> Gmatrix.row inverse j) missing_js in
+    let tables = if Gf.m t.field = 8 then Gf.pack_rows t.field rows else Bytes.empty in
+    let solution = { missing_js; rows; tables } in
+    let key = Array.copy chosen_idx in
+    Mutex.lock t.cache_mutex;
+    if Hashtbl.length t.inverse_cache >= 128 then Hashtbl.reset t.inverse_cache;
+    Hashtbl.replace t.inverse_cache key solution;
+    Mutex.unlock t.cache_mutex;
+    solution
+
+(* Private length-0 sentinel: distinguishes "output slot not yet assigned"
+   from a caller-supplied empty payload (which must still be returned by
+   reference). *)
+let absent = Bytes.create 0
+
+let decode_plan t received =
   if Array.length received < t.k then
     invalid_arg (t.label ^ ".decode: fewer than k packets received");
   ignore (check_payloads t "decode" (Array.map snd received));
-  let seen = Array.make (n t) false in
+  let s = take_scratch t in
+  let fail e =
+    release_scratch t s;
+    invalid_arg (t.label ^ e)
+  in
+  let total = n t in
   Array.iter
     (fun (index, _) ->
-      if index < 0 || index >= n t then invalid_arg (t.label ^ ".decode: index out of range");
-      if seen.(index) then invalid_arg (t.label ^ ".decode: duplicate packet index");
-      seen.(index) <- true)
+      if index < 0 || index >= total then fail ".decode: index out of range";
+      if s.seen.(index) then fail ".decode: duplicate packet index";
+      s.seen.(index) <- true)
     received;
   (* Prefer received data packets (their rows are unit vectors), then fill
      with parities in arrival order. *)
-  let chosen = Array.make t.k (0, Bytes.empty) in
   let selected = ref 0 in
-  let push entry =
+  let push (index, payload) =
     if !selected < t.k then begin
-      chosen.(!selected) <- entry;
+      s.chosen_idx.(!selected) <- index;
+      s.chosen_payload.(!selected) <- payload;
       incr selected
     end
   in
   Array.iter (fun ((index, _) as entry) -> if index < t.k then push entry) received;
   Array.iter (fun ((index, _) as entry) -> if index >= t.k then push entry) received;
   assert (!selected = t.k);
-  let data_present = Array.make t.k None in
-  Array.iter
-    (fun (index, payload) -> if index < t.k then data_present.(index) <- Some payload)
-    chosen;
-  if Array.for_all Option.is_some data_present then Array.map Option.get data_present
-  else begin
-    let system = Gmatrix.submatrix_rows t.generator (Array.map fst chosen) in
-    let inverse = Gmatrix.invert system in
-    let len = Bytes.length (snd chosen.(0)) in
-    Array.init t.k (fun j ->
-        match data_present.(j) with
-        | Some payload -> payload
-        | None ->
-          let out = Bytes.make len '\000' in
-          for r = 0 to t.k - 1 do
-            let coeff = Gmatrix.get inverse j r in
-            if coeff <> 0 then Gf.mul_add_into_symbols t.field ~dst:out ~src:(snd chosen.(r)) ~coeff
-          done;
-          out)
-  end
+  let payload_len = Bytes.length s.chosen_payload.(0) in
+  let outputs = Array.make t.k absent in
+  let missing = ref [] in
+  for c = 0 to t.k - 1 do
+    let index = s.chosen_idx.(c) in
+    if index < t.k then outputs.(index) <- s.chosen_payload.(c)
+  done;
+  for j = t.k - 1 downto 0 do
+    if outputs.(j) == absent then begin
+      outputs.(j) <- Bytes.make payload_len '\000';
+      missing := j :: !missing
+    end
+  done;
+  let plan =
+    match !missing with
+    | [] ->
+      {
+        outputs;
+        sources = [||];
+        missing_rows = [||];
+        missing_tables = Bytes.empty;
+        missing_dsts = [||];
+        payload_len;
+      }
+    | _ ->
+      let solution = solve t s.chosen_idx in
+      (* solution.missing_js equals !missing: both are the data indices
+         absent from the selection, in increasing order. *)
+      {
+        outputs;
+        sources = Array.copy s.chosen_payload;
+        missing_rows = solution.rows;
+        missing_tables = solution.tables;
+        missing_dsts = Array.map (fun j -> outputs.(j)) solution.missing_js;
+        payload_len;
+      }
+  in
+  release_scratch t s;
+  plan
+
+let decode_accumulate t plan ~pos ~len =
+  if Array.length plan.missing_dsts = 0 || len = 0 then ()
+  else if Gf.m t.field = 8 then
+    accumulate_packed t ~tables:plan.missing_tables ~srcs:plan.sources
+      ~dsts:plan.missing_dsts ~pos ~len
+  else
+    accumulate_symbols t ~rows:plan.missing_rows ~srcs:plan.sources ~dsts:plan.missing_dsts
+      ~pos ~len
+
+let decode t received =
+  let plan = decode_plan t received in
+  if Array.length plan.missing_dsts > 0 then
+    decode_accumulate t plan ~pos:0 ~len:plan.payload_len;
+  plan.outputs
 
 let decode_data_loss t ~data ~parity =
   if Array.length data <> t.k then

@@ -1,0 +1,168 @@
+(* Multicore FEC datapath: shard encode/decode byte work across OCaml 5
+   domains by packet stripe.  Each worker owns a disjoint byte range of
+   every packet involved, so stripes share nothing but immutable coefficient
+   rows and the (read-only) source payloads; stripe boundaries are aligned
+   to cache lines to keep writers off each other's lines.
+
+   The pool keeps its worker domains alive across calls: batches are
+   published under a mutex and claimed stripe-by-stripe, with the caller
+   participating as the (n+1)-th worker so a pool of [domains = d] uses
+   exactly d cores.  Small payloads never reach the pool — below
+   [min_bytes] of kernel work the sequential blocked path is faster than
+   the wake-up, so we fall back to it (and always when the pool has a
+   single domain, e.g. when [Domain.recommended_domain_count () = 1]). *)
+
+module Gf = Rmc_gf.Gf
+
+type pool = {
+  domains : int; (* total parallelism including the calling domain *)
+  batch_lock : Mutex.t; (* serialises whole batches: one striped call at a time *)
+  mutex : Mutex.t;
+  work : Condition.t; (* signalled when a batch is published *)
+  finished : Condition.t; (* signalled when the last stripe completes *)
+  mutable job : (int -> unit) option; (* the current batch, applied per stripe *)
+  mutable next : int; (* next unclaimed stripe *)
+  mutable total : int; (* stripes in the current batch *)
+  mutable completed : int;
+  mutable error : exn option; (* first stripe failure, re-raised by the caller *)
+}
+
+let domain_count pool = pool.domains
+
+let finish_stripe pool outcome =
+  Mutex.lock pool.mutex;
+  (match outcome with
+  | Ok () -> ()
+  | Error e -> if pool.error = None then pool.error <- Some e);
+  pool.completed <- pool.completed + 1;
+  if pool.completed >= pool.total then Condition.broadcast pool.finished;
+  Mutex.unlock pool.mutex
+
+let run_stripe pool job i =
+  finish_stripe pool (match job i with () -> Ok () | exception e -> Error e)
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while match pool.job with None -> true | Some _ -> pool.next >= pool.total do
+    Condition.wait pool.work pool.mutex
+  done;
+  let job = Option.get pool.job in
+  let i = pool.next in
+  pool.next <- pool.next + 1;
+  Mutex.unlock pool.mutex;
+  run_stripe pool job i;
+  worker_loop pool
+
+let create_pool ?domains () =
+  let requested =
+    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+  in
+  let domains = max 1 requested in
+  let pool =
+    {
+      domains;
+      batch_lock = Mutex.create ();
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      next = 0;
+      total = 0;
+      completed = 0;
+      error = None;
+    }
+  in
+  (* Workers never terminate; the OCaml runtime tears blocked domains down
+     with the process, so an idle pool costs one parked thread per domain
+     and nothing else. *)
+  for _ = 2 to domains do
+    ignore (Domain.spawn (fun () -> worker_loop pool) : unit Domain.t)
+  done;
+  pool
+
+let default = lazy (create_pool ())
+let default_pool () = Lazy.force default
+
+(* Run [job] for every stripe index in [0, total), the caller claiming
+   stripes alongside the workers, and return once all stripes finished. *)
+let run_batch pool job total =
+  if total = 1 then job 0
+  else if total > 0 then begin
+    Mutex.lock pool.batch_lock;
+    Mutex.lock pool.mutex;
+    pool.job <- Some job;
+    pool.next <- 0;
+    pool.total <- total;
+    pool.completed <- 0;
+    pool.error <- None;
+    Condition.broadcast pool.work;
+    let running = ref true in
+    while !running do
+      if pool.next < pool.total then begin
+        let i = pool.next in
+        pool.next <- pool.next + 1;
+        Mutex.unlock pool.mutex;
+        run_stripe pool job i;
+        Mutex.lock pool.mutex
+      end
+      else if pool.completed < pool.total then Condition.wait pool.finished pool.mutex
+      else running := false
+    done;
+    pool.job <- None;
+    let error = pool.error in
+    pool.error <- None;
+    Mutex.unlock pool.mutex;
+    Mutex.unlock pool.batch_lock;
+    match error with Some e -> raise e | None -> ()
+  end
+
+(* Stripe boundaries: [parts] ranges covering [0, len), every boundary a
+   multiple of 64 bytes (cache-line aligned, and even for 16-bit symbols). *)
+let stripe_bounds ~len ~parts =
+  let align = 64 in
+  let stripe = ((len + parts - 1) / parts + align - 1) / align * align in
+  Array.init (parts + 1) (fun i -> min len (i * stripe))
+
+let stripe_count pool ~len =
+  let align = 64 in
+  min pool.domains ((len + align - 1) / align)
+
+let default_min_bytes = 1 lsl 20
+
+let run_striped pool ~len apply =
+  let parts = stripe_count pool ~len in
+  if parts <= 1 then apply ~pos:0 ~len
+  else begin
+    let bounds = stripe_bounds ~len ~parts in
+    run_batch pool
+      (fun i ->
+        let pos = bounds.(i) in
+        let slice = bounds.(i + 1) - pos in
+        if slice > 0 then apply ~pos ~len:slice)
+      parts
+  end
+
+let encode ?pool ?(min_bytes = default_min_bytes) codec data =
+  let open Codec_core in
+  if codec.h = 0 then [||]
+  else begin
+    let parity, len = encode_prepare codec data in
+    let pool = match pool with Some p -> p | None -> default_pool () in
+    if pool.domains = 1 || codec.k * codec.h * len < min_bytes then
+      encode_into codec data ~parity ~pos:0 ~len
+    else run_striped pool ~len (fun ~pos ~len -> encode_into codec data ~parity ~pos ~len);
+    parity
+  end
+
+let decode ?pool ?(min_bytes = default_min_bytes) codec received =
+  let open Codec_core in
+  let plan = decode_plan codec received in
+  let missing = Array.length plan.missing_dsts in
+  if missing > 0 then begin
+    let len = plan.payload_len in
+    let pool = match pool with Some p -> p | None -> default_pool () in
+    if pool.domains = 1 || codec.k * missing * len < min_bytes then
+      decode_accumulate codec plan ~pos:0 ~len
+    else run_striped pool ~len (fun ~pos ~len -> decode_accumulate codec plan ~pos ~len)
+  end;
+  plan.outputs

@@ -1,0 +1,50 @@
+(** Multicore FEC datapath: encode/decode sharded across OCaml 5 domains.
+
+    Payloads are split into cache-line-aligned byte stripes and each stripe
+    of the matrix-vector product runs on its own domain — every worker owns
+    a disjoint byte range of all packets, so stripes share nothing mutable.
+    This parallelises the coding work of a single FEC block, which the
+    paper's throughput model (§8) treats as the per-packet cost that caps
+    sender and receiver rates.
+
+    Striping only pays for itself when there are enough bytes to amortise
+    waking the pool: below [min_bytes] of kernel work (defaults to 1 MiB,
+    counted as [k * rows * payload_len]), and always on single-core hosts
+    ([Domain.recommended_domain_count () = 1]), these entry points take the
+    same sequential blocked path as [Rse.encode]/[Rse.decode], so they are
+    safe to call unconditionally.
+
+    The typed entry points for the public codecs live in {!Rse}
+    ([encode_parallel]/[decode_parallel]); this module additionally exposes
+    the pool and the [Codec_core]-level operations shared by all codec
+    constructions. *)
+
+type pool
+(** A persistent set of worker domains.  Creating a pool spawns its workers
+    immediately; they persist (parked on a condition variable) for the life
+    of the process.  A pool serialises batches internally, so sharing one
+    pool between threads is safe — concurrent calls simply queue. *)
+
+val create_pool : ?domains:int -> unit -> pool
+(** [create_pool ()] sizes the pool to [Domain.recommended_domain_count ()].
+    [domains] overrides the total parallelism (including the calling
+    domain); values < 1 are clamped to 1, in which case no workers are
+    spawned and all work runs on the caller. *)
+
+val default_pool : unit -> pool
+(** The process-wide shared pool, created on first use. *)
+
+val domain_count : pool -> int
+(** Total parallelism of the pool, including the calling domain. *)
+
+val encode :
+  ?pool:pool -> ?min_bytes:int -> Codec_core.t -> Bytes.t array -> Bytes.t array
+(** Exactly [Codec_core.encode] (same validation, same result bytes),
+    with the parity accumulation striped across [pool] (default: the shared
+    pool) when the work volume reaches [min_bytes]. *)
+
+val decode :
+  ?pool:pool -> ?min_bytes:int -> Codec_core.t -> (int * Bytes.t) array -> Bytes.t array
+(** Exactly [Codec_core.decode]: the decode plan (packet selection and
+    matrix inversion) runs on the caller, only the reconstruction byte work
+    is striped.  Present packets are still returned by reference. *)

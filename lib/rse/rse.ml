@@ -4,10 +4,11 @@ module Gmatrix = Rmc_matrix.Gmatrix
 type t = Codec_core.t
 
 let create ?(field = Gf.gf256) ~k ~h () =
-  Codec_core.check_dimensions ~label:"Rse" ~field ~k ~h;
-  let vandermonde = Gmatrix.vandermonde field ~rows:(k + h) ~cols:k in
-  let generator = Gmatrix.systematise vandermonde in
-  Codec_core.make ~label:"Rse" ~field ~k ~h ~generator
+  Codec_core.memo_create ~label:"Rse" ~field ~k ~h (fun () ->
+      Codec_core.check_dimensions ~label:"Rse" ~field ~k ~h;
+      let vandermonde = Gmatrix.vandermonde field ~rows:(k + h) ~cols:k in
+      let generator = Gmatrix.systematise vandermonde in
+      Codec_core.make ~label:"Rse" ~field ~k ~h ~generator)
 
 let k (t : t) = t.Codec_core.k
 let h (t : t) = t.Codec_core.h
@@ -19,3 +20,5 @@ let encode = Codec_core.encode
 let decode = Codec_core.decode
 let decode_data_loss = Codec_core.decode_data_loss
 let is_mds_subset = Codec_core.is_mds_subset
+let encode_parallel = Parallel.encode
+let decode_parallel = Parallel.decode

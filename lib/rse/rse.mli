@@ -19,12 +19,17 @@
 
 type t
 (** A codec instance for fixed (k, h). Immutable and reusable across blocks;
-    safe to share. *)
+    safe to share (including across domains). *)
 
 val create : ?field:Rmc_gf.Gf.t -> k:int -> h:int -> unit -> t
 (** [create ~k ~h ()] builds a codec with [k] data and up to [h] parity
     packets per block.  Requires [k >= 1], [h >= 0] and
-    [k + h <= 2^m - 1] (255 for the default GF(2^8) field). *)
+    [k + h <= 2^m - 1] (255 for the default GF(2^8) field).
+
+    Construction (Vandermonde build + systematisation, an O(k^3) matrix
+    inversion) is memoized per [(field, k, h)]: repeated calls with the
+    same parameters return the {e same} codec instance, so protocol layers
+    may call [create] per transfer without paying the inversion again. *)
 
 val k : t -> int
 val h : t -> int
@@ -52,8 +57,15 @@ val decode : t -> (int * Bytes.t) array -> Bytes.t array
     [(index, payload)] with index in [0, n): data packets carry their
     position [0..k-1], parity [j] carries [k + j].
 
-    Received data packets are returned physically unchanged (zero copy);
-    only missing ones are computed.
+    {b Aliasing contract.}  For every data index that was received, the
+    returned array holds the {e caller's own payload by reference} — byte
+    [i] of slot [j] is physically the same mutable storage the caller
+    passed in, never a copy.  Only missing slots are freshly allocated and
+    computed.  Consequently: (a) no-loss decodes are zero-copy and cost no
+    byte work at all; (b) mutating a returned present payload mutates the
+    caller's buffer and vice versa; (c) received payloads are never written
+    to by [decode].  The same contract holds for {!decode_parallel} and
+    {!decode_data_loss}.
 
     @raise Invalid_argument on fewer than [k] packets, duplicate or
     out-of-range indices, or unequal payload lengths. *)
@@ -67,3 +79,17 @@ val is_mds_subset : t -> int array -> bool
 (** [is_mds_subset codec indices] checks that the given [k] packet indices
     suffice to decode (always true for this systematic-Vandermonde
     construction; exposed for tests and for {!Rse_poly} comparison). *)
+
+(** {1 Multicore entry points}
+
+    Identical semantics (and byte-identical results) to {!encode} and
+    {!decode}, with the byte work striped across the domains of [pool]
+    (default: {!Parallel.default_pool}).  Work volumes below [min_bytes]
+    (default 1 MiB) and single-domain pools fall back to the sequential
+    path, so these are safe drop-in replacements on any host. *)
+
+val encode_parallel :
+  ?pool:Parallel.pool -> ?min_bytes:int -> t -> Bytes.t array -> Bytes.t array
+
+val decode_parallel :
+  ?pool:Parallel.pool -> ?min_bytes:int -> t -> (int * Bytes.t) array -> Bytes.t array

@@ -4,18 +4,19 @@ module Gmatrix = Rmc_matrix.Gmatrix
 type t = Codec_core.t
 
 let create ?(field = Gf.gf256) ~k ~h () =
-  Codec_core.check_dimensions ~label:"Rse_poly" ~field ~k ~h;
-  let generator = Gmatrix.create field ~rows:(k + h) ~cols:k in
-  for i = 0 to k - 1 do
-    Gmatrix.set generator i i 1
-  done;
-  (* Parity row j evaluates F at alpha^j: entry (k+j, c) = alpha^(j*c). *)
-  for j = 0 to h - 1 do
-    for c = 0 to k - 1 do
-      Gmatrix.set generator (k + j) c (Gf.exp field (j * c))
-    done
-  done;
-  Codec_core.make ~label:"Rse_poly" ~field ~k ~h ~generator
+  Codec_core.memo_create ~label:"Rse_poly" ~field ~k ~h (fun () ->
+      Codec_core.check_dimensions ~label:"Rse_poly" ~field ~k ~h;
+      let generator = Gmatrix.create field ~rows:(k + h) ~cols:k in
+      for i = 0 to k - 1 do
+        Gmatrix.set generator i i 1
+      done;
+      (* Parity row j evaluates F at alpha^j: entry (k+j, c) = alpha^(j*c). *)
+      for j = 0 to h - 1 do
+        for c = 0 to k - 1 do
+          Gmatrix.set generator (k + j) c (Gf.exp field (j * c))
+        done
+      done;
+      Codec_core.make ~label:"Rse_poly" ~field ~k ~h ~generator)
 
 let k (t : t) = t.Codec_core.k
 let h (t : t) = t.Codec_core.h
