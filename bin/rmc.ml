@@ -513,21 +513,39 @@ let trace_cmd =
 
 (* --- udp --------------------------------------------------------------- *)
 
-let udp receivers p seed packets payload =
-  let config = { Rmcast.Udp_np.default_config with payload_size = payload } in
-  let rng = Rmcast.Rng.create ~seed () in
-  let data =
-    Array.init packets (fun _ ->
-        Bytes.init payload (fun _ -> Char.chr (Rmcast.Rng.int rng 256)))
-  in
-  let report = Rmcast.Udp_np.run_local ~config ~receivers ~loss:p ~seed:(seed + 1) ~data () in
-  Printf.printf
-    "completed %d/%d receivers, verified=%b\ndata=%d parity=%d naks=%d suppressed=%d dropped=%d\nwall=%.3f s\n"
-    report.Rmcast.Udp_np.completed receivers report.Rmcast.Udp_np.verified
-    report.Rmcast.Udp_np.data_tx report.Rmcast.Udp_np.parity_tx report.Rmcast.Udp_np.naks_sent
-    report.Rmcast.Udp_np.naks_suppressed report.Rmcast.Udp_np.datagrams_dropped
-    report.Rmcast.Udp_np.wall_seconds;
-  if report.Rmcast.Udp_np.verified then `Ok () else `Error (false, "delivery failed")
+let udp receivers p seed packets payload metrics faults =
+  match
+    match faults with
+    | None -> Ok None
+    | Some spec_text ->
+      Result.map Option.some (Rmcast.Fault.spec_of_string spec_text)
+  with
+  | Error message -> `Error (false, "--faults: " ^ message)
+  | Ok faults ->
+    let config = { Rmcast.Udp_np.default_config with payload_size = payload } in
+    let rng = Rmcast.Rng.create ~seed () in
+    let data =
+      Array.init packets (fun _ ->
+          Bytes.init payload (fun _ -> Char.chr (Rmcast.Rng.int rng 256)))
+    in
+    let report =
+      Rmcast.Udp_np.run_local ~config ?faults ~receivers ~loss:p ~seed:(seed + 1) ~data ()
+    in
+    Printf.printf
+      "completed %d/%d receivers, verified=%b\n\
+       data=%d parity=%d naks=%d suppressed=%d dropped=%d decode_failures=%d\n\
+       wall=%.3f s\n"
+      report.Rmcast.Udp_np.completed receivers report.Rmcast.Udp_np.verified
+      report.Rmcast.Udp_np.data_tx report.Rmcast.Udp_np.parity_tx report.Rmcast.Udp_np.naks_sent
+      report.Rmcast.Udp_np.naks_suppressed report.Rmcast.Udp_np.datagrams_dropped
+      report.Rmcast.Udp_np.decode_failures report.Rmcast.Udp_np.wall_seconds;
+    if metrics then begin
+      print_endline "counters:";
+      List.iter
+        (fun (name, value) -> Printf.printf "  %-24s %d\n" name value)
+        report.Rmcast.Udp_np.counters
+    end;
+    if report.Rmcast.Udp_np.verified then `Ok () else `Error (false, "delivery failed")
 
 let udp_cmd =
   let packets =
@@ -536,10 +554,93 @@ let udp_cmd =
   let payload =
     Arg.(value & opt int 512 & info [ "payload" ] ~docv:"BYTES" ~doc:"Payload size per packet.")
   in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Dump the full counter registry after the run.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Inject faults at the sender's datagram boundary, e.g. \
+             $(i,drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01,seed=7).")
+  in
   let doc = "Run protocol NP over real UDP sockets on the loopback interface." in
   Cmd.v
     (Cmd.info "udp" ~doc)
-    Term.(ret (const udp $ receivers_arg $ p_arg $ seed_arg $ packets $ payload))
+    Term.(ret (const udp $ receivers_arg $ p_arg $ seed_arg $ packets $ payload $ metrics $ faults))
+
+(* --- faults ------------------------------------------------------------- *)
+
+let faults_run spec_text packets payload seed =
+  match Rmcast.Fault.spec_of_string spec_text with
+  | Error message -> `Error (false, message)
+  | Ok spec ->
+    let spec = if spec.Rmcast.Fault.seed = 0 then { spec with Rmcast.Fault.seed = seed } else spec in
+    let metrics = Rmcast.Metrics.create () in
+    let trace = Rmcast.Event_trace.create ~capacity:16 () in
+    let shim = Rmcast.Fault.create ~metrics ~trace spec in
+    let rng = Rmcast.Rng.create ~seed () in
+    let decode_failures = ref 0 and emitted = ref 0 in
+    for index = 0 to packets - 1 do
+      let payload_bytes = Bytes.init payload (fun _ -> Char.chr (Rmcast.Rng.int rng 256)) in
+      let packet =
+        Rmcast.Header.encode
+          (Rmcast.Header.Data { tg_id = index / 8; k = 8; index = index mod 8; payload = payload_bytes })
+      in
+      (* Synchronous harness: deferred (delayed) sends fire immediately. *)
+      Rmcast.Fault.apply shim
+        ~now:(float_of_int index *. 0.001)
+        ~defer:(fun _delay thunk -> thunk ())
+        ~send:(fun bytes ->
+          incr emitted;
+          match Rmcast.Header.decode bytes with
+          | Ok _ -> ()
+          | Error _ -> incr decode_failures)
+        packet
+    done;
+    Printf.printf "spec: %s\n" (Rmcast.Fault.spec_to_string spec);
+    Printf.printf "fed %d datagrams, emitted %d, decode failures %d\n" packets !emitted
+      !decode_failures;
+    Format.printf "%a@." Rmcast.Fault.pp_stats (Rmcast.Fault.stats shim);
+    print_endline "counters:";
+    List.iter
+      (fun (name, value) -> Printf.printf "  %-24s %d\n" name value)
+      (Rmcast.Metrics.counters metrics);
+    let events = Rmcast.Event_trace.events trace in
+    if events <> [] then begin
+      Printf.printf "trace tail (%d of %d events):\n" (List.length events)
+        (Rmcast.Event_trace.recorded trace);
+      List.iter
+        (fun event ->
+          Printf.printf "  %8.3f  %-16s %s\n" event.Rmcast.Event_trace.wall
+            event.Rmcast.Event_trace.name event.Rmcast.Event_trace.detail)
+        events
+    end;
+    `Ok ()
+
+let faults_cmd =
+  let spec =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "Fault specification, comma-separated key=value pairs: $(i,drop)=P or \
+             $(i,drop)=burst:P:LEN:RATE, $(i,dup)=P, $(i,reorder)=P, $(i,delay)=S or \
+             $(i,delay)=MIN:MAX, $(i,corrupt)=P, $(i,seed)=N.")
+  in
+  let packets =
+    Arg.(value & opt int 1000 & info [ "packets" ] ~docv:"N" ~doc:"Datagrams to feed through.")
+  in
+  let payload =
+    Arg.(value & opt int 64 & info [ "payload" ] ~docv:"BYTES" ~doc:"Payload size per datagram.")
+  in
+  let doc = "Exercise a fault-injection spec against synthetic datagrams." in
+  Cmd.v
+    (Cmd.info "faults" ~doc)
+    Term.(ret (const faults_run $ spec $ packets $ payload $ seed_arg))
 
 (* --- capacity ----------------------------------------------------------- *)
 
@@ -574,4 +675,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; sweep_cmd; simulate_cmd; plan_cmd; endhost_cmd; latency_cmd;
-            feedback_cmd; capacity_cmd; codec_cmd; transfer_cmd; udp_cmd; trace_cmd ]))
+            feedback_cmd; capacity_cmd; codec_cmd; transfer_cmd; udp_cmd; faults_cmd;
+            trace_cmd ]))

@@ -7,7 +7,29 @@
    datagrams for suppression.  Loss is injected at reception (control
    packets spared, as in the paper's model).
 
+   The second run repeats the transfer under a fault storm: an
+   Rmcast.Fault shim at the sender's datagram boundary drops, duplicates,
+   reorders and corrupts data/parity datagrams (corruption is caught by
+   the header CRC and shows up as decode failures), and NP must still
+   deliver every byte.
+
    Run with: dune exec examples/udp_demo.exe [-- RECEIVERS [LOSS]] *)
+
+let run ~label ~config ~receivers ~loss ?faults ~data () =
+  Printf.printf "%s\n%!" label;
+  let report = Rmcast.Udp_np.run_local ~config ?faults ~receivers ~loss ~seed:23 ~data () in
+  Printf.printf "  completed receivers : %d / %d (verified: %b)\n"
+    report.Rmcast.Udp_np.completed receivers report.Rmcast.Udp_np.verified;
+  Printf.printf "  datagrams           : %d data + %d parity (M = %.3f)\n"
+    report.Rmcast.Udp_np.data_tx report.Rmcast.Udp_np.parity_tx
+    (float_of_int (report.Rmcast.Udp_np.data_tx + report.Rmcast.Udp_np.parity_tx)
+    /. float_of_int report.Rmcast.Udp_np.data_tx);
+  Printf.printf "  dropped by loss     : %d\n" report.Rmcast.Udp_np.datagrams_dropped;
+  Printf.printf "  NAKs sent/suppressed: %d / %d\n" report.Rmcast.Udp_np.naks_sent
+    report.Rmcast.Udp_np.naks_suppressed;
+  Printf.printf "  decode failures     : %d\n" report.Rmcast.Udp_np.decode_failures;
+  Printf.printf "  wall time           : %.3f s\n" report.Rmcast.Udp_np.wall_seconds;
+  report
 
 let () =
   let argv = Sys.argv in
@@ -23,17 +45,34 @@ let () =
         Bytes.init config.Rmcast.Udp_np.payload_size (fun _ ->
             Char.chr (Rmcast.Rng.int rng 256)))
   in
-  Printf.printf "UDP/loopback: %d packets x %d bytes -> %d receivers at %.0f%% loss\n%!"
-    packet_count config.Rmcast.Udp_np.payload_size receivers (100.0 *. loss);
-  let report = Rmcast.Udp_np.run_local ~config ~receivers ~loss ~seed:23 ~data () in
-  Printf.printf "  completed receivers : %d / %d (verified: %b)\n"
-    report.Rmcast.Udp_np.completed receivers report.Rmcast.Udp_np.verified;
-  Printf.printf "  datagrams           : %d data + %d parity (M = %.3f)\n"
-    report.Rmcast.Udp_np.data_tx report.Rmcast.Udp_np.parity_tx
-    (float_of_int (report.Rmcast.Udp_np.data_tx + report.Rmcast.Udp_np.parity_tx)
-    /. float_of_int report.Rmcast.Udp_np.data_tx);
-  Printf.printf "  dropped by loss     : %d\n" report.Rmcast.Udp_np.datagrams_dropped;
-  Printf.printf "  NAKs sent/suppressed: %d / %d\n" report.Rmcast.Udp_np.naks_sent
-    report.Rmcast.Udp_np.naks_suppressed;
-  Printf.printf "  wall time           : %.3f s\n" report.Rmcast.Udp_np.wall_seconds;
-  if not report.Rmcast.Udp_np.verified then exit 1
+  let clean =
+    run
+      ~label:
+        (Printf.sprintf "UDP/loopback: %d packets x %d bytes -> %d receivers at %.0f%% loss"
+           packet_count config.Rmcast.Udp_np.payload_size receivers (100.0 *. loss))
+      ~config ~receivers ~loss ~data ()
+  in
+
+  (* Same transfer again, through a fault storm at the sender boundary. *)
+  let storm =
+    match
+      Rmcast.Fault.spec_of_string
+        "drop=0.08,dup=0.05,reorder=0.05,delay=0:0.002,corrupt=0.05,seed=97"
+    with
+    | Ok spec -> spec
+    | Error message -> failwith message
+  in
+  let stormy =
+    run
+      ~label:
+        (Printf.sprintf "Fault storm: %s (reception loss off)"
+           (Rmcast.Fault.spec_to_string storm))
+      ~config ~receivers ~loss:0.0 ~faults:storm ~data ()
+  in
+  print_endline "  fault-shim counters :";
+  List.iter
+    (fun (name, value) ->
+      if String.length name > 6 && String.sub name 0 6 = "fault." then
+        Printf.printf "    %-22s %d\n" name value)
+    stormy.Rmcast.Udp_np.counters;
+  if not (clean.Rmcast.Udp_np.verified && stormy.Rmcast.Udp_np.verified) then exit 1

@@ -17,6 +17,8 @@
     - {!Np}, {!N2}, {!Runner}, {!Tg_arq}, {!Tg_layered}, {!Tg_integrated},
       {!Timing}, {!Tg_result}: protocol machines.
     - {!Header}: the wire format.
+    - {!Metrics}, {!Event_trace}, {!Fault}: observability and fault
+      injection.
     - {!Transfer}, {!Planner}: the ten-line user path.
 
     {2 Quickstart}
@@ -82,6 +84,11 @@ module N1 = Rmc_proto.N1
 
 (* Wire *)
 module Header = Rmc_wire.Header
+
+(* Observability *)
+module Metrics = Rmc_obs.Metrics
+module Event_trace = Rmc_obs.Trace
+module Fault = Rmc_obs.Fault
 
 (* Real-socket transport *)
 module Reactor = Rmc_transport.Reactor

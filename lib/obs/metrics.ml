@@ -1,0 +1,51 @@
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; gauges = Hashtbl.create 8 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.replace t.counters name c;
+    c
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let count c = c.c_value
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.c_value | None -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_value = 0.0 } in
+    Hashtbl.replace t.gauges name g;
+    g
+
+let set g v = g.g_value <- v
+let value g = g.g_value
+
+let get_gauge t name =
+  match Hashtbl.find_opt t.gauges name with Some g -> g.g_value | None -> 0.0
+
+let counters t =
+  Hashtbl.fold (fun _ c acc -> (c.c_name, c.c_value) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let gauges t =
+  Hashtbl.fold (fun _ g acc -> (g.g_name, g.g_value) :: acc) t.gauges []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s %d@." name v) (counters t);
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s %g@." name v) (gauges t)
+
+let to_string t = Format.asprintf "%a" pp t

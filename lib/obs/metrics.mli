@@ -1,0 +1,54 @@
+(** Named monotonic counters and gauges.
+
+    A registry is a flat namespace of metrics identified by dotted names
+    ([tx.data], [fault.dropped], [reactor.timer_fires]...).  Handles are
+    looked up once and then bumped with a single mutable-field write, so
+    instrumented hot paths pay one load and one store per event — no
+    allocation, no hashing.
+
+    The registry is deliberately dependency-free and single-threaded, like
+    the {!Rmc_transport.Reactor} loop it instruments; guard it with a mutex
+    if you share one across domains. *)
+
+type t
+(** A metrics registry. *)
+
+type counter
+(** Monotonic integer counter. *)
+
+type gauge
+(** Last-value-wins float gauge. *)
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** [counter t name] returns the counter registered under [name], creating
+    it at zero on first use.  Subsequent calls with the same name return
+    the same handle. *)
+
+val incr : ?by:int -> counter -> unit
+(** Bump a counter (default [by] = 1). *)
+
+val count : counter -> int
+
+val get : t -> string -> int
+(** Current value of the named counter; 0 if it was never registered. *)
+
+val gauge : t -> string -> gauge
+(** Get-or-create, like {!counter}.  Fresh gauges read 0. *)
+
+val set : gauge -> float -> unit
+val value : gauge -> float
+
+val get_gauge : t -> string -> float
+(** 0 if never registered. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name (deterministic for tests and dumps). *)
+
+val gauges : t -> (string * float) list
+
+val pp : Format.formatter -> t -> unit
+(** One [name value] line per metric, counters then gauges, sorted. *)
+
+val to_string : t -> string

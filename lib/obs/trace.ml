@@ -1,0 +1,44 @@
+type event = { wall : float; virt : float option; name : string; detail : string }
+
+type t = {
+  ring : event option array;
+  clock : unit -> float;
+  mutable next : int;  (* slot for the next event *)
+  mutable total : int;  (* events ever recorded *)
+}
+
+let create ?(capacity = 1024) ?(clock = fun () -> 0.0) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { ring = Array.make capacity None; clock; next = 0; total = 0 }
+
+let record ?virt ?(detail = "") t name =
+  t.ring.(t.next) <- Some { wall = t.clock (); virt; name; detail };
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let capacity t = Array.length t.ring
+let recorded t = t.total
+let retained t = min t.total (Array.length t.ring)
+let dropped t = t.total - retained t
+
+let events t =
+  let n = retained t in
+  let cap = Array.length t.ring in
+  let start = if t.total <= cap then 0 else t.next in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod cap) with Some e -> e | None -> assert false)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp ppf t =
+  if dropped t > 0 then
+    Format.fprintf ppf "... %d earlier events dropped@." (dropped t);
+  List.iter
+    (fun e ->
+      match e.virt with
+      | Some v -> Format.fprintf ppf "%.6f (virt %.6f) %s %s@." e.wall v e.name e.detail
+      | None -> Format.fprintf ppf "%.6f %s %s@." e.wall e.name e.detail)
+    (events t)

@@ -1,0 +1,43 @@
+(** Bounded structured event trace.
+
+    A fixed-capacity ring of timestamped events: when the ring is full the
+    oldest event is overwritten and {!dropped} counts how many were lost —
+    never silently, unlike an unbounded log that silently eats memory or a
+    modulo index that silently wraps.  Each event carries a wall-clock
+    timestamp (from the [clock] supplied at creation) and an optional
+    virtual-time stamp for simulator-driven sources.
+
+    Recording is allocation-light: one record per event, no formatting
+    until the trace is read back. *)
+
+type event = {
+  wall : float;  (** clock () at record time *)
+  virt : float option;  (** virtual time, when the source has one *)
+  name : string;  (** event kind, e.g. ["fault.drop"] *)
+  detail : string;  (** free-form payload, possibly [""] *)
+}
+
+type t
+
+val create : ?capacity:int -> ?clock:(unit -> float) -> unit -> t
+(** [capacity] defaults to 1024 and must be positive; [clock] defaults to
+    [fun () -> 0.] — pass [Unix.gettimeofday] for real timestamps. *)
+
+val record : ?virt:float -> ?detail:string -> t -> string -> unit
+(** [record t name] appends an event, evicting the oldest if full. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val recorded : t -> int
+(** Total events ever recorded. *)
+
+val dropped : t -> int
+(** Events evicted by the capacity bound ([recorded - retained]). *)
+
+val capacity : t -> int
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One line per retained event, plus a final [... N earlier events
+    dropped] line when the bound was hit. *)

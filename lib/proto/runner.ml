@@ -39,8 +39,12 @@ type estimate = {
 
 let mean_m e = Stats.Accumulator.mean e.transmissions_per_packet
 
-let estimate net ~k ~scheme ?(timing = Timing.instantaneous) ?(reps = 200) () =
+let estimate net ~k ~scheme ?metrics ?(timing = Timing.instantaneous) ?(reps = 200) () =
   if reps < 1 then invalid_arg "Runner.estimate: reps must be >= 1";
+  let module Metrics = Rmc_obs.Metrics in
+  let count name by =
+    match metrics with None -> () | Some m -> Metrics.incr ~by (Metrics.counter m name)
+  in
   let receivers = Network.receivers net in
   let m_acc = Stats.Accumulator.create () in
   let rounds_acc = Stats.Accumulator.create () in
@@ -56,7 +60,12 @@ let estimate net ~k ~scheme ?(timing = Timing.instantaneous) ?(reps = 200) () =
     Stats.Accumulator.add rounds_acc (float_of_int result.Tg_result.rounds);
     Stats.Accumulator.add feedback_acc (float_of_int result.Tg_result.feedback_messages);
     Stats.Accumulator.add unnecessary_acc
-      (float_of_int result.Tg_result.unnecessary_receptions /. float_of_int receivers)
+      (float_of_int result.Tg_result.unnecessary_receptions /. float_of_int receivers);
+    count "runner.tgs" 1;
+    count "runner.transmissions" (Tg_result.transmissions result);
+    count "runner.rounds" result.Tg_result.rounds;
+    count "runner.feedback" result.Tg_result.feedback_messages;
+    count "runner.unnecessary" result.Tg_result.unnecessary_receptions
   done;
   {
     scheme;

@@ -36,6 +36,7 @@ val estimate :
   Rmc_sim.Network.t ->
   k:int ->
   scheme:scheme ->
+  ?metrics:Rmc_obs.Metrics.t ->
   ?timing:Timing.t ->
   ?reps:int ->
   unit ->
@@ -43,7 +44,11 @@ val estimate :
 (** [reps] (default 200) independent TGs back to back on the same network —
     for temporal-loss networks the channel state carries over between TGs,
     exactly as a long transfer would experience it.  TGs are separated by
-    [timing.feedback_delay]. *)
+    [timing.feedback_delay].
+
+    With [metrics], accumulates [runner.tgs], [runner.transmissions],
+    [runner.rounds], [runner.feedback] and [runner.unnecessary] counters
+    across the run. *)
 
 val burst_length_histogram :
   Rmc_sim.Loss.t ->

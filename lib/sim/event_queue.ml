@@ -54,6 +54,13 @@ let add t ~time payload =
 
 let peek_time t = if t.size = 0 then None else Some (entry t 0).time
 
+let peek t =
+  if t.size = 0 then None
+  else begin
+    let top = entry t 0 in
+    Some (top.time, top.payload)
+  end
+
 let pop t =
   if t.size = 0 then None
   else begin
@@ -68,3 +75,26 @@ let pop t =
 let clear t =
   Array.fill t.heap 0 (Array.length t.heap) None;
   t.size <- 0
+
+let filter_in_place t keep =
+  (* Compact the backing array, then rebuild the heap bottom-up.  Entries
+     keep their original sequence numbers, so tie-breaking (and therefore
+     pop order) is unchanged for the survivors. *)
+  let kept = ref 0 in
+  for i = 0 to t.size - 1 do
+    match t.heap.(i) with
+    | Some e when keep e.payload ->
+      t.heap.(!kept) <- Some e;
+      incr kept
+    | Some _ -> ()
+    | None -> assert false
+  done;
+  let removed = t.size - !kept in
+  for i = !kept to t.size - 1 do
+    t.heap.(i) <- None
+  done;
+  t.size <- !kept;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  removed

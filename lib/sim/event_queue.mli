@@ -14,7 +14,16 @@ val add : 'a t -> time:float -> 'a -> unit
 (** Requires a finite, non-NaN time. *)
 
 val peek_time : 'a t -> float option
+
+val peek : 'a t -> (float * 'a) option
+(** Earliest event without removing it. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Earliest event, removing it. *)
 
 val clear : 'a t -> unit
+
+val filter_in_place : 'a t -> ('a -> bool) -> int
+(** [filter_in_place t keep] removes every event whose payload fails
+    [keep], preserving the pop order of the survivors, and returns how
+    many were removed.  O(n). *)

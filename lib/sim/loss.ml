@@ -10,7 +10,12 @@ type kind =
       mutable state : int; (* 0 good, 1 bad *)
       mutable state_time : float;
     }
-  | Trace of { spacing : float; trace : bool array }
+  | Trace of {
+      spacing : float;
+      trace : bool array;
+      wrap : [ `Repeat | `Fail ];
+      mutable wraps : int;  (* queries that landed beyond the trace end *)
+    }
 
 type t = { rng : Rng.t; kind : kind; mutable last_query : float }
 
@@ -52,11 +57,17 @@ let markov2 rng ~p ~mean_burst ~send_rate =
   let mu01 = mu10 *. p /. (1.0 -. p) in
   markov2_rates rng ~mu01 ~mu10
 
-let of_trace ~spacing trace =
+let of_trace ?(wrap = `Repeat) ~spacing trace =
   if spacing <= 0.0 then invalid_arg "Loss.of_trace: spacing must be positive";
   if Array.length trace = 0 then invalid_arg "Loss.of_trace: empty trace";
   (* rng unused but keeps the record uniform *)
-  { rng = Rng.create ~seed:0 (); kind = Trace { spacing; trace }; last_query = neg_infinity }
+  {
+    rng = Rng.create ~seed:0 ();
+    kind = Trace { spacing; trace; wrap; wraps = 0 };
+    last_query = neg_infinity;
+  }
+
+let trace_wraps t = match t.kind with Trace { wraps; _ } -> wraps | Bernoulli _ | Markov _ -> 0
 
 let transition_to_bad_probability ~mu01 ~mu10 ~from_state dt =
   let total = mu01 +. mu10 in
@@ -71,9 +82,19 @@ let lost t time =
   t.last_query <- time;
   match t.kind with
   | Bernoulli { p } -> Rng.bernoulli t.rng p
-  | Trace { spacing; trace } ->
-    let slot = int_of_float (Float.round (time /. spacing)) in
-    trace.(((slot mod Array.length trace) + Array.length trace) mod Array.length trace)
+  | Trace tr ->
+    let slot = int_of_float (Float.round (time /. tr.spacing)) in
+    let length = Array.length tr.trace in
+    if slot >= 0 && slot < length then tr.trace.(slot)
+    else begin
+      (match tr.wrap with
+      | `Fail ->
+        invalid_arg
+          (Printf.sprintf "Loss.lost: trace exhausted (slot %d, trace length %d)" slot length)
+      | `Repeat -> ());
+      tr.wraps <- tr.wraps + 1;
+      tr.trace.(((slot mod length) + length) mod length)
+    end
   | Markov m ->
     let dt = Float.max 0.0 (time -. m.state_time) in
     let p_bad_now =

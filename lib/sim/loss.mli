@@ -50,10 +50,22 @@ val gilbert_elliott :
     [p_good = 0], [p_bad = 1].  Requires positive rates and
     [0 <= p_good <= p_bad < 1]. *)
 
-val of_trace : spacing:float -> bool array -> t
+val of_trace : ?wrap:[ `Repeat | `Fail ] -> spacing:float -> bool array -> t
 (** Trace-driven loss: packet sent at time [i * spacing] (rounded to the
-    nearest slot) is lost iff [trace.(i)]; queries beyond the trace wrap
-    around. For replaying measured loss traces. *)
+    nearest slot) is lost iff [trace.(i)].  For replaying measured loss
+    traces.
+
+    What happens when a query lands beyond the trace end is explicit:
+    [`Repeat] (the default, preserving historical behaviour) replays the
+    trace from the start — so a trace shorter than the run repeats its
+    loss pattern periodically, which biases burst statistics; every such
+    query is counted in {!trace_wraps} so the repetition is at least
+    visible.  [`Fail] makes {!lost} raise [Invalid_argument] instead,
+    for experiments where silent repetition would invalidate the result. *)
+
+val trace_wraps : t -> int
+(** How many {!lost} queries fell beyond the end of the trace (0 for
+    non-trace processes, and always 0 until the first wrap). *)
 
 val lost : t -> float -> bool
 (** [lost t time]: fate of a packet sent at [time].

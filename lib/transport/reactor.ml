@@ -1,24 +1,75 @@
-type timer = { mutable cancelled : bool; action : unit -> unit }
+module Event_queue = Rmc_sim.Event_queue
+module Metrics = Rmc_obs.Metrics
 
-type t = {
-  timers : timer Rmc_sim.Event_queue.t;
+type timer = { mutable cancelled : bool; action : unit -> unit; owner : t }
+
+and t = {
+  timers : timer Event_queue.t;
   handlers : (Unix.file_descr, unit -> unit) Hashtbl.t;
   mutable stopped : bool;
+  mutable cancelled_pending : int;  (* cancelled timers still in the heap *)
+  c_fires : Metrics.counter option;
+  c_cancels : Metrics.counter option;
+  c_purges : Metrics.counter option;
 }
 
-let create () =
-  { timers = Rmc_sim.Event_queue.create (); handlers = Hashtbl.create 8; stopped = false }
+(* Below this many cancelled entries, purging costs more than it saves. *)
+let purge_threshold = 64
+
+let create ?metrics () =
+  let counter name = Option.map (fun m -> Metrics.counter m name) metrics in
+  {
+    timers = Event_queue.create ();
+    handlers = Hashtbl.create 8;
+    stopped = false;
+    cancelled_pending = 0;
+    c_fires = counter "reactor.timer_fires";
+    c_cancels = counter "reactor.timers_cancelled";
+    c_purges = counter "reactor.heap_purges";
+  }
+
+let bump = function Some c -> Metrics.incr c | None -> ()
 
 let now _ = Unix.gettimeofday ()
 
 let after t delay action =
-  let timer = { cancelled = false; action } in
+  let timer = { cancelled = false; action; owner = t } in
   let fire_at = Unix.gettimeofday () +. Float.max 0.0 delay in
-  Rmc_sim.Event_queue.add t.timers ~time:fire_at timer;
+  Event_queue.add t.timers ~time:fire_at timer;
   timer
 
-let cancel timer = timer.cancelled <- true
+(* Pop cancelled timers sitting at the top of the heap — they cost O(log n)
+   each here versus rotting until their fire time. *)
+let rec drop_cancelled_head t =
+  match Event_queue.peek t.timers with
+  | Some (_, timer) when timer.cancelled ->
+    ignore (Event_queue.pop t.timers);
+    t.cancelled_pending <- t.cancelled_pending - 1;
+    drop_cancelled_head t
+  | Some _ | None -> ()
+
+(* When cancelled entries dominate the heap, rebuild it without them so a
+   long-lived session that arms and cancels per-TG timers stays bounded. *)
+let maybe_purge t =
+  let live = Event_queue.size t.timers - t.cancelled_pending in
+  if t.cancelled_pending >= purge_threshold && t.cancelled_pending > live then begin
+    let removed = Event_queue.filter_in_place t.timers (fun timer -> not timer.cancelled) in
+    t.cancelled_pending <- t.cancelled_pending - removed;
+    bump t.c_purges
+  end
+
+let cancel timer =
+  if not timer.cancelled then begin
+    timer.cancelled <- true;
+    let t = timer.owner in
+    t.cancelled_pending <- t.cancelled_pending + 1;
+    bump t.c_cancels;
+    maybe_purge t
+  end
+
 let cancelled timer = timer.cancelled
+
+let pending_timers t = Event_queue.size t.timers
 
 let on_readable t fd callback = Hashtbl.replace t.handlers fd callback
 let remove t fd = Hashtbl.remove t.handlers fd
@@ -26,10 +77,16 @@ let stop t = t.stopped <- true
 
 let fire_due_timers t =
   let rec loop () =
-    match Rmc_sim.Event_queue.peek_time t.timers with
+    drop_cancelled_head t;
+    match Event_queue.peek_time t.timers with
     | Some time when time <= Unix.gettimeofday () ->
-      (match Rmc_sim.Event_queue.pop t.timers with
-      | Some (_, timer) -> if not timer.cancelled then timer.action ()
+      (match Event_queue.pop t.timers with
+      | Some (_, timer) ->
+        if not timer.cancelled then begin
+          bump t.c_fires;
+          timer.action ()
+        end
+        else t.cancelled_pending <- t.cancelled_pending - 1
       | None -> ());
       if not t.stopped then loop ()
     | Some _ | None -> ()
@@ -47,7 +104,8 @@ let run ?(deadline = Float.max_float) t =
       if current >= deadline then continue := false
       else begin
         let idle_fds = Hashtbl.length t.handlers = 0 in
-        let next_timer = Rmc_sim.Event_queue.peek_time t.timers in
+        drop_cancelled_head t;
+        let next_timer = Event_queue.peek_time t.timers in
         match (next_timer, idle_fds) with
         | None, true -> continue := false
         | _ ->

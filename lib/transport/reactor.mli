@@ -7,7 +7,9 @@
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Rmc_obs.Metrics.t -> unit -> t
+(** With [metrics], the loop counts [reactor.timer_fires],
+    [reactor.timers_cancelled] and [reactor.heap_purges]. *)
 
 val now : t -> float
 (** Wall-clock seconds ([Unix.gettimeofday]). *)
@@ -18,7 +20,18 @@ val after : t -> float -> (unit -> unit) -> timer
 (** Schedule a callback [delay] seconds from now (clamped to >= 0). *)
 
 val cancel : timer -> unit
+(** Cancelled timers never fire and are dropped from the event heap
+    eagerly: any cancelled entry reaching the top of the heap is popped
+    immediately, and when cancelled entries outnumber live ones (beyond a
+    small threshold) the heap is rebuilt without them — so a long-lived
+    session that arms and cancels timers per TG holds O(live) heap
+    entries, not O(ever armed). *)
+
 val cancelled : timer -> bool
+
+val pending_timers : t -> int
+(** Entries currently in the timer heap, cancelled stragglers included —
+    the probe the heap-leak regression test watches. *)
 
 val on_readable : t -> Unix.file_descr -> (unit -> unit) -> unit
 (** Register a callback fired whenever the descriptor is readable.  One

@@ -2,6 +2,8 @@ module Rng = Rmc_numerics.Rng
 module Rse = Rmc_rse.Rse
 module Fec_block = Rmc_rse.Fec_block
 module Header = Rmc_wire.Header
+module Metrics = Rmc_obs.Metrics
+module Fault = Rmc_obs.Fault
 
 type config = {
   k : int;
@@ -35,10 +37,12 @@ type report = {
   naks_sent : int;
   naks_suppressed : int;
   datagrams_dropped : int;
+  decode_failures : int;
   completed : int;
   verified : bool;
   ejected : (int * int) list;
   wall_seconds : float;
+  counters : (string * int) list;
 }
 
 (* --- socket helpers -------------------------------------------------- *)
@@ -49,21 +53,25 @@ let make_socket () =
   Unix.set_nonblock socket;
   socket
 
-let send_datagram socket message destination =
-  let packet = Header.encode message in
+let send_bytes socket packet destination =
   (* Loopback sends never legitimately short-write a datagram this small;
      EAGAIN under extreme pressure is treated as network loss. *)
   try ignore (Unix.sendto socket packet 0 (Bytes.length packet) [] destination)
   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
 
-let drain_socket socket handle =
+let send_datagram socket message destination =
+  send_bytes socket (Header.encode message) destination
+
+let drain_socket ?on_decode_error socket handle =
   let buffer = Bytes.create 65536 in
   let rec loop () =
     match Unix.recvfrom socket buffer 0 (Bytes.length buffer) [] with
     | length, from ->
       (match Header.decode (Bytes.sub buffer 0 length) with
       | Ok message -> handle message from
-      | Error _ -> () (* malformed datagrams are dropped silently *));
+      | Error _ ->
+        (* malformed datagrams are dropped, but no longer silently *)
+        (match on_decode_error with Some f -> f () | None -> ()));
       loop ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
@@ -93,14 +101,37 @@ type sender = {
   tgs : tg_sender array;
   repair_queue : sender_job Queue.t;
   stream_queue : sender_job Queue.t;
+  shim : Fault.t option;
   mutable sending : bool;
   mutable data_tx : int;
   mutable parity_tx : int;
   mutable polls : int;
+  c_data : Metrics.counter;
+  c_parity : Metrics.counter;
+  c_poll : Metrics.counter;
+  c_exhausted : Metrics.counter;
+  c_naks_rx : Metrics.counter;
+  c_rounds : Metrics.counter;
 }
 
+(* The fault shim sits here, at the datagram boundary: every data/parity
+   datagram of the unicast fan-out passes through it independently, so each
+   receiver sees its own drop/duplicate/reorder/corrupt pattern.  Control
+   datagrams (POLL, NAK, EXHAUSTED) are spared, matching the loss model of
+   the §5 analysis (and of the [~loss] reception injection below). *)
 let sender_multicast sender message =
-  List.iter (send_datagram sender.socket message) sender.group
+  match (sender.shim, message) with
+  | Some shim, (Header.Data _ | Header.Parity _) ->
+    let packet = Header.encode message in
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun destination ->
+        Fault.apply shim ~now
+          ~defer:(fun delay thunk -> ignore (Reactor.after sender.reactor delay thunk))
+          ~send:(fun bytes -> send_bytes sender.socket bytes destination)
+          packet)
+      sender.group
+  | _ -> List.iter (send_datagram sender.socket message) sender.group
 
 let tg_k tg = Rse.k (Fec_block.Sender.codec tg.block)
 
@@ -119,12 +150,14 @@ let rec sender_pump sender =
         let k = tg_k tg in
         (if index < k then begin
            sender.data_tx <- sender.data_tx + 1;
+           Metrics.incr sender.c_data;
            sender_multicast sender
              (Header.Data
                 { tg_id = tg.tg_id; k; index; payload = (Fec_block.Sender.data tg.block).(index) })
          end
          else begin
            sender.parity_tx <- sender.parity_tx + 1;
+           Metrics.incr sender.c_parity;
            sender_multicast sender
              (Header.Parity
                 {
@@ -138,9 +171,11 @@ let rec sender_pump sender =
         sender.config.spacing
       | Send_poll { tg; size; round } ->
         sender.polls <- sender.polls + 1;
+        Metrics.incr sender.c_poll;
         sender_multicast sender (Header.Poll { tg_id = tg.tg_id; k = tg_k tg; size; round });
         0.0
       | Send_exhausted { tg } ->
+        Metrics.incr sender.c_exhausted;
         sender_multicast sender (Header.Exhausted { tg_id = tg.tg_id });
         0.0
     in
@@ -153,10 +188,12 @@ let sender_wake sender =
   end
 
 let sender_handle_nak sender ~tg_id ~need ~round =
+  Metrics.incr sender.c_naks_rx;
   if tg_id >= 0 && tg_id < Array.length sender.tgs then begin
     let tg = sender.tgs.(tg_id) in
     if tg.serviced_round < round then begin
       tg.serviced_round <- round;
+      Metrics.incr sender.c_rounds;
       let remaining =
         Rse.h (Fec_block.Sender.codec tg.block) - Fec_block.Sender.parities_issued tg.block
       in
@@ -174,7 +211,7 @@ let sender_handle_nak sender ~tg_id ~need ~round =
     end
   end
 
-let create_sender reactor ~socket ~group ~config ~data =
+let create_sender reactor ~socket ~group ~config ~data ~metrics ~shim =
   let total = Array.length data in
   let tg_count = (total + config.k - 1) / config.k in
   let tgs =
@@ -194,10 +231,17 @@ let create_sender reactor ~socket ~group ~config ~data =
       tgs;
       repair_queue = Queue.create ();
       stream_queue = Queue.create ();
+      shim;
       sending = false;
       data_tx = 0;
       parity_tx = 0;
       polls = 0;
+      c_data = Metrics.counter metrics "tx.data";
+      c_parity = Metrics.counter metrics "tx.parity";
+      c_poll = Metrics.counter metrics "tx.poll";
+      c_exhausted = Metrics.counter metrics "tx.exhausted";
+      c_naks_rx = Metrics.counter metrics "sender.naks_rx";
+      c_rounds = Metrics.counter metrics "sender.repair_rounds";
     }
   in
   Array.iter
@@ -213,8 +257,10 @@ let create_sender reactor ~socket ~group ~config ~data =
           (Fec_block.Sender.next_parities tg.block a);
       Queue.push (Send_poll { tg; size = k + a; round = 1 }) sender.stream_queue)
     tgs;
+  let c_decode_fail = Metrics.counter metrics "sender.decode_failures" in
   Reactor.on_readable reactor socket (fun () ->
-      drain_socket socket (fun message _from ->
+      drain_socket ~on_decode_error:(fun () -> Metrics.incr c_decode_fail) socket
+        (fun message _from ->
           match message with
           | Header.Nak { tg_id; need; round } -> sender_handle_nak sender ~tg_id ~need ~round
           | Header.Data _ | Header.Parity _ | Header.Poll _ | Header.Exhausted _ -> ()));
@@ -246,6 +292,17 @@ type receiver = {
   mutable naks_sent : int;
   mutable naks_suppressed : int;
   mutable dropped : int;
+  mutable decode_failures : int;
+  c_data : Metrics.counter;
+  c_parity : Metrics.counter;
+  c_poll : Metrics.counter;
+  c_exhausted : Metrics.counter;
+  c_naks_tx : Metrics.counter;
+  c_naks_overheard : Metrics.counter;
+  c_suppressed : Metrics.counter;
+  c_decode_fail : Metrics.counter;
+  c_loss_drop : Metrics.counter;
+  c_duplicates : Metrics.counter;
 }
 
 let receiver_block receiver ~tg_id ~k =
@@ -263,7 +320,7 @@ let receiver_block receiver ~tg_id ~k =
 let receiver_store receiver ~tg_id ~k ~index payload =
   let block = receiver_block receiver ~tg_id ~k in
   if (not block.delivered) && not block.gave_up then
-    if Fec_block.Receiver.add block.rx ~index payload then
+    if Fec_block.Receiver.add block.rx ~index payload then begin
       if Fec_block.Receiver.complete block.rx then begin
         block.delivered <- true;
         (match block.nak_timer with
@@ -273,6 +330,8 @@ let receiver_store receiver ~tg_id ~k ~index payload =
         | None -> ());
         receiver.on_tg_complete tg_id (Fec_block.Receiver.decode block.rx)
       end
+    end
+    else Metrics.incr receiver.c_duplicates
 
 let receiver_send_nak receiver ~tg_id ~round =
   match Hashtbl.find_opt receiver.blocks tg_id with
@@ -283,6 +342,7 @@ let receiver_send_nak receiver ~tg_id ~round =
       let need = Fec_block.Receiver.needed block.rx in
       if need > 0 then begin
         receiver.naks_sent <- receiver.naks_sent + 1;
+        Metrics.incr receiver.c_naks_tx;
         block.nak_round <- round;
         let nak = Header.Nak { tg_id; need; round } in
         send_datagram receiver.socket nak receiver.sender_addr;
@@ -308,6 +368,7 @@ let receiver_handle_poll receiver ~tg_id ~k ~size ~round =
   end
 
 let receiver_overhear_nak receiver ~tg_id ~need ~round =
+  Metrics.incr receiver.c_naks_overheard;
   match Hashtbl.find_opt receiver.blocks tg_id with
   | None -> ()
   | Some block ->
@@ -317,7 +378,8 @@ let receiver_overhear_nak receiver ~tg_id ~need ~round =
         Reactor.cancel timer;
         block.nak_timer <- None;
         block.nak_round <- round;
-        receiver.naks_suppressed <- receiver.naks_suppressed + 1
+        receiver.naks_suppressed <- receiver.naks_suppressed + 1;
+        Metrics.incr receiver.c_suppressed
       end
     | Some _ | None -> ())
 
@@ -332,8 +394,8 @@ let receiver_handle_exhausted receiver ~tg_id =
       receiver.on_ejected tg_id
     end
 
-let create_receiver reactor ~socket ~sender_addr ~config ~seed ~loss ~id ~on_tg_complete
-    ~on_ejected =
+let create_receiver reactor ~socket ~sender_addr ~config ~seed ~loss ~id ~metrics
+    ~on_tg_complete ~on_ejected =
   let receiver =
     {
       id;
@@ -350,30 +412,55 @@ let create_receiver reactor ~socket ~sender_addr ~config ~seed ~loss ~id ~on_tg_
       naks_sent = 0;
       naks_suppressed = 0;
       dropped = 0;
+      decode_failures = 0;
+      c_data = Metrics.counter metrics "rx.data";
+      c_parity = Metrics.counter metrics "rx.parity";
+      c_poll = Metrics.counter metrics "rx.poll";
+      c_exhausted = Metrics.counter metrics "rx.exhausted";
+      c_naks_tx = Metrics.counter metrics "rx.naks_tx";
+      c_naks_overheard = Metrics.counter metrics "rx.naks_overheard";
+      c_suppressed = Metrics.counter metrics "rx.naks_suppressed";
+      c_decode_fail = Metrics.counter metrics "rx.decode_failures";
+      c_loss_drop = Metrics.counter metrics "rx.loss_dropped";
+      c_duplicates = Metrics.counter metrics "rx.duplicates";
     }
   in
   Reactor.on_readable reactor socket (fun () ->
-      drain_socket socket (fun message from ->
+      drain_socket
+        ~on_decode_error:(fun () ->
+          receiver.decode_failures <- receiver.decode_failures + 1;
+          Metrics.incr receiver.c_decode_fail)
+        socket
+        (fun message from ->
           let from_sender = from = receiver.sender_addr in
           match message with
           | Header.Data { tg_id; k; index; payload } ->
-            if Rng.bernoulli receiver.rng receiver.loss then
-              receiver.dropped <- receiver.dropped + 1
+            Metrics.incr receiver.c_data;
+            if Rng.bernoulli receiver.rng receiver.loss then begin
+              receiver.dropped <- receiver.dropped + 1;
+              Metrics.incr receiver.c_loss_drop
+            end
             else receiver_store receiver ~tg_id ~k ~index payload
           | Header.Parity { tg_id; k; index; round = _; payload } ->
-            if Rng.bernoulli receiver.rng receiver.loss then
-              receiver.dropped <- receiver.dropped + 1
+            Metrics.incr receiver.c_parity;
+            if Rng.bernoulli receiver.rng receiver.loss then begin
+              receiver.dropped <- receiver.dropped + 1;
+              Metrics.incr receiver.c_loss_drop
+            end
             else receiver_store receiver ~tg_id ~k ~index:(k + index) payload
           | Header.Poll { tg_id; k; size; round } ->
+            Metrics.incr receiver.c_poll;
             receiver_handle_poll receiver ~tg_id ~k ~size ~round
           | Header.Nak { tg_id; need; round } ->
             if not from_sender then receiver_overhear_nak receiver ~tg_id ~need ~round
-          | Header.Exhausted { tg_id } -> receiver_handle_exhausted receiver ~tg_id));
+          | Header.Exhausted { tg_id } ->
+            Metrics.incr receiver.c_exhausted;
+            receiver_handle_exhausted receiver ~tg_id));
   receiver
 
 (* --- local session ----------------------------------------------------- *)
 
-let run_local ?(config = default_config) ~receivers ~loss ~seed ~data () =
+let run_local ?(config = default_config) ?metrics ?faults ~receivers ~loss ~seed ~data () =
   if Array.length data = 0 then invalid_arg "Udp_np.run_local: no data";
   if loss < 0.0 || loss >= 1.0 then invalid_arg "Udp_np.run_local: loss outside [0,1)";
   Array.iter
@@ -382,7 +469,9 @@ let run_local ?(config = default_config) ~receivers ~loss ~seed ~data () =
         invalid_arg "Udp_np.run_local: payload size mismatch")
     data;
   if receivers < 1 then invalid_arg "Udp_np.run_local: need at least one receiver";
-  let reactor = Reactor.create () in
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let shim = Option.map (fun spec -> Fault.create ~metrics spec) faults in
+  let reactor = Reactor.create ~metrics () in
   let started = Unix.gettimeofday () in
   let tg_count = (Array.length data + config.k - 1) / config.k in
 
@@ -418,7 +507,7 @@ let run_local ?(config = default_config) ~receivers ~loss ~seed ~data () =
         in
         let on_ejected tg_id = ejected := (id, tg_id) :: !ejected in
         create_receiver reactor ~socket:receiver_sockets.(id) ~sender_addr ~config
-          ~seed:(seed + (id * 7919)) ~loss ~id ~on_tg_complete ~on_ejected)
+          ~seed:(seed + (id * 7919)) ~loss ~id ~metrics ~on_tg_complete ~on_ejected)
   in
   (* Each receiver overhears the NAKs of all the others. *)
   Array.iteri
@@ -431,7 +520,7 @@ let run_local ?(config = default_config) ~receivers ~loss ~seed ~data () =
                 (Seq.init receivers Fun.id))))
     rxs;
   let group = Array.to_list receiver_addrs in
-  let sender = create_sender reactor ~socket:sender_socket ~group ~config ~data in
+  let sender = create_sender reactor ~socket:sender_socket ~group ~config ~data ~metrics ~shim in
 
   Reactor.run ~deadline:(started +. config.session_timeout) reactor;
 
@@ -445,11 +534,13 @@ let run_local ?(config = default_config) ~receivers ~loss ~seed ~data () =
       naks_sent = Array.fold_left (fun acc r -> acc + r.naks_sent) 0 rxs;
       naks_suppressed = Array.fold_left (fun acc r -> acc + r.naks_suppressed) 0 rxs;
       datagrams_dropped = Array.fold_left (fun acc r -> acc + r.dropped) 0 rxs;
+      decode_failures = Array.fold_left (fun acc r -> acc + r.decode_failures) 0 rxs;
       completed =
         Array.fold_left (fun acc n -> if n = tg_count then acc + 1 else acc) 0 completed_tgs;
       verified = !verified && Array.for_all (fun n -> n = tg_count) completed_tgs;
       ejected = List.rev !ejected;
       wall_seconds = Unix.gettimeofday () -. started;
+      counters = Metrics.counters metrics;
     }
   in
   Unix.close sender_socket;

@@ -37,15 +37,19 @@ type report = {
   polls : int;
   naks_sent : int;  (** NAK datagrams actually sent by receivers *)
   naks_suppressed : int;
-  datagrams_dropped : int;  (** by the injected loss *)
+  datagrams_dropped : int;  (** by the injected reception loss *)
+  decode_failures : int;  (** datagrams the receivers could not parse *)
   completed : int;  (** receivers that decoded every TG *)
   verified : bool;  (** and every decoded payload matched *)
   ejected : (int * int) list;
   wall_seconds : float;
+  counters : (string * int) list;  (** final {!Rmc_obs.Metrics} dump *)
 }
 
 val run_local :
   ?config:config ->
+  ?metrics:Rmc_obs.Metrics.t ->
+  ?faults:Rmc_obs.Fault.spec ->
   receivers:int ->
   loss:float ->
   seed:int ->
@@ -53,5 +57,23 @@ val run_local :
   unit ->
   report
 (** Run a complete session on 127.0.0.1.
+
+    [metrics] supplies the counter registry (a private one is created when
+    absent); the final state is returned in [report.counters] either way.
+    Per-role counters: sender [tx.data]/[tx.parity]/[tx.poll]/
+    [tx.exhausted], [sender.naks_rx], [sender.repair_rounds]; receivers
+    [rx.data]/[rx.parity]/[rx.poll]/[rx.exhausted], [rx.naks_tx],
+    [rx.naks_overheard], [rx.naks_suppressed], [rx.decode_failures],
+    [rx.loss_dropped], [rx.duplicates]; plus the reactor and fault-shim
+    counters.
+
+    [faults] arms an {!Rmc_obs.Fault} shim at the sender's datagram
+    boundary: every data/parity datagram of the unicast fan-out passes
+    through it per destination, so each receiver sees an independent
+    drop/duplicate/reorder/delay/corrupt pattern.  Control datagrams are
+    spared, matching the reception-loss model.  Corrupted datagrams are
+    caught by the header CRC on reception and show up as
+    [rx.decode_failures].
+
     @raise Invalid_argument on empty data, bad payload sizes, or
     [loss] outside [0, 1). *)

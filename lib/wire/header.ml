@@ -5,9 +5,44 @@ type message =
   | Nak of { tg_id : int; need : int; round : int }
   | Exhausted of { tg_id : int }
 
-let header_size = 22
+let header_size = 26
 let magic = "RMCP"
-let version = 1
+let version = 2
+let crc_offset = 22
+
+(* CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over the whole datagram
+   with the checksum field itself treated as zero.  UDP's 16-bit checksum is
+   optional and weak; without an application-level check, a corrupted DATA
+   payload would decode cleanly and silently poison the FEC block. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc_feed_byte crc byte =
+  let table = Lazy.force crc_table in
+  table.((crc lxor byte) land 0xFF) lxor (crc lsr 8)
+
+let crc_feed crc buffer pos len =
+  let c = ref crc in
+  for i = pos to pos + len - 1 do
+    c := crc_feed_byte !c (Bytes.get_uint8 buffer i)
+  done;
+  !c
+
+let datagram_crc buffer =
+  let c = ref 0xFFFFFFFF in
+  c := crc_feed !c buffer 0 crc_offset;
+  for _ = 1 to 4 do
+    c := crc_feed_byte !c 0
+  done;
+  c := crc_feed !c buffer header_size (Bytes.length buffer - header_size);
+  !c lxor 0xFFFFFFFF
 
 let type_code = function
   | Data _ -> 1
@@ -35,11 +70,14 @@ let fields = function
   | Nak { tg_id; need; round } -> (tg_id, 0, need, round, None)
   | Exhausted { tg_id } -> (tg_id, 0, 0, 0, None)
 
+(* tg_id and round are full 32-bit wire fields; the bound must match what
+   {!decode} can produce or a legitimately decoded message cannot be
+   re-encoded (the old cap was 0xFFFFFFF, a 28-bit typo). *)
 let validate_ranges ~tg_id ~k ~aux ~round =
-  if tg_id < 0 || tg_id > 0xFFFFFFF then invalid_arg "Header: tg_id out of range";
+  if tg_id < 0 || tg_id > 0xFFFF_FFFF then invalid_arg "Header: tg_id out of range";
   if k < 0 || k > 0xFFFF then invalid_arg "Header: k out of range";
   if aux < 0 || aux > 0xFFFF then invalid_arg "Header: index/need/size out of range";
-  if round < 0 || round > 0xFFFFFFF then invalid_arg "Header: round out of range"
+  if round < 0 || round > 0xFFFF_FFFF then invalid_arg "Header: round out of range"
 
 let encode message =
   let tg_id, k, aux, round, payload = fields message in
@@ -60,7 +98,12 @@ let encode message =
   (match payload with
   | Some p -> Bytes.blit p 0 buffer header_size payload_len
   | None -> ());
+  set_u32 buffer crc_offset (datagram_crc buffer);
   buffer
+
+let reseal buffer =
+  if Bytes.length buffer < header_size then invalid_arg "Header.reseal: truncated buffer";
+  set_u32 buffer crc_offset (datagram_crc buffer)
 
 let decode buffer =
   let ( let* ) r f = Result.bind r f in
@@ -77,6 +120,7 @@ let decode buffer =
   let* () =
     check (Bytes.length buffer = header_size + payload_len) "length field mismatch"
   in
+  let* () = check (get_u32 buffer crc_offset = datagram_crc buffer) "checksum mismatch" in
   let payload () = Bytes.sub buffer header_size payload_len in
   match code with
   | 1 ->

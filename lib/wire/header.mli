@@ -10,15 +10,21 @@
     {v
     offset  size  field
     0       4     magic "RMCP"
-    4       1     version (currently 1)
+    4       1     version (currently 2)
     5       1     message type
     6       4     tg_id
     10      2     k       (data packets in this TG)
     12      2     index / need / size (per message type)
     14      4     round
     18      4     payload length (DATA and PARITY only, else 0)
-    22      ...   payload
-    v} *)
+    22      4     CRC-32 of the whole datagram (this field as zero)
+    26      ...   payload
+    v}
+
+    The checksum covers header and payload; {!decode} rejects any datagram
+    whose stored CRC does not match ([Error "checksum mismatch"]).  Encode
+    and decode accept the same field ranges: [tg_id] and [round] are full
+    32-bit values, [k] and [index]/[need]/[size] 16-bit. *)
 
 type message =
   | Data of { tg_id : int; k : int; index : int; payload : Bytes.t }
@@ -31,13 +37,26 @@ type message =
   | Exhausted of { tg_id : int }
 
 val header_size : int
-(** Bytes preceding the payload (22). *)
+(** Bytes preceding the payload (26). *)
 
 val encode : message -> Bytes.t
+(** @raise Invalid_argument on out-of-range fields ([tg_id], [round] must
+    fit 32 bits; [k], [index]/[need]/[size] 16 bits; DATA [index < k]). *)
 
 val decode : Bytes.t -> (message, string) result
 (** Total parse-and-validate: never raises; returns a diagnostic on
-    malformed input (bad magic, truncation, out-of-range fields...). *)
+    malformed input (bad magic, truncation, checksum mismatch,
+    out-of-range fields...). *)
+
+val reseal : Bytes.t -> unit
+(** Recompute and store the CRC of an encoded datagram in place — for
+    tests that hand-mutate header fields and still want the mutation (not
+    the checksum) to be what {!decode} rejects.
+    @raise Invalid_argument if shorter than {!header_size}. *)
+
+val datagram_crc : Bytes.t -> int
+(** The CRC-32 {!decode} expects at offset 22 (checksum field read as
+    zero). *)
 
 val message_type_name : message -> string
 val pp : Format.formatter -> message -> unit

@@ -16,6 +16,7 @@ let () =
       ("proto", Test_proto.suite);
       ("np+n2", Test_np.suite);
       ("wire", Test_wire.suite);
+      ("obs", Test_obs.suite);
       ("udp", Test_udp.suite);
       ("tree+feedback", Test_tree.suite);
       ("extensions", Test_extensions.suite);

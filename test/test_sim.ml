@@ -189,6 +189,29 @@ let test_trace_loss () =
   close "trace probability" 0.5 (Loss.loss_probability loss);
   close "trace burst" 2.0 (Loss.expected_burst_length loss ~spacing:1.0)
 
+let test_trace_loss_wrap_counted () =
+  (* Regression: queries past the trace end used to wrap silently.  The
+     default still repeats (historical behaviour), but every wrapped query
+     is now counted. *)
+  let trace = [| true; false |] in
+  let loss = Loss.of_trace ~spacing:1.0 trace in
+  Alcotest.(check bool) "slot 0" true (Loss.lost loss 0.0);
+  Alcotest.(check int) "in-range queries don't count" 0 (Loss.trace_wraps loss);
+  Alcotest.(check bool) "slot 2 repeats slot 0" true (Loss.lost loss 2.0);
+  Alcotest.(check bool) "slot 5 repeats slot 1" false (Loss.lost loss 5.0);
+  Alcotest.(check int) "wrapped queries counted" 2 (Loss.trace_wraps loss);
+  (* non-trace processes always report zero *)
+  Alcotest.(check int) "bernoulli never wraps" 0
+    (Loss.trace_wraps (Loss.bernoulli (Rng.create ()) ~p:0.1))
+
+let test_trace_loss_wrap_fail () =
+  let loss = Loss.of_trace ~wrap:`Fail ~spacing:1.0 [| true; false; true |] in
+  Alcotest.(check bool) "in range fine" true (Loss.lost loss 2.0);
+  Alcotest.check_raises "past the end raises"
+    (Invalid_argument "Loss.lost: trace exhausted (slot 3, trace length 3)") (fun () ->
+      ignore (Loss.lost loss 3.0));
+  Alcotest.(check int) "failed query not counted as wrap" 0 (Loss.trace_wraps loss)
+
 (* --- topology --- *)
 
 let test_topology_counts () =
@@ -361,6 +384,8 @@ let base_suite =
     Alcotest.test_case "markov skip-ahead" `Quick test_markov_skip_ahead_decorrelates;
     Alcotest.test_case "markov validation" `Quick test_markov_validation;
     Alcotest.test_case "trace-driven loss" `Quick test_trace_loss;
+    Alcotest.test_case "trace wrap counted" `Quick test_trace_loss_wrap_counted;
+    Alcotest.test_case "trace wrap can fail" `Quick test_trace_loss_wrap_fail;
     Alcotest.test_case "topology counts" `Quick test_topology_counts;
     Alcotest.test_case "topology leaf mapping" `Quick test_topology_leaf_mapping;
     Alcotest.test_case "topology receiver ranges" `Quick test_topology_receiver_range;

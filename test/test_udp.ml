@@ -54,6 +54,60 @@ let test_validation () =
            ~data:(payloads ~count:1 ~size:Udp.default_config.Udp.payload_size 9)
            ()))
 
+let counter report name =
+  match List.assoc_opt name report.Udp.counters with Some v -> v | None -> 0
+
+let test_fault_storm_session () =
+  (* The acceptance test of the fault-injection shim: NP must run to
+     completion with every byte intact while the shim drops, duplicates,
+     reorders, delays and corrupts data/parity datagrams at the sender
+     boundary — and the rmc_obs counters must tell a consistent story. *)
+  let faults =
+    match
+      Rmcast.Fault.spec_of_string
+        "drop=0.08,dup=0.05,reorder=0.05,delay=0:0.002,corrupt=0.05,seed=31"
+    with
+    | Ok spec -> spec
+    | Error message -> Alcotest.fail message
+  in
+  let data = payloads ~count:64 ~size:config.Udp.payload_size 11 in
+  let report = Udp.run_local ~config ~faults ~receivers:3 ~loss:0.0 ~seed:12 ~data () in
+  Alcotest.(check int) "all receivers completed" 3 report.Udp.completed;
+  Alcotest.(check bool) "delivered bytes verified" true report.Udp.verified;
+  Alcotest.(check (list (pair int int))) "nobody ejected" [] report.Udp.ejected;
+  (* the storm actually happened... *)
+  Alcotest.(check bool) "datagrams injected" true (counter report "fault.injected" > 0);
+  Alcotest.(check bool) "drops injected" true (counter report "fault.dropped" > 0);
+  Alcotest.(check bool) "duplicates injected" true (counter report "fault.duplicated" > 0);
+  Alcotest.(check bool) "corruption injected" true (counter report "fault.corrupted" > 0);
+  (* ...was observed... *)
+  Alcotest.(check bool) "corruption caught by CRC" true
+    (counter report "rx.decode_failures" > 0);
+  Alcotest.(check bool) "repair rounds ran" true
+    (counter report "sender.repair_rounds" > 0);
+  Alcotest.(check bool) "parity repair used" true (report.Udp.parity_tx > 0);
+  (* ...and the books balance: receivers can only fail to decode datagrams
+     the shim actually mangled (control datagrams bypass the shim), and the
+     report mirrors the counter registry. *)
+  Alcotest.(check bool) "decode failures bounded by corrupt copies" true
+    (counter report "rx.decode_failures" <= counter report "fault.corrupt_copies");
+  Alcotest.(check int) "report mirrors registry"
+    (counter report "rx.decode_failures")
+    report.Udp.decode_failures;
+  Alcotest.(check int) "tx counters mirror report" report.Udp.data_tx
+    (counter report "tx.data")
+
+let test_metrics_registry_shared () =
+  let metrics = Rmcast.Metrics.create () in
+  let data = payloads ~count:16 ~size:config.Udp.payload_size 13 in
+  let report = Udp.run_local ~config ~metrics ~receivers:2 ~loss:0.0 ~seed:14 ~data () in
+  Alcotest.(check bool) "verified" true report.Udp.verified;
+  Alcotest.(check int) "caller registry sees tx.data" report.Udp.data_tx
+    (Rmcast.Metrics.get metrics "tx.data");
+  Alcotest.(check int) "report dump matches registry"
+    (List.length (Rmcast.Metrics.counters metrics))
+    (List.length report.Udp.counters)
+
 (* --- reactor unit tests --- *)
 
 let test_reactor_timer_order () =
@@ -111,9 +165,40 @@ let test_reactor_fd_event () =
   Unix.close b;
   Alcotest.(check string) "datagram delivered" "ping" !received
 
+let test_reactor_heap_leak () =
+  (* Regression: cancelled timers used to sit in the heap until their
+     original expiry — a long-lived session that arms and cancels a NAK
+     timer per TG accumulated every one of them.  Now cancellation prunes
+     eagerly, so the heap stays O(live). *)
+  let reactor = Reactor.create () in
+  let keeper = Reactor.after reactor 0.001 (fun () -> ()) in
+  for _ = 1 to 10_000 do
+    Reactor.cancel (Reactor.after reactor 3600.0 (fun () -> ()))
+  done;
+  ignore keeper;
+  Alcotest.(check bool)
+    (Printf.sprintf "heap stays small (pending=%d)" (Reactor.pending_timers reactor))
+    true
+    (Reactor.pending_timers reactor < 256);
+  Reactor.run reactor;
+  Alcotest.(check int) "heap empty after run" 0 (Reactor.pending_timers reactor)
+
+let test_reactor_metrics () =
+  let metrics = Rmcast.Metrics.create () in
+  let reactor = Reactor.create ~metrics () in
+  ignore (Reactor.after reactor 0.001 (fun () -> ()));
+  ignore (Reactor.after reactor 0.002 (fun () -> ()));
+  Reactor.cancel (Reactor.after reactor 0.003 (fun () -> ()));
+  Reactor.run reactor;
+  Alcotest.(check int) "fires counted" 2 (Rmcast.Metrics.get metrics "reactor.timer_fires");
+  Alcotest.(check int) "cancels counted" 1
+    (Rmcast.Metrics.get metrics "reactor.timers_cancelled")
+
 let suite =
   [
     Alcotest.test_case "reactor timer ordering" `Quick test_reactor_timer_order;
+    Alcotest.test_case "reactor cancelled-timer heap leak" `Quick test_reactor_heap_leak;
+    Alcotest.test_case "reactor metrics" `Quick test_reactor_metrics;
     Alcotest.test_case "reactor cancel" `Quick test_reactor_cancel;
     Alcotest.test_case "reactor stop" `Quick test_reactor_stop;
     Alcotest.test_case "reactor deadline" `Quick test_reactor_deadline;
@@ -123,4 +208,6 @@ let suite =
     Alcotest.test_case "udp single receiver, 25% loss" `Quick test_single_receiver_high_loss;
     Alcotest.test_case "udp seeded loss reproducible" `Quick test_determinism_of_injected_loss;
     Alcotest.test_case "udp validation" `Quick test_validation;
+    Alcotest.test_case "udp fault-storm session" `Quick test_fault_storm_session;
+    Alcotest.test_case "udp shared metrics registry" `Quick test_metrics_registry_shared;
   ]

@@ -18,7 +18,7 @@ let test_roundtrip_all_types () =
 let test_roundtrip_extremes () =
   roundtrip "max fields"
     (Header.Parity
-       { tg_id = 0xFFFFFFF; k = 0xFFFF; index = 0xFFFF; round = 0xFFFFFFF;
+       { tg_id = 0xFFFF_FFFF; k = 0xFFFF; index = 0xFFFF; round = 0xFFFF_FFFF;
          payload = Bytes.make 65536 '\xAB' });
   roundtrip "tiny payload" (Header.Data { tg_id = 0; k = 1; index = 0; payload = Bytes.make 1 '\x00' })
 
@@ -45,6 +45,67 @@ let qcheck_roundtrip =
       | Ok decoded -> Header.equal msg decoded
       | Error _ -> false)
 
+let qcheck_roundtrip_full_range =
+  (* Every encodable field value survives the wire: tg_id and round over the
+     full 32-bit range, k and index/need/size over the full 16-bit range. *)
+  let gen =
+    QCheck.Gen.(
+      int_range 1 5 >>= fun kind ->
+      int_range 0 0xFFFF_FFFF >>= fun tg_id ->
+      int_range 1 0xFFFF >>= fun k ->
+      int_range 0 0xFFFF >>= fun aux ->
+      int_range 0 0xFFFF_FFFF >>= fun round ->
+      string_size ~gen:char (int_range 1 256) >>= fun payload ->
+      let payload = Bytes.of_string payload in
+      return
+        (match kind with
+        | 1 -> Header.Data { tg_id; k; index = aux mod k; payload }
+        | 2 -> Header.Parity { tg_id; k; index = aux; round; payload }
+        | 3 -> Header.Poll { tg_id; k; size = aux; round }
+        | 4 -> Header.Nak { tg_id; need = aux; round }
+        | _ -> Header.Exhausted { tg_id }))
+  in
+  QCheck.Test.make ~count:1000 ~name:"wire roundtrip over full field ranges" (QCheck.make gen)
+    (fun msg ->
+      match Header.decode (Header.encode msg) with
+      | Ok decoded -> Header.equal msg decoded
+      | Error _ -> false)
+
+let decode_is_total buffer =
+  match Header.decode buffer with Ok _ | Error _ -> true | exception _ -> false
+
+let qcheck_decode_never_raises_random =
+  QCheck.Test.make ~count:2000 ~name:"decode total on arbitrary bytes"
+    QCheck.(string_of_size (Gen.int_range 0 128))
+    (fun s -> decode_is_total (Bytes.of_string s))
+
+let qcheck_decode_never_raises_mutated =
+  (* Valid datagrams, then truncated and bit-flipped: the adversarial shape
+     a fault-injecting network actually produces. *)
+  let gen =
+    QCheck.Gen.(
+      int_range 0 100000 >>= fun tg_id ->
+      string_size ~gen:char (int_range 1 64) >>= fun payload ->
+      int_range 0 12 >>= fun cut ->
+      list_size (int_range 0 4) (pair (int_range 0 10000) (int_range 1 255)) >>= fun flips ->
+      return (tg_id, payload, cut, flips))
+  in
+  QCheck.Test.make ~count:2000 ~name:"decode total on mutated datagrams" (QCheck.make gen)
+    (fun (tg_id, payload, cut, flips) ->
+      let buffer =
+        Header.encode
+          (Header.Parity { tg_id; k = 8; index = 1; round = 1; payload = Bytes.of_string payload })
+      in
+      let buffer = Bytes.sub buffer 0 (max 0 (Bytes.length buffer - cut)) in
+      List.iter
+        (fun (pos, flip) ->
+          if Bytes.length buffer > 0 then begin
+            let pos = pos mod Bytes.length buffer in
+            Bytes.set_uint8 buffer pos (Bytes.get_uint8 buffer pos lxor flip)
+          end)
+        flips;
+      decode_is_total buffer)
+
 let expect_error name buffer expected =
   match Header.decode buffer with
   | Ok _ -> Alcotest.fail (name ^ ": decode unexpectedly succeeded")
@@ -68,19 +129,34 @@ let test_decode_truncated () =
 let test_decode_unknown_type () =
   let buffer = Header.encode (Header.Exhausted { tg_id = 1 }) in
   Bytes.set_uint8 buffer 5 77;
+  Header.reseal buffer;
   expect_error "type" buffer "unknown message type 77"
 
 let test_decode_data_without_payload () =
   (* Hand-build a DATA header with zero payload length. *)
   let buffer = Header.encode (Header.Exhausted { tg_id = 1 }) in
   Bytes.set_uint8 buffer 5 1;
+  Header.reseal buffer;
   expect_error "empty data" buffer "DATA without payload"
 
 let test_decode_data_bad_index () =
   let buffer = Header.encode (Header.Data { tg_id = 0; k = 5; index = 4; payload = Bytes.make 2 'z' }) in
   (* bump index beyond k *)
   Bytes.set_uint16_be buffer 12 5;
+  Header.reseal buffer;
   expect_error "index >= k" buffer "DATA index not below k"
+
+let test_decode_checksum_mismatch () =
+  (* An unresealed mutation anywhere — header field or payload — is caught
+     by the CRC before any semantic validation can be fooled. *)
+  let payload = Bytes.of_string "payload" in
+  let buffer = Header.encode (Header.Data { tg_id = 3; k = 4; index = 1; payload }) in
+  Bytes.set_uint8 buffer (Header.header_size + 2)
+    (Bytes.get_uint8 buffer (Header.header_size + 2) lxor 0x40);
+  expect_error "flipped payload bit" buffer "checksum mismatch";
+  let buffer = Header.encode (Header.Nak { tg_id = 1; need = 2; round = 3 }) in
+  Bytes.set_uint16_be buffer 12 9;
+  expect_error "flipped header field" buffer "checksum mismatch"
 
 let test_decode_poll_with_payload () =
   let poll = Header.encode (Header.Poll { tg_id = 0; k = 2; size = 2; round = 1 }) in
@@ -106,6 +182,9 @@ let suite =
     Alcotest.test_case "roundtrip all types" `Quick test_roundtrip_all_types;
     Alcotest.test_case "roundtrip extremes" `Quick test_roundtrip_extremes;
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip_full_range;
+    QCheck_alcotest.to_alcotest qcheck_decode_never_raises_random;
+    QCheck_alcotest.to_alcotest qcheck_decode_never_raises_mutated;
     Alcotest.test_case "bad magic" `Quick test_decode_bad_magic;
     Alcotest.test_case "bad version" `Quick test_decode_bad_version;
     Alcotest.test_case "truncation" `Quick test_decode_truncated;
@@ -113,6 +192,7 @@ let suite =
     Alcotest.test_case "DATA without payload" `Quick test_decode_data_without_payload;
     Alcotest.test_case "DATA index validation" `Quick test_decode_data_bad_index;
     Alcotest.test_case "POLL with payload" `Quick test_decode_poll_with_payload;
+    Alcotest.test_case "checksum mismatch" `Quick test_decode_checksum_mismatch;
     Alcotest.test_case "encode validation" `Quick test_encode_validation;
     Alcotest.test_case "control packet size" `Quick test_header_size_exact;
     Alcotest.test_case "type names" `Quick test_type_names;
