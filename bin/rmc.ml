@@ -11,6 +11,7 @@
      feedback  NAK volume under slotting and damping
      capacity  largest group each protocol can serve
      transfer  run a full NP transfer over a simulated network
+     serve     run N concurrent sessions over one engine (sim or UDP)
      udp       run NP over real UDP sockets on loopback
      trace     record and inspect packet-loss traces *)
 
@@ -365,15 +366,18 @@ let transfer k h a p receivers seed bytes =
   let rng = Rmcast.Rng.create ~seed () in
   let network = Rmcast.Network.independent (Rmcast.Rng.split rng) ~receivers ~p in
   let message = String.init bytes (fun i -> Char.chr ((i * 37) mod 256)) in
-  let options = { Rmcast.Transfer.default_options with k; h; proactive = a } in
-  let outcome = Rmcast.Transfer.send ~options ~network ~rng:(Rmcast.Rng.split rng) message in
-  let report = outcome.Rmcast.Transfer.report in
-  Printf.printf "verified=%b data=%d parity=%d naks=%d suppressed=%d E[M]=%.4f efficiency=%.1f%%\n"
-    outcome.Rmcast.Transfer.verified report.Rmcast.Np.data_tx report.Rmcast.Np.parity_tx
-    report.Rmcast.Np.naks_sent report.Rmcast.Np.naks_suppressed
-    (Rmcast.Np.transmissions_per_packet report)
-    (100.0 *. outcome.Rmcast.Transfer.efficiency);
-  `Ok ()
+  let profile = { Rmcast.Profile.default with k; h; proactive = a } in
+  match Rmcast.Transfer.send ~profile ~network ~rng:(Rmcast.Rng.split rng) message with
+  | Error e -> `Error (false, Rmcast.Error.to_string e)
+  | Ok outcome ->
+    let report = outcome.Rmcast.Transfer.report in
+    Printf.printf
+      "verified=%b data=%d parity=%d naks=%d suppressed=%d E[M]=%.4f efficiency=%.1f%%\n"
+      outcome.Rmcast.Transfer.verified report.Rmcast.Np.data_tx report.Rmcast.Np.parity_tx
+      report.Rmcast.Np.naks_sent report.Rmcast.Np.naks_suppressed
+      (Rmcast.Np.transmissions_per_packet report)
+      (100.0 *. outcome.Rmcast.Transfer.efficiency);
+    `Ok ()
 
 let transfer_cmd =
   let bytes =
@@ -385,6 +389,161 @@ let transfer_cmd =
     Term.(
       ret (const transfer $ k_arg $ Arg.(value & opt int 40 & info [ "parities" ]) $ a_arg $ p_arg
            $ receivers_arg $ seed_arg $ bytes))
+
+(* --- serve ------------------------------------------------------------ *)
+
+let serve_sim ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics =
+  let module Scheduler = Rmcast.Scheduler in
+  let module Transfer = Rmcast.Transfer in
+  let rng = Rmcast.Rng.create ~seed () in
+  let network = Rmcast.Network.independent (Rmcast.Rng.split rng) ~receivers ~p in
+  match Scheduler.create ~profile ~network ~rng:(Rmcast.Rng.split rng) () with
+  | Error e -> `Error (false, Rmcast.Error.to_string e)
+  | Ok scheduler -> (
+    let rec add sid =
+      if sid >= sessions then Ok ()
+      else
+        (* Disjoint per-session payloads so cross-session corruption cannot
+           verify by accident. *)
+        let message =
+          String.init bytes (fun i -> Char.chr ((i * 31 + sid * 97 + 13) mod 256))
+        in
+        match Scheduler.add scheduler ~name:(Printf.sprintf "session-%03d" sid) message with
+        | Error e -> Error e
+        | Ok () -> add (sid + 1)
+    in
+    match add 0 with
+    | Error e -> `Error (false, Rmcast.Error.to_string e)
+    | Ok () ->
+      let metrics = Rmcast.Metrics.create () in
+      let summary = Scheduler.run ~metrics scheduler in
+      Printf.printf "%d sessions x %d bytes, %s\n" sessions bytes
+        (Rmcast.Network.description network);
+      Printf.printf "  %-12s %-8s %6s %7s %6s %7s %9s %9s\n" "session" "verified" "data"
+        "parity" "naks" "E[M]" "start" "finish";
+      List.iter
+        (fun (r : Scheduler.result_) ->
+          let report = r.outcome.Transfer.report in
+          Printf.printf "  %-12s %-8b %6d %7d %6d %7.3f %9.3f %9.3f\n" r.name
+            r.outcome.Transfer.verified report.Rmcast.Np.data_tx report.Rmcast.Np.parity_tx
+            report.Rmcast.Np.naks_sent
+            (Rmcast.Np.transmissions_per_packet report)
+            r.started_at r.finished_at)
+        summary.Scheduler.results;
+      Printf.printf "all verified : %b\n" summary.Scheduler.all_verified;
+      Printf.printf "makespan     : %.3f virtual s\n" summary.Scheduler.makespan;
+      Printf.printf "goodput      : %.1f user kB / virtual s\n"
+        (float_of_int summary.Scheduler.total_bytes /. summary.Scheduler.makespan /. 1e3);
+      if show_metrics then begin
+        print_endline "counters:";
+        List.iter
+          (fun (name, value) -> Printf.printf "  %-32s %d\n" name value)
+          (Rmcast.Metrics.counters metrics)
+      end;
+      if summary.Scheduler.all_verified then `Ok ()
+      else `Error (false, "some sessions failed verification"))
+
+let serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics =
+  let module Udp = Rmcast.Udp_np in
+  let config = Udp.config_of_profile profile in
+  let payload = profile.Rmcast.Profile.payload_size in
+  let packets = max 1 ((bytes + payload - 1) / payload) in
+  let rng = Rmcast.Rng.create ~seed () in
+  let data =
+    Array.init sessions (fun _ ->
+        Array.init packets (fun _ ->
+            Bytes.init payload (fun _ -> Char.chr (Rmcast.Rng.int rng 256))))
+  in
+  let metrics = Rmcast.Metrics.create () in
+  match
+    Udp.run_multi ~config ~metrics ~receivers ~loss:p ~seed:(seed + 1) ~sessions:data ()
+  with
+  | Error e -> `Error (false, Rmcast.Error.to_string e)
+  | Ok report ->
+    Printf.printf "%d sessions x %d packets over UDP loopback, %d receivers, loss %g\n"
+      sessions packets receivers p;
+    Printf.printf "  %-8s %-8s %4s %6s %7s %6s %10s\n" "session" "verified" "tgs" "data"
+      "parity" "polls" "completed";
+    Array.iter
+      (fun (s : Udp.session_report) ->
+        Printf.printf "  %-8d %-8b %4d %6d %7d %6d %6d/%d\n" s.Udp.session s.Udp.verified
+          s.Udp.transmission_groups s.Udp.data_tx s.Udp.parity_tx s.Udp.polls s.Udp.completed
+          receivers)
+      report.Udp.session_reports;
+    Printf.printf "all verified : %b\n" report.Udp.all_verified;
+    Printf.printf "naks         : %d sent, %d suppressed\n" report.Udp.naks_sent
+      report.Udp.naks_suppressed;
+    Printf.printf "dropped      : %d (decode failures %d)\n" report.Udp.datagrams_dropped
+      report.Udp.decode_failures;
+    Printf.printf "wall         : %.3f s\n" report.Udp.wall_seconds;
+    if show_metrics then begin
+      print_endline "counters:";
+      List.iter
+        (fun (name, value) -> Printf.printf "  %-32s %d\n" name value)
+        report.Udp.counters
+    end;
+    if report.Udp.all_verified then `Ok ()
+    else `Error (false, "some sessions failed verification")
+
+let serve sessions transport k h a payload p receivers seed bytes show_metrics =
+  if sessions < 1 then `Error (false, "--sessions must be >= 1")
+  else
+    let profile =
+      { Rmcast.Profile.default with k; h; proactive = a; payload_size = payload }
+    in
+    match Rmcast.Profile.validate profile with
+    | Error e -> `Error (false, Rmcast.Error.to_string e)
+    | Ok profile -> (
+      match transport with
+      | `Sim -> serve_sim ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics
+      | `Udp -> serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics)
+
+let serve_cmd =
+  let sessions =
+    Arg.(value & opt int 8 & info [ "sessions"; "n" ] ~docv:"N" ~doc:"Concurrent sessions.")
+  in
+  let transport =
+    let parse = function
+      | "sim" | "simulated" -> Ok `Sim
+      | "udp" -> Ok `Udp
+      | other -> Error (`Msg (Printf.sprintf "unknown transport %S" other))
+    in
+    let print ppf t = Format.pp_print_string ppf (match t with `Sim -> "sim" | `Udp -> "udp") in
+    Arg.(
+      value
+      & opt (conv (parse, print)) `Sim
+      & info [ "transport" ] ~docv:"TRANSPORT"
+          ~doc:
+            "$(i,sim): interleave flows on the virtual-time scheduler; $(i,udp): multiplex \
+             real loopback sessions over one reactor and a shared sender socket.")
+  in
+  let k = Arg.(value & opt int 20 & info [ "k"; "tg-size" ] ~docv:"K" ~doc:"TG size.") in
+  let h =
+    Arg.(value & opt int 40 & info [ "parities" ] ~docv:"H" ~doc:"Parity budget per group.")
+  in
+  let payload =
+    Arg.(value & opt int 1024 & info [ "payload" ] ~docv:"BYTES" ~doc:"Payload per packet.")
+  in
+  let receivers =
+    Arg.(value & opt int 100 & info [ "r"; "receivers" ] ~docv:"R" ~doc:"Receivers per session.")
+  in
+  let bytes =
+    Arg.(
+      value & opt int 20_000
+      & info [ "bytes" ] ~docv:"BYTES" ~doc:"User bytes transferred by each session.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Dump the full counter registry (per-session scopes included) after the run.")
+  in
+  let doc = "Serve N concurrent sessions over one engine (scheduler or UDP mux)." in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      ret (const serve $ sessions $ transport $ k $ h $ a_arg $ payload $ p_arg $ receivers
+           $ seed_arg $ bytes $ metrics))
 
 (* --- latency --------------------------------------------------------- *)
 
@@ -528,9 +687,11 @@ let udp receivers p seed packets payload metrics faults =
       Array.init packets (fun _ ->
           Bytes.init payload (fun _ -> Char.chr (Rmcast.Rng.int rng 256)))
     in
-    let report =
+    match
       Rmcast.Udp_np.run_local ~config ?faults ~receivers ~loss:p ~seed:(seed + 1) ~data ()
-    in
+    with
+    | Error e -> `Error (false, Rmcast.Error.to_string e)
+    | Ok report ->
     Printf.printf
       "completed %d/%d receivers, verified=%b\n\
        data=%d parity=%d naks=%d suppressed=%d dropped=%d decode_failures=%d\n\
@@ -675,5 +836,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; sweep_cmd; simulate_cmd; plan_cmd; endhost_cmd; latency_cmd;
-            feedback_cmd; capacity_cmd; codec_cmd; transfer_cmd; udp_cmd; faults_cmd;
-            trace_cmd ]))
+            feedback_cmd; capacity_cmd; codec_cmd; transfer_cmd; serve_cmd; udp_cmd;
+            faults_cmd; trace_cmd ]))

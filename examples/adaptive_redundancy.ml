@@ -58,9 +58,9 @@ let () =
   Printf.printf "\n";
 
   (* --- 4. transfer with the shared-loss-aware plan ------------------- *)
-  let options =
+  let profile =
     {
-      Transfer.default_options with
+      Rmcast.Profile.default with
       k;
       h = plan_shared.Planner.budget;
       proactive = plan_shared.Planner.proactive;
@@ -69,7 +69,7 @@ let () =
   in
   let message = String.init 100_000 (fun i -> Char.chr (((i * 131) + (i / 7)) mod 256)) in
   let transfer_net = Network.fbt (Rng.split rng) ~height ~p:0.01 in
-  let outcome = Transfer.send ~options ~network:transfer_net ~rng:(Rng.split rng) message in
+  let outcome = Transfer.send_exn ~profile ~network:transfer_net ~rng:(Rng.split rng) message in
   let report = outcome.Transfer.report in
   Printf.printf "Transfer of %d bytes with the planned configuration:\n" (String.length message);
   Printf.printf "  verified: %b, ejected: %d\n" outcome.Transfer.verified
@@ -78,4 +78,4 @@ let () =
     (Np.transmissions_per_packet report)
     plan_shared.Planner.expected_m;
   Printf.printf "  proactive parities avoided %d of the repair NAK rounds: %d NAKs total.\n"
-    options.Transfer.proactive report.Np.naks_sent
+    profile.Rmcast.Profile.proactive report.Np.naks_sent

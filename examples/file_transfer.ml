@@ -29,13 +29,13 @@ let () =
 
   let rng = Rmcast.Rng.create ~seed:7 () in
   let network = Rmcast.Network.independent (Rmcast.Rng.split rng) ~receivers ~p in
-  let options = { Rmcast.Transfer.default_options with k = 20; h = 40; payload_size = 1024 } in
-  let outcome = Rmcast.Transfer.send ~options ~network ~rng:(Rmcast.Rng.split rng) contents in
+  let profile = { Rmcast.Profile.default with k = 20; h = 40; payload_size = 1024 } in
+  let outcome = Rmcast.Transfer.send_exn ~profile ~network ~rng:(Rmcast.Rng.split rng) contents in
   let report = outcome.Rmcast.Transfer.report in
 
   Printf.printf "\nProtocol NP report:\n";
   Printf.printf "  transmission groups     : %d (k = %d)\n" report.Rmcast.Np.transmission_groups
-    options.Rmcast.Transfer.k;
+    profile.Rmcast.Profile.k;
   Printf.printf "  data / parity packets   : %d / %d\n" report.Rmcast.Np.data_tx
     report.Rmcast.Np.parity_tx;
   Printf.printf "  polls / NAKs / suppressed: %d / %d / %d\n" report.Rmcast.Np.polls

@@ -34,7 +34,7 @@ let () =
   let receivers = 1000 and p = 0.01 in
   let network = Rmcast.Network.independent (Rmcast.Rng.split rng) ~receivers ~p in
   let message = String.concat "\n" (List.init 200 (fun i -> Printf.sprintf "line %04d of the bulk transfer" i)) in
-  let outcome = Rmcast.Transfer.send ~network ~rng:(Rmcast.Rng.split rng) message in
+  let outcome = Rmcast.Transfer.send_exn ~network ~rng:(Rmcast.Rng.split rng) message in
   let report = outcome.Rmcast.Transfer.report in
   Printf.printf "Multicast %d bytes to %d receivers at %.0f%% loss with protocol NP:\n"
     (String.length message) receivers (100.0 *. p);
@@ -51,7 +51,7 @@ let () =
   let population = Rmcast.Receivers.homogeneous ~p ~count:receivers in
   let bound =
     Rmcast.Integrated.expected_transmissions_unbounded
-      ~k:Rmcast.Transfer.default_options.Rmcast.Transfer.k ~population ()
+      ~k:Rmcast.Profile.default.Rmcast.Profile.k ~population ()
   in
   let nofec = Rmcast.Arq.expected_transmissions ~population in
   Printf.printf "Paper's analysis (eq. 6): integrated-FEC bound %.3f vs plain ARQ %.3f.\n" bound

@@ -17,7 +17,9 @@
 
 let run ~label ~config ~receivers ~loss ?faults ~data () =
   Printf.printf "%s\n%!" label;
-  let report = Rmcast.Udp_np.run_local ~config ?faults ~receivers ~loss ~seed:23 ~data () in
+  let report =
+    Rmcast.Udp_np.run_local_exn ~config ?faults ~receivers ~loss ~seed:23 ~data ()
+  in
   Printf.printf "  completed receivers : %d / %d (verified: %b)\n"
     report.Rmcast.Udp_np.completed receivers report.Rmcast.Udp_np.verified;
   Printf.printf "  datagrams           : %d data + %d parity (M = %.3f)\n"

@@ -26,9 +26,18 @@
     {[
       let rng = Rmcast.Rng.create ~seed:42 () in
       let network = Rmcast.Network.independent rng ~receivers:1000 ~p:0.01 in
-      let outcome = Rmcast.Transfer.send ~network ~rng "hello, multicast" in
+      let outcome = Rmcast.Transfer.send_exn ~network ~rng "hello, multicast" in
       assert outcome.Rmcast.Transfer.verified
-    ]} *)
+    ]}
+
+    Configuration enters through exactly one record, {!Profile}; errors
+    leave through exactly one type, {!Error} (every entry point has a
+    [result] form and an [_exn] form).  {!Scheduler} interleaves many
+    sessions over one engine. *)
+
+(* Unified configuration and errors *)
+module Profile = Rmc_core.Profile
+module Error = Rmc_core.Error
 
 (* Codec *)
 module Gf = Rmc_gf.Gf
@@ -98,3 +107,4 @@ module Udp_np = Rmc_transport.Udp_np
 module Transfer = Transfer
 module Planner = Planner
 module Session = Session
+module Scheduler = Scheduler

@@ -1,17 +1,29 @@
+module Profile = Rmc_core.Profile
+module Error = Rmc_core.Error
+
 type t = {
-  options : Transfer.options;
+  profile : Profile.t;
   gap : float;
   queue : (string * string) Queue.t;
 }
 
-let create ?(options = Transfer.default_options) ?(gap = 0.1) () =
-  if gap < 0.0 then invalid_arg "Session.create: negative gap";
-  { options; gap; queue = Queue.create () }
+let create ?(profile = Profile.default) ?(gap = 0.1) () =
+  let context = "Session.create" in
+  match Profile.validate ~context profile with
+  | Error _ as e -> e
+  | Ok profile ->
+    if gap < 0.0 then Error.invalid_arg ~context "negative gap"
+    else Ok { profile; gap; queue = Queue.create () }
+
+let create_exn ?profile ?gap () = Error.get_exn (create ?profile ?gap ())
+let profile t = t.profile
 
 let enqueue t ~name payload =
-  if String.length payload = 0 then invalid_arg "Session.enqueue: empty payload";
-  Queue.push (name, payload) t.queue
+  if String.length payload = 0 then
+    Error.invalid_arg ~context:"Session.enqueue" "empty payload"
+  else Ok (Queue.push (name, payload) t.queue)
 
+let enqueue_exn t ~name payload = Error.get_exn (enqueue t ~name payload)
 let pending t = Queue.length t.queue
 
 type delivery = { name : string; outcome : Transfer.outcome; started_at : float }
@@ -30,23 +42,33 @@ let run t ~network ~rng ?(progress = fun _ -> ()) () =
   let total_bytes = ref 0 in
   let total_sent = ref 0 in
   let verified = ref true in
-  while not (Queue.is_empty t.queue) do
+  let error = ref None in
+  while !error = None && not (Queue.is_empty t.queue) do
     let name, payload = Queue.pop t.queue in
-    let outcome =
-      Transfer.send ~options:t.options ~virtual_start:!clock ~network ~rng payload
-    in
-    let delivery = { name; outcome; started_at = !clock } in
-    clock := outcome.Transfer.report.Rmc_proto.Np.duration +. t.gap;
-    total_bytes := !total_bytes + String.length payload;
-    total_sent := !total_sent + outcome.Transfer.bytes_sent;
-    if not outcome.Transfer.verified then verified := false;
-    deliveries := delivery :: !deliveries;
-    progress delivery
+    match
+      Transfer.send ~profile:t.profile ~virtual_start:!clock ~network ~rng payload
+    with
+    | Error e -> error := Some e
+    | Ok outcome ->
+      let delivery = { name; outcome; started_at = !clock } in
+      clock := outcome.Transfer.report.Rmc_proto.Np.duration +. t.gap;
+      total_bytes := !total_bytes + String.length payload;
+      total_sent := !total_sent + outcome.Transfer.bytes_sent;
+      if not outcome.Transfer.verified then verified := false;
+      deliveries := delivery :: !deliveries;
+      progress delivery
   done;
-  {
-    deliveries = List.rev !deliveries;
-    all_verified = !verified;
-    total_bytes = !total_bytes;
-    total_bytes_sent = !total_sent;
-    duration = Float.max 0.0 (!clock -. t.gap);
-  }
+  match !error with
+  | Some e -> Error e
+  | None ->
+    Ok
+      {
+        deliveries = List.rev !deliveries;
+        all_verified = !verified;
+        total_bytes = !total_bytes;
+        total_bytes_sent = !total_sent;
+        duration = Float.max 0.0 (!clock -. t.gap);
+      }
+
+let run_exn t ~network ~rng ?progress () =
+  Error.get_exn (run t ~network ~rng ?progress ())

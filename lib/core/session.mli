@@ -4,16 +4,31 @@
     ...) to the same receiver population over one shared network, running
     protocol NP once per object with virtual time carried across objects —
     so temporally correlated loss (bursts) spans object boundaries exactly
-    as it would in a long-lived deployment. *)
+    as it would in a long-lived deployment.
+
+    Objects within one session are sequential (each waits for the previous
+    object to finish).  To interleave {e independent} sessions over one
+    network in virtual time, hand them to a {!Scheduler}. *)
 
 type t
 
-val create : ?options:Transfer.options -> ?gap:float -> unit -> t
-(** [gap] (default 0.1 s of virtual time) separates consecutive objects. *)
+val create :
+  ?profile:Rmc_core.Profile.t -> ?gap:float -> unit -> (t, Rmc_core.Error.t) result
+(** [gap] (default 0.1 s of virtual time) separates consecutive objects.
+    Returns [Error] (context ["Session.create"]) on an invalid profile or a
+    negative gap. *)
 
-val enqueue : t -> name:string -> string -> unit
+val create_exn : ?profile:Rmc_core.Profile.t -> ?gap:float -> unit -> t
+(** @raise Invalid_argument where {!create} would return [Error]. *)
+
+val profile : t -> Rmc_core.Profile.t
+
+val enqueue : t -> name:string -> string -> (unit, Rmc_core.Error.t) result
 (** Queue an object. Names need not be unique; delivery order is FIFO.
-    @raise Invalid_argument on an empty payload. *)
+    Returns [Error] (context ["Session.enqueue"]) on an empty payload. *)
+
+val enqueue_exn : t -> name:string -> string -> unit
+(** @raise Invalid_argument on an empty payload. *)
 
 val pending : t -> int
 
@@ -37,6 +52,17 @@ val run :
   rng:Rmc_numerics.Rng.t ->
   ?progress:(delivery -> unit) ->
   unit ->
-  summary
+  (summary, Rmc_core.Error.t) result
 (** Transfer every queued object in order (draining the queue).  The
-    [progress] callback fires after each object completes. *)
+    [progress] callback fires after each object completes.  The profile was
+    validated at {!create}, so with a drained queue of valid objects this
+    returns [Ok]; the [result] keeps the signature total. *)
+
+val run_exn :
+  t ->
+  network:Rmc_sim.Network.t ->
+  rng:Rmc_numerics.Rng.t ->
+  ?progress:(delivery -> unit) ->
+  unit ->
+  summary
+(** @raise Invalid_argument where {!run} would return [Error]. *)

@@ -1,3 +1,6 @@
+module Profile = Rmc_core.Profile
+module Error = Rmc_core.Error
+
 type options = {
   k : int;
   h : int;
@@ -5,8 +8,33 @@ type options = {
   payload_size : int;
   pre_encode : bool;
 }
+[@@deprecated "use Rmc_core.Profile.t (pacing and slot included)"]
 
-let default_options = { k = 20; h = 40; proactive = 0; payload_size = 1024; pre_encode = false }
+[@@@alert "-deprecated"]
+
+let default_options =
+  { k = 20; h = 40; proactive = 0; payload_size = 1024; pre_encode = false }
+
+let profile_of_options o =
+  {
+    Profile.default with
+    Profile.k = o.k;
+    h = o.h;
+    proactive = o.proactive;
+    payload_size = o.payload_size;
+    pre_encode = o.pre_encode;
+  }
+
+let options_of_profile (p : Profile.t) =
+  {
+    k = p.Profile.k;
+    h = p.Profile.h;
+    proactive = p.Profile.proactive;
+    payload_size = p.Profile.payload_size;
+    pre_encode = p.Profile.pre_encode;
+  }
+
+[@@@alert "+deprecated"]
 
 type outcome = {
   report : Rmc_proto.Np.report;
@@ -40,25 +68,35 @@ let reassemble ~payload_size packets =
     invalid_arg "Transfer.reassemble: corrupt length prefix";
   Bytes.sub_string buffer 4 length
 
-let send ?(options = default_options) ?(virtual_start = 0.0) ~network ~rng message =
-  if String.length message = 0 then invalid_arg "Transfer.send: empty message";
-  let data = packetize ~payload_size:options.payload_size message in
-  let config =
-    {
-      Rmc_proto.Np.default_config with
-      k = options.k;
-      h = options.h;
-      proactive = options.proactive;
-      payload_size = options.payload_size;
-      pre_encode = options.pre_encode;
-    }
-  in
-  let report = Rmc_proto.Np.run ~config ~start:virtual_start ~network ~rng ~data () in
+let validate ~context ~virtual_start profile message =
+  match Profile.validate ~context profile with
+  | Error _ as e -> e
+  | Ok p ->
+    if String.length message = 0 then Error.invalid_arg ~context "empty message"
+    else if p.Profile.payload_size < 5 then
+      Error.invalid_arg ~context "payload_size must be >= 5 (4-byte length prefix)"
+    else if virtual_start < 0.0 then Error.invalid_arg ~context "negative start time"
+    else Ok p
+
+let outcome_of_report ~message_len (report : Rmc_proto.Np.report) =
   let payload_packets = report.Rmc_proto.Np.data_tx + report.Rmc_proto.Np.parity_tx in
-  let bytes_sent = payload_packets * options.payload_size in
+  let bytes_sent = payload_packets * report.Rmc_proto.Np.config.Rmc_proto.Np.payload_size in
   {
     report;
     bytes_sent;
-    efficiency = float_of_int (String.length message) /. float_of_int bytes_sent;
-    verified = report.Rmc_proto.Np.delivered_intact && report.Rmc_proto.Np.ejected = [];
+    efficiency = float_of_int message_len /. float_of_int bytes_sent;
+    verified =
+      report.Rmc_proto.Np.delivered_intact && report.Rmc_proto.Np.ejected = [];
   }
+
+let send ?(profile = Profile.default) ?(virtual_start = 0.0) ~network ~rng message =
+  match validate ~context:"Transfer.send" ~virtual_start profile message with
+  | Error _ as e -> e
+  | Ok profile ->
+    let data = packetize ~payload_size:profile.Profile.payload_size message in
+    let config = Rmc_proto.Np.config_of_profile profile in
+    let report = Rmc_proto.Np.run ~config ~start:virtual_start ~network ~rng ~data () in
+    Ok (outcome_of_report ~message_len:(String.length message) report)
+
+let send_exn ?profile ?virtual_start ~network ~rng message =
+  Error.get_exn (send ?profile ?virtual_start ~network ~rng message)

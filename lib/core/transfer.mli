@@ -4,7 +4,11 @@
     it into fixed-size packets (padding the last one), groups packets into
     TGs and runs the full NP machine over a simulated lossy network.  This
     is the ten-line path from "I have a file and a receiver population" to
-    the paper's protocol. *)
+    the paper's protocol.
+
+    Configuration is an {!Rmc_core.Profile.t}; {!send} validates it and
+    returns [(outcome, Error.t) result] — {!send_exn} is the raising
+    variant for tests and scripts. *)
 
 type options = {
   k : int;  (** transmission group size *)
@@ -13,9 +17,21 @@ type options = {
   payload_size : int;  (** bytes of user data per packet *)
   pre_encode : bool;
 }
+[@@deprecated "use Rmc_core.Profile.t (pacing and slot included)"]
+
+[@@@alert "-deprecated"]
 
 val default_options : options
-(** k = 20, h = 40, proactive = 0, 1024-byte packets, online encoding. *)
+  [@@deprecated "use Rmc_core.Profile.default"]
+
+val profile_of_options : options -> Rmc_core.Profile.t
+(** Lift a legacy record into a {!Rmc_core.Profile.t}, taking [pacing] and
+    [slot] from {!Rmc_core.Profile.default}. *)
+
+val options_of_profile : Rmc_core.Profile.t -> options
+(** Forget [pacing] and [slot]. *)
+
+[@@@alert "+deprecated"]
 
 type outcome = {
   report : Rmc_proto.Np.report;  (** full protocol counters *)
@@ -25,19 +41,35 @@ type outcome = {
 }
 
 val send :
-  ?options:options ->
+  ?profile:Rmc_core.Profile.t ->
+  ?virtual_start:float ->
+  network:Rmc_sim.Network.t ->
+  rng:Rmc_numerics.Rng.t ->
+  string ->
+  (outcome, Rmc_core.Error.t) result
+(** [virtual_start] (default 0) offsets the session in virtual time so
+    that several sends can share one network (see {!Rmc_proto.Np.run}).
+    Returns [Error] (context ["Transfer.send"]) on an invalid profile, an
+    empty message, a payload size too small for the length prefix, or a
+    negative start — never raises on bad input. *)
+
+val send_exn :
+  ?profile:Rmc_core.Profile.t ->
   ?virtual_start:float ->
   network:Rmc_sim.Network.t ->
   rng:Rmc_numerics.Rng.t ->
   string ->
   outcome
-(** [virtual_start] (default 0) offsets the session in virtual time so
-    that several sends can share one network (see {!Rmc_proto.Np.run}).
-    @raise Invalid_argument on an empty message. *)
+(** @raise Invalid_argument where {!send} would return [Error]. *)
+
+val outcome_of_report : message_len:int -> Rmc_proto.Np.report -> outcome
+(** Derive the byte accounting and verification flag from a raw NP report —
+    how {!send} (and the {!Scheduler}) summarise a finished flow. *)
 
 val packetize : payload_size:int -> string -> Bytes.t array
 (** Split (and zero-pad) a message into payload-sized packets with a 4-byte
-    length prefix in the first packet, as {!send} does. *)
+    length prefix in the first packet, as {!send} does.
+    @raise Invalid_argument if [payload_size < 5]. *)
 
 val reassemble : payload_size:int -> Bytes.t array -> string
 (** Inverse of {!packetize}. @raise Invalid_argument on malformed input. *)

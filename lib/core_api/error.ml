@@ -1,0 +1,8 @@
+type t = { context : string; reason : string }
+
+let make ~context reason = { context; reason }
+let msgf ~context fmt = Printf.ksprintf (fun reason -> { context; reason }) fmt
+let to_string e = e.context ^ ": " ^ e.reason
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+let get_exn = function Ok v -> v | Error e -> invalid_arg (to_string e)
+let invalid_arg ~context reason = Error (make ~context reason)

@@ -1,0 +1,54 @@
+type t = {
+  k : int;
+  h : int;
+  proactive : int;
+  payload_size : int;
+  pacing : float;
+  slot : float;
+  pre_encode : bool;
+}
+
+let default =
+  {
+    k = 20;
+    h = 40;
+    proactive = 0;
+    payload_size = 1024;
+    pacing = 0.001;
+    slot = 0.100;
+    pre_encode = false;
+  }
+
+let default_udp =
+  { k = 8; h = 16; proactive = 0; payload_size = 512; pacing = 0.0005; slot = 0.020;
+    pre_encode = false }
+
+(* GF(2^8) gives 255 codeword positions; both the simulator and the UDP
+   path build their codecs over that field. *)
+let max_codeword = 255
+
+let validate ?(context = "Profile") t =
+  let fail fmt = Printf.ksprintf (fun reason -> Error (Error.make ~context reason)) fmt in
+  if t.k < 1 then fail "k must be >= 1 (got %d)" t.k
+  else if t.k > 0xFFFF then fail "k exceeds the 16-bit wire field (got %d)" t.k
+  else if t.h < 0 then fail "h must be >= 0 (got %d)" t.h
+  else if t.proactive < 0 || t.proactive > t.h then
+    fail "need 0 <= proactive <= h (got proactive=%d, h=%d)" t.proactive t.h
+  else if t.k + t.h > max_codeword then
+    fail "k + h exceeds %d codeword positions (got %d)" max_codeword (t.k + t.h)
+  else if t.payload_size < 1 then fail "payload_size must be >= 1 (got %d)" t.payload_size
+  else if not (t.pacing > 0.0) then fail "pacing must be positive (got %g)" t.pacing
+  else if not (t.slot > 0.0) then fail "slot must be positive (got %g)" t.slot
+  else Ok t
+
+let validate_exn ?context t = Error.get_exn (validate ?context t)
+
+let equal a b =
+  a.k = b.k && a.h = b.h && a.proactive = b.proactive && a.payload_size = b.payload_size
+  && a.pacing = b.pacing && a.slot = b.slot && a.pre_encode = b.pre_encode
+
+let pp ppf t =
+  Format.fprintf ppf "{k=%d; h=%d; proactive=%d; payload=%dB; pacing=%gs; slot=%gs; pre_encode=%b}"
+    t.k t.h t.proactive t.payload_size t.pacing t.slot t.pre_encode
+
+let to_string t = Format.asprintf "%a" pp t

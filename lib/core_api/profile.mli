@@ -1,0 +1,50 @@
+(** The one user-facing configuration record.
+
+    Before this module existed the stack exposed three near-duplicate
+    configuration records ([Transfer.options], [Udp_np.config] and the
+    [Runner] keyword soup) that had already drifted apart — different
+    defaults for [k]/[h]/[payload_size], pacing only on the UDP path.
+    [Profile] is the single record every public entry point consumes:
+    [Transfer.send], [Session.create], [Scheduler], [Runner.estimate],
+    [Udp_np.run_local]/[run_multi] and the [rmc] CLI.
+
+    A profile describes {e what the sender promises}: FEC geometry
+    ([k], [h], [proactive], [pre_encode]), packetization ([payload_size])
+    and pacing ([pacing], [slot]).  Environment-specific knobs — simulated
+    propagation delay, UDP linger/timeout — stay with the layer that owns
+    them and are derived per layer ([Rmc_proto.Np.config_of_profile],
+    [Rmc_transport.Udp_np.config_of_profile]). *)
+
+type t = {
+  k : int;  (** transmission group size (data packets per FEC block) *)
+  h : int;  (** parity budget per TG *)
+  proactive : int;  (** parities multicast with the initial volley *)
+  payload_size : int;  (** bytes of payload per packet *)
+  pacing : float;  (** seconds between consecutive packets of one sender *)
+  slot : float;  (** NAK slot size Ts (suppression timing) *)
+  pre_encode : bool;  (** encode all parities before transmission starts *)
+}
+
+val default : t
+(** The simulation-path default: k = 20, h = 40, a = 0, 1024-byte
+    payloads, 1 ms pacing, 100 ms slots, online encoding. *)
+
+val default_udp : t
+(** The loopback-UDP default, sized so sessions finish in well under a
+    second: k = 8, h = 16, 512-byte payloads, 0.5 ms pacing, 20 ms
+    slots. *)
+
+val validate : ?context:string -> t -> (t, Error.t) result
+(** Check the cross-field invariants every consumer relies on:
+    [1 <= k <= 65535] (wire limit), [h >= 0],
+    [0 <= proactive <= h], [k + h <= 255] (GF(2^8) codeword positions),
+    [payload_size >= 1], [pacing > 0], [slot > 0].
+    Returns the profile unchanged on success.  [context] names the entry
+    point in the error (default ["Profile"]). *)
+
+val validate_exn : ?context:string -> t -> t
+(** @raise Invalid_argument when {!validate} would return [Error]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

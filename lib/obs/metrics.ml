@@ -2,13 +2,17 @@ type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : float }
 
 type t = {
+  prefix : string;
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 32; gauges = Hashtbl.create 8 }
+let create () = { prefix = ""; counters = Hashtbl.create 32; gauges = Hashtbl.create 8 }
+let scope t name = { t with prefix = t.prefix ^ name ^ "." }
+let prefix t = t.prefix
 
 let counter t name =
+  let name = t.prefix ^ name in
   match Hashtbl.find_opt t.counters name with
   | Some c -> c
   | None ->
@@ -20,9 +24,12 @@ let incr ?(by = 1) c = c.c_value <- c.c_value + by
 let count c = c.c_value
 
 let get t name =
-  match Hashtbl.find_opt t.counters name with Some c -> c.c_value | None -> 0
+  match Hashtbl.find_opt t.counters (t.prefix ^ name) with
+  | Some c -> c.c_value
+  | None -> 0
 
 let gauge t name =
+  let name = t.prefix ^ name in
   match Hashtbl.find_opt t.gauges name with
   | Some g -> g
   | None ->
@@ -34,14 +41,22 @@ let set g v = g.g_value <- v
 let value g = g.g_value
 
 let get_gauge t name =
-  match Hashtbl.find_opt t.gauges name with Some g -> g.g_value | None -> 0.0
+  match Hashtbl.find_opt t.gauges (t.prefix ^ name) with
+  | Some g -> g.g_value
+  | None -> 0.0
+
+let in_scope t name = String.starts_with ~prefix:t.prefix name
 
 let counters t =
-  Hashtbl.fold (fun _ c acc -> (c.c_name, c.c_value) :: acc) t.counters []
+  Hashtbl.fold
+    (fun _ c acc -> if in_scope t c.c_name then (c.c_name, c.c_value) :: acc else acc)
+    t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let gauges t =
-  Hashtbl.fold (fun _ g acc -> (g.g_name, g.g_value) :: acc) t.gauges []
+  Hashtbl.fold
+    (fun _ g acc -> if in_scope t g.g_name then (g.g_name, g.g_value) :: acc else acc)
+    t.gauges []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp ppf t =

@@ -21,6 +21,16 @@ type gauge
 
 val create : unit -> t
 
+val scope : t -> string -> t
+(** [scope t name] is a view of the same registry that prepends
+    ["name."] to every metric it touches: handles, [get]s and listings all
+    happen under the prefix, and the underlying tables stay shared, so a
+    parent registry still sees (and can aggregate) every scoped metric.
+    Scopes nest: [scope (scope t "session") "3"] uses ["session.3."]. *)
+
+val prefix : t -> string
+(** The accumulated prefix ([""] for a root registry). *)
+
 val counter : t -> string -> counter
 (** [counter t name] returns the counter registered under [name], creating
     it at zero on first use.  Subsequent calls with the same name return
@@ -44,7 +54,8 @@ val get_gauge : t -> string -> float
 (** 0 if never registered. *)
 
 val counters : t -> (string * int) list
-(** All counters, sorted by name (deterministic for tests and dumps). *)
+(** All counters under this view's prefix (all of them for a root
+    registry), full names, sorted (deterministic for tests and dumps). *)
 
 val gauges : t -> (string * float) list
 

@@ -3,6 +3,7 @@ module Network = Rmc_sim.Network
 module Rng = Rmc_numerics.Rng
 module Rse = Rmc_rse.Rse
 module Fec_block = Rmc_rse.Fec_block
+module Profile = Rmc_core.Profile
 
 type config = {
   k : int;
@@ -28,6 +29,29 @@ let default_config =
        fire); 4x the default delay keeps most same-slot timers quiet. *)
     slot = 0.100;
     pre_encode = false;
+  }
+
+let config_of_profile ?(delay = default_config.delay) (p : Profile.t) =
+  {
+    k = p.Profile.k;
+    h = p.Profile.h;
+    proactive = p.Profile.proactive;
+    payload_size = p.Profile.payload_size;
+    spacing = p.Profile.pacing;
+    delay;
+    slot = p.Profile.slot;
+    pre_encode = p.Profile.pre_encode;
+  }
+
+let profile_of_config c =
+  {
+    Profile.k = c.k;
+    h = c.h;
+    proactive = c.proactive;
+    payload_size = c.payload_size;
+    pacing = c.spacing;
+    slot = c.slot;
+    pre_encode = c.pre_encode;
   }
 
 type report = {
@@ -79,7 +103,237 @@ let validate_config c =
   if c.spacing <= 0.0 || c.delay < 0.0 || c.slot <= 0.0 then
     invalid_arg "Np: spacing/slot must be positive, delay non-negative"
 
-let run ?(config = default_config) ?(start = 0.0) ~network ~rng ~data () =
+(* ------------------------------------------------------------------ *)
+
+(* One NP transfer multiplexed on a shared engine: all of its sender and
+   receiver state, plus its private counters.  A flow owns its transmission
+   groups, its per-receiver decode state and its job queues; the {!Mux}
+   arbiter owns virtual time and the shared send slot. *)
+type flow = {
+  config : config;
+  network : Network.t;
+  rng : Rng.t;
+  tgs : tg_sender array;
+  rx_states : tg_receiver array array;
+  repair_queue : job Queue.t; (* repairs pre-empt the data stream *)
+  stream_queue : job Queue.t;
+  receivers : int;
+  started_at : float;
+  mutable in_ready : bool; (* member of the arbiter's rotation *)
+  mutable finished_at : float; (* virtual time of the flow's last event *)
+  mutable data_tx : int;
+  mutable parity_tx : int;
+  mutable polls : int;
+  mutable naks_sent : int;
+  mutable naks_suppressed : int;
+  mutable parities_encoded : int;
+  mutable packets_decoded : int;
+  mutable unnecessary : int;
+  mutable ejected_rev : (int * int) list;
+  mutable intact : bool;
+}
+
+(* The arbiter: a round-robin rotation of flows that currently have sender
+   jobs queued.  Exactly one packet occupies the shared send slot at a
+   time; after a data/parity packet the slot is busy for that flow's
+   [spacing], after control packets (POLL, EXHAUSTED) it is free
+   immediately — the same pacing model the single-flow machine used, now
+   shared fairly across sessions. *)
+type mux = {
+  engine : Engine.t;
+  ready : flow Queue.t;
+  mutable pumping : bool;
+}
+
+let create engine = { engine; ready = Queue.create (); pumping = false }
+let engine mux = mux.engine
+
+let tg_k tg = Rse.k (Fec_block.Sender.codec tg.block)
+
+let has_jobs flow =
+  (not (Queue.is_empty flow.repair_queue)) || not (Queue.is_empty flow.stream_queue)
+
+let next_job flow =
+  if not (Queue.is_empty flow.repair_queue) then Some (Queue.pop flow.repair_queue)
+  else if not (Queue.is_empty flow.stream_queue) then Some (Queue.pop flow.stream_queue)
+  else None
+
+let touch mux flow = flow.finished_at <- Engine.now mux.engine
+
+let rec pump mux =
+  match Queue.pop mux.ready with
+  | exception Queue.Empty -> mux.pumping <- false
+  | flow ->
+    (match next_job flow with
+    | None ->
+      flow.in_ready <- false;
+      pump mux
+    | Some job ->
+      let busy = execute mux flow job in
+      if has_jobs flow then Queue.push flow mux.ready else flow.in_ready <- false;
+      touch mux flow;
+      ignore (Engine.after mux.engine busy (fun () -> pump mux)))
+
+(* Wake the arbiter for a flow that (re)gained jobs.  Entering the rotation
+   is what starts a flow: [add_flow] schedules this at the flow's start
+   time. *)
+and wake mux flow =
+  if has_jobs flow && not flow.in_ready then begin
+    flow.in_ready <- true;
+    Queue.push flow mux.ready;
+    if not mux.pumping then begin
+      mux.pumping <- true;
+      ignore (Engine.after mux.engine 0.0 (fun () -> pump mux))
+    end
+  end
+
+and execute mux flow job =
+  let c = flow.config in
+  match job with
+  | Packet { tg; index } ->
+    let payload =
+      if index < tg_k tg then begin
+        flow.data_tx <- flow.data_tx + 1;
+        (Fec_block.Sender.data tg.block).(index)
+      end
+      else begin
+        flow.parity_tx <- flow.parity_tx + 1;
+        Fec_block.Sender.parity tg.block (index - tg_k tg)
+      end
+    in
+    let tx = Network.transmit flow.network ~time:(Engine.now mux.engine) in
+    for r = 0 to flow.receivers - 1 do
+      if not (Network.lost tx r) then
+        ignore
+          (Engine.after mux.engine c.delay (fun () ->
+               deliver_packet mux flow ~receiver:r ~tg ~index payload))
+    done;
+    c.spacing
+  | Poll { tg; size; round } ->
+    flow.polls <- flow.polls + 1;
+    for r = 0 to flow.receivers - 1 do
+      ignore
+        (Engine.after mux.engine c.delay (fun () ->
+             deliver_poll mux flow ~receiver:r ~tg ~size ~round))
+    done;
+    0.0
+  | Exhausted { tg } ->
+    for r = 0 to flow.receivers - 1 do
+      ignore
+        (Engine.after mux.engine c.delay (fun () -> deliver_exhausted mux flow ~receiver:r ~tg))
+    done;
+    0.0
+
+and deliver_packet mux flow ~receiver ~tg ~index payload =
+  touch mux flow;
+  let state = flow.rx_states.(receiver).(tg.tg_id) in
+  if state.delivered || state.gave_up then flow.unnecessary <- flow.unnecessary + 1
+  else begin
+    let fresh = Fec_block.Receiver.add state.rx ~index payload in
+    if not fresh then flow.unnecessary <- flow.unnecessary + 1
+    else if Fec_block.Receiver.complete state.rx then begin
+      let reconstructed = List.length (Fec_block.Receiver.missing_data state.rx) in
+      flow.packets_decoded <- flow.packets_decoded + reconstructed;
+      let decoded = Fec_block.Receiver.decode state.rx in
+      let original = Fec_block.Sender.data tg.block in
+      if not (Array.for_all2 Bytes.equal decoded original) then flow.intact <- false;
+      state.delivered <- true;
+      match state.nak_timer with
+      | Some timer ->
+        Engine.cancel timer;
+        state.nak_timer <- None
+      | None -> ()
+    end
+  end
+
+and deliver_poll mux flow ~receiver ~tg ~size ~round =
+  touch mux flow;
+  let state = flow.rx_states.(receiver).(tg.tg_id) in
+  if (not state.delivered) && (not state.gave_up) && state.nak_round < round then begin
+    let need = Fec_block.Receiver.needed state.rx in
+    if need > 0 then begin
+      (* Slotting (paper §5.1): receivers missing more packets answer in
+         earlier slots; damping adds a uniform offset within the slot. *)
+      let slot_index = max 0 (size - need) in
+      let offset =
+        (float_of_int slot_index *. flow.config.slot) +. (Rng.float flow.rng *. flow.config.slot)
+      in
+      (match state.nak_timer with Some t -> Engine.cancel t | None -> ());
+      state.nak_timer <-
+        Some (Engine.after mux.engine offset (fun () -> send_nak mux flow ~receiver ~tg ~round))
+    end
+  end
+
+and deliver_exhausted mux flow ~receiver ~tg =
+  touch mux flow;
+  let state = flow.rx_states.(receiver).(tg.tg_id) in
+  if (not state.delivered) && not state.gave_up then begin
+    state.gave_up <- true;
+    (match state.nak_timer with Some t -> Engine.cancel t | None -> ());
+    state.nak_timer <- None;
+    flow.ejected_rev <- (receiver, tg.tg_id) :: flow.ejected_rev
+  end
+
+and send_nak mux flow ~receiver ~tg ~round =
+  touch mux flow;
+  let state = flow.rx_states.(receiver).(tg.tg_id) in
+  state.nak_timer <- None;
+  if (not state.delivered) && not state.gave_up then begin
+    let need = Fec_block.Receiver.needed state.rx in
+    if need > 0 then begin
+      flow.naks_sent <- flow.naks_sent + 1;
+      state.nak_round <- round;
+      (* The NAK is multicast: the sender reacts, the other receivers
+         suppress their own pending NAK for this round. *)
+      ignore
+        (Engine.after mux.engine flow.config.delay (fun () ->
+             handle_nak_at_sender mux flow ~tg ~need ~round));
+      for other = 0 to flow.receivers - 1 do
+        if other <> receiver then
+          ignore
+            (Engine.after mux.engine flow.config.delay (fun () ->
+                 overhear_nak mux flow ~receiver:other ~tg_id:tg.tg_id ~need ~round))
+      done
+    end
+  end
+
+and handle_nak_at_sender mux flow ~tg ~need ~round =
+  touch mux flow;
+  if tg.serviced_round < round then begin
+    tg.serviced_round <- round;
+    let remaining =
+      Rse.h (Fec_block.Sender.codec tg.block) - Fec_block.Sender.parities_issued tg.block
+    in
+    if remaining = 0 then Queue.push (Exhausted { tg }) flow.repair_queue
+    else begin
+      let batch = min need remaining in
+      let fresh = Fec_block.Sender.next_parities tg.block batch in
+      if not flow.config.pre_encode then flow.parities_encoded <- flow.parities_encoded + batch;
+      List.iter
+        (fun (j, _) -> Queue.push (Packet { tg; index = tg_k tg + j }) flow.repair_queue)
+        fresh;
+      Queue.push (Poll { tg; size = batch; round = round + 1 }) flow.repair_queue
+    end;
+    wake mux flow
+  end
+
+and overhear_nak mux flow ~receiver ~tg_id ~need ~round =
+  touch mux flow;
+  let state = flow.rx_states.(receiver).(tg_id) in
+  match state.nak_timer with
+  | Some timer when state.nak_round < round || state.nak_round = 0 ->
+    (* Pending timer belongs to this round iff scheduled by its poll;
+       suppression applies when the overheard request covers ours. *)
+    let own_need = Fec_block.Receiver.needed state.rx in
+    if need >= own_need then begin
+      Engine.cancel timer;
+      state.nak_timer <- None;
+      state.nak_round <- round;
+      flow.naks_suppressed <- flow.naks_suppressed + 1
+    end
+  | _ -> ()
+
+let add_flow mux ?(config = default_config) ?(start = 0.0) ~network ~rng ~data () =
   validate_config config;
   let c = config in
   if Array.length data = 0 then invalid_arg "Np.run: no data";
@@ -88,20 +342,12 @@ let run ?(config = default_config) ?(start = 0.0) ~network ~rng ~data () =
       if Bytes.length payload <> c.payload_size then
         invalid_arg "Np.run: payload size mismatch")
     data;
+  if start < 0.0 then invalid_arg "Np.run: negative start time";
+  if start < Engine.now mux.engine then invalid_arg "Np.run: start time in the past";
   let receivers = Network.receivers network in
-  let engine = Engine.create () in
-
-  (* --- counters --- *)
-  let data_tx = ref 0 and parity_tx = ref 0 and polls = ref 0 in
-  let naks_sent = ref 0 and naks_suppressed = ref 0 in
-  let parities_encoded = ref 0 and packets_decoded = ref 0 in
-  let unnecessary = ref 0 in
-  let ejected = ref [] in
-  let intact = ref true in
-
-  (* --- transmission groups --- *)
   let total = Array.length data in
   let tg_count = (total + c.k - 1) / c.k in
+  let parities_encoded = ref 0 in
   let tgs =
     Array.init tg_count (fun i ->
         let base = i * c.k in
@@ -114,9 +360,6 @@ let run ?(config = default_config) ?(start = 0.0) ~network ~rng ~data () =
         end;
         { tg_id = i; block; serviced_round = 0 })
   in
-  let tg_k tg = Rse.k (Fec_block.Sender.codec tg.block) in
-
-  (* --- receiver state --- *)
   let rx_states =
     Array.init receivers (fun _ ->
         Array.map
@@ -130,210 +373,99 @@ let run ?(config = default_config) ?(start = 0.0) ~network ~rng ~data () =
             })
           tgs)
   in
-
-  (* --- sender job queue: repairs pre-empt the data stream --- *)
-  let repair_queue : job Queue.t = Queue.create () in
-  let stream_queue : job Queue.t = Queue.create () in
-  let sending = ref false in
-
-  let next_job () =
-    if not (Queue.is_empty repair_queue) then Some (Queue.pop repair_queue)
-    else if not (Queue.is_empty stream_queue) then Some (Queue.pop stream_queue)
-    else None
+  let flow =
+    {
+      config = c;
+      network;
+      rng;
+      tgs;
+      rx_states;
+      repair_queue = Queue.create ();
+      stream_queue = Queue.create ();
+      receivers;
+      started_at = start;
+      in_ready = false;
+      finished_at = start;
+      data_tx = 0;
+      parity_tx = 0;
+      polls = 0;
+      naks_sent = 0;
+      naks_suppressed = 0;
+      parities_encoded = !parities_encoded;
+      packets_decoded = 0;
+      unnecessary = 0;
+      ejected_rev = [];
+      intact = true;
+    }
   in
-
-  (* Forward declarations to untangle the sender/receiver event cycle. *)
-  let handle_nak_at_sender = ref (fun ~tg:_ ~need:_ ~round:_ -> ()) in
-  let overhear_nak = ref (fun ~receiver:_ ~tg_id:_ ~need:_ ~round:_ -> ()) in
-
-  let deliver_packet ~receiver ~tg ~index payload =
-    let state = rx_states.(receiver).(tg.tg_id) in
-    if state.delivered || state.gave_up then incr unnecessary
-    else begin
-      let fresh = Fec_block.Receiver.add state.rx ~index payload in
-      if not fresh then incr unnecessary
-      else if Fec_block.Receiver.complete state.rx then begin
-        let reconstructed = List.length (Fec_block.Receiver.missing_data state.rx) in
-        packets_decoded := !packets_decoded + reconstructed;
-        let decoded = Fec_block.Receiver.decode state.rx in
-        let original = Fec_block.Sender.data tg.block in
-        if not (Array.for_all2 Bytes.equal decoded original) then intact := false;
-        state.delivered <- true;
-        (match state.nak_timer with
-        | Some timer ->
-          Engine.cancel timer;
-          state.nak_timer <- None
-        | None -> ())
-      end
-    end
-  in
-
-  let send_nak ~receiver ~tg ~round =
-    let state = rx_states.(receiver).(tg.tg_id) in
-    state.nak_timer <- None;
-    if (not state.delivered) && not state.gave_up then begin
-      let need = Fec_block.Receiver.needed state.rx in
-      if need > 0 then begin
-        incr naks_sent;
-        state.nak_round <- round;
-        (* The NAK is multicast: the sender reacts, the other receivers
-           suppress their own pending NAK for this round. *)
-        ignore
-          (Engine.after engine c.delay (fun () -> !handle_nak_at_sender ~tg ~need ~round));
-        for other = 0 to receivers - 1 do
-          if other <> receiver then
-            ignore
-              (Engine.after engine c.delay (fun () ->
-                   !overhear_nak ~receiver:other ~tg_id:tg.tg_id ~need ~round))
-        done
-      end
-    end
-  in
-
-  let deliver_poll ~receiver ~tg ~size ~round =
-    let state = rx_states.(receiver).(tg.tg_id) in
-    if (not state.delivered) && (not state.gave_up) && state.nak_round < round then begin
-      let need = Fec_block.Receiver.needed state.rx in
-      if need > 0 then begin
-        (* Slotting (paper §5.1): receivers missing more packets answer in
-           earlier slots; damping adds a uniform offset within the slot. *)
-        let slot_index = max 0 (size - need) in
-        let offset =
-          (float_of_int slot_index *. c.slot) +. (Rng.float rng *. c.slot)
-        in
-        (match state.nak_timer with Some t -> Engine.cancel t | None -> ());
-        state.nak_timer <-
-          Some (Engine.after engine offset (fun () -> send_nak ~receiver ~tg ~round))
-      end
-    end
-  in
-
-  let deliver_exhausted ~receiver ~tg =
-    let state = rx_states.(receiver).(tg.tg_id) in
-    if (not state.delivered) && not state.gave_up then begin
-      state.gave_up <- true;
-      (match state.nak_timer with Some t -> Engine.cancel t | None -> ());
-      state.nak_timer <- None;
-      ejected := (receiver, tg.tg_id) :: !ejected
-    end
-  in
-
-  (* --- the sender pump: one job per [spacing] tick (polls are free) --- *)
-  let rec pump () =
-    match next_job () with
-    | None -> sending := false
-    | Some job ->
-      let next_delay =
-        match job with
-        | Packet { tg; index } ->
-          let payload =
-            if index < tg_k tg then begin
-              incr data_tx;
-              (Fec_block.Sender.data tg.block).(index)
-            end
-            else begin
-              incr parity_tx;
-              Fec_block.Sender.parity tg.block (index - tg_k tg)
-            end
-          in
-          let tx = Network.transmit network ~time:(Engine.now engine) in
-          for r = 0 to receivers - 1 do
-            if not (Network.lost tx r) then
-              ignore
-                (Engine.after engine c.delay (fun () ->
-                     deliver_packet ~receiver:r ~tg ~index payload))
-          done;
-          c.spacing
-        | Poll { tg; size; round } ->
-          incr polls;
-          for r = 0 to receivers - 1 do
-            ignore
-              (Engine.after engine c.delay (fun () ->
-                   deliver_poll ~receiver:r ~tg ~size ~round))
-          done;
-          0.0
-        | Exhausted { tg } ->
-          for r = 0 to receivers - 1 do
-            ignore (Engine.after engine c.delay (fun () -> deliver_exhausted ~receiver:r ~tg))
-          done;
-          0.0
-      in
-      ignore (Engine.after engine next_delay pump)
-  in
-
-  (handle_nak_at_sender :=
-     fun ~tg ~need ~round ->
-       if tg.serviced_round < round then begin
-         tg.serviced_round <- round;
-         let remaining = Rse.h (Fec_block.Sender.codec tg.block) - Fec_block.Sender.parities_issued tg.block in
-         if remaining = 0 then Queue.push (Exhausted { tg }) repair_queue
-         else begin
-           let batch = min need remaining in
-           let fresh = Fec_block.Sender.next_parities tg.block batch in
-           if not c.pre_encode then parities_encoded := !parities_encoded + batch;
-           List.iter
-             (fun (j, _) -> Queue.push (Packet { tg; index = tg_k tg + j }) repair_queue)
-             fresh;
-           Queue.push (Poll { tg; size = batch; round = round + 1 }) repair_queue
-         end;
-         if not !sending then begin
-           sending := true;
-           ignore (Engine.after engine 0.0 pump)
-         end
-       end);
-
-  (overhear_nak :=
-     fun ~receiver ~tg_id ~need ~round ->
-       let state = rx_states.(receiver).(tg_id) in
-       match state.nak_timer with
-       | Some timer when state.nak_round < round || state.nak_round = 0 ->
-         (* Pending timer belongs to this round iff scheduled by its poll;
-            suppression applies when the overheard request covers ours. *)
-         let own_need = Fec_block.Receiver.needed state.rx in
-         if need >= own_need then begin
-           Engine.cancel timer;
-           state.nak_timer <- None;
-           state.nak_round <- round;
-           incr naks_suppressed
-         end
-       | _ -> ());
-
-  (* --- enqueue the initial stream: per TG, data + proactive parities + poll --- *)
+  (* Initial stream: per TG, data + proactive parities + poll. *)
   Array.iter
     (fun tg ->
       let k = tg_k tg in
       for index = 0 to k - 1 do
-        Queue.push (Packet { tg; index }) stream_queue
+        Queue.push (Packet { tg; index }) flow.stream_queue
       done;
       let a = min c.proactive c.h in
       if a > 0 then begin
         let fresh = Fec_block.Sender.next_parities tg.block a in
-        if not c.pre_encode then parities_encoded := !parities_encoded + a;
-        List.iter (fun (j, _) -> Queue.push (Packet { tg; index = k + j }) stream_queue) fresh
+        if not c.pre_encode then flow.parities_encoded <- flow.parities_encoded + a;
+        List.iter
+          (fun (j, _) -> Queue.push (Packet { tg; index = k + j }) flow.stream_queue)
+          fresh
       end;
-      Queue.push (Poll { tg; size = k + a; round = 1 }) stream_queue)
-    tgs;
-  sending := true;
-  if start < 0.0 then invalid_arg "Np.run: negative start time";
-  ignore (Engine.at engine start pump);
-  Engine.run engine;
+      Queue.push (Poll { tg; size = k + a; round = 1 }) flow.stream_queue)
+    flow.tgs;
+  ignore (Engine.at mux.engine start (fun () -> wake mux flow));
+  flow
 
+let started_at flow = flow.started_at
+let finished_at flow = flow.finished_at
+
+let flow_complete flow =
+  Array.for_all
+    (fun per_tg -> Array.for_all (fun s -> s.delivered || s.gave_up) per_tg)
+    flow.rx_states
+
+let flow_report flow =
   let all_delivered =
-    Array.for_all (fun per_tg -> Array.for_all (fun s -> s.delivered) per_tg) rx_states
+    Array.for_all (fun per_tg -> Array.for_all (fun s -> s.delivered) per_tg) flow.rx_states
   in
   {
-    config = c;
-    receivers;
-    transmission_groups = tg_count;
-    data_tx = !data_tx;
-    parity_tx = !parity_tx;
-    polls = !polls;
-    naks_sent = !naks_sent;
-    naks_suppressed = !naks_suppressed;
-    parities_encoded = !parities_encoded;
-    packets_decoded = !packets_decoded;
-    unnecessary_receptions = !unnecessary;
-    ejected = List.rev !ejected;
-    duration = Engine.now engine;
-    delivered_intact = !intact && all_delivered;
+    config = flow.config;
+    receivers = flow.receivers;
+    transmission_groups = Array.length flow.tgs;
+    data_tx = flow.data_tx;
+    parity_tx = flow.parity_tx;
+    polls = flow.polls;
+    naks_sent = flow.naks_sent;
+    naks_suppressed = flow.naks_suppressed;
+    parities_encoded = flow.parities_encoded;
+    packets_decoded = flow.packets_decoded;
+    unnecessary_receptions = flow.unnecessary;
+    ejected = List.rev flow.ejected_rev;
+    duration = flow.finished_at;
+    delivered_intact = flow.intact && all_delivered;
   }
+
+module Mux = struct
+  type t = mux
+  type nonrec flow = flow
+
+  let create = create
+  let engine = engine
+  let add_flow = add_flow
+  let started_at = started_at
+  let finished_at = finished_at
+  let complete = flow_complete
+  let report = flow_report
+  let run t = Engine.run t.engine
+end
+
+let run ?(config = default_config) ?(start = 0.0) ~network ~rng ~data () =
+  let engine = Engine.create () in
+  let mux = create engine in
+  let flow = add_flow mux ~config ~start ~network ~rng ~data () in
+  Engine.run engine;
+  (* Preserve the historical duration definition: virtual time when the
+     event queue drained, not just this flow's last touch. *)
+  { (flow_report flow) with duration = Engine.now engine }

@@ -22,7 +22,12 @@
 
     Control packets (POLL, NAK) are delivered reliably — the analysis'
     assumption "NAKs are never lost"; data and parity packets suffer the
-    network's loss process. *)
+    network's loss process.
+
+    The machine is reentrant: {!Mux} multiplexes any number of independent
+    transfers ({e flows}) over one virtual-time engine, arbitrating the
+    shared send slot round-robin.  {!run} is the single-flow convenience
+    wrapper. *)
 
 type config = {
   k : int;  (** TG size *)
@@ -38,6 +43,13 @@ type config = {
 val default_config : config
 (** k = 20, h = 40, proactive = 0, 1 KiB payloads, 1 ms spacing, 25 ms
     delay, 10 ms slots, no pre-encoding. *)
+
+val config_of_profile : ?delay:float -> Rmc_core.Profile.t -> config
+(** Derive the simulator config from the user-facing profile; [delay] is
+    the simulation-only one-way latency (default [default_config.delay]). *)
+
+val profile_of_config : config -> Rmc_core.Profile.t
+(** Forget the simulation-only [delay]. *)
 
 type report = {
   config : config;
@@ -60,6 +72,57 @@ type report = {
 val transmissions_per_packet : report -> float
 (** The E[M] estimate this run realises. *)
 
+val validate_config : config -> unit
+(** @raise Invalid_argument on out-of-range fields. *)
+
+(** Multiplex several independent NP transfers over one shared engine.
+
+    Each {!Mux.add_flow} registers a complete sender/receiver-set state
+    machine; flows with pending sender jobs sit in a round-robin rotation
+    and each occupies the shared send slot for its own [spacing] after a
+    data/parity packet (control packets are free, as in the single-flow
+    machine).  Flows may target the same or different {!Rmc_sim.Network}s —
+    sharing one network makes its loss process (e.g. a bursty channel)
+    span session boundaries, exactly like competing sessions behind one
+    bottleneck. *)
+module Mux : sig
+  type t
+
+  type flow
+  (** Handle returned by {!add_flow}; query it after (or during) the run. *)
+
+  val create : Rmc_sim.Engine.t -> t
+  val engine : t -> Rmc_sim.Engine.t
+
+  val add_flow :
+    t ->
+    ?config:config ->
+    ?start:float ->
+    network:Rmc_sim.Network.t ->
+    rng:Rmc_numerics.Rng.t ->
+    data:Bytes.t array ->
+    unit ->
+    flow
+  (** Register a transfer of [data] starting at virtual time [start]
+      (default 0, must not lie in the engine's past).  The flow enters the
+      send rotation at [start].
+      @raise Invalid_argument on an invalid config, empty data, wrong
+      payload sizes or a bad start time. *)
+
+  val run : t -> unit
+  (** Drive the engine until every flow has drained ([Engine.run]). *)
+
+  val complete : flow -> bool
+  (** Every (receiver, TG) pair either delivered or gave up. *)
+
+  val report : flow -> report
+  (** This flow's counters; [duration] is the virtual time of the flow's
+      last event (absolute, includes its [start] offset). *)
+
+  val started_at : flow -> float
+  val finished_at : flow -> float
+end
+
 val run :
   ?config:config ->
   ?start:float ->
@@ -76,4 +139,6 @@ val run :
     the previous session's [duration] to run several transfers back to
     back over one network (whose loss processes must see non-decreasing
     times).
+
+    Equivalent to a one-flow {!Mux}; preserved for all existing callers.
     @raise Invalid_argument on empty data or wrong payload sizes. *)

@@ -39,7 +39,26 @@ type estimate = {
 
 let mean_m e = Stats.Accumulator.mean e.transmissions_per_packet
 
-let estimate net ~k ~scheme ?metrics ?(timing = Timing.instantaneous) ?(reps = 200) () =
+let estimate net ?profile ?k ?scheme ?metrics ?timing ?(reps = 200) () =
+  let module Profile = Rmc_core.Profile in
+  let k =
+    match (k, profile) with
+    | Some k, _ -> k
+    | None, Some p -> p.Profile.k
+    | None, None -> invalid_arg "Runner.estimate: either ~k or ~profile is required"
+  in
+  let scheme =
+    match (scheme, profile) with
+    | Some s, _ -> s
+    | None, Some p -> Integrated_nak { a = p.Profile.proactive }
+    | None, None -> invalid_arg "Runner.estimate: either ~scheme or ~profile is required"
+  in
+  let timing =
+    match (timing, profile) with
+    | Some t, _ -> t
+    | None, Some p -> { Timing.spacing = p.Profile.pacing; feedback_delay = p.Profile.slot }
+    | None, None -> Timing.instantaneous
+  in
   if reps < 1 then invalid_arg "Runner.estimate: reps must be >= 1";
   let module Metrics = Rmc_obs.Metrics in
   let count name by =

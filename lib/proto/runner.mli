@@ -34,8 +34,9 @@ val mean_m : estimate -> float
 
 val estimate :
   Rmc_sim.Network.t ->
-  k:int ->
-  scheme:scheme ->
+  ?profile:Rmc_core.Profile.t ->
+  ?k:int ->
+  ?scheme:scheme ->
   ?metrics:Rmc_obs.Metrics.t ->
   ?timing:Timing.t ->
   ?reps:int ->
@@ -45,6 +46,15 @@ val estimate :
     for temporal-loss networks the channel state carries over between TGs,
     exactly as a long transfer would experience it.  TGs are separated by
     [timing.feedback_delay].
+
+    Parameters resolve from the unified {!Rmc_core.Profile} when one is
+    given: [k] defaults to [profile.k], [scheme] to
+    [Integrated_nak { a = profile.proactive }] (the NP data plane), and
+    [timing] to [{ spacing = profile.pacing; feedback_delay =
+    profile.slot }].  Explicit [~k]/[~scheme]/[~timing] always win, so
+    pre-profile call sites are unchanged; without a profile, [~k] and
+    [~scheme] are required ([Invalid_argument] otherwise) and [timing]
+    defaults to {!Timing.instantaneous}.
 
     With [metrics], accumulates [runner.tgs], [runner.transmissions],
     [runner.rounds], [runner.feedback] and [runner.unnecessary] counters

@@ -19,8 +19,8 @@ let create ?(field = Gf.gf256) ~k ~h () =
       done;
       Codec_core.make ~label:"Cauchy" ~field ~k ~h ~generator)
 
-let k (t : t) = t.Codec_core.k
-let h (t : t) = t.Codec_core.h
+let k = Codec_core.k
+let h = Codec_core.h
 let n = Codec_core.n
 let generator_row = Codec_core.generator_row
 let encode_parity = Codec_core.encode_parity

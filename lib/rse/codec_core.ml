@@ -109,6 +109,10 @@ let memo_create ~label ~field ~k ~h build =
       Mutex.unlock memo_mutex;
       raise e)
 
+let label t = t.label
+let field t = t.field
+let k t = t.k
+let h t = t.h
 let n t = t.k + t.h
 let generator_row t e = Gmatrix.row t.generator e
 
@@ -363,6 +367,10 @@ let decode_accumulate t plan ~pos ~len =
   else
     accumulate_symbols t ~rows:plan.missing_rows ~srcs:plan.sources ~dsts:plan.missing_dsts
       ~pos ~len
+
+let plan_outputs plan = plan.outputs
+let plan_missing_count plan = Array.length plan.missing_dsts
+let plan_payload_len plan = plan.payload_len
 
 let decode t received =
   let plan = decode_plan t received in

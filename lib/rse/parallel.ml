@@ -144,11 +144,11 @@ let run_striped pool ~len apply =
 
 let encode ?pool ?(min_bytes = default_min_bytes) codec data =
   let open Codec_core in
-  if codec.h = 0 then [||]
+  if h codec = 0 then [||]
   else begin
     let parity, len = encode_prepare codec data in
     let pool = match pool with Some p -> p | None -> default_pool () in
-    if pool.domains = 1 || codec.k * codec.h * len < min_bytes then
+    if pool.domains = 1 || k codec * h codec * len < min_bytes then
       encode_into codec data ~parity ~pos:0 ~len
     else run_striped pool ~len (fun ~pos ~len -> encode_into codec data ~parity ~pos ~len);
     parity
@@ -157,12 +157,12 @@ let encode ?pool ?(min_bytes = default_min_bytes) codec data =
 let decode ?pool ?(min_bytes = default_min_bytes) codec received =
   let open Codec_core in
   let plan = decode_plan codec received in
-  let missing = Array.length plan.missing_dsts in
+  let missing = plan_missing_count plan in
   if missing > 0 then begin
-    let len = plan.payload_len in
+    let len = plan_payload_len plan in
     let pool = match pool with Some p -> p | None -> default_pool () in
-    if pool.domains = 1 || codec.k * missing * len < min_bytes then
+    if pool.domains = 1 || k codec * missing * len < min_bytes then
       decode_accumulate codec plan ~pos:0 ~len
     else run_striped pool ~len (fun ~pos ~len -> decode_accumulate codec plan ~pos ~len)
   end;
-  plan.outputs
+  plan_outputs plan

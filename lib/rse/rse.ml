@@ -10,10 +10,10 @@ let create ?(field = Gf.gf256) ~k ~h () =
       let generator = Gmatrix.systematise vandermonde in
       Codec_core.make ~label:"Rse" ~field ~k ~h ~generator)
 
-let k (t : t) = t.Codec_core.k
-let h (t : t) = t.Codec_core.h
+let k = Codec_core.k
+let h = Codec_core.h
 let n = Codec_core.n
-let field (t : t) = t.Codec_core.field
+let field = Codec_core.field
 let generator_row = Codec_core.generator_row
 let encode_parity = Codec_core.encode_parity
 let encode = Codec_core.encode

@@ -18,21 +18,21 @@ let create ?(field = Gf.gf256) ~k ~h () =
       done;
       Codec_core.make ~label:"Rse_poly" ~field ~k ~h ~generator)
 
-let k (t : t) = t.Codec_core.k
-let h (t : t) = t.Codec_core.h
+let k = Codec_core.k
+let h = Codec_core.h
 let n = Codec_core.n
 
 let encode_parity (t : t) data j =
-  if Array.length data <> t.Codec_core.k then
+  if Array.length data <> k t then
     invalid_arg "Rse_poly.encode_parity: expected k data packets";
-  if j < 0 || j >= t.Codec_core.h then
+  if j < 0 || j >= h t then
     invalid_arg "Rse_poly.encode_parity: parity index out of range";
   let len = Bytes.length data.(0) in
   Array.iter
     (fun p ->
       if Bytes.length p <> len then invalid_arg "Rse_poly.encode_parity: unequal lengths")
     data;
-  let field = t.Codec_core.field in
+  let field = Codec_core.field t in
   if Gf.m field <> 8 then Codec_core.encode_parity t data j
   else begin
     (* Horner evaluation at x = alpha^j across whole packets:
@@ -40,7 +40,7 @@ let encode_parity (t : t) data j =
        to the generator row but exercises the paper's eq. (1) directly. *)
     let x = Gf.exp field j in
     let acc = Bytes.make len '\000' in
-    for c = t.Codec_core.k - 1 downto 0 do
+    for c = k t - 1 downto 0 do
       if x <> 1 then Gf.mul_into field ~dst:acc ~src:acc ~coeff:x;
       Gf.xor_into ~dst:acc ~src:data.(c)
     done;

@@ -4,6 +4,8 @@ module Fec_block = Rmc_rse.Fec_block
 module Header = Rmc_wire.Header
 module Metrics = Rmc_obs.Metrics
 module Fault = Rmc_obs.Fault
+module Profile = Rmc_core.Profile
+module Error = Rmc_core.Error
 
 type config = {
   k : int;
@@ -28,6 +30,32 @@ let default_config =
     session_timeout = 5.0;
   }
 
+let config_of_profile ?(linger = default_config.linger)
+    ?(session_timeout = default_config.session_timeout) (p : Profile.t) =
+  (* pre_encode has no wall-clock equivalent here: the UDP sender encodes
+     parities on demand, so the flag is dropped. *)
+  {
+    k = p.Profile.k;
+    h = p.Profile.h;
+    proactive = p.Profile.proactive;
+    payload_size = p.Profile.payload_size;
+    spacing = p.Profile.pacing;
+    slot = p.Profile.slot;
+    linger;
+    session_timeout;
+  }
+
+let profile_of_config c =
+  {
+    Profile.k = c.k;
+    h = c.h;
+    proactive = c.proactive;
+    payload_size = c.payload_size;
+    pacing = c.spacing;
+    slot = c.slot;
+    pre_encode = false;
+  }
+
 type report = {
   receivers : int;
   transmission_groups : int;
@@ -44,6 +72,39 @@ type report = {
   wall_seconds : float;
   counters : (string * int) list;
 }
+
+type session_report = {
+  session : int;
+  transmission_groups : int;
+  data_tx : int;
+  parity_tx : int;
+  polls : int;
+  completed : int;  (* receivers that completed every TG of this session *)
+  verified : bool;
+  ejected : (int * int) list;  (* (receiver, local tg) pairs *)
+}
+
+type multi_report = {
+  receivers : int;
+  session_reports : session_report array;
+  naks_sent : int;
+  naks_suppressed : int;
+  datagrams_dropped : int;
+  decode_failures : int;
+  all_verified : bool;
+  wall_seconds : float;
+  counters : (string * int) list;
+}
+
+(* --- session demux on the wire ---------------------------------------- *)
+
+(* The 32-bit wire [tg_id] carries the session id in its upper 16 bits and
+   the session-local TG index in the lower 16 — no wire-format change, and
+   a single-session run (sid 0) puts exactly the bytes on the wire it
+   always did. *)
+let wire_tg ~sid local = (sid lsl 16) lor local
+let sid_of_wire wire = wire lsr 16
+let local_of_wire wire = wire land 0xFFFF
 
 (* --- socket helpers -------------------------------------------------- *)
 
@@ -83,7 +144,7 @@ let drain_socket ?on_decode_error socket handle =
 (* --- sender ----------------------------------------------------------- *)
 
 type tg_sender = {
-  tg_id : int;
+  tg_id : int;  (* session-local *)
   block : Fec_block.Sender.t;
   mutable serviced_round : int;
 }
@@ -94,6 +155,7 @@ type sender_job =
   | Send_exhausted of { tg : tg_sender }
 
 type sender = {
+  sid : int;
   config : config;
   reactor : Reactor.t;
   socket : Unix.file_descr;
@@ -148,12 +210,13 @@ let rec sender_pump sender =
       match job with
       | Send_packet { tg; index } ->
         let k = tg_k tg in
+        let id = wire_tg ~sid:sender.sid tg.tg_id in
         (if index < k then begin
            sender.data_tx <- sender.data_tx + 1;
            Metrics.incr sender.c_data;
            sender_multicast sender
              (Header.Data
-                { tg_id = tg.tg_id; k; index; payload = (Fec_block.Sender.data tg.block).(index) })
+                { tg_id = id; k; index; payload = (Fec_block.Sender.data tg.block).(index) })
          end
          else begin
            sender.parity_tx <- sender.parity_tx + 1;
@@ -161,7 +224,7 @@ let rec sender_pump sender =
            sender_multicast sender
              (Header.Parity
                 {
-                  tg_id = tg.tg_id;
+                  tg_id = id;
                   k;
                   index = index - k;
                   round = 0;
@@ -172,11 +235,12 @@ let rec sender_pump sender =
       | Send_poll { tg; size; round } ->
         sender.polls <- sender.polls + 1;
         Metrics.incr sender.c_poll;
-        sender_multicast sender (Header.Poll { tg_id = tg.tg_id; k = tg_k tg; size; round });
+        sender_multicast sender
+          (Header.Poll { tg_id = wire_tg ~sid:sender.sid tg.tg_id; k = tg_k tg; size; round });
         0.0
       | Send_exhausted { tg } ->
         Metrics.incr sender.c_exhausted;
-        sender_multicast sender (Header.Exhausted { tg_id = tg.tg_id });
+        sender_multicast sender (Header.Exhausted { tg_id = wire_tg ~sid:sender.sid tg.tg_id });
         0.0
     in
     ignore (Reactor.after sender.reactor delay (fun () -> sender_pump sender))
@@ -211,19 +275,26 @@ let sender_handle_nak sender ~tg_id ~need ~round =
     end
   end
 
-let create_sender reactor ~socket ~group ~config ~data ~metrics ~shim =
+(* [metrics] is already scoped per session by the caller; the NAK handler
+   for the shared socket lives with the driver, not here, because many
+   senders share one socket. *)
+let create_sender reactor ~socket ~group ~config ~sid ~data ~metrics ~shim =
   let total = Array.length data in
   let tg_count = (total + config.k - 1) / config.k in
   let tgs =
     Array.init tg_count (fun i ->
         let base = i * config.k in
         let len = min config.k (total - base) in
+        (* Rse.create is memoized per (field, k, h) in Codec_core, so the
+           N sessions of a multiplexed run share one codec (and its
+           encode/decode plans) instead of building N copies. *)
         let codec = Rse.create ~k:len ~h:config.h () in
         { tg_id = i; block = Fec_block.Sender.create codec (Array.sub data base len);
           serviced_round = 0 })
   in
   let sender =
     {
+      sid;
       config;
       reactor;
       socket;
@@ -257,13 +328,6 @@ let create_sender reactor ~socket ~group ~config ~data ~metrics ~shim =
           (Fec_block.Sender.next_parities tg.block a);
       Queue.push (Send_poll { tg; size = k + a; round = 1 }) sender.stream_queue)
     tgs;
-  let c_decode_fail = Metrics.counter metrics "sender.decode_failures" in
-  Reactor.on_readable reactor socket (fun () ->
-      drain_socket ~on_decode_error:(fun () -> Metrics.incr c_decode_fail) socket
-        (fun message _from ->
-          match message with
-          | Header.Nak { tg_id; need; round } -> sender_handle_nak sender ~tg_id ~need ~round
-          | Header.Data _ | Header.Parity _ | Header.Poll _ | Header.Exhausted _ -> ()));
   sender_wake sender;
   sender
 
@@ -286,7 +350,7 @@ type receiver = {
   mutable peer_addrs : Unix.sockaddr list;
   rng : Rng.t;
   loss : float;
-  blocks : (int, tg_receiver) Hashtbl.t;
+  blocks : (int, tg_receiver) Hashtbl.t;  (* keyed by wire tg_id: demux for free *)
   on_tg_complete : int -> Bytes.t array -> unit;
   on_ejected : int -> unit;
   mutable naks_sent : int;
@@ -458,22 +522,19 @@ let create_receiver reactor ~socket ~sender_addr ~config ~seed ~loss ~id ~metric
             receiver_handle_exhausted receiver ~tg_id));
   receiver
 
-(* --- local session ----------------------------------------------------- *)
+(* --- the shared engine: N sessions, one reactor ------------------------ *)
 
-let run_local ?(config = default_config) ?metrics ?faults ~receivers ~loss ~seed ~data () =
-  if Array.length data = 0 then invalid_arg "Udp_np.run_local: no data";
-  if loss < 0.0 || loss >= 1.0 then invalid_arg "Udp_np.run_local: loss outside [0,1)";
-  Array.iter
-    (fun payload ->
-      if Bytes.length payload <> config.payload_size then
-        invalid_arg "Udp_np.run_local: payload size mismatch")
-    data;
-  if receivers < 1 then invalid_arg "Udp_np.run_local: need at least one receiver";
-  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+(* Everything both entry points share: one reactor, one sender socket
+   multiplexing every session's datagrams (demuxed by the sid in the wire
+   [tg_id]), one receiver socket per receiver serving all sessions. *)
+let run_engine ~config ~metrics ~faults ~receivers ~loss ~seed ~sessions ~sender_metrics =
   let shim = Option.map (fun spec -> Fault.create ~metrics spec) faults in
   let reactor = Reactor.create ~metrics () in
   let started = Unix.gettimeofday () in
-  let tg_count = (Array.length data + config.k - 1) / config.k in
+  let nsessions = Array.length sessions in
+  let tg_counts =
+    Array.map (fun data -> (Array.length data + config.k - 1) / config.k) sessions
+  in
 
   let sender_socket = make_socket () in
   let receiver_sockets = Array.init receivers (fun _ -> make_socket ()) in
@@ -481,31 +542,38 @@ let run_local ?(config = default_config) ?metrics ?faults ~receivers ~loss ~seed
   let sender_addr = addr_of sender_socket in
   let receiver_addrs = Array.map addr_of receiver_sockets in
 
-  let completed_tgs = Array.make receivers 0 in
-  let verified = ref true in
-  let ejected = ref [] in
-  let finished = ref 0 in
-  let reference tg_id =
-    let base = tg_id * config.k in
+  let completed_tgs = Array.init receivers (fun _ -> Array.make nsessions 0) in
+  let verified = Array.make nsessions true in
+  let ejected = Array.make nsessions [] in
+  let finished_pairs = ref 0 in
+  let total_pairs = receivers * nsessions in
+  let reference ~sid local =
+    let data = sessions.(sid) in
+    let base = local * config.k in
     let len = min config.k (Array.length data - base) in
     Array.sub data base len
   in
   let maybe_finish () =
-    if !finished = receivers then
+    if !finished_pairs = total_pairs then
       (* Let in-flight datagrams drain, then stop the loop. *)
       ignore (Reactor.after reactor config.linger (fun () -> Reactor.stop reactor))
   in
   let rxs =
     Array.init receivers (fun id ->
-        let on_tg_complete tg_id decoded =
-          if not (Array.for_all2 Bytes.equal decoded (reference tg_id)) then verified := false;
-          completed_tgs.(id) <- completed_tgs.(id) + 1;
-          if completed_tgs.(id) = tg_count then begin
-            incr finished;
+        let on_tg_complete wire decoded =
+          let sid = sid_of_wire wire and local = local_of_wire wire in
+          if not (Array.for_all2 Bytes.equal decoded (reference ~sid local)) then
+            verified.(sid) <- false;
+          completed_tgs.(id).(sid) <- completed_tgs.(id).(sid) + 1;
+          if completed_tgs.(id).(sid) = tg_counts.(sid) then begin
+            incr finished_pairs;
             maybe_finish ()
           end
         in
-        let on_ejected tg_id = ejected := (id, tg_id) :: !ejected in
+        let on_ejected wire =
+          let sid = sid_of_wire wire in
+          ejected.(sid) <- (id, local_of_wire wire) :: ejected.(sid)
+        in
         create_receiver reactor ~socket:receiver_sockets.(id) ~sender_addr ~config
           ~seed:(seed + (id * 7919)) ~loss ~id ~metrics ~on_tg_complete ~on_ejected)
   in
@@ -520,29 +588,127 @@ let run_local ?(config = default_config) ?metrics ?faults ~receivers ~loss ~seed
                 (Seq.init receivers Fun.id))))
     rxs;
   let group = Array.to_list receiver_addrs in
-  let sender = create_sender reactor ~socket:sender_socket ~group ~config ~data ~metrics ~shim in
+  let senders =
+    Array.init nsessions (fun sid ->
+        create_sender reactor ~socket:sender_socket ~group ~config ~sid
+          ~data:sessions.(sid) ~metrics:(sender_metrics sid) ~shim)
+  in
+  (* One handler on the shared sender socket demuxes incoming NAKs to the
+     owning session's sender. *)
+  let c_decode_fail = Metrics.counter metrics "sender.decode_failures" in
+  Reactor.on_readable reactor sender_socket (fun () ->
+      drain_socket ~on_decode_error:(fun () -> Metrics.incr c_decode_fail) sender_socket
+        (fun message _from ->
+          match message with
+          | Header.Nak { tg_id; need; round } ->
+            let sid = sid_of_wire tg_id in
+            if sid < nsessions then
+              sender_handle_nak senders.(sid) ~tg_id:(local_of_wire tg_id) ~need ~round
+          | Header.Data _ | Header.Parity _ | Header.Poll _ | Header.Exhausted _ -> ()));
 
   Reactor.run ~deadline:(started +. config.session_timeout) reactor;
 
-  let report =
+  let session_reports =
+    Array.init nsessions (fun sid ->
+        let completed =
+          Array.fold_left
+            (fun acc per_rx -> if per_rx.(sid) = tg_counts.(sid) then acc + 1 else acc)
+            0 completed_tgs
+        in
+        {
+          session = sid;
+          transmission_groups = tg_counts.(sid);
+          data_tx = senders.(sid).data_tx;
+          parity_tx = senders.(sid).parity_tx;
+          polls = senders.(sid).polls;
+          completed;
+          verified = verified.(sid) && completed = receivers;
+          ejected = List.rev ejected.(sid);
+        })
+  in
+  let multi =
     {
       receivers;
-      transmission_groups = tg_count;
-      data_tx = sender.data_tx;
-      parity_tx = sender.parity_tx;
-      polls = sender.polls;
+      session_reports;
       naks_sent = Array.fold_left (fun acc r -> acc + r.naks_sent) 0 rxs;
       naks_suppressed = Array.fold_left (fun acc r -> acc + r.naks_suppressed) 0 rxs;
       datagrams_dropped = Array.fold_left (fun acc r -> acc + r.dropped) 0 rxs;
       decode_failures = Array.fold_left (fun acc r -> acc + r.decode_failures) 0 rxs;
-      completed =
-        Array.fold_left (fun acc n -> if n = tg_count then acc + 1 else acc) 0 completed_tgs;
-      verified = !verified && Array.for_all (fun n -> n = tg_count) completed_tgs;
-      ejected = List.rev !ejected;
+      all_verified = Array.for_all (fun s -> s.verified) session_reports;
       wall_seconds = Unix.gettimeofday () -. started;
       counters = Metrics.counters metrics;
     }
   in
   Unix.close sender_socket;
   Array.iter Unix.close receiver_sockets;
-  report
+  multi
+
+let validate ~context ~config ~receivers ~loss ~sessions =
+  if Array.exists (fun data -> Array.length data = 0) sessions || Array.length sessions = 0
+  then Error.invalid_arg ~context "no data"
+  else if loss < 0.0 || loss >= 1.0 then Error.invalid_arg ~context "loss outside [0,1)"
+  else if
+    Array.exists
+      (fun data ->
+        Array.exists (fun payload -> Bytes.length payload <> config.payload_size) data)
+      sessions
+  then Error.invalid_arg ~context "payload size mismatch"
+  else if receivers < 1 then Error.invalid_arg ~context "need at least one receiver"
+  else if config.k < 1 || config.h < 0 then Error.invalid_arg ~context "need k >= 1 and h >= 0"
+  else if Array.length sessions > 0x10000 then
+    Error.invalid_arg ~context "too many sessions (wire sid is 16-bit)"
+  else if
+    Array.exists
+      (fun data -> (Array.length data + config.k - 1) / config.k > 0x10000)
+      sessions
+  then Error.invalid_arg ~context "too many transmission groups (wire tg is 16-bit)"
+  else Ok ()
+
+(* --- entry points ------------------------------------------------------ *)
+
+let run_multi ?(config = default_config) ?metrics ?faults ~receivers ~loss ~seed ~sessions
+    () =
+  match validate ~context:"Udp_np.run_multi" ~config ~receivers ~loss ~sessions with
+  | Error _ as e -> e
+  | Ok () ->
+    let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+    let sender_metrics sid = Metrics.scope metrics (Printf.sprintf "session.%d" sid) in
+    Ok (run_engine ~config ~metrics ~faults ~receivers ~loss ~seed ~sessions ~sender_metrics)
+
+let run_multi_exn ?config ?metrics ?faults ~receivers ~loss ~seed ~sessions () =
+  Error.get_exn (run_multi ?config ?metrics ?faults ~receivers ~loss ~seed ~sessions ())
+
+let run_local ?(config = default_config) ?metrics ?faults ~receivers ~loss ~seed ~data ()
+    =
+  match
+    validate ~context:"Udp_np.run_local" ~config ~receivers ~loss ~sessions:[| data |]
+  with
+  | Error _ as e -> e
+  | Ok () ->
+    let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+    (* Single session: sid 0, unscoped counters, byte-identical wire ids. *)
+    let multi =
+      run_engine ~config ~metrics ~faults ~receivers ~loss ~seed ~sessions:[| data |]
+        ~sender_metrics:(fun _ -> metrics)
+    in
+    let s = multi.session_reports.(0) in
+    Ok
+      {
+        receivers;
+        transmission_groups = s.transmission_groups;
+        data_tx = s.data_tx;
+        parity_tx = s.parity_tx;
+        polls = s.polls;
+        naks_sent = multi.naks_sent;
+        naks_suppressed = multi.naks_suppressed;
+        datagrams_dropped = multi.datagrams_dropped;
+        decode_failures = multi.decode_failures;
+        completed = s.completed;
+        verified = s.verified;
+        ejected = s.ejected;
+        wall_seconds = multi.wall_seconds;
+        counters = multi.counters;
+      }
+
+let run_local_exn ?config ?metrics ?faults ~receivers ~loss ~seed ~data () =
+  Error.get_exn (run_local ?config ?metrics ?faults ~receivers ~loss ~seed ~data ())

@@ -12,7 +12,16 @@
     Bernoulli loss injected on reception of data/parity datagrams (control
     datagrams are spared, matching the §5 analysis assumptions).  This is
     the path the integration tests and [examples/udp_demo.ml] exercise:
-    actual datagrams through the kernel's network stack. *)
+    actual datagrams through the kernel's network stack.
+
+    {!run_multi} multiplexes N independent sessions over {e one} reactor
+    and one shared sender socket: each session's datagrams carry its
+    session id in the upper 16 bits of the wire [tg_id] (no wire-format
+    change; receivers demux for free because blocks are keyed by the full
+    id), NAKs coming back on the shared socket are routed to the owning
+    session's sender, and all sessions share the memoized {!Rmc_rse}
+    codec cache.  Per-session sender metrics live under a
+    [session.<sid>.] scope of the shared registry. *)
 
 type config = {
   k : int;
@@ -22,12 +31,22 @@ type config = {
   spacing : float;  (** sender pacing, seconds between packets *)
   slot : float;  (** NAK slot size *)
   linger : float;  (** quiet period after completion before shutdown *)
-  session_timeout : float;  (** hard wall-clock cap for {!run_local} *)
+  session_timeout : float;  (** hard wall-clock cap for a run *)
 }
 
 val default_config : config
 (** k = 8, h = 16, 512-byte payloads, 0.5 ms pacing, 20 ms slots, 5 s cap
     — sized for loopback sessions that finish in well under a second. *)
+
+val config_of_profile :
+  ?linger:float -> ?session_timeout:float -> Rmc_core.Profile.t -> config
+(** Derive the UDP config from the user-facing profile.  [linger] and
+    [session_timeout] are transport-only knobs (defaults from
+    {!default_config}); the profile's [pre_encode] flag is dropped — the
+    UDP sender always encodes parities on demand. *)
+
+val profile_of_config : config -> Rmc_core.Profile.t
+(** Forget [linger] and [session_timeout]; [pre_encode] is [false]. *)
 
 type report = {
   receivers : int;
@@ -46,6 +65,29 @@ type report = {
   counters : (string * int) list;  (** final {!Rmc_obs.Metrics} dump *)
 }
 
+type session_report = {
+  session : int;
+  transmission_groups : int;
+  data_tx : int;
+  parity_tx : int;
+  polls : int;
+  completed : int;  (** receivers that completed every TG of this session *)
+  verified : bool;  (** completed by all receivers, every payload matched *)
+  ejected : (int * int) list;  (** (receiver, session-local tg) pairs *)
+}
+
+type multi_report = {
+  receivers : int;
+  session_reports : session_report array;  (** indexed by session id *)
+  naks_sent : int;  (** across all sessions (receiver-side totals) *)
+  naks_suppressed : int;
+  datagrams_dropped : int;
+  decode_failures : int;
+  all_verified : bool;
+  wall_seconds : float;
+  counters : (string * int) list;
+}
+
 val run_local :
   ?config:config ->
   ?metrics:Rmc_obs.Metrics.t ->
@@ -55,7 +97,7 @@ val run_local :
   seed:int ->
   data:Bytes.t array ->
   unit ->
-  report
+  (report, Rmc_core.Error.t) result
 (** Run a complete session on 127.0.0.1.
 
     [metrics] supplies the counter registry (a private one is created when
@@ -75,5 +117,53 @@ val run_local :
     caught by the header CRC on reception and show up as
     [rx.decode_failures].
 
-    @raise Invalid_argument on empty data, bad payload sizes, or
-    [loss] outside [0, 1). *)
+    Returns [Error] (context ["Udp_np.run_local"]) on empty data, bad
+    payload sizes, [loss] outside [0, 1), or no receivers. *)
+
+val run_local_exn :
+  ?config:config ->
+  ?metrics:Rmc_obs.Metrics.t ->
+  ?faults:Rmc_obs.Fault.spec ->
+  receivers:int ->
+  loss:float ->
+  seed:int ->
+  data:Bytes.t array ->
+  unit ->
+  report
+(** @raise Invalid_argument where {!run_local} would return [Error]. *)
+
+val run_multi :
+  ?config:config ->
+  ?metrics:Rmc_obs.Metrics.t ->
+  ?faults:Rmc_obs.Fault.spec ->
+  receivers:int ->
+  loss:float ->
+  seed:int ->
+  sessions:Bytes.t array array ->
+  unit ->
+  (multi_report, Rmc_core.Error.t) result
+(** Run [Array.length sessions] concurrent sessions (element [sid] is that
+    session's payload array) over one reactor, one shared sender socket and
+    [receivers] shared receiver sockets.  Every session must finish —
+    completion, verification and ejections are tracked per (receiver,
+    session) pair — before the linger/shutdown sequence starts.
+
+    Per-session sender counters are recorded under [session.<sid>.]
+    scopes of [metrics]; receiver counters are shared (receivers serve all
+    sessions on one socket).
+
+    Returns [Error] (context ["Udp_np.run_multi"]) on the same conditions
+    as {!run_local}, plus more than 65536 sessions or more than 65536 TGs
+    in one session (the wire demux packs sid and tg into 16 bits each). *)
+
+val run_multi_exn :
+  ?config:config ->
+  ?metrics:Rmc_obs.Metrics.t ->
+  ?faults:Rmc_obs.Fault.spec ->
+  receivers:int ->
+  loss:float ->
+  seed:int ->
+  sessions:Bytes.t array array ->
+  unit ->
+  multi_report
+(** @raise Invalid_argument where {!run_multi} would return [Error]. *)

@@ -139,15 +139,15 @@ let test_carousel_vs_integrated_cost () =
 let test_session_multi_object () =
   let rng = Rng.create ~seed:11 () in
   let network = Network.independent (Rng.split rng) ~receivers:60 ~p:0.02 in
-  let options = { Rmcast.Transfer.default_options with payload_size = 256; k = 8; h = 16 } in
-  let session = Rmcast.Session.create ~options () in
-  Rmcast.Session.enqueue session ~name:"manifest" (String.make 900 'm');
-  Rmcast.Session.enqueue session ~name:"chapter-1" (String.make 5_000 'a');
-  Rmcast.Session.enqueue session ~name:"chapter-2" (String.make 5_000 'b');
+  let profile = { Rmcast.Profile.default with payload_size = 256; k = 8; h = 16 } in
+  let session = Rmcast.Session.create_exn ~profile () in
+  Rmcast.Session.enqueue_exn session ~name:"manifest" (String.make 900 'm');
+  Rmcast.Session.enqueue_exn session ~name:"chapter-1" (String.make 5_000 'a');
+  Rmcast.Session.enqueue_exn session ~name:"chapter-2" (String.make 5_000 'b');
   Alcotest.(check int) "queued" 3 (Rmcast.Session.pending session);
   let seen = ref [] in
   let summary =
-    Rmcast.Session.run session ~network ~rng:(Rng.split rng)
+    Rmcast.Session.run_exn session ~network ~rng:(Rng.split rng)
       ~progress:(fun d -> seen := d.Rmcast.Session.name :: !seen)
       ()
   in
@@ -162,10 +162,10 @@ let test_session_multi_object () =
 let test_session_virtual_time_advances () =
   let rng = Rng.create ~seed:12 () in
   let network = Network.independent (Rng.split rng) ~receivers:10 ~p:0.0 in
-  let session = Rmcast.Session.create () in
-  Rmcast.Session.enqueue session ~name:"a" (String.make 3_000 'x');
-  Rmcast.Session.enqueue session ~name:"b" (String.make 3_000 'y');
-  let summary = Rmcast.Session.run session ~network ~rng:(Rng.split rng) () in
+  let session = Rmcast.Session.create_exn () in
+  Rmcast.Session.enqueue_exn session ~name:"a" (String.make 3_000 'x');
+  Rmcast.Session.enqueue_exn session ~name:"b" (String.make 3_000 'y');
+  let summary = Rmcast.Session.run_exn session ~network ~rng:(Rng.split rng) () in
   match summary.Rmcast.Session.deliveries with
   | [ first; second ] ->
     Alcotest.(check bool) "second starts after first" true
@@ -182,18 +182,29 @@ let test_session_over_bursty_network () =
     Network.temporal (Rng.split rng) ~receivers:30 ~make:(fun rng ->
         Rmcast.Loss.markov2 rng ~p:0.03 ~mean_burst:2.0 ~send_rate:1000.0)
   in
-  let session = Rmcast.Session.create () in
+  let session = Rmcast.Session.create_exn () in
   for i = 1 to 4 do
-    Rmcast.Session.enqueue session ~name:(Printf.sprintf "part-%d" i) (String.make 4_000 'z')
+    Rmcast.Session.enqueue_exn session ~name:(Printf.sprintf "part-%d" i)
+      (String.make 4_000 'z')
   done;
-  let summary = Rmcast.Session.run session ~network ~rng:(Rng.split rng) () in
+  let summary = Rmcast.Session.run_exn session ~network ~rng:(Rng.split rng) () in
   Alcotest.(check bool) "all verified" true summary.Rmcast.Session.all_verified;
   Alcotest.(check int) "four deliveries" 4 (List.length summary.Rmcast.Session.deliveries)
 
 let test_session_validation () =
-  let session = Rmcast.Session.create () in
+  let session = Rmcast.Session.create_exn () in
   Alcotest.check_raises "empty payload" (Invalid_argument "Session.enqueue: empty payload")
-    (fun () -> Rmcast.Session.enqueue session ~name:"x" "")
+    (fun () -> Rmcast.Session.enqueue_exn session ~name:"x" "");
+  (match Rmcast.Session.enqueue session ~name:"x" "" with
+  | Ok () -> Alcotest.fail "expected Error"
+  | Error e ->
+    Alcotest.(check string) "error string" "Session.enqueue: empty payload"
+      (Rmcast.Error.to_string e));
+  match Rmcast.Session.create ~gap:(-1.0) () with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error e ->
+    Alcotest.(check string) "gap error" "Session.create: negative gap"
+      (Rmcast.Error.to_string e)
 
 let base_suite =
   [

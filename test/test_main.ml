@@ -23,4 +23,6 @@ let () =
       ("invariants", Test_invariants.suite);
       ("cauchy", Test_cauchy.suite);
       ("transfer+planner", Test_transfer.suite);
+      ("profile", Test_profile.suite);
+      ("scheduler", Test_scheduler.suite);
     ]

@@ -1,0 +1,127 @@
+(* The unified Profile record and its converters to the per-layer config
+   types.  The deprecated legacy records (Transfer.options) are exercised
+   deliberately — silence the alert for this file. *)
+[@@@alert "-deprecated"]
+
+module Profile = Rmcast.Profile
+module Error = Rmcast.Error
+module Transfer = Rmcast.Transfer
+module Np = Rmcast.Np
+module Udp = Rmcast.Udp_np
+
+(* Valid profiles only: the invariants Profile.validate enforces. *)
+let profile_gen =
+  QCheck.Gen.(
+    int_range 1 100 >>= fun k ->
+    int_range 0 (255 - k) >>= fun h ->
+    int_range 0 h >>= fun proactive ->
+    int_range 5 2048 >>= fun payload_size ->
+    int_range 1 500 >>= fun pacing_tenth_ms ->
+    int_range 1 5000 >>= fun slot_tenth_ms ->
+    bool >>= fun pre_encode ->
+    return
+      {
+        Profile.k;
+        h;
+        proactive;
+        payload_size;
+        pacing = float_of_int pacing_tenth_ms /. 10_000.0;
+        slot = float_of_int slot_tenth_ms /. 10_000.0;
+        pre_encode;
+      })
+
+let arbitrary_profile = QCheck.make ~print:Profile.to_string profile_gen
+
+let qcheck_generator_valid =
+  QCheck.Test.make ~count:500 ~name:"generated profiles validate" arbitrary_profile
+    (fun p -> Result.is_ok (Profile.validate p))
+
+let qcheck_np_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"Np config_of_profile roundtrip" arbitrary_profile
+    (fun p -> Profile.equal p (Np.profile_of_config (Np.config_of_profile p)))
+
+let qcheck_udp_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"Udp_np config_of_profile roundtrip" arbitrary_profile
+    (fun p ->
+      (* The UDP sender always encodes on demand: pre_encode is the one
+         field its config forgets. *)
+      let p = { p with Profile.pre_encode = false } in
+      Profile.equal p (Udp.profile_of_config (Udp.config_of_profile p)))
+
+let qcheck_options_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"Transfer.options roundtrip" arbitrary_profile
+    (fun p ->
+      (* Legacy options carry no pacing/slot; dropping to options and
+         lifting back must preserve every field options has. *)
+      let o = Transfer.options_of_profile p in
+      o = Transfer.options_of_profile (Transfer.profile_of_options o))
+
+let qcheck_lift_preserves_timing =
+  QCheck.Test.make ~count:500 ~name:"profile_of_options takes default timing"
+    arbitrary_profile (fun p ->
+      let lifted = Transfer.profile_of_options (Transfer.options_of_profile p) in
+      lifted.Profile.pacing = Profile.default.Profile.pacing
+      && lifted.Profile.slot = Profile.default.Profile.slot
+      && lifted.Profile.k = p.Profile.k
+      && lifted.Profile.h = p.Profile.h
+      && lifted.Profile.proactive = p.Profile.proactive
+      && lifted.Profile.payload_size = p.Profile.payload_size
+      && lifted.Profile.pre_encode = p.Profile.pre_encode)
+
+let test_defaults_valid () =
+  let check name p =
+    match Profile.validate p with
+    | Ok p' -> Alcotest.(check bool) (name ^ " unchanged") true (Profile.equal p p')
+    | Error e -> Alcotest.failf "%s rejected: %s" name (Error.to_string e)
+  in
+  check "default" Profile.default;
+  check "default_udp" Profile.default_udp;
+  check "lifted legacy default" (Transfer.profile_of_options Transfer.default_options)
+
+let test_validate_rejections () =
+  let rejected name p =
+    match Profile.validate ~context:"T" p with
+    | Ok _ -> Alcotest.failf "%s accepted" name
+    | Error e ->
+      let s = Error.to_string e in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s error carries context (%s)" name s)
+        true
+        (String.length s > 3 && String.sub s 0 3 = "T: ")
+  in
+  rejected "k = 0" { Profile.default with k = 0 };
+  rejected "k beyond wire field" { Profile.default with k = 0x10000; h = 0 };
+  rejected "negative h" { Profile.default with h = -1; proactive = 0 };
+  rejected "proactive > h" { Profile.default with h = 2; proactive = 3 };
+  rejected "k + h > 255" { Profile.default with k = 200; h = 56 };
+  rejected "payload_size = 0" { Profile.default with payload_size = 0 };
+  rejected "zero pacing" { Profile.default with pacing = 0.0 };
+  rejected "negative slot" { Profile.default with slot = -0.1 };
+  (* validate_exn mirrors validate with Invalid_argument *)
+  Alcotest.check_raises "validate_exn raises"
+    (Invalid_argument "Profile: k must be >= 1 (got 0)") (fun () ->
+      ignore (Profile.validate_exn { Profile.default with k = 0 }))
+
+let test_derived_configs_inherit_fields () =
+  let p = { Profile.default with k = 11; h = 13; proactive = 2; payload_size = 333 } in
+  let np = Np.config_of_profile ~delay:0.042 p in
+  Alcotest.(check int) "np k" 11 np.Np.k;
+  Alcotest.(check int) "np h" 13 np.Np.h;
+  Alcotest.(check (float 0.0)) "np delay is the caller's" 0.042 np.Np.delay;
+  let udp = Udp.config_of_profile ~linger:0.9 p in
+  Alcotest.(check int) "udp payload" 333 udp.Udp.payload_size;
+  Alcotest.(check (float 0.0)) "udp linger is the caller's" 0.9 udp.Udp.linger;
+  Alcotest.(check (float 0.0)) "udp keeps profile pacing" p.Profile.pacing udp.Udp.spacing
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_generator_valid;
+    QCheck_alcotest.to_alcotest qcheck_np_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_udp_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_options_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_lift_preserves_timing;
+    Alcotest.test_case "defaults validate" `Quick test_defaults_valid;
+    Alcotest.test_case "validate rejections" `Quick test_validate_rejections;
+    Alcotest.test_case "derived configs inherit profile fields" `Quick
+      test_derived_configs_inherit_fields;
+  ]

@@ -1,0 +1,226 @@
+(* The concurrent multi-session engine: N independent transfers interleaved
+   over one shared network in virtual time.  These tests pin down the three
+   properties the scheduler promises — fairness (round-robin, nobody
+   starves), isolation (every session byte-verifies its own disjoint
+   payload), and shared-channel realism (per-session counters sum to the
+   globals; temporally correlated loss spans session boundaries the same
+   way it hits one long-lived session). *)
+
+module Scheduler = Rmcast.Scheduler
+module Transfer = Rmcast.Transfer
+module Profile = Rmcast.Profile
+module Np = Rmcast.Np
+module Rng = Rmcast.Rng
+module Network = Rmcast.Network
+module Loss = Rmcast.Loss
+module Metrics = Rmcast.Metrics
+
+(* Disjoint payloads: a cross-session mixup cannot byte-verify. *)
+let message sid bytes =
+  String.init bytes (fun i -> Char.chr ((i * 31 + sid * 97 + 13) mod 256))
+
+let build ~seed ~receivers ~p ~sessions ~bytes =
+  let rng = Rng.create ~seed () in
+  let network = Network.independent (Rng.split rng) ~receivers ~p in
+  let s = Scheduler.create_exn ~network ~rng:(Rng.split rng) () in
+  for sid = 0 to sessions - 1 do
+    Scheduler.add_exn s ~name:(Printf.sprintf "s%d" sid) (message sid bytes)
+  done;
+  s
+
+let test_fairness_and_isolation () =
+  let n = 8 in
+  let s = build ~seed:101 ~receivers:40 ~p:0.05 ~sessions:n ~bytes:8_000 in
+  Alcotest.(check int) "registered" n (Scheduler.sessions s);
+  let summary = Scheduler.run s in
+  Alcotest.(check int) "one result per session" n (List.length summary.Scheduler.results);
+  Alcotest.(check bool) "all verified" true summary.Scheduler.all_verified;
+  List.iteri
+    (fun sid (r : Scheduler.result_) ->
+      Alcotest.(check string) "results in add order" (Printf.sprintf "s%d" sid) r.name;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s verified" r.name)
+        true r.outcome.Transfer.verified;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s finishes within makespan" r.name)
+        true
+        (r.finished_at <= summary.Scheduler.makespan +. 1e-9))
+    summary.Scheduler.results;
+  (* Fairness: identical sessions arbitrated round-robin finish together —
+     no session's makespan dominated by another's. *)
+  let finishes =
+    List.map (fun (r : Scheduler.result_) -> r.finished_at) summary.Scheduler.results
+  in
+  let fmin = List.fold_left Float.min infinity finishes in
+  let fmax = List.fold_left Float.max 0.0 finishes in
+  Alcotest.(check bool)
+    (Printf.sprintf "no starvation (spread %.3f .. %.3f)" fmin fmax)
+    true
+    (fmax <= 2.0 *. fmin);
+  Alcotest.(check int) "total bytes" (8 * 8_000) summary.Scheduler.total_bytes
+
+let test_counters_sum_to_global () =
+  let n = 5 in
+  let s = build ~seed:202 ~receivers:30 ~p:0.08 ~sessions:n ~bytes:6_000 in
+  let metrics = Metrics.create () in
+  let summary = Scheduler.run ~metrics s in
+  let sum field =
+    List.fold_left
+      (fun acc (r : Scheduler.result_) -> acc + field r.outcome.Transfer.report)
+      0 summary.Scheduler.results
+  in
+  List.iteri
+    (fun i (r : Scheduler.result_) ->
+      let report = r.outcome.Transfer.report in
+      let get name = Metrics.get metrics (Printf.sprintf "session.%d.%s" i name) in
+      Alcotest.(check int) (Printf.sprintf "session %d tx.data" i) report.Np.data_tx
+        (get "tx.data");
+      Alcotest.(check int)
+        (Printf.sprintf "session %d tx.parity" i)
+        report.Np.parity_tx (get "tx.parity");
+      Alcotest.(check int)
+        (Printf.sprintf "session %d naks.sent" i)
+        report.Np.naks_sent (get "naks.sent");
+      Alcotest.(check int)
+        (Printf.sprintf "session %d verified" i)
+        (if r.outcome.Transfer.verified then 1 else 0)
+        (get "verified"))
+    summary.Scheduler.results;
+  (* The scoped counters are slices of one registry: summing the slices
+     reproduces the per-report totals. *)
+  let scoped_total name =
+    List.fold_left
+      (fun acc (cname, v) ->
+        let suffix = "." ^ name in
+        let matches =
+          String.length cname > String.length suffix
+          && String.sub cname 0 8 = "session."
+          && String.sub cname
+               (String.length cname - String.length suffix)
+               (String.length suffix)
+             = suffix
+        in
+        if matches then acc + v else acc)
+      0 (Metrics.counters metrics)
+  in
+  Alcotest.(check int) "tx.data slices sum to global"
+    (sum (fun r -> r.Np.data_tx))
+    (scoped_total "tx.data");
+  Alcotest.(check int) "tx.parity slices sum to global"
+    (sum (fun r -> r.Np.parity_tx))
+    (scoped_total "tx.parity");
+  Alcotest.(check int) "scheduler.sessions" n (Metrics.get metrics "scheduler.sessions");
+  Alcotest.(check (float 1e-9)) "makespan gauge" summary.Scheduler.makespan
+    (Metrics.get_gauge metrics "scheduler.makespan")
+
+let test_bursty_loss_spans_sessions () =
+  (* One engine, one bursty channel: the loss process sees non-decreasing
+     timestamps across interleaved sessions, so a burst straddles whichever
+     sessions' packets are in flight — the aggregate repair cost must come
+     out like a single long session over the same channel, not like
+     independent channels per session. *)
+  let receivers = 20 in
+  let burst_net seed =
+    Network.temporal
+      (Rng.create ~seed ())
+      ~receivers
+      ~make:(fun rng -> Loss.markov2 rng ~p:0.05 ~mean_burst:5.0 ~send_rate:1000.0)
+  in
+  let bytes = 10_000 in
+  let n = 4 in
+  (* (a) one long session carrying all the bytes *)
+  let single =
+    Transfer.send_exn ~network:(burst_net 7) ~rng:(Rng.create ~seed:8 ())
+      (message 0 (n * bytes))
+  in
+  Alcotest.(check bool) "single verified" true single.Transfer.verified;
+  (* (b) the same bytes as n interleaved sessions on a fresh identical channel *)
+  let network = burst_net 7 in
+  let s = Scheduler.create_exn ~network ~rng:(Rng.create ~seed:8 ()) () in
+  for sid = 0 to n - 1 do
+    Scheduler.add_exn s ~name:(Printf.sprintf "s%d" sid) (message sid bytes)
+  done;
+  let summary = Scheduler.run s in
+  Alcotest.(check bool) "interleaved verified" true summary.Scheduler.all_verified;
+  let data, parity =
+    List.fold_left
+      (fun (d, p) (r : Scheduler.result_) ->
+        ( d + r.outcome.Transfer.report.Np.data_tx,
+          p + r.outcome.Transfer.report.Np.parity_tx ))
+      (0, 0) summary.Scheduler.results
+  in
+  let mux_m = float_of_int (data + parity) /. float_of_int data in
+  let single_m = Np.transmissions_per_packet single.Transfer.report in
+  Alcotest.(check bool)
+    (Printf.sprintf "burst repair cost comparable (single %.3f vs interleaved %.3f)"
+       single_m mux_m)
+    true
+    (mux_m < 1.6 *. single_m && single_m < 1.6 *. mux_m);
+  (* Both must actually have seen bursts: memoryless loss at these rates
+     would need far fewer parities per event. *)
+  Alcotest.(check bool) "bursts forced repairs" true (parity > 0)
+
+let test_staggered_starts () =
+  let rng = Rng.create ~seed:33 () in
+  let network = Network.independent (Rng.split rng) ~receivers:10 ~p:0.02 in
+  let s = Scheduler.create_exn ~network ~rng:(Rng.split rng) () in
+  Scheduler.add_exn s ~name:"early" (message 0 4_000);
+  Scheduler.add_exn s ~start:0.5 ~name:"late" (message 1 4_000);
+  let summary = Scheduler.run s in
+  (match summary.Scheduler.results with
+  | [ early; late ] ->
+    Alcotest.(check (float 1e-9)) "early starts at 0" 0.0 early.Scheduler.started_at;
+    Alcotest.(check (float 1e-9)) "late starts at 0.5" 0.5 late.Scheduler.started_at;
+    Alcotest.(check bool) "late finishes after it starts" true
+      (late.Scheduler.finished_at > 0.5);
+    Alcotest.(check bool) "both verified" true
+      (early.Scheduler.outcome.Transfer.verified && late.Scheduler.outcome.Transfer.verified)
+  | results -> Alcotest.failf "expected 2 results, got %d" (List.length results));
+  Alcotest.(check bool) "makespan covers the straggler" true
+    (summary.Scheduler.makespan
+    >= List.fold_left
+         (fun acc (r : Scheduler.result_) -> Float.max acc r.finished_at)
+         0.0 summary.Scheduler.results)
+
+let test_validation () =
+  let rng = Rng.create ~seed:44 () in
+  let network = Network.independent (Rng.split rng) ~receivers:4 ~p:0.0 in
+  let rng = Rng.split rng in
+  let error result =
+    match result with
+    | Ok _ -> Alcotest.fail "expected Error"
+    | Error e -> Rmcast.Error.to_string e
+  in
+  Alcotest.(check string) "invalid profile at create"
+    "Scheduler.create: k must be >= 1 (got 0)"
+    (error (Scheduler.create ~profile:{ Profile.default with k = 0 } ~network ~rng ()));
+  Alcotest.(check string) "negative delay" "Scheduler.create: negative delay"
+    (error (Scheduler.create ~delay:(-0.1) ~network ~rng ()));
+  let s = Scheduler.create_exn ~network ~rng () in
+  Alcotest.(check string) "empty payload" "Scheduler.add: empty payload"
+    (error (Scheduler.add s ~name:"x" ""));
+  Alcotest.(check string) "negative start" "Scheduler.add: negative start time"
+    (error (Scheduler.add s ~start:(-1.0) ~name:"x" "payload"));
+  (match
+     Scheduler.add s ~profile:{ Profile.default with payload_size = 4 } ~name:"x" "payload"
+   with
+  | Ok () -> Alcotest.fail "undersized payload_size accepted"
+  | Error _ -> ());
+  Alcotest.(check int) "rejected sessions not registered" 0 (Scheduler.sessions s);
+  (* ... and the scheduler still runs fine with valid sessions after the
+     rejections. *)
+  Scheduler.add_exn s ~name:"ok" "some payload bytes";
+  let summary = Scheduler.run s in
+  Alcotest.(check bool) "runs after rejections" true summary.Scheduler.all_verified
+
+let suite =
+  [
+    Alcotest.test_case "fairness + isolation across 8 sessions" `Quick
+      test_fairness_and_isolation;
+    Alcotest.test_case "per-session counters sum to globals" `Quick
+      test_counters_sum_to_global;
+    Alcotest.test_case "bursty loss spans session boundaries" `Quick
+      test_bursty_loss_spans_sessions;
+    Alcotest.test_case "staggered virtual start times" `Quick test_staggered_starts;
+    Alcotest.test_case "validation errors" `Quick test_validation;
+  ]

@@ -45,8 +45,8 @@ let test_send_verified () =
   let rng = Rng.create ~seed:1 () in
   let network = Network.independent (Rng.split rng) ~receivers:50 ~p:0.02 in
   let message = String.init 20_000 (fun i -> Char.chr ((i * 31) mod 256)) in
-  let options = { Transfer.default_options with payload_size = 512; k = 10; h = 20 } in
-  let outcome = Transfer.send ~options ~network ~rng:(Rng.split rng) message in
+  let profile = { Rmcast.Profile.default with payload_size = 512; k = 10; h = 20 } in
+  let outcome = Transfer.send_exn ~profile ~network ~rng:(Rng.split rng) message in
   Alcotest.(check bool) "verified" true outcome.Transfer.verified;
   Alcotest.(check bool) "efficiency below 1" true (outcome.Transfer.efficiency < 1.0);
   Alcotest.(check bool) "efficiency sane" true (outcome.Transfer.efficiency > 0.5)
@@ -56,7 +56,7 @@ let test_send_lossless_efficiency () =
   let network = Network.independent (Rng.split rng) ~receivers:10 ~p:0.0 in
   let message = String.make 10_236 'q' in
   (* 10236 + 4 = 10240 = exactly 10 packets of 1024 *)
-  let outcome = Transfer.send ~network ~rng:(Rng.split rng) message in
+  let outcome = Transfer.send_exn ~network ~rng:(Rng.split rng) message in
   Alcotest.(check int) "no overhead packets" 10_240 outcome.Transfer.bytes_sent;
   close "efficiency = message/sent" (10_236.0 /. 10_240.0) outcome.Transfer.efficiency
 
@@ -64,7 +64,12 @@ let test_send_empty_rejected () =
   let rng = Rng.create ~seed:3 () in
   let network = Network.independent rng ~receivers:2 ~p:0.0 in
   Alcotest.check_raises "empty" (Invalid_argument "Transfer.send: empty message") (fun () ->
-      ignore (Transfer.send ~network ~rng ""))
+      ignore (Transfer.send_exn ~network ~rng ""));
+  match Transfer.send ~network ~rng "" with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error e ->
+    Alcotest.(check string) "error string" "Transfer.send: empty message"
+      (Rmcast.Error.to_string e)
 
 (* --- planner --- *)
 

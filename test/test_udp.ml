@@ -9,7 +9,7 @@ let config = { Udp.default_config with session_timeout = 20.0 }
 
 let test_lossless_session () =
   let data = payloads ~count:40 ~size:config.Udp.payload_size 1 in
-  let report = Udp.run_local ~config ~receivers:3 ~loss:0.0 ~seed:2 ~data () in
+  let report = Udp.run_local_exn ~config ~receivers:3 ~loss:0.0 ~seed:2 ~data () in
   Alcotest.(check bool) "verified" true report.Udp.verified;
   Alcotest.(check int) "all receivers" 3 report.Udp.completed;
   Alcotest.(check int) "data once each" 40 report.Udp.data_tx;
@@ -19,7 +19,7 @@ let test_lossless_session () =
 
 let test_lossy_session_recovers () =
   let data = payloads ~count:64 ~size:config.Udp.payload_size 3 in
-  let report = Udp.run_local ~config ~receivers:5 ~loss:0.1 ~seed:4 ~data () in
+  let report = Udp.run_local_exn ~config ~receivers:5 ~loss:0.1 ~seed:4 ~data () in
   Alcotest.(check bool) "verified" true report.Udp.verified;
   Alcotest.(check int) "all receivers" 5 report.Udp.completed;
   Alcotest.(check bool) "loss actually injected" true (report.Udp.datagrams_dropped > 0);
@@ -28,15 +28,15 @@ let test_lossy_session_recovers () =
 
 let test_single_receiver_high_loss () =
   let data = payloads ~count:32 ~size:config.Udp.payload_size 5 in
-  let report = Udp.run_local ~config ~receivers:1 ~loss:0.25 ~seed:6 ~data () in
+  let report = Udp.run_local_exn ~config ~receivers:1 ~loss:0.25 ~seed:6 ~data () in
   Alcotest.(check bool) "verified" true report.Udp.verified
 
 let test_determinism_of_injected_loss () =
   (* Same seed, same loss pattern: the drop counter is reproducible even
      though wall-clock timing is not. *)
   let data = payloads ~count:16 ~size:config.Udp.payload_size 7 in
-  let r1 = Udp.run_local ~config ~receivers:2 ~loss:0.2 ~seed:8 ~data () in
-  let r2 = Udp.run_local ~config ~receivers:2 ~loss:0.2 ~seed:8 ~data () in
+  let r1 = Udp.run_local_exn ~config ~receivers:2 ~loss:0.2 ~seed:8 ~data () in
+  let r2 = Udp.run_local_exn ~config ~receivers:2 ~loss:0.2 ~seed:8 ~data () in
   Alcotest.(check bool) "both verified" true (r1.Udp.verified && r2.Udp.verified);
   (* drops depend only on the per-receiver RNG stream over received data
      packets; retransmission counts may differ slightly, so compare loosely *)
@@ -46,15 +46,15 @@ let test_determinism_of_injected_loss () =
 
 let test_validation () =
   Alcotest.check_raises "empty data" (Invalid_argument "Udp_np.run_local: no data") (fun () ->
-      ignore (Udp.run_local ~receivers:1 ~loss:0.0 ~seed:0 ~data:[||] ()));
+      ignore (Udp.run_local_exn ~receivers:1 ~loss:0.0 ~seed:0 ~data:[||] ()));
   Alcotest.check_raises "bad loss" (Invalid_argument "Udp_np.run_local: loss outside [0,1)")
     (fun () ->
       ignore
-        (Udp.run_local ~receivers:1 ~loss:1.0 ~seed:0
+        (Udp.run_local_exn ~receivers:1 ~loss:1.0 ~seed:0
            ~data:(payloads ~count:1 ~size:Udp.default_config.Udp.payload_size 9)
            ()))
 
-let counter report name =
+let counter (report : Udp.report) name =
   match List.assoc_opt name report.Udp.counters with Some v -> v | None -> 0
 
 let test_fault_storm_session () =
@@ -71,7 +71,7 @@ let test_fault_storm_session () =
     | Error message -> Alcotest.fail message
   in
   let data = payloads ~count:64 ~size:config.Udp.payload_size 11 in
-  let report = Udp.run_local ~config ~faults ~receivers:3 ~loss:0.0 ~seed:12 ~data () in
+  let report = Udp.run_local_exn ~config ~faults ~receivers:3 ~loss:0.0 ~seed:12 ~data () in
   Alcotest.(check int) "all receivers completed" 3 report.Udp.completed;
   Alcotest.(check bool) "delivered bytes verified" true report.Udp.verified;
   Alcotest.(check (list (pair int int))) "nobody ejected" [] report.Udp.ejected;
@@ -100,7 +100,7 @@ let test_fault_storm_session () =
 let test_metrics_registry_shared () =
   let metrics = Rmcast.Metrics.create () in
   let data = payloads ~count:16 ~size:config.Udp.payload_size 13 in
-  let report = Udp.run_local ~config ~metrics ~receivers:2 ~loss:0.0 ~seed:14 ~data () in
+  let report = Udp.run_local_exn ~config ~metrics ~receivers:2 ~loss:0.0 ~seed:14 ~data () in
   Alcotest.(check bool) "verified" true report.Udp.verified;
   Alcotest.(check int) "caller registry sees tx.data" report.Udp.data_tx
     (Rmcast.Metrics.get metrics "tx.data");
