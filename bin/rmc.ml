@@ -13,6 +13,7 @@
      transfer  run a full NP transfer over a simulated network
      serve     run N concurrent sessions over one engine (sim or UDP)
      udp       run NP over real UDP sockets on loopback
+     replay    re-execute a captured UDP run through the sans-IO core
      trace     record and inspect packet-loss traces *)
 
 open Cmdliner
@@ -443,7 +444,7 @@ let serve_sim ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics =
       if summary.Scheduler.all_verified then `Ok ()
       else `Error (false, "some sessions failed verification"))
 
-let serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics =
+let serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics ~capture =
   let module Udp = Rmcast.Udp_np in
   let config = Udp.config_of_profile profile in
   let payload = profile.Rmcast.Profile.payload_size in
@@ -455,11 +456,18 @@ let serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics =
             Bytes.init payload (fun _ -> Char.chr (Rmcast.Rng.int rng 256))))
   in
   let metrics = Rmcast.Metrics.create () in
+  let recorder = Option.map (fun _ -> Rmcast.Recorder.create ()) capture in
   match
-    Udp.run_multi ~config ~metrics ~receivers ~loss:p ~seed:(seed + 1) ~sessions:data ()
+    Udp.run_multi ~config ~metrics ?recorder ~receivers ~loss:p ~seed:(seed + 1)
+      ~sessions:data ()
   with
   | Error e -> `Error (false, Rmcast.Error.to_string e)
   | Ok report ->
+    (match (capture, recorder) with
+    | Some path, Some recorder ->
+      Rmcast.Recorder.save ~path recorder;
+      Printf.printf "capture: %d entries -> %s\n" (Rmcast.Recorder.length recorder) path
+    | _ -> ());
     Printf.printf "%d sessions x %d packets over UDP loopback, %d receivers, loss %g\n"
       sessions packets receivers p;
     Printf.printf "  %-8s %-8s %4s %6s %7s %6s %10s\n" "session" "verified" "tgs" "data"
@@ -485,8 +493,10 @@ let serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics =
     if report.Udp.all_verified then `Ok ()
     else `Error (false, "some sessions failed verification")
 
-let serve sessions transport k h a payload p receivers seed bytes show_metrics =
+let serve sessions transport k h a payload p receivers seed bytes show_metrics capture =
   if sessions < 1 then `Error (false, "--sessions must be >= 1")
+  else if capture <> None && transport <> `Udp then
+    `Error (false, "--capture requires --transport udp")
   else
     let profile =
       { Rmcast.Profile.default with k; h; proactive = a; payload_size = payload }
@@ -496,7 +506,7 @@ let serve sessions transport k h a payload p receivers seed bytes show_metrics =
     | Ok profile -> (
       match transport with
       | `Sim -> serve_sim ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics
-      | `Udp -> serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics)
+      | `Udp -> serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics ~capture)
 
 let serve_cmd =
   let sessions =
@@ -538,12 +548,21 @@ let serve_cmd =
       & info [ "metrics" ]
           ~doc:"Dump the full counter registry (per-session scopes included) after the run.")
   in
+  let capture =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "capture" ] ~docv:"FILE"
+          ~doc:
+            "Record the sans-IO event/effect streams of every session to FILE (UDP transport \
+             only); verify later with $(b,rmc replay) FILE.")
+  in
   let doc = "Serve N concurrent sessions over one engine (scheduler or UDP mux)." in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       ret (const serve $ sessions $ transport $ k $ h $ a_arg $ payload $ p_arg $ receivers
-           $ seed_arg $ bytes $ metrics))
+           $ seed_arg $ bytes $ metrics $ capture))
 
 (* --- latency --------------------------------------------------------- *)
 
@@ -672,7 +691,7 @@ let trace_cmd =
 
 (* --- udp --------------------------------------------------------------- *)
 
-let udp receivers p seed packets payload metrics faults =
+let udp receivers p seed packets payload metrics faults capture =
   match
     match faults with
     | None -> Ok None
@@ -687,11 +706,18 @@ let udp receivers p seed packets payload metrics faults =
       Array.init packets (fun _ ->
           Bytes.init payload (fun _ -> Char.chr (Rmcast.Rng.int rng 256)))
     in
+    let recorder = Option.map (fun _ -> Rmcast.Recorder.create ()) capture in
     match
-      Rmcast.Udp_np.run_local ~config ?faults ~receivers ~loss:p ~seed:(seed + 1) ~data ()
+      Rmcast.Udp_np.run_local ~config ?recorder ?faults ~receivers ~loss:p ~seed:(seed + 1)
+        ~data ()
     with
     | Error e -> `Error (false, Rmcast.Error.to_string e)
     | Ok report ->
+    (match (capture, recorder) with
+    | Some path, Some recorder ->
+      Rmcast.Recorder.save ~path recorder;
+      Printf.printf "capture: %d entries -> %s\n" (Rmcast.Recorder.length recorder) path
+    | _ -> ());
     Printf.printf
       "completed %d/%d receivers, verified=%b\n\
        data=%d parity=%d naks=%d suppressed=%d dropped=%d decode_failures=%d\n\
@@ -727,10 +753,47 @@ let udp_cmd =
             "Inject faults at the sender's datagram boundary, e.g. \
              $(i,drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01,seed=7).")
   in
+  let capture =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "capture" ] ~docv:"FILE"
+          ~doc:
+            "Record the sans-IO event/effect streams to FILE for later $(b,rmc replay).")
+  in
   let doc = "Run protocol NP over real UDP sockets on the loopback interface." in
   Cmd.v
     (Cmd.info "udp" ~doc)
-    Term.(ret (const udp $ receivers_arg $ p_arg $ seed_arg $ packets $ payload $ metrics $ faults))
+    Term.(
+      ret (const udp $ receivers_arg $ p_arg $ seed_arg $ packets $ payload $ metrics $ faults
+           $ capture))
+
+(* --- replay ------------------------------------------------------------ *)
+
+let replay path =
+  match Rmcast.Recorder.load ~path with
+  | Error message -> `Error (false, message)
+  | Ok recorder -> (
+    match Rmcast.Np_replay.replay recorder with
+    | Error message -> `Error (false, Printf.sprintf "%s: %s" path message)
+    | Ok outcome -> (
+      Printf.printf "%s: %d entries (%d machine events, %d effects checked)\n" path
+        (Rmcast.Recorder.length recorder)
+        outcome.Rmcast.Np_replay.events outcome.Rmcast.Np_replay.effects;
+      match outcome.Rmcast.Np_replay.divergence with
+      | None ->
+        print_endline "replay: OK (every recorded effect reproduced, in order)";
+        `Ok ()
+      | Some reason -> `Error (false, "replay diverged: " ^ reason)))
+
+let replay_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"CAPTURE") in
+  let doc =
+    "Re-execute a capture ($(b,rmc udp --capture), $(b,rmc serve --transport udp --capture)) \
+     through the sans-IO NP core and verify the machines reproduce the recorded effect \
+     streams bit-for-bit."
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(ret (const replay $ path))
 
 (* --- faults ------------------------------------------------------------- *)
 
@@ -837,4 +900,4 @@ let () =
        (Cmd.group info
           [ analyze_cmd; sweep_cmd; simulate_cmd; plan_cmd; endhost_cmd; latency_cmd;
             feedback_cmd; capacity_cmd; codec_cmd; transfer_cmd; serve_cmd; udp_cmd;
-            faults_cmd; trace_cmd ]))
+            replay_cmd; faults_cmd; trace_cmd ]))

@@ -16,9 +16,11 @@
       discrete-event simulator.
     - {!Np}, {!N2}, {!Runner}, {!Tg_arq}, {!Tg_layered}, {!Tg_integrated},
       {!Timing}, {!Tg_result}: protocol machines.
+    - {!Np_machine}, {!Np_replay}: the sans-IO NP core (pure events in,
+      effects out) and deterministic replay of captured runs.
     - {!Header}: the wire format.
-    - {!Metrics}, {!Event_trace}, {!Fault}: observability and fault
-      injection.
+    - {!Metrics}, {!Event_trace}, {!Fault}, {!Recorder}: observability,
+      fault injection and event/effect capture.
     - {!Transfer}, {!Planner}: the ten-line user path.
 
     {2 Quickstart}
@@ -88,6 +90,8 @@ module Tg_integrated = Rmc_proto.Tg_integrated
 module Tg_carousel = Rmc_proto.Tg_carousel
 module Runner = Rmc_proto.Runner
 module Np = Rmc_proto.Np
+module Np_machine = Rmc_proto.Np_machine
+module Np_replay = Rmc_proto.Np_replay
 module N2 = Rmc_proto.N2
 module N1 = Rmc_proto.N1
 
@@ -98,6 +102,7 @@ module Header = Rmc_wire.Header
 module Metrics = Rmc_obs.Metrics
 module Event_trace = Rmc_obs.Trace
 module Fault = Rmc_obs.Fault
+module Recorder = Rmc_obs.Recorder
 
 (* Real-socket transport *)
 module Reactor = Rmc_transport.Reactor

@@ -1,0 +1,111 @@
+type kind = Event | Effect
+
+type entry = { actor : string; kind : kind; body : string }
+
+type t = {
+  mutable meta_rev : (string * string) list;
+  mutable entries_rev : entry list;
+  mutable count : int;
+}
+
+let create () = { meta_rev = []; entries_rev = []; count = 0 }
+
+let check_token ~what token =
+  if token = "" then invalid_arg (Printf.sprintf "Recorder: empty %s" what);
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then
+        invalid_arg (Printf.sprintf "Recorder: whitespace in %s %S" what token))
+    token
+
+let check_body body =
+  String.iter
+    (fun c ->
+      if c = '\n' || c = '\r' then invalid_arg "Recorder: newline in body")
+    body
+
+let set_meta t key value =
+  check_token ~what:"meta key" key;
+  check_body value;
+  t.meta_rev <- (key, value) :: List.remove_assoc key t.meta_rev
+
+let meta t key = List.assoc_opt key (List.rev t.meta_rev)
+
+let meta_all t = List.rev t.meta_rev
+
+let record t kind ~actor body =
+  check_token ~what:"actor" actor;
+  check_body body;
+  t.entries_rev <- { actor; kind; body } :: t.entries_rev;
+  t.count <- t.count + 1
+
+let record_event t ~actor body = record t Event ~actor body
+let record_effect t ~actor body = record t Effect ~actor body
+
+let entries t = List.rev t.entries_rev
+let length t = t.count
+
+let magic = "# rmc-replay 1"
+
+let save ~path t =
+  let channel = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out channel)
+    (fun () ->
+      output_string channel (magic ^ "\n");
+      List.iter
+        (fun (key, value) -> Printf.fprintf channel "meta %s %s\n" key value)
+        (meta_all t);
+      List.iter
+        (fun { actor; kind; body } ->
+          let tag = match kind with Event -> "E" | Effect -> "X" in
+          Printf.fprintf channel "%s %s %s\n" tag actor body)
+        (entries t))
+
+(* Split a line into its first two space-separated tokens plus the rest of
+   the line verbatim (bodies and meta values may contain spaces). *)
+let split3 line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i -> (
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    match String.index_opt rest ' ' with
+    | None -> None
+    | Some j ->
+      Some
+        ( String.sub line 0 i,
+          String.sub rest 0 j,
+          String.sub rest (j + 1) (String.length rest - j - 1) ))
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error reason -> Error reason
+  | channel ->
+    Fun.protect
+      ~finally:(fun () -> close_in channel)
+      (fun () ->
+        let t = create () in
+        let line_no = ref 0 in
+        let fail reason = Error (Printf.sprintf "%s:%d: %s" path !line_no reason) in
+        let rec loop () =
+          match input_line channel with
+          | exception End_of_file -> Ok t
+          | line ->
+            incr line_no;
+            if !line_no = 1 then
+              if line = magic then loop () else fail "not an rmc-replay capture"
+            else if line = "" then loop ()
+            else (
+              match split3 line with
+              | Some ("meta", key, value) ->
+                set_meta t key value;
+                loop ()
+              | Some ("E", actor, body) ->
+                record_event t ~actor body;
+                loop ()
+              | Some ("X", actor, body) ->
+                record_effect t ~actor body;
+                loop ()
+              | Some _ | None -> fail "malformed line")
+        in
+        loop ())

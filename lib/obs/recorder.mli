@@ -1,0 +1,56 @@
+(** Append-only event/effect capture log for deterministic replay.
+
+    A recorder collects, in arrival order, every event a sans-IO protocol
+    machine consumed and every effect it emitted, each tagged with the
+    {e actor} (machine instance) it belongs to — ["s0"] for session 0's
+    sender, ["r2"] for receiver 2.  A [meta] key/value header carries
+    whatever setup the replayer needs to reconstruct the machines
+    (config, payload bytes, RNG seeds).
+
+    The recorder is protocol-agnostic: bodies are opaque single-line
+    strings (the machine's own serialization, see
+    {!Rmc_proto.Np_machine.event_to_string}).  {!save}/{!load} use a
+    line-oriented text format safe to check into a repository:
+    {v
+    # rmc-replay 1
+    meta <key> <value ...>
+    E <actor> <event body ...>
+    X <actor> <effect body ...>
+    v} *)
+
+type kind = Event | Effect
+
+type entry = { actor : string; kind : kind; body : string }
+
+type t
+
+val create : unit -> t
+
+val set_meta : t -> string -> string -> unit
+(** Set (or overwrite) a meta key.  Keys must be non-empty and contain no
+    whitespace; values must be single-line.
+    @raise Invalid_argument otherwise. *)
+
+val meta : t -> string -> string option
+
+val meta_all : t -> (string * string) list
+(** Insertion order. *)
+
+val record_event : t -> actor:string -> string -> unit
+(** Append one consumed-event line.  Actors must be non-empty and contain
+    no whitespace; bodies must be single-line.
+    @raise Invalid_argument otherwise. *)
+
+val record_effect : t -> actor:string -> string -> unit
+
+val entries : t -> entry list
+(** Recording order. *)
+
+val length : t -> int
+
+val save : path:string -> t -> unit
+(** Write the capture to [path] (truncating). *)
+
+val load : path:string -> (t, string) result
+(** Parse a capture written by {!save}.  Total: malformed files yield
+    [Error] with a line diagnostic, never an exception. *)

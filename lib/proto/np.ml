@@ -1,9 +1,9 @@
 module Engine = Rmc_sim.Engine
 module Network = Rmc_sim.Network
 module Rng = Rmc_numerics.Rng
-module Rse = Rmc_rse.Rse
-module Fec_block = Rmc_rse.Fec_block
+module Header = Rmc_wire.Header
 module Profile = Rmc_core.Profile
+module Recorder = Rmc_obs.Recorder
 
 type config = {
   k : int;
@@ -74,27 +74,6 @@ type report = {
 let transmissions_per_packet report =
   float_of_int (report.data_tx + report.parity_tx) /. float_of_int report.data_tx
 
-(* ------------------------------------------------------------------ *)
-
-type tg_sender = {
-  tg_id : int;
-  block : Fec_block.Sender.t;
-  mutable serviced_round : int; (* highest round whose NAK was handled *)
-}
-
-type tg_receiver = {
-  rx : Fec_block.Receiver.t;
-  mutable delivered : bool;
-  mutable nak_timer : Engine.timer option;
-  mutable nak_round : int; (* round the pending/last NAK belongs to *)
-  mutable gave_up : bool;
-}
-
-type job =
-  | Packet of { tg : tg_sender; index : int } (* < k data, >= k parity *)
-  | Poll of { tg : tg_sender; size : int; round : int }
-  | Exhausted of { tg : tg_sender }
-
 let validate_config c =
   if c.k < 1 then invalid_arg "Np: k must be >= 1";
   if c.h < 0 || c.proactive < 0 || c.proactive > c.h then
@@ -103,32 +82,33 @@ let validate_config c =
   if c.spacing <= 0.0 || c.delay < 0.0 || c.slot <= 0.0 then
     invalid_arg "Np: spacing/slot must be positive, delay non-negative"
 
+let machine_config c =
+  { Np_machine.k = c.k; h = c.h; proactive = c.proactive; pre_encode = c.pre_encode;
+    slot = c.slot }
+
 (* ------------------------------------------------------------------ *)
 
-(* One NP transfer multiplexed on a shared engine: all of its sender and
-   receiver state, plus its private counters.  A flow owns its transmission
-   groups, its per-receiver decode state and its job queues; the {!Mux}
-   arbiter owns virtual time and the shared send slot. *)
+(* One NP transfer multiplexed on a shared engine.  The protocol itself
+   lives in the pure {!Np_machine} core; a flow is that core's sender and
+   receiver machines plus the interpreter state binding them to virtual
+   time — NAK-timer handles, the simulated multicast channel, and the
+   delivery-verification scoreboard. *)
+
+type rx_driver = {
+  machine : Np_machine.Receiver.t;
+  timers : (int, Engine.timer) Hashtbl.t; (* armed NAK timers, by tg *)
+}
+
 type flow = {
   config : config;
   network : Network.t;
-  rng : Rng.t;
-  tgs : tg_sender array;
-  rx_states : tg_receiver array array;
-  repair_queue : job Queue.t; (* repairs pre-empt the data stream *)
-  stream_queue : job Queue.t;
+  sender : Np_machine.Sender.t;
+  rxs : rx_driver array;
   receivers : int;
+  recorder : Recorder.t option;
   started_at : float;
   mutable in_ready : bool; (* member of the arbiter's rotation *)
   mutable finished_at : float; (* virtual time of the flow's last event *)
-  mutable data_tx : int;
-  mutable parity_tx : int;
-  mutable polls : int;
-  mutable naks_sent : int;
-  mutable naks_suppressed : int;
-  mutable parities_encoded : int;
-  mutable packets_decoded : int;
-  mutable unnecessary : int;
   mutable ejected_rev : (int * int) list;
   mutable intact : bool;
 }
@@ -148,37 +128,60 @@ type mux = {
 let create engine = { engine; ready = Queue.create (); pumping = false }
 let engine mux = mux.engine
 
-let tg_k tg = Rse.k (Fec_block.Sender.codec tg.block)
-
-let has_jobs flow =
-  (not (Queue.is_empty flow.repair_queue)) || not (Queue.is_empty flow.stream_queue)
-
-let next_job flow =
-  if not (Queue.is_empty flow.repair_queue) then Some (Queue.pop flow.repair_queue)
-  else if not (Queue.is_empty flow.stream_queue) then Some (Queue.pop flow.stream_queue)
-  else None
-
 let touch mux flow = flow.finished_at <- Engine.now mux.engine
+
+let sender_actor = "s0"
+let rx_actor receiver = "r" ^ string_of_int receiver
+
+let sender_handle flow event =
+  (match flow.recorder with
+  | Some r -> Recorder.record_event r ~actor:sender_actor (Np_machine.event_to_string event)
+  | None -> ());
+  let effects = Np_machine.Sender.handle flow.sender event in
+  (match flow.recorder with
+  | Some r ->
+    List.iter
+      (fun e -> Recorder.record_effect r ~actor:sender_actor (Np_machine.effect_to_string e))
+      effects
+  | None -> ());
+  effects
+
+let rx_handle flow ~receiver event =
+  (match flow.recorder with
+  | Some r ->
+    Recorder.record_event r ~actor:(rx_actor receiver) (Np_machine.event_to_string event)
+  | None -> ());
+  let effects = Np_machine.Receiver.handle flow.rxs.(receiver).machine event in
+  (match flow.recorder with
+  | Some r ->
+    List.iter
+      (fun e ->
+        Recorder.record_effect r ~actor:(rx_actor receiver) (Np_machine.effect_to_string e))
+      effects
+  | None -> ());
+  effects
 
 let rec pump mux =
   match Queue.pop mux.ready with
   | exception Queue.Empty -> mux.pumping <- false
   | flow ->
-    (match next_job flow with
-    | None ->
+    if not (Np_machine.Sender.pending flow.sender) then begin
       flow.in_ready <- false;
       pump mux
-    | Some job ->
-      let busy = execute mux flow job in
-      if has_jobs flow then Queue.push flow mux.ready else flow.in_ready <- false;
+    end
+    else begin
+      let busy = execute mux flow in
+      if Np_machine.Sender.pending flow.sender then Queue.push flow mux.ready
+      else flow.in_ready <- false;
       touch mux flow;
-      ignore (Engine.after mux.engine busy (fun () -> pump mux)))
+      ignore (Engine.after mux.engine busy (fun () -> pump mux))
+    end
 
 (* Wake the arbiter for a flow that (re)gained jobs.  Entering the rotation
    is what starts a flow: [add_flow] schedules this at the flow's start
    time. *)
 and wake mux flow =
-  if has_jobs flow && not flow.in_ready then begin
+  if Np_machine.Sender.pending flow.sender && not flow.in_ready then begin
     flow.in_ready <- true;
     Queue.push flow mux.ready;
     if not mux.pumping then begin
@@ -187,153 +190,86 @@ and wake mux flow =
     end
   end
 
-and execute mux flow job =
+(* Interpret one sender Tick: [Send] effects become simulated multicasts
+   (data/parity through the network's loss process, control delivered
+   reliably — the analysis' assumption), and the returned busy time keeps
+   the old pacing: [spacing] after a payload-bearing packet, none after
+   control. *)
+and execute mux flow =
   let c = flow.config in
-  match job with
-  | Packet { tg; index } ->
-    let payload =
-      if index < tg_k tg then begin
-        flow.data_tx <- flow.data_tx + 1;
-        (Fec_block.Sender.data tg.block).(index)
-      end
-      else begin
-        flow.parity_tx <- flow.parity_tx + 1;
-        Fec_block.Sender.parity tg.block (index - tg_k tg)
-      end
-    in
-    let tx = Network.transmit flow.network ~time:(Engine.now mux.engine) in
-    for r = 0 to flow.receivers - 1 do
-      if not (Network.lost tx r) then
-        ignore
-          (Engine.after mux.engine c.delay (fun () ->
-               deliver_packet mux flow ~receiver:r ~tg ~index payload))
-    done;
-    c.spacing
-  | Poll { tg; size; round } ->
-    flow.polls <- flow.polls + 1;
-    for r = 0 to flow.receivers - 1 do
-      ignore
-        (Engine.after mux.engine c.delay (fun () ->
-             deliver_poll mux flow ~receiver:r ~tg ~size ~round))
-    done;
-    0.0
-  | Exhausted { tg } ->
-    for r = 0 to flow.receivers - 1 do
-      ignore
-        (Engine.after mux.engine c.delay (fun () -> deliver_exhausted mux flow ~receiver:r ~tg))
-    done;
-    0.0
-
-and deliver_packet mux flow ~receiver ~tg ~index payload =
-  touch mux flow;
-  let state = flow.rx_states.(receiver).(tg.tg_id) in
-  if state.delivered || state.gave_up then flow.unnecessary <- flow.unnecessary + 1
-  else begin
-    let fresh = Fec_block.Receiver.add state.rx ~index payload in
-    if not fresh then flow.unnecessary <- flow.unnecessary + 1
-    else if Fec_block.Receiver.complete state.rx then begin
-      let reconstructed = List.length (Fec_block.Receiver.missing_data state.rx) in
-      flow.packets_decoded <- flow.packets_decoded + reconstructed;
-      let decoded = Fec_block.Receiver.decode state.rx in
-      let original = Fec_block.Sender.data tg.block in
-      if not (Array.for_all2 Bytes.equal decoded original) then flow.intact <- false;
-      state.delivered <- true;
-      match state.nak_timer with
-      | Some timer ->
-        Engine.cancel timer;
-        state.nak_timer <- None
-      | None -> ()
-    end
-  end
-
-and deliver_poll mux flow ~receiver ~tg ~size ~round =
-  touch mux flow;
-  let state = flow.rx_states.(receiver).(tg.tg_id) in
-  if (not state.delivered) && (not state.gave_up) && state.nak_round < round then begin
-    let need = Fec_block.Receiver.needed state.rx in
-    if need > 0 then begin
-      (* Slotting (paper §5.1): receivers missing more packets answer in
-         earlier slots; damping adds a uniform offset within the slot. *)
-      let slot_index = max 0 (size - need) in
-      let offset =
-        (float_of_int slot_index *. flow.config.slot) +. (Rng.float flow.rng *. flow.config.slot)
-      in
-      (match state.nak_timer with Some t -> Engine.cancel t | None -> ());
-      state.nak_timer <-
-        Some (Engine.after mux.engine offset (fun () -> send_nak mux flow ~receiver ~tg ~round))
-    end
-  end
-
-and deliver_exhausted mux flow ~receiver ~tg =
-  touch mux flow;
-  let state = flow.rx_states.(receiver).(tg.tg_id) in
-  if (not state.delivered) && not state.gave_up then begin
-    state.gave_up <- true;
-    (match state.nak_timer with Some t -> Engine.cancel t | None -> ());
-    state.nak_timer <- None;
-    flow.ejected_rev <- (receiver, tg.tg_id) :: flow.ejected_rev
-  end
-
-and send_nak mux flow ~receiver ~tg ~round =
-  touch mux flow;
-  let state = flow.rx_states.(receiver).(tg.tg_id) in
-  state.nak_timer <- None;
-  if (not state.delivered) && not state.gave_up then begin
-    let need = Fec_block.Receiver.needed state.rx in
-    if need > 0 then begin
-      flow.naks_sent <- flow.naks_sent + 1;
-      state.nak_round <- round;
-      (* The NAK is multicast: the sender reacts, the other receivers
-         suppress their own pending NAK for this round. *)
-      ignore
-        (Engine.after mux.engine flow.config.delay (fun () ->
-             handle_nak_at_sender mux flow ~tg ~need ~round));
-      for other = 0 to flow.receivers - 1 do
-        if other <> receiver then
+  let effects = sender_handle flow Np_machine.Tick in
+  List.fold_left
+    (fun busy effect ->
+      match effect with
+      | Np_machine.Send ((Header.Data _ | Header.Parity _) as msg) ->
+        let tx = Network.transmit flow.network ~time:(Engine.now mux.engine) in
+        for r = 0 to flow.receivers - 1 do
+          if not (Network.lost tx r) then
+            ignore
+              (Engine.after mux.engine c.delay (fun () ->
+                   rx_event mux flow ~receiver:r (Np_machine.Packet_received msg)))
+        done;
+        c.spacing
+      | Np_machine.Send ((Header.Poll _ | Header.Exhausted _) as msg) ->
+        for r = 0 to flow.receivers - 1 do
           ignore
-            (Engine.after mux.engine flow.config.delay (fun () ->
-                 overhear_nak mux flow ~receiver:other ~tg_id:tg.tg_id ~need ~round))
-      done
-    end
-  end
+            (Engine.after mux.engine c.delay (fun () ->
+                 rx_event mux flow ~receiver:r (Np_machine.Packet_received msg)))
+        done;
+        busy
+      | Np_machine.Send (Header.Nak _)
+      | Np_machine.Arm_timer _ | Np_machine.Cancel_timer _ | Np_machine.Deliver _
+      | Np_machine.Ejected _ | Np_machine.Trace _ | Np_machine.Done ->
+        busy)
+    0.0 effects
 
-and handle_nak_at_sender mux flow ~tg ~need ~round =
+and rx_event mux flow ~receiver event =
   touch mux flow;
-  if tg.serviced_round < round then begin
-    tg.serviced_round <- round;
-    let remaining =
-      Rse.h (Fec_block.Sender.codec tg.block) - Fec_block.Sender.parities_issued tg.block
-    in
-    if remaining = 0 then Queue.push (Exhausted { tg }) flow.repair_queue
-    else begin
-      let batch = min need remaining in
-      let fresh = Fec_block.Sender.next_parities tg.block batch in
-      if not flow.config.pre_encode then flow.parities_encoded <- flow.parities_encoded + batch;
-      List.iter
-        (fun (j, _) -> Queue.push (Packet { tg; index = tg_k tg + j }) flow.repair_queue)
-        fresh;
-      Queue.push (Poll { tg; size = batch; round = round + 1 }) flow.repair_queue
-    end;
-    wake mux flow
-  end
+  let effects = rx_handle flow ~receiver event in
+  List.iter (rx_apply mux flow ~receiver) effects
 
-and overhear_nak mux flow ~receiver ~tg_id ~need ~round =
+and rx_apply mux flow ~receiver effect =
+  let rxd = flow.rxs.(receiver) in
+  match effect with
+  | Np_machine.Send (Header.Nak { tg_id; need; round } as nak) ->
+    (* The NAK is multicast: the sender reacts, the other receivers
+       suppress their own pending NAK for this round. *)
+    ignore
+      (Engine.after mux.engine flow.config.delay (fun () ->
+           sender_feedback mux flow ~tg:tg_id ~need ~round));
+    for other = 0 to flow.receivers - 1 do
+      if other <> receiver then
+        ignore
+          (Engine.after mux.engine flow.config.delay (fun () ->
+               rx_event mux flow ~receiver:other (Np_machine.Packet_received nak)))
+    done
+  | Np_machine.Arm_timer { tg; round; offset } ->
+    (match Hashtbl.find_opt rxd.timers tg with Some t -> Engine.cancel t | None -> ());
+    Hashtbl.replace rxd.timers tg
+      (Engine.after mux.engine offset (fun () ->
+           Hashtbl.remove rxd.timers tg;
+           rx_event mux flow ~receiver (Np_machine.Timer_fired { tg; round })))
+  | Np_machine.Cancel_timer { tg } ->
+    (match Hashtbl.find_opt rxd.timers tg with
+    | Some t ->
+      Engine.cancel t;
+      Hashtbl.remove rxd.timers tg
+    | None -> ())
+  | Np_machine.Deliver { tg; data; reconstructed = _ } ->
+    if
+      not
+        (Array.for_all2 Bytes.equal data (Np_machine.Sender.block_data flow.sender ~tg))
+    then flow.intact <- false
+  | Np_machine.Ejected { tg } -> flow.ejected_rev <- (receiver, tg) :: flow.ejected_rev
+  | Np_machine.Send _ | Np_machine.Trace _ | Np_machine.Done -> ()
+
+and sender_feedback mux flow ~tg ~need ~round =
   touch mux flow;
-  let state = flow.rx_states.(receiver).(tg_id) in
-  match state.nak_timer with
-  | Some timer when state.nak_round < round || state.nak_round = 0 ->
-    (* Pending timer belongs to this round iff scheduled by its poll;
-       suppression applies when the overheard request covers ours. *)
-    let own_need = Fec_block.Receiver.needed state.rx in
-    if need >= own_need then begin
-      Engine.cancel timer;
-      state.nak_timer <- None;
-      state.nak_round <- round;
-      flow.naks_suppressed <- flow.naks_suppressed + 1
-    end
-  | _ -> ()
+  ignore (sender_handle flow (Np_machine.Feedback { tg; need; round }));
+  if Np_machine.Sender.pending flow.sender then wake mux flow
 
-let add_flow mux ?(config = default_config) ?(start = 0.0) ~network ~rng ~data () =
+let add_flow mux ?(config = default_config) ?(start = 0.0) ?recorder ~network ~rng ~data
+    () =
   validate_config config;
   let c = config in
   if Array.length data = 0 then invalid_arg "Np.run: no data";
@@ -345,76 +281,39 @@ let add_flow mux ?(config = default_config) ?(start = 0.0) ~network ~rng ~data (
   if start < 0.0 then invalid_arg "Np.run: negative start time";
   if start < Engine.now mux.engine then invalid_arg "Np.run: start time in the past";
   let receivers = Network.receivers network in
+  let mc = machine_config c in
+  let sender = Np_machine.Sender.create mc ~data in
   let total = Array.length data in
-  let tg_count = (total + c.k - 1) / c.k in
-  let parities_encoded = ref 0 in
-  let tgs =
-    Array.init tg_count (fun i ->
-        let base = i * c.k in
-        let len = min c.k (total - base) in
-        let codec = Rse.create ~k:len ~h:c.h () in
-        let block = Fec_block.Sender.create codec (Array.sub data base len) in
-        if c.pre_encode then begin
-          Fec_block.Sender.precompute block;
-          parities_encoded := !parities_encoded + c.h
-        end;
-        { tg_id = i; block; serviced_round = 0 })
+  let expected =
+    List.init (Np_machine.Sender.tg_count sender) (fun i ->
+        (i, min c.k (total - (i * c.k))))
   in
-  let rx_states =
+  (* All receiver machines share the flow's RNG for NAK damping, exactly
+     like the pre-sans-IO machine did — one draw per armed timer, in
+     delivery order. *)
+  let rand () = Rng.float rng in
+  let rxs =
     Array.init receivers (fun _ ->
-        Array.map
-          (fun tg ->
-            {
-              rx = Fec_block.Receiver.create (Fec_block.Sender.codec tg.block);
-              delivered = false;
-              nak_timer = None;
-              nak_round = 0;
-              gave_up = false;
-            })
-          tgs)
+        {
+          machine = Np_machine.Receiver.create ~expected mc ~rand;
+          timers = Hashtbl.create 8;
+        })
   in
   let flow =
     {
       config = c;
       network;
-      rng;
-      tgs;
-      rx_states;
-      repair_queue = Queue.create ();
-      stream_queue = Queue.create ();
+      sender;
+      rxs;
       receivers;
+      recorder;
       started_at = start;
       in_ready = false;
       finished_at = start;
-      data_tx = 0;
-      parity_tx = 0;
-      polls = 0;
-      naks_sent = 0;
-      naks_suppressed = 0;
-      parities_encoded = !parities_encoded;
-      packets_decoded = 0;
-      unnecessary = 0;
       ejected_rev = [];
       intact = true;
     }
   in
-  (* Initial stream: per TG, data + proactive parities + poll. *)
-  Array.iter
-    (fun tg ->
-      let k = tg_k tg in
-      for index = 0 to k - 1 do
-        Queue.push (Packet { tg; index }) flow.stream_queue
-      done;
-      let a = min c.proactive c.h in
-      if a > 0 then begin
-        let fresh = Fec_block.Sender.next_parities tg.block a in
-        if not c.pre_encode then flow.parities_encoded <- flow.parities_encoded + a;
-        List.iter
-          (fun (j, _) -> Queue.push (Packet { tg; index = k + j }) flow.stream_queue)
-          fresh
-      end;
-      Queue.push (Poll { tg; size = k + a; round = 1 }) flow.stream_queue)
-    flow.tgs;
   ignore (Engine.at mux.engine start (fun () -> wake mux flow));
   flow
 
@@ -422,26 +321,45 @@ let started_at flow = flow.started_at
 let finished_at flow = flow.finished_at
 
 let flow_complete flow =
+  let tg_count = Np_machine.Sender.tg_count flow.sender in
   Array.for_all
-    (fun per_tg -> Array.for_all (fun s -> s.delivered || s.gave_up) per_tg)
-    flow.rx_states
+    (fun rxd ->
+      let all = ref true in
+      for tg = 0 to tg_count - 1 do
+        if
+          not
+            (Np_machine.Receiver.delivered rxd.machine ~tg
+            || Np_machine.Receiver.gave_up rxd.machine ~tg)
+        then all := false
+      done;
+      !all)
+    flow.rxs
 
 let flow_report flow =
+  let tg_count = Np_machine.Sender.tg_count flow.sender in
+  let sum f = Array.fold_left (fun acc rxd -> acc + f rxd.machine) 0 flow.rxs in
   let all_delivered =
-    Array.for_all (fun per_tg -> Array.for_all (fun s -> s.delivered) per_tg) flow.rx_states
+    Array.for_all
+      (fun rxd ->
+        let all = ref true in
+        for tg = 0 to tg_count - 1 do
+          if not (Np_machine.Receiver.delivered rxd.machine ~tg) then all := false
+        done;
+        !all)
+      flow.rxs
   in
   {
     config = flow.config;
     receivers = flow.receivers;
-    transmission_groups = Array.length flow.tgs;
-    data_tx = flow.data_tx;
-    parity_tx = flow.parity_tx;
-    polls = flow.polls;
-    naks_sent = flow.naks_sent;
-    naks_suppressed = flow.naks_suppressed;
-    parities_encoded = flow.parities_encoded;
-    packets_decoded = flow.packets_decoded;
-    unnecessary_receptions = flow.unnecessary;
+    transmission_groups = tg_count;
+    data_tx = Np_machine.Sender.data_tx flow.sender;
+    parity_tx = Np_machine.Sender.parity_tx flow.sender;
+    polls = Np_machine.Sender.polls flow.sender;
+    naks_sent = sum Np_machine.Receiver.naks_sent;
+    naks_suppressed = sum Np_machine.Receiver.naks_suppressed;
+    parities_encoded = Np_machine.Sender.parities_encoded flow.sender;
+    packets_decoded = sum Np_machine.Receiver.packets_decoded;
+    unnecessary_receptions = sum Np_machine.Receiver.unnecessary;
     ejected = List.rev flow.ejected_rev;
     duration = flow.finished_at;
     delivered_intact = flow.intact && all_delivered;

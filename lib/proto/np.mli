@@ -98,6 +98,7 @@ module Mux : sig
     t ->
     ?config:config ->
     ?start:float ->
+    ?recorder:Rmc_obs.Recorder.t ->
     network:Rmc_sim.Network.t ->
     rng:Rmc_numerics.Rng.t ->
     data:Bytes.t array ->
@@ -106,6 +107,11 @@ module Mux : sig
   (** Register a transfer of [data] starting at virtual time [start]
       (default 0, must not lie in the engine's past).  The flow enters the
       send rotation at [start].
+
+      [recorder] captures the flow's sans-IO event/effect streams (actor
+      ["s0"] for the sender, ["r<i>"] per receiver) — the sim side of the
+      driver-equivalence contract with {!Rmc_transport.Udp_np}.  Use one
+      recorder per flow.
       @raise Invalid_argument on an invalid config, empty data, wrong
       payload sizes or a bad start time. *)
 

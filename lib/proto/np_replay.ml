@@ -1,0 +1,226 @@
+module Rng = Rmc_numerics.Rng
+module Recorder = Rmc_obs.Recorder
+
+let hex_of_payloads payloads =
+  let buffer = Buffer.create 256 in
+  Array.iter
+    (fun payload ->
+      Bytes.iter
+        (fun c -> Buffer.add_string buffer (Printf.sprintf "%02x" (Char.code c)))
+        payload)
+    payloads;
+  Buffer.contents buffer
+
+let payloads_of_hex ~payload_size s =
+  let length = String.length s in
+  if length mod 2 <> 0 then Error "odd-length data hex"
+  else
+    let total = length / 2 in
+    if total mod payload_size <> 0 then Error "data not a whole number of payloads"
+    else
+      match
+        Array.init (total / payload_size) (fun p ->
+            Bytes.init payload_size (fun i ->
+                Char.chr (int_of_string ("0x" ^ String.sub s (2 * ((p * payload_size) + i)) 2))))
+      with
+      | payloads -> Ok payloads
+      | exception _ -> Error "malformed data hex"
+
+let record_setup recorder ~config ~payload_size ~receivers ~sessions ~rx_seeds =
+  let set = Recorder.set_meta recorder in
+  set "format" "np-machine/1";
+  set "k" (string_of_int config.Np_machine.k);
+  set "h" (string_of_int config.Np_machine.h);
+  set "proactive" (string_of_int config.Np_machine.proactive);
+  set "pre_encode" (if config.Np_machine.pre_encode then "true" else "false");
+  set "slot" (Printf.sprintf "%h" config.Np_machine.slot);
+  set "payload" (string_of_int payload_size);
+  set "receivers" (string_of_int receivers);
+  set "sessions" (string_of_int (Array.length sessions));
+  Array.iteri (fun sid data -> set (Printf.sprintf "data.%d" sid) (hex_of_payloads data)) sessions;
+  Array.iteri (fun id seed -> set (Printf.sprintf "rxseed.%d" id) (string_of_int seed)) rx_seeds
+
+type outcome = {
+  events : int;
+  effects : int;
+  divergence : string option;
+}
+
+(* Mirrors the UDP driver's wire demux: session id in the upper 16 bits of
+   the 32-bit tg id, session-local index in the lower 16. *)
+let wire_tg ~sid local = (sid lsl 16) lor local
+
+let ( let* ) = Result.bind
+
+let meta_int recorder key =
+  match Recorder.meta recorder key with
+  | None -> Error (Printf.sprintf "capture meta missing %s" key)
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "capture meta %s: not an integer" key))
+
+let meta_float recorder key =
+  match Recorder.meta recorder key with
+  | None -> Error (Printf.sprintf "capture meta missing %s" key)
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "capture meta %s: not a float" key))
+
+let meta_bool recorder key =
+  match Recorder.meta recorder key with
+  | None -> Error (Printf.sprintf "capture meta missing %s" key)
+  | Some "true" -> Ok true
+  | Some "false" -> Ok false
+  | Some _ -> Error (Printf.sprintf "capture meta %s: not a boolean" key)
+
+type machine =
+  | M_sender of Np_machine.Sender.t
+  | M_receiver of Np_machine.Receiver.t
+
+let replay recorder =
+  let* k = meta_int recorder "k" in
+  let* h = meta_int recorder "h" in
+  let* proactive = meta_int recorder "proactive" in
+  let* pre_encode = meta_bool recorder "pre_encode" in
+  let* slot = meta_float recorder "slot" in
+  let* payload_size = meta_int recorder "payload" in
+  let* receivers = meta_int recorder "receivers" in
+  let* nsessions = meta_int recorder "sessions" in
+  if payload_size < 1 then Error "capture meta payload: must be >= 1"
+  else if nsessions < 1 then Error "capture meta sessions: must be >= 1"
+  else if receivers < 1 then Error "capture meta receivers: must be >= 1"
+  else
+    let config = { Np_machine.k; h; proactive; pre_encode; slot } in
+    let rec collect_sessions sid acc =
+      if sid = nsessions then Ok (Array.of_list (List.rev acc))
+      else
+        match Recorder.meta recorder (Printf.sprintf "data.%d" sid) with
+        | None -> Error (Printf.sprintf "capture meta missing data.%d" sid)
+        | Some hex ->
+          let* payloads = payloads_of_hex ~payload_size hex in
+          collect_sessions (sid + 1) (payloads :: acc)
+    in
+    let* sessions = collect_sessions 0 [] in
+    let rec collect_seeds id acc =
+      if id = receivers then Ok (Array.of_list (List.rev acc))
+      else
+        let* seed = meta_int recorder (Printf.sprintf "rxseed.%d" id) in
+        collect_seeds (id + 1) (seed :: acc)
+    in
+    let* rx_seeds = collect_seeds 0 [] in
+    (* Every receiver expects every TG of every session, exactly as the
+       UDP driver registers them. *)
+    let expected =
+      List.concat
+        (List.init nsessions (fun sid ->
+             let total = Array.length sessions.(sid) in
+             let tg_count = (total + k - 1) / k in
+             List.init tg_count (fun local ->
+                 (wire_tg ~sid local, min k (total - (local * k))))))
+    in
+    let machines : (string, machine) Hashtbl.t = Hashtbl.create 8 in
+    let machine_of actor =
+      match Hashtbl.find_opt machines actor with
+      | Some m -> Ok m
+      | None ->
+        let make =
+          if String.length actor >= 2 && actor.[0] = 's' then
+            match int_of_string_opt (String.sub actor 1 (String.length actor - 1)) with
+            | Some sid when sid >= 0 && sid < nsessions ->
+              Ok (M_sender (Np_machine.Sender.create config ~data:sessions.(sid)))
+            | _ -> Error (Printf.sprintf "unknown sender actor %s" actor)
+          else if String.length actor >= 2 && actor.[0] = 'r' then
+            match int_of_string_opt (String.sub actor 1 (String.length actor - 1)) with
+            | Some id when id >= 0 && id < receivers ->
+              let rng = Rng.create ~seed:rx_seeds.(id) () in
+              Ok
+                (M_receiver
+                   (Np_machine.Receiver.create ~expected config ~rand:(fun () ->
+                        Rng.float rng)))
+            | _ -> Error (Printf.sprintf "unknown receiver actor %s" actor)
+          else Error (Printf.sprintf "unknown actor %s" actor)
+        in
+        Result.map
+          (fun m ->
+            Hashtbl.replace machines actor m;
+            m)
+          make
+    in
+    (* Per-actor queue of effect strings the replayed machine produced and
+       the capture has not yet confirmed. *)
+    let pending : (string, string Queue.t) Hashtbl.t = Hashtbl.create 8 in
+    let pending_of actor =
+      match Hashtbl.find_opt pending actor with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace pending actor q;
+        q
+    in
+    let events = ref 0 and effects = ref 0 in
+    let step index (entry : Recorder.entry) =
+      let q = pending_of entry.actor in
+      match entry.kind with
+      | Recorder.Event ->
+        if not (Queue.is_empty q) then
+          Error
+            (Printf.sprintf
+               "entry %d (%s): replay produced effect %S the capture never recorded" index
+               entry.actor (Queue.peek q))
+        else
+          let* event =
+            Result.map_error
+              (fun reason -> Printf.sprintf "entry %d (%s): %s" index entry.actor reason)
+              (Np_machine.event_of_string entry.body)
+          in
+          let* machine = machine_of entry.actor in
+          incr events;
+          let emitted =
+            match machine with
+            | M_sender s -> Np_machine.Sender.handle s event
+            | M_receiver r -> Np_machine.Receiver.handle r event
+          in
+          List.iter (fun e -> Queue.push (Np_machine.effect_to_string e) q) emitted;
+          Ok ()
+      | Recorder.Effect ->
+        if Queue.is_empty q then
+          Error
+            (Printf.sprintf "entry %d (%s): capture records effect %S the replay never produced"
+               index entry.actor entry.body)
+        else
+          let produced = Queue.pop q in
+          incr effects;
+          if String.equal produced entry.body then Ok ()
+          else
+            Error
+              (Printf.sprintf "entry %d (%s): capture %S, replay %S" index entry.actor
+                 entry.body produced)
+    in
+    let rec walk index = function
+      | [] -> Ok None
+      | entry :: rest -> (
+        match step index entry with
+        | Ok () -> walk (index + 1) rest
+        | Error divergence -> Ok (Some divergence))
+    in
+    let* divergence = walk 0 (Recorder.entries recorder) in
+    let divergence =
+      match divergence with
+      | Some _ as d -> d
+      | None ->
+        Hashtbl.fold
+          (fun actor q acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              if Queue.is_empty q then None
+              else
+                Some
+                  (Printf.sprintf
+                     "end of capture (%s): replay produced trailing effect %S" actor
+                     (Queue.peek q)))
+          pending None
+    in
+    Ok { events = !events; effects = !effects; divergence }

@@ -1,0 +1,45 @@
+(** Deterministic replay of captured NP runs through the sans-IO core.
+
+    A UDP run captured with a {!Rmc_obs.Recorder} holds everything the
+    pure {!Np_machine} needs to be reconstructed: the machine config, the
+    session payloads, each receiver's damping-RNG seed (the [meta]
+    header, written by {!record_setup}) — and the per-actor event stream
+    the live machines consumed.  {!replay} rebuilds the machines, feeds
+    the recorded events back in order, and compares the effects the
+    machines emit {e now} against the effects recorded {e then},
+    byte-for-byte (payloads compare via their wire encoding, deliveries
+    via digest).  Because the core is pure and its only randomness is the
+    seeded damping draw, a non-diverging replay proves the capture is a
+    faithful, reproducible account of the run — independent of wall-clock
+    timing, socket scheduling and packet loss, all of which live in the
+    drivers and are baked into the event stream.
+
+    Actor names follow the driver convention: ["s<sid>"] for session
+    [sid]'s sender, ["r<id>"] for receiver [id]. *)
+
+val record_setup :
+  Rmc_obs.Recorder.t ->
+  config:Np_machine.config ->
+  payload_size:int ->
+  receivers:int ->
+  sessions:Bytes.t array array ->
+  rx_seeds:int array ->
+  unit
+(** Write the meta header {!replay} needs.  [rx_seeds.(id)] must be the
+    seed of receiver [id]'s damping RNG ([Rmc_numerics.Rng.create ~seed]).
+    Drivers call this once, before recording any entries. *)
+
+type outcome = {
+  events : int;  (** entries replayed as machine inputs *)
+  effects : int;  (** recorded effects checked against the replay *)
+  divergence : string option;
+      (** [None]: the replay reproduced every recorded effect,
+          bit-identically, in order.  [Some reason] pinpoints the first
+          mismatch. *)
+}
+
+val replay : Rmc_obs.Recorder.t -> (outcome, string) result
+(** Replay a capture.  [Error] means the capture itself is unusable
+    (missing or malformed meta); mismatched, unparseable or misattributed
+    entries yield [Ok] with [divergence = Some _] pinpointing the first
+    offender. *)

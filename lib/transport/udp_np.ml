@@ -1,11 +1,13 @@
 module Rng = Rmc_numerics.Rng
-module Rse = Rmc_rse.Rse
-module Fec_block = Rmc_rse.Fec_block
 module Header = Rmc_wire.Header
 module Metrics = Rmc_obs.Metrics
+module Trace = Rmc_obs.Trace
 module Fault = Rmc_obs.Fault
+module Recorder = Rmc_obs.Recorder
 module Profile = Rmc_core.Profile
 module Error = Rmc_core.Error
+module Np_machine = Rmc_proto.Np_machine
+module Np_replay = Rmc_proto.Np_replay
 
 type config = {
   k : int;
@@ -56,6 +58,10 @@ let profile_of_config c =
     pre_encode = false;
   }
 
+let machine_config c =
+  { Np_machine.k = c.k; h = c.h; proactive = c.proactive; pre_encode = false;
+    slot = c.slot }
+
 type report = {
   receivers : int;
   transmission_groups : int;
@@ -101,10 +107,41 @@ type multi_report = {
 (* The 32-bit wire [tg_id] carries the session id in its upper 16 bits and
    the session-local TG index in the lower 16 — no wire-format change, and
    a single-session run (sid 0) puts exactly the bytes on the wire it
-   always did. *)
-let wire_tg ~sid local = (sid lsl 16) lor local
-let sid_of_wire wire = wire lsr 16
+   always did.  [wire_tg_unchecked] is the hot-path composer for inputs
+   the entry-point validation has already bounded; {!wire_tg} is the
+   range-checked public face. *)
+let wire_tg_unchecked ~sid local = (sid lsl 16) lor local
+
+let wire_tg ~sid local =
+  if sid < 0 || sid > 0xFFFF then
+    Error.invalid_arg ~context:"Udp_np.wire_tg" "session id outside 16-bit range"
+  else if local < 0 || local > 0xFFFF then
+    Error.invalid_arg ~context:"Udp_np.wire_tg" "local tg outside 16-bit range"
+  else Ok (wire_tg_unchecked ~sid local)
+
+(* Decode-side masks: a hostile or corrupted tg_id must not index outside
+   either 16-bit namespace. *)
+let sid_of_wire wire = (wire lsr 16) land 0xFFFF
 let local_of_wire wire = wire land 0xFFFF
+
+(* Rewrite a machine-emitted message (session-local tg namespace) into its
+   wire form.  Inline records cannot use functional update across
+   constructors, so each case re-lists its fields. *)
+let wire_message ~sid = function
+  | Header.Data { tg_id; k; index; payload } ->
+    Header.Data { tg_id = wire_tg_unchecked ~sid tg_id; k; index; payload }
+  | Header.Parity { tg_id; k; index; round; payload } ->
+    Header.Parity { tg_id = wire_tg_unchecked ~sid tg_id; k; index; round; payload }
+  | Header.Poll { tg_id; k; size; round } ->
+    Header.Poll { tg_id = wire_tg_unchecked ~sid tg_id; k; size; round }
+  | Header.Nak { tg_id; need; round } ->
+    Header.Nak { tg_id = wire_tg_unchecked ~sid tg_id; need; round }
+  | Header.Exhausted { tg_id } -> Header.Exhausted { tg_id = wire_tg_unchecked ~sid tg_id }
+
+(* The damping RNG a receiver's machine draws from is split off from the
+   loss-injection stream so a replay (which sees no loss draws — dropped
+   datagrams never become events) can reconstruct it from the seed alone. *)
+let receiver_machine_seed ~seed ~id = seed + (id * 7919) + 104729
 
 (* --- socket helpers -------------------------------------------------- *)
 
@@ -114,14 +151,38 @@ let make_socket () =
   Unix.set_nonblock socket;
   socket
 
-let send_bytes socket packet destination =
-  (* Loopback sends never legitimately short-write a datagram this small;
-     EAGAIN under extreme pressure is treated as network loss. *)
-  try ignore (Unix.sendto socket packet 0 (Bytes.length packet) [] destination)
-  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+(* A socket plus the failure-observation channel every send shares. *)
+type net = {
+  socket : Unix.file_descr;
+  tx_errors : Metrics.counter;
+  trace : Trace.t option;
+}
 
-let send_datagram socket message destination =
-  send_bytes socket (Header.encode message) destination
+let send_bytes net packet destination =
+  (* Loopback sends never legitimately short-write a datagram this small.
+     EINTR gets one retry; everything else (including EAGAIN under extreme
+     pressure, which behaves like network loss) is counted and traced —
+     never silently swallowed. *)
+  let rec attempt ~retried =
+    match Unix.sendto net.socket packet 0 (Bytes.length packet) [] destination with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if retried then begin
+        Metrics.incr net.tx_errors;
+        match net.trace with
+        | Some trace -> Trace.record ~detail:"EINTR" trace "udp.tx_error"
+        | None -> ()
+      end
+      else attempt ~retried:true
+    | exception Unix.Unix_error (err, _, _) ->
+      Metrics.incr net.tx_errors;
+      (match net.trace with
+      | Some trace -> Trace.record ~detail:(Unix.error_message err) trace "udp.tx_error"
+      | None -> ())
+  in
+  attempt ~retried:false
+
+let send_datagram net message destination = send_bytes net (Header.encode message) destination
 
 let drain_socket ?on_decode_error socket handle =
   let buffer = Bytes.create 65536 in
@@ -143,31 +204,20 @@ let drain_socket ?on_decode_error socket handle =
 
 (* --- sender ----------------------------------------------------------- *)
 
-type tg_sender = {
-  tg_id : int;  (* session-local *)
-  block : Fec_block.Sender.t;
-  mutable serviced_round : int;
-}
-
-type sender_job =
-  | Send_packet of { tg : tg_sender; index : int }
-  | Send_poll of { tg : tg_sender; size : int; round : int }
-  | Send_exhausted of { tg : tg_sender }
-
+(* The protocol lives in the shared sans-IO core; this driver owns the
+   session id, the socket fan-out, pacing via the reactor, the fault shim
+   and the metrics.  The machine speaks session-local tg ids; every
+   outgoing message is rewritten into the wire namespace here. *)
 type sender = {
   sid : int;
   config : config;
   reactor : Reactor.t;
-  socket : Unix.file_descr;
+  net : net;
   group : Unix.sockaddr list;
-  tgs : tg_sender array;
-  repair_queue : sender_job Queue.t;
-  stream_queue : sender_job Queue.t;
+  machine : Np_machine.Sender.t;
   shim : Fault.t option;
+  recorder : Recorder.t option;
   mutable sending : bool;
-  mutable data_tx : int;
-  mutable parity_tx : int;
-  mutable polls : int;
   c_data : Metrics.counter;
   c_parity : Metrics.counter;
   c_poll : Metrics.counter;
@@ -175,6 +225,8 @@ type sender = {
   c_naks_rx : Metrics.counter;
   c_rounds : Metrics.counter;
 }
+
+let sender_actor sender = "s" ^ string_of_int sender.sid
 
 (* The fault shim sits here, at the datagram boundary: every data/parity
    datagram of the unicast fan-out passes through it independently, so each
@@ -190,60 +242,67 @@ let sender_multicast sender message =
       (fun destination ->
         Fault.apply shim ~now
           ~defer:(fun delay thunk -> ignore (Reactor.after sender.reactor delay thunk))
-          ~send:(fun bytes -> send_bytes sender.socket bytes destination)
+          ~send:(fun bytes -> send_bytes sender.net bytes destination)
           packet)
       sender.group
-  | _ -> List.iter (send_datagram sender.socket message) sender.group
+  | _ -> List.iter (send_datagram sender.net message) sender.group
 
-let tg_k tg = Rse.k (Fec_block.Sender.codec tg.block)
+let sender_handle sender event =
+  (match sender.recorder with
+  | Some r ->
+    Recorder.record_event r ~actor:(sender_actor sender) (Np_machine.event_to_string event)
+  | None -> ());
+  let effects = Np_machine.Sender.handle sender.machine event in
+  (match sender.recorder with
+  | Some r ->
+    List.iter
+      (fun e ->
+        Recorder.record_effect r ~actor:(sender_actor sender) (Np_machine.effect_to_string e))
+      effects
+  | None -> ());
+  (match sender.net.trace with
+  | Some trace ->
+    List.iter
+      (function Np_machine.Trace detail -> Trace.record ~detail trace "np.sender" | _ -> ())
+      effects
+  | None -> ());
+  effects
 
 let rec sender_pump sender =
-  let job =
-    if not (Queue.is_empty sender.repair_queue) then Some (Queue.pop sender.repair_queue)
-    else if not (Queue.is_empty sender.stream_queue) then Some (Queue.pop sender.stream_queue)
-    else None
-  in
-  match job with
-  | None -> sender.sending <- false
-  | Some job ->
+  if not (Np_machine.Sender.pending sender.machine) then sender.sending <- false
+  else begin
+    let effects = sender_handle sender Np_machine.Tick in
     let delay =
-      match job with
-      | Send_packet { tg; index } ->
-        let k = tg_k tg in
-        let id = wire_tg ~sid:sender.sid tg.tg_id in
-        (if index < k then begin
-           sender.data_tx <- sender.data_tx + 1;
-           Metrics.incr sender.c_data;
-           sender_multicast sender
-             (Header.Data
-                { tg_id = id; k; index; payload = (Fec_block.Sender.data tg.block).(index) })
-         end
-         else begin
-           sender.parity_tx <- sender.parity_tx + 1;
-           Metrics.incr sender.c_parity;
-           sender_multicast sender
-             (Header.Parity
-                {
-                  tg_id = id;
-                  k;
-                  index = index - k;
-                  round = 0;
-                  payload = Fec_block.Sender.parity tg.block (index - k);
-                })
-         end);
-        sender.config.spacing
-      | Send_poll { tg; size; round } ->
-        sender.polls <- sender.polls + 1;
-        Metrics.incr sender.c_poll;
-        sender_multicast sender
-          (Header.Poll { tg_id = wire_tg ~sid:sender.sid tg.tg_id; k = tg_k tg; size; round });
-        0.0
-      | Send_exhausted { tg } ->
-        Metrics.incr sender.c_exhausted;
-        sender_multicast sender (Header.Exhausted { tg_id = wire_tg ~sid:sender.sid tg.tg_id });
-        0.0
+      List.fold_left
+        (fun acc effect ->
+          match effect with
+          | Np_machine.Send message ->
+            let wire = wire_message ~sid:sender.sid message in
+            (match message with
+            | Header.Data _ ->
+              Metrics.incr sender.c_data;
+              sender_multicast sender wire;
+              sender.config.spacing
+            | Header.Parity _ ->
+              Metrics.incr sender.c_parity;
+              sender_multicast sender wire;
+              sender.config.spacing
+            | Header.Poll _ ->
+              Metrics.incr sender.c_poll;
+              sender_multicast sender wire;
+              acc
+            | Header.Exhausted _ ->
+              Metrics.incr sender.c_exhausted;
+              sender_multicast sender wire;
+              acc
+            | Header.Nak _ -> acc)
+          | Np_machine.Arm_timer _ | Np_machine.Cancel_timer _ | Np_machine.Deliver _
+          | Np_machine.Ejected _ | Np_machine.Trace _ | Np_machine.Done ->
+            acc)
+        0.0 effects
     in
     ignore (Reactor.after sender.reactor delay (fun () -> sender_pump sender))
+  end
 
 let sender_wake sender =
   if not sender.sending then begin
@@ -253,60 +312,27 @@ let sender_wake sender =
 
 let sender_handle_nak sender ~tg_id ~need ~round =
   Metrics.incr sender.c_naks_rx;
-  if tg_id >= 0 && tg_id < Array.length sender.tgs then begin
-    let tg = sender.tgs.(tg_id) in
-    if tg.serviced_round < round then begin
-      tg.serviced_round <- round;
-      Metrics.incr sender.c_rounds;
-      let remaining =
-        Rse.h (Fec_block.Sender.codec tg.block) - Fec_block.Sender.parities_issued tg.block
-      in
-      if remaining = 0 then Queue.push (Send_exhausted { tg }) sender.repair_queue
-      else begin
-        let batch = min need remaining in
-        let fresh = Fec_block.Sender.next_parities tg.block batch in
-        List.iter
-          (fun (j, _) ->
-            Queue.push (Send_packet { tg; index = tg_k tg + j }) sender.repair_queue)
-          fresh;
-        Queue.push (Send_poll { tg; size = batch; round = round + 1 }) sender.repair_queue
-      end;
-      sender_wake sender
-    end
-  end
+  let before = Np_machine.Sender.repair_rounds sender.machine in
+  ignore (sender_handle sender (Np_machine.Feedback { tg = tg_id; need; round }));
+  if Np_machine.Sender.repair_rounds sender.machine > before then
+    Metrics.incr sender.c_rounds;
+  if Np_machine.Sender.pending sender.machine then sender_wake sender
 
 (* [metrics] is already scoped per session by the caller; the NAK handler
    for the shared socket lives with the driver, not here, because many
    senders share one socket. *)
-let create_sender reactor ~socket ~group ~config ~sid ~data ~metrics ~shim =
-  let total = Array.length data in
-  let tg_count = (total + config.k - 1) / config.k in
-  let tgs =
-    Array.init tg_count (fun i ->
-        let base = i * config.k in
-        let len = min config.k (total - base) in
-        (* Rse.create is memoized per (field, k, h) in Codec_core, so the
-           N sessions of a multiplexed run share one codec (and its
-           encode/decode plans) instead of building N copies. *)
-        let codec = Rse.create ~k:len ~h:config.h () in
-        { tg_id = i; block = Fec_block.Sender.create codec (Array.sub data base len);
-          serviced_round = 0 })
-  in
+let create_sender reactor ~net ~group ~config ~sid ~data ~metrics ~shim ~recorder =
   let sender =
     {
       sid;
       config;
       reactor;
-      socket;
+      net;
       group;
-      tgs;
-      repair_queue = Queue.create ();
-      stream_queue = Queue.create ();
+      machine = Np_machine.Sender.create (machine_config config) ~data;
       shim;
+      recorder;
       sending = false;
-      data_tx = 0;
-      parity_tx = 0;
-      polls = 0;
       c_data = Metrics.counter metrics "tx.data";
       c_parity = Metrics.counter metrics "tx.parity";
       c_poll = Metrics.counter metrics "tx.poll";
@@ -315,46 +341,24 @@ let create_sender reactor ~socket ~group ~config ~sid ~data ~metrics ~shim =
       c_rounds = Metrics.counter metrics "sender.repair_rounds";
     }
   in
-  Array.iter
-    (fun tg ->
-      let k = tg_k tg in
-      for index = 0 to k - 1 do
-        Queue.push (Send_packet { tg; index }) sender.stream_queue
-      done;
-      let a = min config.proactive config.h in
-      if a > 0 then
-        List.iter
-          (fun (j, _) -> Queue.push (Send_packet { tg; index = k + j }) sender.stream_queue)
-          (Fec_block.Sender.next_parities tg.block a);
-      Queue.push (Send_poll { tg; size = k + a; round = 1 }) sender.stream_queue)
-    tgs;
   sender_wake sender;
   sender
 
 (* --- receiver ---------------------------------------------------------- *)
 
-type tg_receiver = {
-  rx : Fec_block.Receiver.t;
-  mutable delivered : bool;
-  mutable gave_up : bool;
-  mutable nak_timer : Reactor.timer option;
-  mutable nak_round : int;
-}
-
 type receiver = {
   id : int;
-  config : config;
   reactor : Reactor.t;
-  socket : Unix.file_descr;
+  net : net;
   sender_addr : Unix.sockaddr;
   mutable peer_addrs : Unix.sockaddr list;
-  rng : Rng.t;
+  loss_rng : Rng.t;  (* reception-loss injection (driver-side, not replayed) *)
   loss : float;
-  blocks : (int, tg_receiver) Hashtbl.t;  (* keyed by wire tg_id: demux for free *)
+  machine : Np_machine.Receiver.t;
+  timers : (int, Reactor.timer) Hashtbl.t;  (* armed NAK timers, by wire tg *)
+  recorder : Recorder.t option;
   on_tg_complete : int -> Bytes.t array -> unit;
   on_ejected : int -> unit;
-  mutable naks_sent : int;
-  mutable naks_suppressed : int;
   mutable dropped : int;
   mutable decode_failures : int;
   c_data : Metrics.counter;
@@ -369,112 +373,83 @@ type receiver = {
   c_duplicates : Metrics.counter;
 }
 
-let receiver_block receiver ~tg_id ~k =
-  match Hashtbl.find_opt receiver.blocks tg_id with
-  | Some block -> block
-  | None ->
-    let codec = Rse.create ~k ~h:receiver.config.h () in
-    let block =
-      { rx = Fec_block.Receiver.create codec; delivered = false; gave_up = false;
-        nak_timer = None; nak_round = 0 }
-    in
-    Hashtbl.replace receiver.blocks tg_id block;
-    block
+let receiver_actor receiver = "r" ^ string_of_int receiver.id
 
-let receiver_store receiver ~tg_id ~k ~index payload =
-  let block = receiver_block receiver ~tg_id ~k in
-  if (not block.delivered) && not block.gave_up then
-    if Fec_block.Receiver.add block.rx ~index payload then begin
-      if Fec_block.Receiver.complete block.rx then begin
-        block.delivered <- true;
-        (match block.nak_timer with
-        | Some timer ->
-          Reactor.cancel timer;
-          block.nak_timer <- None
-        | None -> ());
-        receiver.on_tg_complete tg_id (Fec_block.Receiver.decode block.rx)
-      end
-    end
-    else Metrics.incr receiver.c_duplicates
+let rec receiver_handle receiver event =
+  (match receiver.recorder with
+  | Some r ->
+    Recorder.record_event r ~actor:(receiver_actor receiver)
+      (Np_machine.event_to_string event)
+  | None -> ());
+  let effects = Np_machine.Receiver.handle receiver.machine event in
+  (match receiver.recorder with
+  | Some r ->
+    List.iter
+      (fun e ->
+        Recorder.record_effect r ~actor:(receiver_actor receiver)
+          (Np_machine.effect_to_string e))
+      effects
+  | None -> ());
+  List.iter (receiver_apply receiver) effects
 
-let receiver_send_nak receiver ~tg_id ~round =
-  match Hashtbl.find_opt receiver.blocks tg_id with
-  | None -> ()
-  | Some block ->
-    block.nak_timer <- None;
-    if (not block.delivered) && not block.gave_up then begin
-      let need = Fec_block.Receiver.needed block.rx in
-      if need > 0 then begin
-        receiver.naks_sent <- receiver.naks_sent + 1;
-        Metrics.incr receiver.c_naks_tx;
-        block.nak_round <- round;
-        let nak = Header.Nak { tg_id; need; round } in
-        send_datagram receiver.socket nak receiver.sender_addr;
-        List.iter (send_datagram receiver.socket nak) receiver.peer_addrs
-      end
-    end
+and receiver_apply receiver effect =
+  match effect with
+  | Np_machine.Send (Header.Nak _ as nak) ->
+    (* The NAK is "multicast": unicast to the sender plus every peer, so
+       suppression really happens by overhearing datagrams. *)
+    Metrics.incr receiver.c_naks_tx;
+    let packet = Header.encode nak in
+    send_bytes receiver.net packet receiver.sender_addr;
+    List.iter (send_bytes receiver.net packet) receiver.peer_addrs
+  | Np_machine.Arm_timer { tg; round; offset } ->
+    (match Hashtbl.find_opt receiver.timers tg with
+    | Some t -> Reactor.cancel t
+    | None -> ());
+    Hashtbl.replace receiver.timers tg
+      (Reactor.after receiver.reactor offset (fun () ->
+           Hashtbl.remove receiver.timers tg;
+           receiver_handle receiver (Np_machine.Timer_fired { tg; round })))
+  | Np_machine.Cancel_timer { tg } ->
+    (match Hashtbl.find_opt receiver.timers tg with
+    | Some t ->
+      Reactor.cancel t;
+      Hashtbl.remove receiver.timers tg
+    | None -> ())
+  | Np_machine.Deliver { tg; data; reconstructed = _ } -> receiver.on_tg_complete tg data
+  | Np_machine.Ejected { tg } -> receiver.on_ejected tg
+  | Np_machine.Trace detail ->
+    (match receiver.net.trace with
+    | Some trace -> Trace.record ~detail trace "np.receiver"
+    | None -> ())
+  | Np_machine.Send _ | Np_machine.Done -> ()
 
-let receiver_handle_poll receiver ~tg_id ~k ~size ~round =
-  let block = receiver_block receiver ~tg_id ~k in
-  if (not block.delivered) && (not block.gave_up) && block.nak_round < round then begin
-    let need = Fec_block.Receiver.needed block.rx in
-    if need > 0 then begin
-      let slot_index = max 0 (size - need) in
-      let offset =
-        (float_of_int slot_index *. receiver.config.slot)
-        +. (Rng.float receiver.rng *. receiver.config.slot)
-      in
-      (match block.nak_timer with Some t -> Reactor.cancel t | None -> ());
-      block.nak_timer <-
-        Some (Reactor.after receiver.reactor offset (fun () ->
-                  receiver_send_nak receiver ~tg_id ~round))
-    end
-  end
+(* Data/parity reception: bump the metric mirroring the machine's internal
+   duplicate count, which only the machine can classify. *)
+let receiver_feed_payload receiver message =
+  let before = Np_machine.Receiver.duplicates receiver.machine in
+  receiver_handle receiver (Np_machine.Packet_received message);
+  if Np_machine.Receiver.duplicates receiver.machine > before then
+    Metrics.incr receiver.c_duplicates
 
-let receiver_overhear_nak receiver ~tg_id ~need ~round =
-  Metrics.incr receiver.c_naks_overheard;
-  match Hashtbl.find_opt receiver.blocks tg_id with
-  | None -> ()
-  | Some block ->
-    (match block.nak_timer with
-    | Some timer when block.nak_round < round ->
-      if need >= Fec_block.Receiver.needed block.rx then begin
-        Reactor.cancel timer;
-        block.nak_timer <- None;
-        block.nak_round <- round;
-        receiver.naks_suppressed <- receiver.naks_suppressed + 1;
-        Metrics.incr receiver.c_suppressed
-      end
-    | Some _ | None -> ())
-
-let receiver_handle_exhausted receiver ~tg_id =
-  match Hashtbl.find_opt receiver.blocks tg_id with
-  | None -> ()
-  | Some block ->
-    if (not block.delivered) && not block.gave_up then begin
-      block.gave_up <- true;
-      (match block.nak_timer with Some t -> Reactor.cancel t | None -> ());
-      block.nak_timer <- None;
-      receiver.on_ejected tg_id
-    end
-
-let create_receiver reactor ~socket ~sender_addr ~config ~seed ~loss ~id ~metrics
-    ~on_tg_complete ~on_ejected =
+let create_receiver reactor ~net ~sender_addr ~config ~seed ~loss ~id ~metrics ~expected
+    ~recorder ~on_tg_complete ~on_ejected =
+  let machine_rng = Rng.create ~seed:(receiver_machine_seed ~seed ~id) () in
   let receiver =
     {
       id;
-      config;
       reactor;
-      socket;
+      net;
       sender_addr;
       peer_addrs = [];
-      rng = Rng.create ~seed ();
+      loss_rng = Rng.create ~seed:(seed + (id * 7919)) ();
       loss;
-      blocks = Hashtbl.create 16;
+      machine =
+        Np_machine.Receiver.create ~expected (machine_config config) ~rand:(fun () ->
+            Rng.float machine_rng);
+      timers = Hashtbl.create 16;
+      recorder;
       on_tg_complete;
       on_ejected;
-      naks_sent = 0;
-      naks_suppressed = 0;
       dropped = 0;
       decode_failures = 0;
       c_data = Metrics.counter metrics "rx.data";
@@ -489,37 +464,43 @@ let create_receiver reactor ~socket ~sender_addr ~config ~seed ~loss ~id ~metric
       c_duplicates = Metrics.counter metrics "rx.duplicates";
     }
   in
-  Reactor.on_readable reactor socket (fun () ->
+  Reactor.on_readable reactor net.socket (fun () ->
       drain_socket
         ~on_decode_error:(fun () ->
           receiver.decode_failures <- receiver.decode_failures + 1;
           Metrics.incr receiver.c_decode_fail)
-        socket
+        net.socket
         (fun message from ->
           let from_sender = from = receiver.sender_addr in
           match message with
-          | Header.Data { tg_id; k; index; payload } ->
+          | Header.Data _ ->
             Metrics.incr receiver.c_data;
-            if Rng.bernoulli receiver.rng receiver.loss then begin
+            if Rng.bernoulli receiver.loss_rng receiver.loss then begin
               receiver.dropped <- receiver.dropped + 1;
               Metrics.incr receiver.c_loss_drop
             end
-            else receiver_store receiver ~tg_id ~k ~index payload
-          | Header.Parity { tg_id; k; index; round = _; payload } ->
+            else receiver_feed_payload receiver message
+          | Header.Parity _ ->
             Metrics.incr receiver.c_parity;
-            if Rng.bernoulli receiver.rng receiver.loss then begin
+            if Rng.bernoulli receiver.loss_rng receiver.loss then begin
               receiver.dropped <- receiver.dropped + 1;
               Metrics.incr receiver.c_loss_drop
             end
-            else receiver_store receiver ~tg_id ~k ~index:(k + index) payload
-          | Header.Poll { tg_id; k; size; round } ->
+            else receiver_feed_payload receiver message
+          | Header.Poll _ ->
             Metrics.incr receiver.c_poll;
-            receiver_handle_poll receiver ~tg_id ~k ~size ~round
-          | Header.Nak { tg_id; need; round } ->
-            if not from_sender then receiver_overhear_nak receiver ~tg_id ~need ~round
-          | Header.Exhausted { tg_id } ->
+            receiver_handle receiver (Np_machine.Packet_received message)
+          | Header.Nak _ ->
+            if not from_sender then begin
+              Metrics.incr receiver.c_naks_overheard;
+              let before = Np_machine.Receiver.naks_suppressed receiver.machine in
+              receiver_handle receiver (Np_machine.Packet_received message);
+              if Np_machine.Receiver.naks_suppressed receiver.machine > before then
+                Metrics.incr receiver.c_suppressed
+            end
+          | Header.Exhausted _ ->
             Metrics.incr receiver.c_exhausted;
-            receiver_handle_exhausted receiver ~tg_id));
+            receiver_handle receiver (Np_machine.Packet_received message)));
   receiver
 
 (* --- the shared engine: N sessions, one reactor ------------------------ *)
@@ -527,20 +508,43 @@ let create_receiver reactor ~socket ~sender_addr ~config ~seed ~loss ~id ~metric
 (* Everything both entry points share: one reactor, one sender socket
    multiplexing every session's datagrams (demuxed by the sid in the wire
    [tg_id]), one receiver socket per receiver serving all sessions. *)
-let run_engine ~config ~metrics ~faults ~receivers ~loss ~seed ~sessions ~sender_metrics =
-  let shim = Option.map (fun spec -> Fault.create ~metrics spec) faults in
+let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed ~sessions
+    ~sender_metrics =
+  let shim = Option.map (fun spec -> Fault.create ~metrics ?trace spec) faults in
   let reactor = Reactor.create ~metrics () in
   let started = Unix.gettimeofday () in
   let nsessions = Array.length sessions in
   let tg_counts =
     Array.map (fun data -> (Array.length data + config.k - 1) / config.k) sessions
   in
+  (match recorder with
+  | Some r ->
+    Np_replay.record_setup r ~config:(machine_config config)
+      ~payload_size:config.payload_size ~receivers ~sessions
+      ~rx_seeds:(Array.init receivers (fun id -> receiver_machine_seed ~seed ~id))
+  | None -> ());
 
+  let tx_errors = Metrics.counter metrics "udp.tx_errors" in
+  let make_net socket = { socket; tx_errors; trace } in
   let sender_socket = make_socket () in
-  let receiver_sockets = Array.init receivers (fun _ -> make_socket ()) in
+  let sender_net = make_net sender_socket in
+  let receiver_nets = Array.init receivers (fun _ -> make_net (make_socket ())) in
   let addr_of socket = Unix.getsockname socket in
   let sender_addr = addr_of sender_socket in
-  let receiver_addrs = Array.map addr_of receiver_sockets in
+  let receiver_addrs = Array.map (fun net -> addr_of net.socket) receiver_nets in
+
+  (* Every receiver must resolve every TG of every session: the expected
+     set that drives the machines' Done effect. *)
+  let expected =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun sid data ->
+              let total = Array.length data in
+              List.init tg_counts.(sid) (fun local ->
+                  (wire_tg_unchecked ~sid local, min config.k (total - (local * config.k)))))
+            sessions))
+  in
 
   let completed_tgs = Array.init receivers (fun _ -> Array.make nsessions 0) in
   let verified = Array.make nsessions true in
@@ -562,20 +566,22 @@ let run_engine ~config ~metrics ~faults ~receivers ~loss ~seed ~sessions ~sender
     Array.init receivers (fun id ->
         let on_tg_complete wire decoded =
           let sid = sid_of_wire wire and local = local_of_wire wire in
-          if not (Array.for_all2 Bytes.equal decoded (reference ~sid local)) then
-            verified.(sid) <- false;
-          completed_tgs.(id).(sid) <- completed_tgs.(id).(sid) + 1;
-          if completed_tgs.(id).(sid) = tg_counts.(sid) then begin
-            incr finished_pairs;
-            maybe_finish ()
+          if sid < nsessions && local < tg_counts.(sid) then begin
+            if not (Array.for_all2 Bytes.equal decoded (reference ~sid local)) then
+              verified.(sid) <- false;
+            completed_tgs.(id).(sid) <- completed_tgs.(id).(sid) + 1;
+            if completed_tgs.(id).(sid) = tg_counts.(sid) then begin
+              incr finished_pairs;
+              maybe_finish ()
+            end
           end
         in
         let on_ejected wire =
           let sid = sid_of_wire wire in
-          ejected.(sid) <- (id, local_of_wire wire) :: ejected.(sid)
+          if sid < nsessions then ejected.(sid) <- (id, local_of_wire wire) :: ejected.(sid)
         in
-        create_receiver reactor ~socket:receiver_sockets.(id) ~sender_addr ~config
-          ~seed:(seed + (id * 7919)) ~loss ~id ~metrics ~on_tg_complete ~on_ejected)
+        create_receiver reactor ~net:receiver_nets.(id) ~sender_addr ~config ~seed ~loss
+          ~id ~metrics ~expected ~recorder ~on_tg_complete ~on_ejected)
   in
   (* Each receiver overhears the NAKs of all the others. *)
   Array.iteri
@@ -590,8 +596,8 @@ let run_engine ~config ~metrics ~faults ~receivers ~loss ~seed ~sessions ~sender
   let group = Array.to_list receiver_addrs in
   let senders =
     Array.init nsessions (fun sid ->
-        create_sender reactor ~socket:sender_socket ~group ~config ~sid
-          ~data:sessions.(sid) ~metrics:(sender_metrics sid) ~shim)
+        create_sender reactor ~net:sender_net ~group ~config ~sid ~data:sessions.(sid)
+          ~metrics:(sender_metrics sid) ~shim ~recorder)
   in
   (* One handler on the shared sender socket demuxes incoming NAKs to the
      owning session's sender. *)
@@ -618,29 +624,30 @@ let run_engine ~config ~metrics ~faults ~receivers ~loss ~seed ~sessions ~sender
         {
           session = sid;
           transmission_groups = tg_counts.(sid);
-          data_tx = senders.(sid).data_tx;
-          parity_tx = senders.(sid).parity_tx;
-          polls = senders.(sid).polls;
+          data_tx = Np_machine.Sender.data_tx senders.(sid).machine;
+          parity_tx = Np_machine.Sender.parity_tx senders.(sid).machine;
+          polls = Np_machine.Sender.polls senders.(sid).machine;
           completed;
           verified = verified.(sid) && completed = receivers;
           ejected = List.rev ejected.(sid);
         })
   in
+  let sum_rx f = Array.fold_left (fun acc r -> acc + f r) 0 rxs in
   let multi =
     {
       receivers;
       session_reports;
-      naks_sent = Array.fold_left (fun acc r -> acc + r.naks_sent) 0 rxs;
-      naks_suppressed = Array.fold_left (fun acc r -> acc + r.naks_suppressed) 0 rxs;
-      datagrams_dropped = Array.fold_left (fun acc r -> acc + r.dropped) 0 rxs;
-      decode_failures = Array.fold_left (fun acc r -> acc + r.decode_failures) 0 rxs;
+      naks_sent = sum_rx (fun r -> Np_machine.Receiver.naks_sent r.machine);
+      naks_suppressed = sum_rx (fun r -> Np_machine.Receiver.naks_suppressed r.machine);
+      datagrams_dropped = sum_rx (fun r -> r.dropped);
+      decode_failures = sum_rx (fun r -> r.decode_failures);
       all_verified = Array.for_all (fun s -> s.verified) session_reports;
       wall_seconds = Unix.gettimeofday () -. started;
       counters = Metrics.counters metrics;
     }
   in
   Unix.close sender_socket;
-  Array.iter Unix.close receiver_sockets;
+  Array.iter (fun net -> Unix.close net.socket) receiver_nets;
   multi
 
 let validate ~context ~config ~receivers ~loss ~sessions =
@@ -666,20 +673,25 @@ let validate ~context ~config ~receivers ~loss ~sessions =
 
 (* --- entry points ------------------------------------------------------ *)
 
-let run_multi ?(config = default_config) ?metrics ?faults ~receivers ~loss ~seed ~sessions
-    () =
+let run_multi ?(config = default_config) ?metrics ?trace ?recorder ?faults ~receivers
+    ~loss ~seed ~sessions () =
   match validate ~context:"Udp_np.run_multi" ~config ~receivers ~loss ~sessions with
   | Error _ as e -> e
   | Ok () ->
     let metrics = match metrics with Some m -> m | None -> Metrics.create () in
     let sender_metrics sid = Metrics.scope metrics (Printf.sprintf "session.%d" sid) in
-    Ok (run_engine ~config ~metrics ~faults ~receivers ~loss ~seed ~sessions ~sender_metrics)
+    Ok
+      (run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed
+         ~sessions ~sender_metrics)
 
-let run_multi_exn ?config ?metrics ?faults ~receivers ~loss ~seed ~sessions () =
-  Error.get_exn (run_multi ?config ?metrics ?faults ~receivers ~loss ~seed ~sessions ())
+let run_multi_exn ?config ?metrics ?trace ?recorder ?faults ~receivers ~loss ~seed
+    ~sessions () =
+  Error.get_exn
+    (run_multi ?config ?metrics ?trace ?recorder ?faults ~receivers ~loss ~seed ~sessions
+       ())
 
-let run_local ?(config = default_config) ?metrics ?faults ~receivers ~loss ~seed ~data ()
-    =
+let run_local ?(config = default_config) ?metrics ?trace ?recorder ?faults ~receivers
+    ~loss ~seed ~data () =
   match
     validate ~context:"Udp_np.run_local" ~config ~receivers ~loss ~sessions:[| data |]
   with
@@ -688,7 +700,8 @@ let run_local ?(config = default_config) ?metrics ?faults ~receivers ~loss ~seed
     let metrics = match metrics with Some m -> m | None -> Metrics.create () in
     (* Single session: sid 0, unscoped counters, byte-identical wire ids. *)
     let multi =
-      run_engine ~config ~metrics ~faults ~receivers ~loss ~seed ~sessions:[| data |]
+      run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed
+        ~sessions:[| data |]
         ~sender_metrics:(fun _ -> metrics)
     in
     let s = multi.session_reports.(0) in
@@ -710,5 +723,7 @@ let run_local ?(config = default_config) ?metrics ?faults ~receivers ~loss ~seed
         counters = multi.counters;
       }
 
-let run_local_exn ?config ?metrics ?faults ~receivers ~loss ~seed ~data () =
-  Error.get_exn (run_local ?config ?metrics ?faults ~receivers ~loss ~seed ~data ())
+let run_local_exn ?config ?metrics ?trace ?recorder ?faults ~receivers ~loss ~seed ~data
+    () =
+  Error.get_exn
+    (run_local ?config ?metrics ?trace ?recorder ?faults ~receivers ~loss ~seed ~data ())

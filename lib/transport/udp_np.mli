@@ -48,6 +48,26 @@ val config_of_profile :
 val profile_of_config : config -> Rmc_core.Profile.t
 (** Forget [linger] and [session_timeout]; [pre_encode] is [false]. *)
 
+val wire_tg : sid:int -> int -> (int, Rmc_core.Error.t) result
+(** [wire_tg ~sid local] packs session id [sid] (upper 16 bits) and
+    session-local TG index [local] (lower 16 bits) into the 32-bit wire
+    [tg_id].  Returns [Error] (context ["Udp_np.wire_tg"]) when either
+    component falls outside [\[0, 65535\]] — the guard the multi-session
+    demux relies on. *)
+
+val sid_of_wire : int -> int
+(** Upper 16 bits of a wire [tg_id], masked to 16 bits. *)
+
+val local_of_wire : int -> int
+(** Lower 16 bits of a wire [tg_id]. *)
+
+val receiver_machine_seed : seed:int -> id:int -> int
+(** Seed of receiver [id]'s damping RNG, derived from the run [seed].
+    Distinct from the same receiver's loss RNG, so that a capture's
+    [rxseed.<id>] meta fully determines the machine's randomness while
+    reception loss stays a driver concern.  Exposed for the
+    driver-equivalence tests, which must seed the sim flow identically. *)
+
 type report = {
   receivers : int;
   transmission_groups : int;
@@ -91,6 +111,8 @@ type multi_report = {
 val run_local :
   ?config:config ->
   ?metrics:Rmc_obs.Metrics.t ->
+  ?trace:Rmc_obs.Trace.t ->
+  ?recorder:Rmc_obs.Recorder.t ->
   ?faults:Rmc_obs.Fault.spec ->
   receivers:int ->
   loss:float ->
@@ -99,6 +121,15 @@ val run_local :
   unit ->
   (report, Rmc_core.Error.t) result
 (** Run a complete session on 127.0.0.1.
+
+    [trace] receives driver events ([udp.tx_error], fault-shim events) in
+    addition to the protocol traces the machines emit.
+
+    [recorder] captures every sans-IO event consumed and effect emitted by
+    the sender and receiver machines (actors ["s0"], ["r<id>"]), plus the
+    meta header {!Rmc_proto.Np_replay.replay} needs — save it with
+    {!Rmc_obs.Recorder.save} and the run can be re-executed and checked
+    offline, byte-for-byte.
 
     [metrics] supplies the counter registry (a private one is created when
     absent); the final state is returned in [report.counters] either way.
@@ -123,6 +154,8 @@ val run_local :
 val run_local_exn :
   ?config:config ->
   ?metrics:Rmc_obs.Metrics.t ->
+  ?trace:Rmc_obs.Trace.t ->
+  ?recorder:Rmc_obs.Recorder.t ->
   ?faults:Rmc_obs.Fault.spec ->
   receivers:int ->
   loss:float ->
@@ -135,6 +168,8 @@ val run_local_exn :
 val run_multi :
   ?config:config ->
   ?metrics:Rmc_obs.Metrics.t ->
+  ?trace:Rmc_obs.Trace.t ->
+  ?recorder:Rmc_obs.Recorder.t ->
   ?faults:Rmc_obs.Fault.spec ->
   receivers:int ->
   loss:float ->
@@ -159,6 +194,8 @@ val run_multi :
 val run_multi_exn :
   ?config:config ->
   ?metrics:Rmc_obs.Metrics.t ->
+  ?trace:Rmc_obs.Trace.t ->
+  ?recorder:Rmc_obs.Recorder.t ->
   ?faults:Rmc_obs.Fault.spec ->
   receivers:int ->
   loss:float ->

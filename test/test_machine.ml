@@ -1,0 +1,343 @@
+(* Unit and property tests for the sans-IO NP core (Np_machine): the state
+   machine both drivers interpret.  Everything here runs without an engine,
+   a reactor or a socket — events in, effects out. *)
+
+module M = Rmcast.Np_machine
+module Header = Rmcast.Header
+
+let config = { M.k = 4; h = 4; proactive = 0; pre_encode = false; slot = 0.01 }
+
+let payload i = Bytes.make 8 (Char.chr (0x20 + (i mod 64)))
+
+let data n = Array.init n payload
+
+let drain sender =
+  let rec go acc =
+    if M.Sender.pending sender then
+      go (acc @ M.Sender.handle sender M.Tick)
+    else acc
+  in
+  go []
+
+let sends effects =
+  List.filter_map (function M.Send m -> Some m | _ -> None) effects
+
+(* --- sender ------------------------------------------------------------ *)
+
+let test_sender_stream () =
+  let sender = M.Sender.create config ~data:(data 6) in
+  Alcotest.(check int) "tg count" 2 (M.Sender.tg_count sender);
+  Alcotest.(check bool) "pending" true (M.Sender.pending sender);
+  let shapes =
+    List.map
+      (function
+        | Header.Data { tg_id; index; _ } -> Printf.sprintf "d%d.%d" tg_id index
+        | Header.Parity { tg_id; index; _ } -> Printf.sprintf "p%d.%d" tg_id index
+        | Header.Poll { tg_id; size; round; _ } -> Printf.sprintf "poll%d.%d.%d" tg_id size round
+        | Header.Nak _ -> "nak"
+        | Header.Exhausted _ -> "exhausted")
+      (sends (drain sender))
+  in
+  Alcotest.(check (list string))
+    "initial volley: per TG, data then a round-1 poll sized to the round"
+    [ "d0.0"; "d0.1"; "d0.2"; "d0.3"; "poll0.4.1"; "d1.0"; "d1.1"; "poll1.2.1" ]
+    shapes;
+  Alcotest.(check bool) "drained" false (M.Sender.pending sender);
+  Alcotest.(check (list string)) "idle tick" []
+    (List.map M.effect_to_string (M.Sender.handle sender M.Tick));
+  Alcotest.(check int) "data_tx" 6 (M.Sender.data_tx sender);
+  Alcotest.(check int) "polls" 2 (M.Sender.polls sender);
+  Alcotest.(check int) "parity_tx" 0 (M.Sender.parity_tx sender)
+
+let test_sender_proactive_pre_encode () =
+  let config = { config with proactive = 2; pre_encode = true } in
+  let sender = M.Sender.create config ~data:(data 4) in
+  let messages = sends (drain sender) in
+  let parities =
+    List.length (List.filter (function Header.Parity _ -> true | _ -> false) messages)
+  in
+  Alcotest.(check int) "proactive parities on the wire" 2 parities;
+  (match List.rev messages with
+  | Header.Poll { size; round; _ } :: _ ->
+    Alcotest.(check int) "poll sizes the whole volley" 6 size;
+    Alcotest.(check int) "round 1" 1 round
+  | _ -> Alcotest.fail "expected a trailing poll");
+  Alcotest.(check int) "pre-encode pays the full budget up front" config.M.h
+    (M.Sender.parities_encoded sender)
+
+let test_sender_repair_round () =
+  let sender = M.Sender.create config ~data:(data 4) in
+  ignore (drain sender);
+  (* First NAK of round 1: batch of [need] parities plus a round-2 poll. *)
+  let immediate = M.Sender.handle sender (M.Feedback { tg = 0; need = 2; round = 1 }) in
+  Alcotest.(check bool) "feedback queues work, sends nothing itself" true
+    (sends immediate = [] && M.Sender.pending sender);
+  Alcotest.(check (list string)) "repair volley"
+    [ "parity 0"; "parity 1"; "poll 2 round 2" ]
+    (List.map
+       (function
+         | Header.Parity { index; _ } -> Printf.sprintf "parity %d" index
+         | Header.Poll { size; round; _ } -> Printf.sprintf "poll %d round %d" size round
+         | _ -> "unexpected")
+       (sends (drain sender)));
+  Alcotest.(check int) "repair_rounds" 1 (M.Sender.repair_rounds sender);
+  (* A second NAK for the same round arrives late: already serviced. *)
+  Alcotest.(check (list string)) "duplicate round ignored" []
+    (List.map M.effect_to_string (M.Sender.handle sender (M.Feedback { tg = 0; need = 1; round = 1 })));
+  Alcotest.(check int) "parity_tx" 2 (M.Sender.parity_tx sender)
+
+let test_sender_exhaustion () =
+  let config = { config with h = 1 } in
+  let sender = M.Sender.create config ~data:(data 4) in
+  ignore (drain sender);
+  ignore (M.Sender.handle sender (M.Feedback { tg = 0; need = 2; round = 1 }));
+  (match sends (drain sender) with
+  | [ Header.Parity _; Header.Poll { size = 1; round = 2; _ } ] -> ()
+  | _ -> Alcotest.fail "expected the last budgeted parity and a round-2 poll");
+  (* Budget is spent: the next NAK ejects instead of repairing. *)
+  ignore (M.Sender.handle sender (M.Feedback { tg = 0; need = 1; round = 2 }));
+  match sends (drain sender) with
+  | [ Header.Exhausted { tg_id = 0 } ] -> ()
+  | _ -> Alcotest.fail "expected an EXHAUSTED notice"
+
+(* --- receiver ---------------------------------------------------------- *)
+
+let make_receiver ?(expected = [ (0, 4) ]) ?(rand = fun () -> 0.5) config =
+  M.Receiver.create ~expected config ~rand
+
+let feed receiver message = M.Receiver.handle receiver (M.Packet_received message)
+
+let data_packet ?(tg = 0) ?(k = 4) index =
+  Header.Data { tg_id = tg; k; index; payload = payload index }
+
+let test_receiver_lossless () =
+  let receiver = make_receiver config in
+  let effects = List.concat_map (fun i -> feed receiver (data_packet i)) [ 0; 1; 2; 3 ] in
+  (match effects with
+  | [ M.Deliver { tg = 0; reconstructed = 0; data } ; M.Done ] ->
+    Alcotest.(check int) "payload count" 4 (Array.length data)
+  | _ -> Alcotest.fail "expected Deliver then Done");
+  Alcotest.(check bool) "finished" true (M.Receiver.finished receiver);
+  Alcotest.(check bool) "delivered" true (M.Receiver.delivered receiver ~tg:0);
+  (* Post-Done traffic is silent (counted, no effects). *)
+  Alcotest.(check (list string)) "after Done" []
+    (List.map M.effect_to_string (feed receiver (data_packet 0)));
+  Alcotest.(check int) "late duplicate counted unnecessary" 1 (M.Receiver.unnecessary receiver)
+
+let test_receiver_decode () =
+  let receiver = make_receiver config in
+  ignore (feed receiver (data_packet 0));
+  ignore (feed receiver (data_packet 1));
+  ignore (feed receiver (data_packet 3));
+  let codec = Rmcast.Rse.create ~k:4 ~h:4 () in
+  let parity = (Rmcast.Rse.encode codec (data 4)).(0) in
+  match feed receiver (Header.Parity { tg_id = 0; k = 4; index = 0; round = 1; payload = parity }) with
+  | [ M.Deliver { reconstructed = 1; data = decoded; _ }; M.Done ] ->
+    Alcotest.(check bytes) "reconstructed packet 2" (payload 2) decoded.(2);
+    Alcotest.(check int) "packets_decoded" 1 (M.Receiver.packets_decoded receiver)
+  | _ -> Alcotest.fail "expected a decoding delivery"
+
+let test_receiver_nak_round () =
+  let draws = ref [] in
+  let receiver =
+    make_receiver config ~rand:(fun () ->
+        draws := 0.25 :: !draws;
+        0.25)
+  in
+  ignore (feed receiver (data_packet 0));
+  ignore (feed receiver (data_packet 1));
+  ignore (feed receiver (data_packet 2));
+  (* Missing 1 of 4: slot index k+0-1 = 3, damped by 0.25 within the slot. *)
+  (match feed receiver (Header.Poll { tg_id = 0; k = 4; size = 4; round = 1 }) with
+  | [ M.Arm_timer { tg = 0; round = 1; offset } ] ->
+    Alcotest.(check (float 1e-9)) "slotted + damped offset"
+      ((3.0 +. 0.25) *. config.M.slot)
+      offset
+  | _ -> Alcotest.fail "expected a NAK timer");
+  Alcotest.(check int) "one damping draw" 1 (List.length !draws);
+  Alcotest.(check bool) "armed" true (M.Receiver.timer_armed receiver ~tg:0);
+  (match M.Receiver.handle receiver (M.Timer_fired { tg = 0; round = 1 }) with
+  | [ M.Send (Header.Nak { tg_id = 0; need = 1; round = 1 }) ] -> ()
+  | _ -> Alcotest.fail "expected the NAK to fire");
+  Alcotest.(check bool) "disarmed" false (M.Receiver.timer_armed receiver ~tg:0);
+  Alcotest.(check int) "naks_sent" 1 (M.Receiver.naks_sent receiver);
+  (* A stale fire for the same round is ignored. *)
+  Alcotest.(check (list string)) "stale fire" []
+    (List.map M.effect_to_string (M.Receiver.handle receiver (M.Timer_fired { tg = 0; round = 1 })))
+
+let test_receiver_suppression () =
+  let receiver = make_receiver config in
+  ignore (feed receiver (data_packet 0));
+  ignore (feed receiver (data_packet 1));
+  ignore (feed receiver (Header.Poll { tg_id = 0; k = 4; size = 4; round = 1 }));
+  Alcotest.(check bool) "armed" true (M.Receiver.timer_armed receiver ~tg:0);
+  (* Overhearing a NAK that covers our need (2) cancels the timer... *)
+  (match feed receiver (Header.Nak { tg_id = 0; need = 3; round = 1 }) with
+  | [ M.Cancel_timer { tg = 0 } ] -> ()
+  | _ -> Alcotest.fail "expected suppression");
+  Alcotest.(check int) "naks_suppressed" 1 (M.Receiver.naks_suppressed receiver);
+  Alcotest.(check bool) "disarmed" false (M.Receiver.timer_armed receiver ~tg:0);
+  (* ...and a NAK for fewer packets than we need would not have. *)
+  let receiver = make_receiver config in
+  ignore (feed receiver (data_packet 0));
+  ignore (feed receiver (data_packet 1));
+  ignore (feed receiver (Header.Poll { tg_id = 0; k = 4; size = 4; round = 1 }));
+  Alcotest.(check (list string)) "insufficient overheard need" []
+    (List.map M.effect_to_string (feed receiver (Header.Nak { tg_id = 0; need = 1; round = 1 })));
+  Alcotest.(check bool) "still armed" true (M.Receiver.timer_armed receiver ~tg:0)
+
+let test_receiver_ejection () =
+  let receiver = make_receiver ~expected:[ (0, 4); (1, 2) ] config in
+  ignore (feed receiver (data_packet 0));
+  (match feed receiver (Header.Exhausted { tg_id = 0 }) with
+  | [ M.Ejected { tg = 0 } ] -> ()
+  | _ -> Alcotest.fail "expected ejection");
+  Alcotest.(check bool) "gave up" true (M.Receiver.gave_up receiver ~tg:0);
+  Alcotest.(check bool) "not finished yet" false (M.Receiver.finished receiver);
+  (* The other expected TG completes: Done follows the delivery. *)
+  ignore (feed receiver (data_packet ~tg:1 ~k:2 0));
+  match feed receiver (data_packet ~tg:1 ~k:2 1) with
+  | [ M.Deliver { tg = 1; _ }; M.Done ] ->
+    Alcotest.(check bool) "finished" true (M.Receiver.finished receiver)
+  | _ -> Alcotest.fail "expected final delivery to finish the machine"
+
+let test_receiver_duplicates () =
+  let receiver = make_receiver config in
+  ignore (feed receiver (data_packet 0));
+  Alcotest.(check (list string)) "stale add" []
+    (List.map M.effect_to_string (feed receiver (data_packet 0)));
+  Alcotest.(check int) "duplicates" 1 (M.Receiver.duplicates receiver);
+  Alcotest.(check int) "unnecessary includes duplicates" 1 (M.Receiver.unnecessary receiver);
+  (* Out-of-range indices are rejected without effect (hostile traffic). *)
+  Alcotest.(check (list string)) "out-of-range parity index" []
+    (List.map M.effect_to_string
+       (feed receiver (Header.Parity { tg_id = 0; k = 4; index = 200; round = 1; payload = payload 0 })))
+
+(* --- serialization roundtrip ------------------------------------------- *)
+
+let gen_message =
+  QCheck.Gen.(
+    let payload = map (fun n -> Bytes.make 4 (Char.chr n)) (int_range 0 255) in
+    oneof
+      [
+        map3
+          (fun tg index p -> Header.Data { tg_id = tg; k = 8; index; payload = p })
+          (int_range 0 100) (int_range 0 7) payload;
+        map3
+          (fun tg index p -> Header.Parity { tg_id = tg; k = 8; index; round = 2; payload = p })
+          (int_range 0 100) (int_range 0 7) payload;
+        map2
+          (fun tg size -> Header.Poll { tg_id = tg; k = 8; size; round = 1 })
+          (int_range 0 100) (int_range 1 16);
+        map2
+          (fun tg need -> Header.Nak { tg_id = tg; need; round = 3 })
+          (int_range 0 100) (int_range 1 8);
+        map (fun tg -> Header.Exhausted { tg_id = tg }) (int_range 0 100);
+      ])
+
+let gen_event =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun m -> M.Packet_received m) gen_message;
+        map2 (fun tg round -> M.Timer_fired { tg; round }) (int_range 0 100) (int_range 1 8);
+        map3
+          (fun tg need round -> M.Feedback { tg; need; round })
+          (int_range 0 100) (int_range 1 8) (int_range 1 8);
+        return M.Tick;
+      ])
+
+let qcheck_event_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"event string form roundtrips" (QCheck.make gen_event)
+    (fun event ->
+      match M.event_of_string (M.event_to_string event) with
+      | Ok event' -> M.event_to_string event' = M.event_to_string event
+      | Error reason -> QCheck.Test.fail_report reason)
+
+(* --- fuzz: machine invariants under arbitrary event orderings ----------- *)
+
+(* The receiver under fire from arbitrary (well-formed and hostile)
+   traffic and spurious timer events.  Invariants:
+   - [handle] never raises;
+   - no effects after [Done];
+   - [Cancel_timer] refers to a timer the driver knows is armed (we mirror
+     the driver's bookkeeping: the most recent [Arm_timer] not yet fired
+     or cancelled);
+   - [Done] is emitted at most once. *)
+let qcheck_receiver_invariants =
+  let gen = QCheck.Gen.(pair (int_range 0 1000) (list_size (int_range 0 120) gen_event)) in
+  QCheck.Test.make ~count:200 ~name:"receiver invariants under arbitrary events"
+    (QCheck.make gen) (fun (seed, events) ->
+      let rng = Rmcast.Rng.create ~seed () in
+      let receiver =
+        M.Receiver.create
+          ~expected:[ (0, 4); (1, 2) ]
+          config
+          ~rand:(fun () -> Rmcast.Rng.float rng)
+      in
+      let armed : (int, int) Hashtbl.t = Hashtbl.create 4 in
+      let done_seen = ref false in
+      List.iter
+        (fun event ->
+          let effects = M.Receiver.handle receiver event in
+          if !done_seen && effects <> [] then
+            QCheck.Test.fail_report
+              (Printf.sprintf "effect after Done: %s"
+                 (M.effect_to_string (List.hd effects)));
+          (* A fire consumes the armed timer only when the rounds agree —
+             the machine ignores stale fires, keeping the timer its own. *)
+          (match event with
+          | M.Timer_fired { tg; round } ->
+            if Hashtbl.find_opt armed tg = Some round then Hashtbl.remove armed tg
+          | _ -> ());
+          List.iter
+            (fun effect ->
+              match effect with
+              | M.Arm_timer { tg; round; _ } -> Hashtbl.replace armed tg round
+              | M.Cancel_timer { tg } ->
+                if not (Hashtbl.mem armed tg) then
+                  QCheck.Test.fail_report
+                    (Printf.sprintf "Cancel_timer for unarmed tg %d" tg);
+                Hashtbl.remove armed tg
+              | M.Done ->
+                if !done_seen then QCheck.Test.fail_report "Done emitted twice";
+                done_seen := true
+              | _ -> ())
+            effects)
+        events;
+      true)
+
+(* The sender under arbitrary feedback: never raises, a tick emits at most
+   one packet, and an idle sender stays idle. *)
+let qcheck_sender_invariants =
+  let gen = QCheck.Gen.(list_size (int_range 0 80) gen_event) in
+  QCheck.Test.make ~count:200 ~name:"sender invariants under arbitrary events"
+    (QCheck.make gen) (fun events ->
+      let sender = M.Sender.create config ~data:(data 6) in
+      List.iter
+        (fun event ->
+          let was_pending = M.Sender.pending sender in
+          let effects = M.Sender.handle sender event in
+          let sent = List.length (sends effects) in
+          if sent > 1 then QCheck.Test.fail_report "tick emitted more than one packet";
+          if event = M.Tick && (not was_pending) && effects <> [] then
+            QCheck.Test.fail_report "idle tick produced effects")
+        events;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "sender lossless stream" `Quick test_sender_stream;
+    Alcotest.test_case "sender proactive + pre-encode" `Quick test_sender_proactive_pre_encode;
+    Alcotest.test_case "sender repair round" `Quick test_sender_repair_round;
+    Alcotest.test_case "sender budget exhaustion" `Quick test_sender_exhaustion;
+    Alcotest.test_case "receiver lossless delivery" `Quick test_receiver_lossless;
+    Alcotest.test_case "receiver FEC decode" `Quick test_receiver_decode;
+    Alcotest.test_case "receiver NAK round" `Quick test_receiver_nak_round;
+    Alcotest.test_case "receiver suppression" `Quick test_receiver_suppression;
+    Alcotest.test_case "receiver ejection" `Quick test_receiver_ejection;
+    Alcotest.test_case "receiver duplicates + hostile input" `Quick test_receiver_duplicates;
+    QCheck_alcotest.to_alcotest qcheck_event_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_receiver_invariants;
+    QCheck_alcotest.to_alcotest qcheck_sender_invariants;
+  ]

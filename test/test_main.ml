@@ -18,6 +18,8 @@ let () =
       ("wire", Test_wire.suite);
       ("obs", Test_obs.suite);
       ("udp", Test_udp.suite);
+      ("machine", Test_machine.suite);
+      ("replay", Test_replay.suite);
       ("tree+feedback", Test_tree.suite);
       ("extensions", Test_extensions.suite);
       ("invariants", Test_invariants.suite);

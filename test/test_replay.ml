@@ -1,0 +1,239 @@
+(* Driver equivalence and deterministic replay.
+
+   The tentpole claim of the sans-IO refactor: the virtual-time simulator
+   (Np.Mux over Engine) and the wall-clock UDP driver (Udp_np over
+   Reactor) interpret the *same* Np_machine core, so feeding both the
+   same profile, payloads, seed and loss process must produce identical
+   per-machine event/effect streams — the drivers differ only in how they
+   move bytes and time between the machines.  The recorder makes the
+   comparison literal: capture both runs and diff the logs. *)
+
+module M = Rmcast.Np_machine
+module Recorder = Rmcast.Recorder
+module Udp = Rmcast.Udp_np
+module Np = Rmcast.Np
+
+let payloads ~count ~size seed =
+  let rng = Rmcast.Rng.create ~seed () in
+  Array.init count (fun _ -> Bytes.init size (fun _ -> Char.chr (Rmcast.Rng.int rng 256)))
+
+(* One knob set, rendered for each driver.  Only the fields the machine
+   sees (k, h, proactive, slot — and payload size through the packets)
+   must agree; spacing/delay/linger are driver-local. *)
+let k = 4
+let h = 8
+let slot = 0.02
+let payload_size = 256
+
+let sim_config =
+  {
+    Np.default_config with
+    k;
+    h;
+    proactive = 0;
+    payload_size;
+    slot;
+    pre_encode = false;
+  }
+
+let udp_config =
+  {
+    Udp.default_config with
+    k;
+    h;
+    proactive = 0;
+    payload_size;
+    slot;
+    session_timeout = 20.0;
+  }
+
+let stream recorder =
+  List.map
+    (fun (e : Recorder.entry) ->
+      ( e.actor,
+        (match e.kind with Recorder.Event -> "E" | Recorder.Effect -> "X"),
+        e.body ))
+    (Recorder.entries recorder)
+
+let actors recorder =
+  List.sort_uniq compare (List.map (fun (e : Recorder.entry) -> e.actor) (Recorder.entries recorder))
+
+let per_actor recorder actor =
+  List.filter (fun (a, _, _) -> a = actor) (stream recorder)
+
+let sim_capture ~receivers ~loss ~seed ~data =
+  let engine = Rmcast.Engine.create () in
+  let mux = Np.Mux.create engine in
+  let network =
+    Rmcast.Network.independent (Rmcast.Rng.create ~seed ()) ~receivers ~p:loss
+  in
+  (* The UDP driver seeds receiver id's damping RNG from the run seed; with
+     one receiver the sim flow's shared RNG must draw from the same
+     stream for the machines to agree. *)
+  let rng = Rmcast.Rng.create ~seed:(Udp.receiver_machine_seed ~seed ~id:0) () in
+  let recorder = Recorder.create () in
+  let flow = Np.Mux.add_flow mux ~config:sim_config ~recorder ~network ~rng ~data () in
+  Np.Mux.run mux;
+  Alcotest.(check bool) "sim flow complete" true (Np.Mux.complete flow);
+  recorder
+
+let udp_capture ~receivers ~loss ~seed ~data =
+  let recorder = Recorder.create () in
+  let report =
+    Udp.run_local_exn ~config:udp_config ~recorder ~receivers ~loss ~seed ~data ()
+  in
+  Alcotest.(check bool) "udp verified" true report.Udp.verified;
+  recorder
+
+let check_equivalence ~receivers ~loss ~seed ~data =
+  let sim = sim_capture ~receivers ~loss ~seed ~data in
+  let udp = udp_capture ~receivers ~loss ~seed ~data in
+  Alcotest.(check (list string)) "same machines" (actors sim) (actors udp);
+  List.iter
+    (fun actor ->
+      Alcotest.(check (list (triple string string string)))
+        (Printf.sprintf "per-actor stream (%s)" actor)
+        (per_actor sim actor) (per_actor udp actor))
+    (actors sim);
+  Alcotest.(check bool) "streams non-trivial" true (Recorder.length sim > 0)
+
+(* Lossless, several receivers and TGs: no randomness is consumed, both
+   drivers must walk every machine through the identical schedule. *)
+let test_differential_lossless () =
+  check_equivalence ~receivers:3 ~loss:0.0 ~seed:11
+    ~data:(payloads ~count:12 ~size:payload_size 5)
+
+(* Lossy, one receiver, one TG: the loss draws and the NAK damping draws
+   line up between the drivers (same seeds, same draw order), so even the
+   repair rounds must match event-for-event. *)
+let test_differential_lossy () =
+  List.iter
+    (fun seed ->
+      check_equivalence ~receivers:1 ~loss:0.3 ~seed
+        ~data:(payloads ~count:k ~size:payload_size (seed + 100)))
+    [ 21; 22; 23 ]
+
+(* --- capture -> save -> load -> replay --------------------------------- *)
+
+let temp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_replay_roundtrip () =
+  let recorder = Recorder.create () in
+  let data = payloads ~count:8 ~size:payload_size 7 in
+  let report =
+    Udp.run_local_exn ~config:udp_config ~recorder ~receivers:2 ~loss:0.25 ~seed:31 ~data ()
+  in
+  Alcotest.(check bool) "run verified" true report.Udp.verified;
+  let path = temp_path "rmcast_replay_roundtrip.rmcrec" in
+  Recorder.save ~path recorder;
+  let loaded =
+    match Recorder.load ~path with
+    | Ok r -> r
+    | Error reason -> Alcotest.fail reason
+  in
+  Sys.remove path;
+  Alcotest.(check int) "entries survive the file" (Recorder.length recorder)
+    (Recorder.length loaded);
+  match Rmcast.Np_replay.replay loaded with
+  | Error reason -> Alcotest.fail reason
+  | Ok outcome ->
+    Alcotest.(check (option string)) "bit-identical replay" None
+      outcome.Rmcast.Np_replay.divergence;
+    Alcotest.(check bool) "events replayed" true (outcome.Rmcast.Np_replay.events > 0);
+    Alcotest.(check bool) "effects checked" true (outcome.Rmcast.Np_replay.effects > 0)
+
+(* Tampering with a recorded effect must be caught, not absorbed. *)
+let test_replay_detects_tampering () =
+  let recorder = Recorder.create () in
+  let data = payloads ~count:4 ~size:payload_size 9 in
+  ignore (Udp.run_local_exn ~config:udp_config ~recorder ~receivers:1 ~loss:0.0 ~seed:41 ~data ());
+  let path = temp_path "rmcast_replay_tamper.rmcrec" in
+  Recorder.save ~path recorder;
+  let lines =
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  let tampered = ref false in
+  let flip line =
+    if (not !tampered) && String.length line > 2 && String.sub line 0 2 = "X " then begin
+      tampered := true;
+      (* Flip the last character of the first recorded effect. *)
+      let b = Bytes.of_string line in
+      let last = Bytes.length b - 1 in
+      Bytes.set b last (if Bytes.get b last = '0' then '1' else '0');
+      Bytes.to_string b
+    end
+    else line
+  in
+  let oc = open_out path in
+  List.iter (fun line -> output_string oc (flip line ^ "\n")) lines;
+  close_out oc;
+  Alcotest.(check bool) "found an effect to corrupt" true !tampered;
+  let loaded =
+    match Recorder.load ~path with Ok r -> r | Error reason -> Alcotest.fail reason
+  in
+  Sys.remove path;
+  match Rmcast.Np_replay.replay loaded with
+  | Error reason -> Alcotest.fail ("expected a divergence, got a hard error: " ^ reason)
+  | Ok outcome ->
+    Alcotest.(check bool) "divergence reported" true
+      (outcome.Rmcast.Np_replay.divergence <> None)
+
+(* A capture with no usable meta is rejected outright. *)
+let test_replay_rejects_bad_meta () =
+  let recorder = Recorder.create () in
+  Recorder.record_event recorder ~actor:"s0" "tick";
+  match Rmcast.Np_replay.replay recorder with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on missing meta"
+
+(* The recorder file format itself: meta, ordering, hostile input. *)
+let test_recorder_format () =
+  let r = Recorder.create () in
+  Recorder.set_meta r "format" "np-machine/1";
+  Recorder.set_meta r "note" "value with spaces";
+  Recorder.record_event r ~actor:"s0" "tick";
+  Recorder.record_effect r ~actor:"s0" "done";
+  Recorder.record_event r ~actor:"r1" "fb:0:1:1";
+  let path = temp_path "rmcast_recorder_format.rmcrec" in
+  Recorder.save ~path r;
+  (match Recorder.load ~path with
+  | Error reason -> Alcotest.fail reason
+  | Ok loaded ->
+    Alcotest.(check (option string)) "meta value keeps its spaces"
+      (Some "value with spaces") (Recorder.meta loaded "note");
+    Alcotest.(check int) "length" 3 (Recorder.length loaded);
+    Alcotest.(check (list (triple string string string)))
+      "entry order preserved"
+      [ ("s0", "E", "tick"); ("s0", "X", "done"); ("r1", "E", "fb:0:1:1") ]
+      (stream loaded));
+  let oc = open_out path in
+  output_string oc "# rmc-replay 1\nE missing-body\n";
+  close_out oc;
+  (match Recorder.load ~path with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error reason ->
+    Alcotest.(check bool) "diagnostic names the line" true
+      (String.length reason > 0));
+  Sys.remove path;
+  Alcotest.check_raises "whitespace in actor rejected"
+    (Invalid_argument "Recorder: whitespace in actor \"s 0\"") (fun () ->
+      Recorder.record_event r ~actor:"s 0" "tick")
+
+let suite =
+  [
+    Alcotest.test_case "drivers agree: lossless multi-receiver" `Quick
+      test_differential_lossless;
+    Alcotest.test_case "drivers agree: lossy single receiver" `Quick test_differential_lossy;
+    Alcotest.test_case "capture/save/load/replay roundtrip" `Quick test_replay_roundtrip;
+    Alcotest.test_case "replay detects tampering" `Quick test_replay_detects_tampering;
+    Alcotest.test_case "replay rejects missing meta" `Quick test_replay_rejects_bad_meta;
+    Alcotest.test_case "recorder file format" `Quick test_recorder_format;
+  ]

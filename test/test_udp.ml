@@ -194,6 +194,32 @@ let test_reactor_metrics () =
   Alcotest.(check int) "cancels counted" 1
     (Rmcast.Metrics.get metrics "reactor.timers_cancelled")
 
+let test_wire_tg_guard () =
+  (match Udp.wire_tg ~sid:3 5 with
+  | Ok wire ->
+    Alcotest.(check int) "packs sid high, local low" ((3 lsl 16) lor 5) wire;
+    Alcotest.(check int) "sid roundtrip" 3 (Udp.sid_of_wire wire);
+    Alcotest.(check int) "local roundtrip" 5 (Udp.local_of_wire wire)
+  | Error e -> Alcotest.fail (Rmcast.Error.to_string e));
+  let rejects label sid local =
+    match Udp.wire_tg ~sid local with
+    | Ok _ -> Alcotest.fail (label ^ ": expected Error")
+    | Error e ->
+      Alcotest.(check string) (label ^ " context") "Udp_np.wire_tg" e.Rmcast.Error.context
+  in
+  rejects "local too large" 0 0x10000;
+  rejects "local negative" 0 (-1);
+  rejects "sid too large" 0x10000 0;
+  rejects "sid negative" (-7) 12;
+  Alcotest.(check (pair int int)) "16-bit boundary packs" (0xFFFF, 0xFFFF)
+    (match Udp.wire_tg ~sid:0xFFFF 0xFFFF with
+    | Ok wire -> (Udp.sid_of_wire wire, Udp.local_of_wire wire)
+    | Error _ -> (-1, -1));
+  (* Decode-side masks never escape 16 bits, whatever the wire carries. *)
+  Alcotest.(check int) "sid mask on oversized wire id" 0xFFFF
+    (Udp.sid_of_wire ((0x7 lsl 32) lor (0xFFFF lsl 16)));
+  Alcotest.(check int) "local mask" 0x1234 (Udp.local_of_wire 0xABC1234)
+
 let suite =
   [
     Alcotest.test_case "reactor timer ordering" `Quick test_reactor_timer_order;
@@ -210,4 +236,5 @@ let suite =
     Alcotest.test_case "udp validation" `Quick test_validation;
     Alcotest.test_case "udp fault-storm session" `Quick test_fault_storm_session;
     Alcotest.test_case "udp shared metrics registry" `Quick test_metrics_registry_shared;
+    Alcotest.test_case "udp wire tg guard" `Quick test_wire_tg_guard;
   ]
