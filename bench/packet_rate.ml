@@ -1,0 +1,259 @@
+(* Packet-datapath rate + allocation: the per-datagram cost of moving one
+   NP message through encode -> wire -> decode, legacy vs pooled —
+
+     legacy   what the seed driver paid: one [Header.encode] per
+              destination of the unicast fan-out (each a fresh zeroed
+              datagram), and on the receiving side a fresh 64 KiB drain
+              scratch plus a whole-datagram [Bytes.sub] before [decode];
+     pooled   the current datapath: one [Header.encode_into] into a
+              pooled buffer shared by the whole fan-out, a persistent
+              recv scratch, and [Header.decode_slice] straight out of it.
+
+   Both paths move the same datagrams (a blit stands in for the kernel's
+   socket copy), so the difference is pure datapath overhead.  Two
+   message kinds bracket the range: DATA (payload-bearing, one
+   unavoidable payload copy on decode) and NAK (control, no payload).
+
+   Rates are datagrams/sec (best-of-trials, interleaved).  Allocation is
+   [Gc.allocated_bytes] per datagram — it counts major-heap allocations
+   too, which matters because the legacy 64 KiB scratch never fits the
+   minor heap.  Allocation counts are deterministic, so `--smoke`
+   (wired to @bench-smoke, hence @ci) gates hard on the pooled budgets
+   and on the legacy/pooled ratio; rates only get a lenient sanity check
+   there.  The full run writes BENCH_DATAPATH.json (override: --out). *)
+
+open Rmcast
+
+type mode = Full | Smoke
+
+let mode = ref Full
+let out_path = ref "BENCH_DATAPATH.json"
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest | "--fast" :: rest ->
+      mode := Smoke;
+      parse rest
+    | "--out" :: path :: rest ->
+      out_path := path;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "usage: packet_rate [--smoke] [--out PATH] (got %S)\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* --- the two datapaths -------------------------------------------------- *)
+
+let fanout = 4 (* group members each datagram is unicast to *)
+let data_payload = 1024
+let max_datagram = Udp_np.max_datagram
+
+let data_msg =
+  let rng = Rng.create ~seed:7 () in
+  Header.Data
+    {
+      tg_id = 3;
+      k = 8;
+      index = 2;
+      payload = Bytes.init data_payload (fun _ -> Char.chr (Rng.int rng 256));
+    }
+
+let nak_msg = Header.Nak { tg_id = 3; need = 2; round = 1 }
+
+(* Keep decode results observably live so neither path can be optimized
+   into not parsing. *)
+let sink = ref 0
+let consume message = sink := !sink + Header.tg_id message
+
+(* The seed sender re-encoded payload-bearing messages once per
+   destination; control messages were encoded once.  [encode_per_dest]
+   keeps the model honest per kind. *)
+let legacy ~encode_per_dest message () =
+  let shared = if encode_per_dest then Bytes.empty else Header.encode message in
+  for _ = 1 to fanout do
+    let dgram = if encode_per_dest then Header.encode message else shared in
+    let len = Bytes.length dgram in
+    let scratch = Bytes.create max_datagram in
+    Bytes.blit dgram 0 scratch 0 len;
+    let owned = Bytes.sub scratch 0 len in
+    match Header.decode owned with
+    | Ok m -> consume m
+    | Error reason -> failwith ("legacy decode: " ^ reason)
+  done
+
+let pool = Buffer_pool.create ~capacity:4 ~buf_size:max_datagram ()
+let rx_scratch = Bytes.create max_datagram
+
+let pooled message () =
+  Buffer_pool.with_buf pool (fun buf ->
+      let len = Header.encode_into buf ~off:0 message in
+      for _ = 1 to fanout do
+        Bytes.blit buf 0 rx_scratch 0 len;
+        match Header.decode_slice rx_scratch ~off:0 ~len with
+        | Ok m -> consume m
+        | Error reason -> failwith ("pooled decode: " ^ reason)
+      done)
+
+let paths kind =
+  let message = match kind with "data" -> data_msg | _ -> nak_msg in
+  [
+    ("legacy", legacy ~encode_per_dest:(kind = "data") message);
+    ("pooled", pooled message);
+  ]
+
+(* --- measurement -------------------------------------------------------- *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let seconds_per_run ~quota f =
+  f () (* warm up *);
+  let calibration = time_once f in
+  let reps = max 1 (int_of_float (quota /. Float.max 1e-9 calibration)) in
+  let t = time_once (fun () -> for _ = 1 to reps do f () done) in
+  t /. float_of_int reps
+
+let datagrams_per_sec ~quota f = float_of_int fanout /. seconds_per_run ~quota f
+
+let alloc_bytes_per_datagram f =
+  f () (* warm up: CRC table, pool population *);
+  let reps = 2000 in
+  let before = Gc.allocated_bytes () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Gc.allocated_bytes () -. before) /. float_of_int (reps * fanout)
+
+type sample = { path : string; kind : string; rate : float; alloc : float }
+
+let measure_kind ~quota ~trials kind =
+  let best = Hashtbl.create 4 in
+  for _ = 1 to trials do
+    List.iter
+      (fun (path, f) ->
+        let rate = datagrams_per_sec ~quota f in
+        match Hashtbl.find_opt best path with
+        | Some prev when prev >= rate -> ()
+        | _ -> Hashtbl.replace best path rate)
+      (paths kind)
+  done;
+  List.map
+    (fun (path, f) ->
+      { path; kind; rate = Hashtbl.find best path; alloc = alloc_bytes_per_datagram f })
+    (paths kind)
+
+let find samples path kind = List.find (fun s -> s.path = path && s.kind = kind) samples
+
+let ratios samples kind =
+  let legacy = find samples "legacy" kind and pooled = find samples "pooled" kind in
+  (pooled.rate /. legacy.rate, legacy.alloc /. Float.max 1e-9 pooled.alloc)
+
+let print_samples samples =
+  List.iter
+    (fun s ->
+      Printf.printf "%-6s %-4s fanout=%d %10.0f datagrams/s %9.1f alloc B/datagram\n%!"
+        s.path s.kind fanout s.rate s.alloc)
+    samples
+
+(* --- the allocation gate ------------------------------------------------ *)
+
+(* Bytes allocated per datagram moved, pooled path.  Deterministic, so the
+   budgets are tight: DATA pays the one payload copy out of the recv slice
+   plus the decoded message; NAK allocates only the message.  A breach
+   means a per-datagram copy or buffer crept back into the datapath. *)
+let data_alloc_budget = 1400.0
+let nak_alloc_budget = 256.0
+let min_alloc_ratio = 5.0
+
+let gate samples =
+  let failures = ref 0 in
+  let check name ok detail =
+    if not ok then begin
+      Printf.eprintf "SMOKE FAIL: %s (%s)\n" name detail;
+      incr failures
+    end
+  in
+  let budget kind limit =
+    let s = find samples "pooled" kind in
+    check
+      (Printf.sprintf "pooled %s allocation budget" kind)
+      (s.alloc <= limit)
+      (Printf.sprintf "%.1f B/datagram > %.0f" s.alloc limit)
+  in
+  budget "data" data_alloc_budget;
+  budget "nak" nak_alloc_budget;
+  List.iter
+    (fun kind ->
+      let rate_ratio, alloc_ratio = ratios samples kind in
+      check
+        (Printf.sprintf "%s alloc ratio" kind)
+        (alloc_ratio >= min_alloc_ratio)
+        (Printf.sprintf "legacy/pooled = %.1fx < %.0fx" alloc_ratio min_alloc_ratio);
+      (* Wall-clock on shared CI is noisy; only catch a collapse here.
+         The checked-in full run documents the real (>= 2x) margin. *)
+      check
+        (Printf.sprintf "%s rate sanity" kind)
+        (rate_ratio >= 0.8)
+        (Printf.sprintf "pooled/legacy = %.2fx < 0.8x" rate_ratio))
+    [ "data"; "nak" ];
+  !failures
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let json_of_samples samples ~trials ~elapsed =
+  let buffer = Buffer.create 2048 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  p "{\n";
+  p "  \"meta\": {\n";
+  p "    \"unit\": \"datagrams/sec and Gc.allocated_bytes per datagram moved\",\n";
+  p "    \"model\": \"encode -> wire blit -> decode, unicast fan-out of %d\",\n" fanout;
+  p "    \"data_payload\": %d,\n" data_payload;
+  p "    \"trials\": %d,\n" trials;
+  p "    \"elapsed_s\": %.1f\n" elapsed;
+  p "  },\n";
+  p "  \"results\": [\n";
+  List.iteri
+    (fun i s ->
+      p
+        "    {\"path\": %S, \"kind\": %S, \"fanout\": %d, \"datagrams_per_sec\": %.0f, \
+         \"alloc_bytes_per_datagram\": %.1f}%s\n"
+        s.path s.kind fanout s.rate s.alloc
+        (if i = List.length samples - 1 then "" else ","))
+    samples;
+  p "  ],\n";
+  p "  \"summary\": {\n";
+  List.iteri
+    (fun i kind ->
+      let rate_ratio, alloc_ratio = ratios samples kind in
+      p "    %S: {\"rate_ratio\": %.2f, \"alloc_ratio\": %.1f}%s\n" kind rate_ratio
+        alloc_ratio
+        (if i = 1 then "" else ","))
+    [ "data"; "nak" ];
+  p "  }\n";
+  p "}\n";
+  Buffer.contents buffer
+
+let () =
+  match !mode with
+  | Smoke ->
+    let samples = List.concat_map (measure_kind ~quota:0.02 ~trials:2) [ "data"; "nak" ] in
+    print_samples samples;
+    if gate samples > 0 then exit 1;
+    print_endline "bench-smoke ok"
+  | Full ->
+    let t0 = Unix.gettimeofday () in
+    let trials = 5 in
+    let samples = List.concat_map (measure_kind ~quota:0.2 ~trials) [ "data"; "nak" ] in
+    print_samples samples;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let json = json_of_samples samples ~trials ~elapsed in
+    let oc = open_out !out_path in
+    output_string oc json;
+    close_out oc;
+    let rate_ratio, alloc_ratio = ratios samples "data" in
+    Printf.printf "headline: data %.2fx datagrams/s, %.1fx less allocation; wrote %s\n"
+      rate_ratio alloc_ratio !out_path

@@ -488,7 +488,11 @@ let serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics ~captu
       print_endline "counters:";
       List.iter
         (fun (name, value) -> Printf.printf "  %-32s %d\n" name value)
-        report.Udp.counters
+        report.Udp.counters;
+      print_endline "gauges:";
+      List.iter
+        (fun (name, value) -> Printf.printf "  %-36s %.1f\n" name value)
+        (Rmcast.Metrics.gauges metrics)
     end;
     if report.Udp.all_verified then `Ok ()
     else `Error (false, "some sessions failed verification")
@@ -707,9 +711,10 @@ let udp receivers p seed packets payload metrics faults capture =
           Bytes.init payload (fun _ -> Char.chr (Rmcast.Rng.int rng 256)))
     in
     let recorder = Option.map (fun _ -> Rmcast.Recorder.create ()) capture in
+    let registry = Rmcast.Metrics.create () in
     match
-      Rmcast.Udp_np.run_local ~config ?recorder ?faults ~receivers ~loss:p ~seed:(seed + 1)
-        ~data ()
+      Rmcast.Udp_np.run_local ~config ~metrics:registry ?recorder ?faults ~receivers
+        ~loss:p ~seed:(seed + 1) ~data ()
     with
     | Error e -> `Error (false, Rmcast.Error.to_string e)
     | Ok report ->
@@ -730,7 +735,11 @@ let udp receivers p seed packets payload metrics faults capture =
       print_endline "counters:";
       List.iter
         (fun (name, value) -> Printf.printf "  %-24s %d\n" name value)
-        report.Rmcast.Udp_np.counters
+        report.Rmcast.Udp_np.counters;
+      print_endline "gauges:";
+      List.iter
+        (fun (name, value) -> Printf.printf "  %-36s %.1f\n" name value)
+        (Rmcast.Metrics.gauges registry)
     end;
     if report.Rmcast.Udp_np.verified then `Ok () else `Error (false, "delivery failed")
 

@@ -19,6 +19,8 @@
     - {!Np_machine}, {!Np_replay}: the sans-IO NP core (pure events in,
       effects out) and deterministic replay of captured runs.
     - {!Header}: the wire format.
+    - {!Buffer_pool}: pooled datagram buffers for the allocation-lean
+      packet datapath both NP drivers run on.
     - {!Metrics}, {!Event_trace}, {!Fault}, {!Recorder}: observability,
       fault injection and event/effect capture.
     - {!Transfer}, {!Planner}: the ten-line user path.
@@ -97,6 +99,9 @@ module N1 = Rmc_proto.N1
 
 (* Wire *)
 module Header = Rmc_wire.Header
+
+(* Packet datapath *)
+module Buffer_pool = Rmc_pool.Buffer_pool
 
 (* Observability *)
 module Metrics = Rmc_obs.Metrics

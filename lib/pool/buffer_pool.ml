@@ -1,0 +1,87 @@
+type t = {
+  buf_size : int;
+  capacity : int;
+  free : Bytes.t array; (* free.(0 .. free_count-1) are available *)
+  mutable free_count : int;
+  mutable created : int; (* pooled buffers materialized so far *)
+  mutable outstanding : int;
+  mutable peak_outstanding : int;
+  mutable total_checkouts : int;
+  mutable overflow_allocs : int;
+}
+
+let create ?(capacity = 16) ~buf_size () =
+  if buf_size < 1 then invalid_arg "Buffer_pool.create: buf_size must be >= 1";
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
+  {
+    buf_size;
+    capacity;
+    free = Array.make capacity Bytes.empty;
+    free_count = 0;
+    created = 0;
+    outstanding = 0;
+    peak_outstanding = 0;
+    total_checkouts = 0;
+    overflow_allocs = 0;
+  }
+
+let buf_size t = t.buf_size
+let capacity t = t.capacity
+let outstanding t = t.outstanding
+let peak_outstanding t = t.peak_outstanding
+let total_checkouts t = t.total_checkouts
+let overflow_allocs t = t.overflow_allocs
+let free_buffers t = t.free_count
+
+let checkout t =
+  t.total_checkouts <- t.total_checkouts + 1;
+  t.outstanding <- t.outstanding + 1;
+  if t.outstanding > t.peak_outstanding then t.peak_outstanding <- t.outstanding;
+  if t.free_count > 0 then begin
+    t.free_count <- t.free_count - 1;
+    let buffer = t.free.(t.free_count) in
+    (* Drop the free-list reference so a leaked buffer is reachable only
+       through its (delinquent) owner, and double releases are detectable
+       by scanning the free list. *)
+    t.free.(t.free_count) <- Bytes.empty;
+    buffer
+  end
+  else if t.created < t.capacity then begin
+    t.created <- t.created + 1;
+    Bytes.create t.buf_size
+  end
+  else begin
+    t.overflow_allocs <- t.overflow_allocs + 1;
+    Bytes.create t.buf_size
+  end
+
+let release t buffer =
+  if Bytes.length buffer <> t.buf_size then
+    invalid_arg "Buffer_pool.release: buffer size does not match this pool";
+  for i = 0 to t.free_count - 1 do
+    if t.free.(i) == buffer then invalid_arg "Buffer_pool.release: double release"
+  done;
+  if t.outstanding = 0 then
+    invalid_arg "Buffer_pool.release: nothing checked out";
+  t.outstanding <- t.outstanding - 1;
+  if t.free_count < t.capacity then begin
+    t.free.(t.free_count) <- buffer;
+    t.free_count <- t.free_count + 1
+  end
+(* else: an overflow buffer coming home to a full free list; let the GC
+   have it. *)
+
+let with_buf t f =
+  let buffer = checkout t in
+  match f buffer with
+  | value ->
+    release t buffer;
+    value
+  | exception exn ->
+    release t buffer;
+    raise exn
+
+let assert_quiescent t =
+  if t.outstanding <> 0 then
+    invalid_arg
+      (Printf.sprintf "Buffer_pool: %d buffer(s) leaked (still checked out)" t.outstanding)

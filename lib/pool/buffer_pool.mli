@@ -1,0 +1,70 @@
+(** Fixed-size byte-buffer pool for the packet datapath.
+
+    The wire drivers serialize every outgoing datagram into a scratch
+    buffer, hand it to the kernel (or the simulated network), and are done
+    with it before the next event fires — a textbook checkout/release
+    workload.  Allocating a fresh [Bytes.t] per datagram instead makes the
+    minor heap the per-packet bottleneck the paper's §5 end-host model
+    warns about, so the drivers draw from a pool of [capacity] buffers of
+    [buf_size] bytes each and return them as soon as the datagram has left.
+
+    Discipline is enforced, not assumed:
+
+    - {!release} rejects buffers of the wrong size (they cannot have come
+      from this pool) and buffers that are already free (a double release
+      would hand the same buffer to two owners).
+    - {!checkout} never blocks and never fails: when every pooled buffer
+      is out, it allocates a fresh one and counts it in
+      {!overflow_allocs} — a non-zero value means the pool is undersized,
+      visible in metrics rather than as a stall or a crash.
+    - {!assert_quiescent} is the leak detector: drivers call it at
+      teardown, when every checkout must have been released.
+
+    Buffers come back with whatever bytes the previous owner wrote; users
+    must treat a checkout as uninitialized.  The pool is single-threaded,
+    like the reactor and engine loops it serves. *)
+
+type t
+
+val create : ?capacity:int -> buf_size:int -> unit -> t
+(** [create ~buf_size ()] makes a pool of [capacity] (default 16) buffers
+    of [buf_size] bytes.  Buffers materialize lazily on first checkout, so
+    an idle pool costs a record.
+    @raise Invalid_argument if [buf_size < 1] or [capacity < 1]. *)
+
+val buf_size : t -> int
+
+val capacity : t -> int
+
+val checkout : t -> Bytes.t
+(** Borrow a buffer of {!buf_size} bytes with arbitrary contents.  Falls
+    back to a fresh allocation (counted in {!overflow_allocs}) when the
+    pool is empty-handed. *)
+
+val release : t -> Bytes.t -> unit
+(** Return a borrowed buffer.  Overflow buffers are absorbed into the
+    free list when there is room and dropped otherwise.
+    @raise Invalid_argument on a wrong-sized buffer or a double release. *)
+
+val with_buf : t -> (Bytes.t -> 'a) -> 'a
+(** [with_buf t f] checks a buffer out, applies [f], and releases it even
+    if [f] raises. *)
+
+val outstanding : t -> int
+(** Buffers currently checked out (0 for a quiescent pool). *)
+
+val peak_outstanding : t -> int
+(** High-water mark of {!outstanding} over the pool's lifetime — the
+    capacity the workload actually needed. *)
+
+val total_checkouts : t -> int
+
+val overflow_allocs : t -> int
+(** Checkouts served by a fresh allocation because the pool was empty. *)
+
+val free_buffers : t -> int
+(** Buffers sitting in the free list right now. *)
+
+val assert_quiescent : t -> unit
+(** Leak detection: @raise Invalid_argument naming the count if any
+    buffer is still checked out. *)

@@ -4,6 +4,11 @@ module Rng = Rmc_numerics.Rng
 module Header = Rmc_wire.Header
 module Profile = Rmc_core.Profile
 module Recorder = Rmc_obs.Recorder
+module Buffer_pool = Rmc_pool.Buffer_pool
+
+(* Largest datagram either driver moves; the sim shares the UDP driver's
+   bound so a config that simulates also runs on real sockets. *)
+let max_datagram = 65536
 
 type config = {
   k : int;
@@ -79,6 +84,8 @@ let validate_config c =
   if c.h < 0 || c.proactive < 0 || c.proactive > c.h then
     invalid_arg "Np: need 0 <= proactive <= h";
   if c.payload_size < 1 then invalid_arg "Np: payload_size must be >= 1";
+  if c.payload_size > max_datagram - Rmc_wire.Header.header_size then
+    invalid_arg "Np: payload does not fit a 64 KiB datagram";
   if c.spacing <= 0.0 || c.delay < 0.0 || c.slot <= 0.0 then
     invalid_arg "Np: spacing/slot must be positive, delay non-negative"
 
@@ -123,10 +130,35 @@ type mux = {
   engine : Engine.t;
   ready : flow Queue.t;
   mutable pumping : bool;
+  pool : Buffer_pool.t; (* scratch datagrams for the wire round-trip *)
 }
 
-let create engine = { engine; ready = Queue.create (); pumping = false }
+let create engine =
+  {
+    engine;
+    ready = Queue.create ();
+    pumping = false;
+    (* One packet is on the wire at a time (the shared send slot), so the
+       round-trip below never holds more than one buffer. *)
+    pool = Buffer_pool.create ~capacity:4 ~buf_size:max_datagram ();
+  }
+
 let engine mux = mux.engine
+
+(* Route a packet through the real wire format: serialize it into a pooled
+   buffer and parse it back out, the same bytes the UDP driver would put
+   in a datagram.  The decoded message does not alias the pooled buffer
+   ({!Header.decode_slice} copies payloads out), so one round-trip is
+   shared by every receiver the simulated multicast reaches and the buffer
+   goes straight back to the pool.  Encode/decode is lossless, so recorder
+   streams — which re-encode each [Packet_received] — are unchanged; a
+   round-trip failure is a codec bug, not an input condition. *)
+let through_wire mux message =
+  Buffer_pool.with_buf mux.pool (fun buf ->
+      let len = Header.encode_into buf ~off:0 message in
+      match Header.decode_slice buf ~off:0 ~len with
+      | Ok message -> message
+      | Error reason -> invalid_arg ("Np: wire round-trip failed: " ^ reason))
 
 let touch mux flow = flow.finished_at <- Engine.now mux.engine
 
@@ -202,6 +234,7 @@ and execute mux flow =
     (fun busy effect ->
       match effect with
       | Np_machine.Send ((Header.Data _ | Header.Parity _) as msg) ->
+        let msg = through_wire mux msg in
         let tx = Network.transmit flow.network ~time:(Engine.now mux.engine) in
         for r = 0 to flow.receivers - 1 do
           if not (Network.lost tx r) then
@@ -211,6 +244,7 @@ and execute mux flow =
         done;
         c.spacing
       | Np_machine.Send ((Header.Poll _ | Header.Exhausted _) as msg) ->
+        let msg = through_wire mux msg in
         for r = 0 to flow.receivers - 1 do
           ignore
             (Engine.after mux.engine c.delay (fun () ->
@@ -234,6 +268,7 @@ and rx_apply mux flow ~receiver effect =
   | Np_machine.Send (Header.Nak { tg_id; need; round } as nak) ->
     (* The NAK is multicast: the sender reacts, the other receivers
        suppress their own pending NAK for this round. *)
+    let nak = through_wire mux nak in
     ignore
       (Engine.after mux.engine flow.config.delay (fun () ->
            sender_feedback mux flow ~tg:tg_id ~need ~round));

@@ -1,5 +1,6 @@
 module Rng = Rmc_numerics.Rng
 module Header = Rmc_wire.Header
+module Buffer_pool = Rmc_pool.Buffer_pool
 module Metrics = Rmc_obs.Metrics
 module Trace = Rmc_obs.Trace
 module Fault = Rmc_obs.Fault
@@ -124,20 +125,6 @@ let wire_tg ~sid local =
 let sid_of_wire wire = (wire lsr 16) land 0xFFFF
 let local_of_wire wire = wire land 0xFFFF
 
-(* Rewrite a machine-emitted message (session-local tg namespace) into its
-   wire form.  Inline records cannot use functional update across
-   constructors, so each case re-lists its fields. *)
-let wire_message ~sid = function
-  | Header.Data { tg_id; k; index; payload } ->
-    Header.Data { tg_id = wire_tg_unchecked ~sid tg_id; k; index; payload }
-  | Header.Parity { tg_id; k; index; round; payload } ->
-    Header.Parity { tg_id = wire_tg_unchecked ~sid tg_id; k; index; round; payload }
-  | Header.Poll { tg_id; k; size; round } ->
-    Header.Poll { tg_id = wire_tg_unchecked ~sid tg_id; k; size; round }
-  | Header.Nak { tg_id; need; round } ->
-    Header.Nak { tg_id = wire_tg_unchecked ~sid tg_id; need; round }
-  | Header.Exhausted { tg_id } -> Header.Exhausted { tg_id = wire_tg_unchecked ~sid tg_id }
-
 (* The damping RNG a receiver's machine draws from is split off from the
    loss-injection stream so a replay (which sees no loss draws — dropped
    datagrams never become events) can reconstruct it from the seed alone. *)
@@ -145,26 +132,38 @@ let receiver_machine_seed ~seed ~id = seed + (id * 7919) + 104729
 
 (* --- socket helpers -------------------------------------------------- *)
 
+(* A UDP datagram cannot exceed 64 KiB, so one scratch buffer of this size
+   per socket (recv) and one pool of buffers this size per engine (send)
+   cover every packet the protocol can produce. *)
+let max_datagram = 65536
+
 let make_socket () =
   let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
   Unix.set_nonblock socket;
   socket
 
-(* A socket plus the failure-observation channel every send shares. *)
+(* A socket plus the failure-observation channel every send shares, plus
+   the socket's reusable recv scratch: datagrams are decoded straight out
+   of it (no per-datagram copy), so it is allocated once per socket
+   instead of per drain. *)
 type net = {
   socket : Unix.file_descr;
+  scratch : Bytes.t;
   tx_errors : Metrics.counter;
+  datagrams_tx : Metrics.counter;
+  datagrams_rx : Metrics.counter;
   trace : Trace.t option;
 }
 
-let send_bytes net packet destination =
+let send_slice net packet off len destination =
   (* Loopback sends never legitimately short-write a datagram this small.
      EINTR gets one retry; everything else (including EAGAIN under extreme
      pressure, which behaves like network loss) is counted and traced —
      never silently swallowed. *)
+  Metrics.incr net.datagrams_tx;
   let rec attempt ~retried =
-    match Unix.sendto net.socket packet 0 (Bytes.length packet) [] destination with
+    match Unix.sendto net.socket packet off len [] destination with
     | _ -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
       if retried then begin
@@ -182,14 +181,14 @@ let send_bytes net packet destination =
   in
   attempt ~retried:false
 
-let send_datagram net message destination = send_bytes net (Header.encode message) destination
+let send_bytes net packet destination =
+  send_slice net packet 0 (Bytes.length packet) destination
 
-let drain_socket ?on_decode_error socket handle =
-  let buffer = Bytes.create 65536 in
+let drain ?on_decode_error ~scratch socket handle =
   let rec loop () =
-    match Unix.recvfrom socket buffer 0 (Bytes.length buffer) [] with
+    match Unix.recvfrom socket scratch 0 (Bytes.length scratch) [] with
     | length, from ->
-      (match Header.decode (Bytes.sub buffer 0 length) with
+      (match Header.decode_slice scratch ~off:0 ~len:length with
       | Ok message -> handle message from
       | Error _ ->
         (* malformed datagrams are dropped, but no longer silently *)
@@ -202,6 +201,11 @@ let drain_socket ?on_decode_error socket handle =
   in
   loop ()
 
+let drain_socket ?on_decode_error net handle =
+  drain ?on_decode_error ~scratch:net.scratch net.socket (fun message from ->
+      Metrics.incr net.datagrams_rx;
+      handle message from)
+
 (* --- sender ----------------------------------------------------------- *)
 
 (* The protocol lives in the shared sans-IO core; this driver owns the
@@ -213,6 +217,7 @@ type sender = {
   config : config;
   reactor : Reactor.t;
   net : net;
+  pool : Buffer_pool.t;
   group : Unix.sockaddr list;
   machine : Np_machine.Sender.t;
   shim : Fault.t option;
@@ -228,24 +233,60 @@ type sender = {
 
 let sender_actor sender = "s" ^ string_of_int sender.sid
 
-(* The fault shim sits here, at the datagram boundary: every data/parity
+(* One datagram of a tick's batch: a pooled buffer holding the sealed
+   bytes, and whether the fault shim applies (it only sees data/parity). *)
+type batch_entry = { buf : Bytes.t; len : int; payload_bearing : bool }
+
+(* Serialize a machine-emitted message once into a pooled buffer.  The
+   machine speaks session-local tg ids; rather than rebuilding the message
+   in the wire namespace, the sid is poked into the already-encoded
+   datagram and the CRC resealed in place.  A single-session run (sid 0)
+   needs no rewrite and puts exactly the bytes on the wire it always
+   did. *)
+let sender_enqueue sender batch message =
+  let buf = Buffer_pool.checkout sender.pool in
+  let len = Header.encode_into buf ~off:0 message in
+  if sender.sid <> 0 then begin
+    Header.set_tg_id buf ~off:0 (wire_tg_unchecked ~sid:sender.sid (Header.tg_id message));
+    Header.reseal_slice buf ~off:0 ~len
+  end;
+  let payload_bearing =
+    match message with
+    | Header.Data _ | Header.Parity _ -> true
+    | Header.Poll _ | Header.Nak _ | Header.Exhausted _ -> false
+  in
+  { buf; len; payload_bearing } :: batch
+
+(* Flush a tick's batch: the unicast fan-out reuses each sealed buffer for
+   every destination (the legacy path re-encoded the datagram once per
+   group member), and buffers go straight back to the pool.
+
+   The fault shim sits here, at the datagram boundary: every data/parity
    datagram of the unicast fan-out passes through it independently, so each
    receiver sees its own drop/duplicate/reorder/corrupt pattern.  Control
    datagrams (POLL, NAK, EXHAUSTED) are spared, matching the loss model of
    the §5 analysis (and of the [~loss] reception injection below). *)
-let sender_multicast sender message =
-  match (sender.shim, message) with
-  | Some shim, (Header.Data _ | Header.Parity _) ->
-    let packet = Header.encode message in
-    let now = Unix.gettimeofday () in
-    List.iter
-      (fun destination ->
-        Fault.apply shim ~now
-          ~defer:(fun delay thunk -> ignore (Reactor.after sender.reactor delay thunk))
-          ~send:(fun bytes -> send_bytes sender.net bytes destination)
-          packet)
-      sender.group
-  | _ -> List.iter (send_datagram sender.net message) sender.group
+let sender_flush sender batch =
+  List.iter
+    (fun { buf; len; payload_bearing } ->
+      (match (sender.shim, payload_bearing) with
+      | Some shim, true ->
+        (* The shim may hold, delay or duplicate the datagram beyond this
+           tick, so it owns a copy; pooled buffers never escape the
+           flush. *)
+        let packet = Bytes.sub buf 0 len in
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun destination ->
+            Fault.apply shim ~now
+              ~defer:(fun delay thunk -> ignore (Reactor.after sender.reactor delay thunk))
+              ~send:(fun bytes -> send_bytes sender.net bytes destination)
+              packet)
+          sender.group
+      | (Some _ | None), _ ->
+        List.iter (fun destination -> send_slice sender.net buf 0 len destination) sender.group);
+      Buffer_pool.release sender.pool buf)
+    (List.rev batch)
 
 let sender_handle sender event =
   (match sender.recorder with
@@ -272,35 +313,34 @@ let rec sender_pump sender =
   if not (Np_machine.Sender.pending sender.machine) then sender.sending <- false
   else begin
     let effects = sender_handle sender Np_machine.Tick in
-    let delay =
+    (* Drain every Send effect of the tick into pooled buffers, then flush
+       them in one batched pass: serialize + sid-rewrite + reseal happen
+       once per datagram regardless of group size. *)
+    let batch, delay =
       List.fold_left
-        (fun acc effect ->
+        (fun (batch, acc) effect ->
           match effect with
           | Np_machine.Send message ->
-            let wire = wire_message ~sid:sender.sid message in
             (match message with
             | Header.Data _ ->
               Metrics.incr sender.c_data;
-              sender_multicast sender wire;
-              sender.config.spacing
+              (sender_enqueue sender batch message, sender.config.spacing)
             | Header.Parity _ ->
               Metrics.incr sender.c_parity;
-              sender_multicast sender wire;
-              sender.config.spacing
+              (sender_enqueue sender batch message, sender.config.spacing)
             | Header.Poll _ ->
               Metrics.incr sender.c_poll;
-              sender_multicast sender wire;
-              acc
+              (sender_enqueue sender batch message, acc)
             | Header.Exhausted _ ->
               Metrics.incr sender.c_exhausted;
-              sender_multicast sender wire;
-              acc
-            | Header.Nak _ -> acc)
+              (sender_enqueue sender batch message, acc)
+            | Header.Nak _ -> (batch, acc))
           | Np_machine.Arm_timer _ | Np_machine.Cancel_timer _ | Np_machine.Deliver _
           | Np_machine.Ejected _ | Np_machine.Trace _ | Np_machine.Done ->
-            acc)
-        0.0 effects
+            (batch, acc))
+        ([], 0.0) effects
     in
+    sender_flush sender batch;
     ignore (Reactor.after sender.reactor delay (fun () -> sender_pump sender))
   end
 
@@ -321,13 +361,14 @@ let sender_handle_nak sender ~tg_id ~need ~round =
 (* [metrics] is already scoped per session by the caller; the NAK handler
    for the shared socket lives with the driver, not here, because many
    senders share one socket. *)
-let create_sender reactor ~net ~group ~config ~sid ~data ~metrics ~shim ~recorder =
+let create_sender reactor ~net ~pool ~group ~config ~sid ~data ~metrics ~shim ~recorder =
   let sender =
     {
       sid;
       config;
       reactor;
       net;
+      pool;
       group;
       machine = Np_machine.Sender.create (machine_config config) ~data;
       shim;
@@ -350,6 +391,7 @@ type receiver = {
   id : int;
   reactor : Reactor.t;
   net : net;
+  pool : Buffer_pool.t;
   sender_addr : Unix.sockaddr;
   mutable peer_addrs : Unix.sockaddr list;
   loss_rng : Rng.t;  (* reception-loss injection (driver-side, not replayed) *)
@@ -396,11 +438,13 @@ and receiver_apply receiver effect =
   match effect with
   | Np_machine.Send (Header.Nak _ as nak) ->
     (* The NAK is "multicast": unicast to the sender plus every peer, so
-       suppression really happens by overhearing datagrams. *)
+       suppression really happens by overhearing datagrams.  One pooled
+       buffer serves the whole fan-out. *)
     Metrics.incr receiver.c_naks_tx;
-    let packet = Header.encode nak in
-    send_bytes receiver.net packet receiver.sender_addr;
-    List.iter (send_bytes receiver.net packet) receiver.peer_addrs
+    Buffer_pool.with_buf receiver.pool (fun buf ->
+        let len = Header.encode_into buf ~off:0 nak in
+        send_slice receiver.net buf 0 len receiver.sender_addr;
+        List.iter (send_slice receiver.net buf 0 len) receiver.peer_addrs)
   | Np_machine.Arm_timer { tg; round; offset } ->
     (match Hashtbl.find_opt receiver.timers tg with
     | Some t -> Reactor.cancel t
@@ -431,14 +475,15 @@ let receiver_feed_payload receiver message =
   if Np_machine.Receiver.duplicates receiver.machine > before then
     Metrics.incr receiver.c_duplicates
 
-let create_receiver reactor ~net ~sender_addr ~config ~seed ~loss ~id ~metrics ~expected
-    ~recorder ~on_tg_complete ~on_ejected =
+let create_receiver reactor ~net ~pool ~sender_addr ~config ~seed ~loss ~id ~metrics
+    ~expected ~recorder ~on_tg_complete ~on_ejected =
   let machine_rng = Rng.create ~seed:(receiver_machine_seed ~seed ~id) () in
   let receiver =
     {
       id;
       reactor;
       net;
+      pool;
       sender_addr;
       peer_addrs = [];
       loss_rng = Rng.create ~seed:(seed + (id * 7919)) ();
@@ -469,7 +514,7 @@ let create_receiver reactor ~net ~sender_addr ~config ~seed ~loss ~id ~metrics ~
         ~on_decode_error:(fun () ->
           receiver.decode_failures <- receiver.decode_failures + 1;
           Metrics.incr receiver.c_decode_fail)
-        net.socket
+        net
         (fun message from ->
           let from_sender = from = receiver.sender_addr in
           match message with
@@ -525,7 +570,16 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed 
   | None -> ());
 
   let tx_errors = Metrics.counter metrics "udp.tx_errors" in
-  let make_net socket = { socket; tx_errors; trace } in
+  let datagrams_tx = Metrics.counter metrics "udp.datagrams_tx" in
+  let datagrams_rx = Metrics.counter metrics "udp.datagrams_rx" in
+  let make_net socket =
+    { socket; scratch = Bytes.create max_datagram; tx_errors; datagrams_tx; datagrams_rx;
+      trace }
+  in
+  (* One pool serves every session's sender and every receiver's NAK path:
+     buffers are released within the event that checked them out, so the
+     peak population is the largest single batch, not the datagram rate. *)
+  let pool = Buffer_pool.create ~capacity:16 ~buf_size:max_datagram () in
   let sender_socket = make_socket () in
   let sender_net = make_net sender_socket in
   let receiver_nets = Array.init receivers (fun _ -> make_net (make_socket ())) in
@@ -580,8 +634,8 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed 
           let sid = sid_of_wire wire in
           if sid < nsessions then ejected.(sid) <- (id, local_of_wire wire) :: ejected.(sid)
         in
-        create_receiver reactor ~net:receiver_nets.(id) ~sender_addr ~config ~seed ~loss
-          ~id ~metrics ~expected ~recorder ~on_tg_complete ~on_ejected)
+        create_receiver reactor ~net:receiver_nets.(id) ~pool ~sender_addr ~config ~seed
+          ~loss ~id ~metrics ~expected ~recorder ~on_tg_complete ~on_ejected)
   in
   (* Each receiver overhears the NAKs of all the others. *)
   Array.iteri
@@ -596,14 +650,14 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed 
   let group = Array.to_list receiver_addrs in
   let senders =
     Array.init nsessions (fun sid ->
-        create_sender reactor ~net:sender_net ~group ~config ~sid ~data:sessions.(sid)
-          ~metrics:(sender_metrics sid) ~shim ~recorder)
+        create_sender reactor ~net:sender_net ~pool ~group ~config ~sid
+          ~data:sessions.(sid) ~metrics:(sender_metrics sid) ~shim ~recorder)
   in
   (* One handler on the shared sender socket demuxes incoming NAKs to the
      owning session's sender. *)
   let c_decode_fail = Metrics.counter metrics "sender.decode_failures" in
   Reactor.on_readable reactor sender_socket (fun () ->
-      drain_socket ~on_decode_error:(fun () -> Metrics.incr c_decode_fail) sender_socket
+      drain_socket ~on_decode_error:(fun () -> Metrics.incr c_decode_fail) sender_net
         (fun message _from ->
           match message with
           | Header.Nak { tg_id; need; round } ->
@@ -612,7 +666,25 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed 
               sender_handle_nak senders.(sid) ~tg_id:(local_of_wire tg_id) ~need ~round
           | Header.Data _ | Header.Parity _ | Header.Poll _ | Header.Exhausted _ -> ()));
 
+  let minor_words_before = Gc.minor_words () in
   Reactor.run ~deadline:(started +. config.session_timeout) reactor;
+  (* Surface the datapath's allocation behaviour: minor words burned per
+     datagram moved (the end-host cost §5 bounds throughput by) and how
+     hard the pool worked.  A leak — a pooled buffer still checked out
+     after the loop drained — is a driver bug and raises. *)
+  let minor_words = Gc.minor_words () -. minor_words_before in
+  let moved = Metrics.count datagrams_tx + Metrics.count datagrams_rx in
+  Metrics.set
+    (Metrics.gauge metrics "datapath.minor_words_per_datagram")
+    (minor_words /. float_of_int (max 1 moved));
+  Metrics.set (Metrics.gauge metrics "pool.capacity") (float_of_int (Buffer_pool.capacity pool));
+  Metrics.set
+    (Metrics.gauge metrics "pool.peak_outstanding")
+    (float_of_int (Buffer_pool.peak_outstanding pool));
+  Metrics.set
+    (Metrics.gauge metrics "pool.overflow_allocs")
+    (float_of_int (Buffer_pool.overflow_allocs pool));
+  Buffer_pool.assert_quiescent pool;
 
   let session_reports =
     Array.init nsessions (fun sid ->
@@ -662,6 +734,8 @@ let validate ~context ~config ~receivers ~loss ~sessions =
   then Error.invalid_arg ~context "payload size mismatch"
   else if receivers < 1 then Error.invalid_arg ~context "need at least one receiver"
   else if config.k < 1 || config.h < 0 then Error.invalid_arg ~context "need k >= 1 and h >= 0"
+  else if config.payload_size > max_datagram - Header.header_size then
+    Error.invalid_arg ~context "payload does not fit a 64 KiB datagram"
   else if Array.length sessions > 0x10000 then
     Error.invalid_arg ~context "too many sessions (wire sid is 16-bit)"
   else if

@@ -61,6 +61,26 @@ val sid_of_wire : int -> int
 val local_of_wire : int -> int
 (** Lower 16 bits of a wire [tg_id]. *)
 
+val max_datagram : int
+(** Upper bound on a datagram this driver sends or receives (65536);
+    [payload_size] may not exceed [max_datagram - Header.header_size]. *)
+
+val drain :
+  ?on_decode_error:(unit -> unit) ->
+  scratch:Bytes.t ->
+  Unix.file_descr ->
+  (Rmc_wire.Header.message -> Unix.sockaddr -> unit) ->
+  unit
+(** [drain ~scratch socket handle] reads every datagram queued on the
+    (non-blocking) [socket], decoding each in place with
+    {!Rmc_wire.Header.decode_slice} and calling [handle message from].
+    [scratch] is the caller's reusable recv buffer (at least
+    {!max_datagram} bytes): each datagram is overwritten by the next, and
+    the only per-datagram allocations are the decoded message and its
+    payload copy.  Undecodable datagrams invoke [on_decode_error] and are
+    skipped.  Exposed for the allocation-regression tests; the drivers
+    call it through their per-socket scratch. *)
+
 val receiver_machine_seed : seed:int -> id:int -> int
 (** Seed of receiver [id]'s damping RNG, derived from the run [seed].
     Distinct from the same receiver's loss RNG, so that a capture's

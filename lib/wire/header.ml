@@ -9,6 +9,7 @@ let header_size = 26
 let magic = "RMCP"
 let version = 2
 let crc_offset = 22
+let tg_id_offset = 6
 
 (* CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over the whole datagram
    with the checksum field itself treated as zero.  UDP's 16-bit checksum is
@@ -35,14 +36,18 @@ let crc_feed crc buffer pos len =
   done;
   !c
 
-let datagram_crc buffer =
+(* CRC of the datagram occupying [off, off+len) of [buffer]; [len] must be
+   at least [header_size] (callers validate). *)
+let datagram_crc_slice buffer ~off ~len =
   let c = ref 0xFFFFFFFF in
-  c := crc_feed !c buffer 0 crc_offset;
+  c := crc_feed !c buffer off crc_offset;
   for _ = 1 to 4 do
     c := crc_feed_byte !c 0
   done;
-  c := crc_feed !c buffer header_size (Bytes.length buffer - header_size);
+  c := crc_feed !c buffer (off + header_size) (len - header_size);
   !c lxor 0xFFFFFFFF
+
+let datagram_crc buffer = datagram_crc_slice buffer ~off:0 ~len:(Bytes.length buffer)
 
 let type_code = function
   | Data _ -> 1
@@ -70,6 +75,11 @@ let fields = function
   | Nak { tg_id; need; round } -> (tg_id, 0, need, round, None)
   | Exhausted { tg_id } -> (tg_id, 0, 0, 0, None)
 
+let tg_id = function
+  | Data { tg_id; _ } | Parity { tg_id; _ } | Poll { tg_id; _ } | Nak { tg_id; _ }
+  | Exhausted { tg_id } ->
+    tg_id
+
 (* tg_id and round are full 32-bit wire fields; the bound must match what
    {!decode} can produce or a legitimately decoded message cannot be
    re-encoded (the old cap was 0xFFFFFFF, a 28-bit typo). *)
@@ -79,67 +89,109 @@ let validate_ranges ~tg_id ~k ~aux ~round =
   if aux < 0 || aux > 0xFFFF then invalid_arg "Header: index/need/size out of range";
   if round < 0 || round > 0xFFFF_FFFF then invalid_arg "Header: round out of range"
 
-let encode message =
+let encoded_size message =
+  header_size
+  + (match message with
+    | Data { payload; _ } | Parity { payload; _ } -> Bytes.length payload
+    | Poll _ | Nak _ | Exhausted _ -> 0)
+
+let encode_into buffer ~off message =
   let tg_id, k, aux, round, payload = fields message in
   validate_ranges ~tg_id ~k ~aux ~round;
   (match message with
   | Data { k; index; _ } when index >= k -> invalid_arg "Header: data index must be < k"
   | _ -> ());
   let payload_len = match payload with Some p -> Bytes.length p | None -> 0 in
-  let buffer = Bytes.make (header_size + payload_len) '\000' in
-  Bytes.blit_string magic 0 buffer 0 4;
-  Bytes.set_uint8 buffer 4 version;
-  Bytes.set_uint8 buffer 5 (type_code message);
-  set_u32 buffer 6 tg_id;
-  set_u16 buffer 10 k;
-  set_u16 buffer 12 aux;
-  set_u32 buffer 14 round;
-  set_u32 buffer 18 payload_len;
+  let total = header_size + payload_len in
+  if off < 0 || off > Bytes.length buffer - total then
+    invalid_arg "Header.encode_into: datagram does not fit the buffer";
+  Bytes.blit_string magic 0 buffer off 4;
+  Bytes.set_uint8 buffer (off + 4) version;
+  Bytes.set_uint8 buffer (off + 5) (type_code message);
+  set_u32 buffer (off + tg_id_offset) tg_id;
+  set_u16 buffer (off + 10) k;
+  set_u16 buffer (off + 12) aux;
+  set_u32 buffer (off + 14) round;
+  set_u32 buffer (off + 18) payload_len;
   (match payload with
-  | Some p -> Bytes.blit p 0 buffer header_size payload_len
+  | Some p -> Bytes.blit p 0 buffer (off + header_size) payload_len
   | None -> ());
-  set_u32 buffer crc_offset (datagram_crc buffer);
+  set_u32 buffer (off + crc_offset) (datagram_crc_slice buffer ~off ~len:total);
+  total
+
+let encode message =
+  (* [encode_into] writes every one of the [encoded_size] bytes, so an
+     uninitialized buffer is fine. *)
+  let buffer = Bytes.create (encoded_size message) in
+  let _ = encode_into buffer ~off:0 message in
   buffer
 
-let reseal buffer =
-  if Bytes.length buffer < header_size then invalid_arg "Header.reseal: truncated buffer";
-  set_u32 buffer crc_offset (datagram_crc buffer)
+let reseal_slice buffer ~off ~len =
+  if off < 0 || len < header_size || off > Bytes.length buffer - len then
+    invalid_arg "Header.reseal: truncated buffer";
+  set_u32 buffer (off + crc_offset) (datagram_crc_slice buffer ~off ~len)
 
-let decode buffer =
-  let ( let* ) r f = Result.bind r f in
-  let check condition message = if condition then Ok () else Error message in
-  let* () = check (Bytes.length buffer >= header_size) "truncated header" in
-  let* () = check (Bytes.sub_string buffer 0 4 = magic) "bad magic" in
-  let* () = check (Bytes.get_uint8 buffer 4 = version) "unsupported version" in
-  let code = Bytes.get_uint8 buffer 5 in
-  let tg_id = get_u32 buffer 6 in
-  let k = get_u16 buffer 10 in
-  let aux = get_u16 buffer 12 in
-  let round = get_u32 buffer 14 in
-  let payload_len = get_u32 buffer 18 in
-  let* () =
-    check (Bytes.length buffer = header_size + payload_len) "length field mismatch"
-  in
-  let* () = check (get_u32 buffer crc_offset = datagram_crc buffer) "checksum mismatch" in
-  let payload () = Bytes.sub buffer header_size payload_len in
-  match code with
-  | 1 ->
-    let* () = check (payload_len > 0) "DATA without payload" in
-    let* () = check (aux < k) "DATA index not below k" in
-    Ok (Data { tg_id; k; index = aux; payload = payload () })
-  | 2 ->
-    let* () = check (payload_len > 0) "PARITY without payload" in
-    Ok (Parity { tg_id; k; index = aux; round; payload = payload () })
-  | 3 ->
-    let* () = check (payload_len = 0) "POLL with payload" in
-    Ok (Poll { tg_id; k; size = aux; round })
-  | 4 ->
-    let* () = check (payload_len = 0) "NAK with payload" in
-    Ok (Nak { tg_id; need = aux; round })
-  | 5 ->
-    let* () = check (payload_len = 0) "EXHAUSTED with payload" in
-    Ok (Exhausted { tg_id })
-  | other -> Error (Printf.sprintf "unknown message type %d" other)
+let reseal buffer = reseal_slice buffer ~off:0 ~len:(Bytes.length buffer)
+
+let set_tg_id buffer ~off tg_id =
+  if tg_id < 0 || tg_id > 0xFFFF_FFFF then invalid_arg "Header.set_tg_id: tg_id out of range";
+  if off < 0 || off > Bytes.length buffer - header_size then
+    invalid_arg "Header.set_tg_id: truncated buffer";
+  set_u32 buffer (off + tg_id_offset) tg_id
+
+(* The slice parser is the datapath's per-packet cost, so it is written
+   with an early-exit exception instead of a [Result.bind] chain: the
+   success path allocates nothing beyond the message (and, for DATA and
+   PARITY, the one unavoidable payload copy out of the caller's reusable
+   recv buffer), and every rejection reuses a constant string.  The
+   exception never escapes. *)
+exception Bad of string
+
+let decode_slice buffer ~off ~len =
+  match
+    if off < 0 || len < 0 || off > Bytes.length buffer - len then raise (Bad "slice out of bounds");
+    if len < header_size then raise (Bad "truncated header");
+    if
+      not
+        (Bytes.get buffer off = 'R'
+        && Bytes.get buffer (off + 1) = 'M'
+        && Bytes.get buffer (off + 2) = 'C'
+        && Bytes.get buffer (off + 3) = 'P')
+    then raise (Bad "bad magic");
+    if Bytes.get_uint8 buffer (off + 4) <> version then raise (Bad "unsupported version");
+    let code = Bytes.get_uint8 buffer (off + 5) in
+    let tg_id = get_u32 buffer (off + tg_id_offset) in
+    let k = get_u16 buffer (off + 10) in
+    let aux = get_u16 buffer (off + 12) in
+    let round = get_u32 buffer (off + 14) in
+    let payload_len = get_u32 buffer (off + 18) in
+    if len <> header_size + payload_len then raise (Bad "length field mismatch");
+    if get_u32 buffer (off + crc_offset) <> datagram_crc_slice buffer ~off ~len then
+      raise (Bad "checksum mismatch");
+    let payload () = Bytes.sub buffer (off + header_size) payload_len in
+    match code with
+    | 1 ->
+      if payload_len = 0 then raise (Bad "DATA without payload");
+      if aux >= k then raise (Bad "DATA index not below k");
+      Data { tg_id; k; index = aux; payload = payload () }
+    | 2 ->
+      if payload_len = 0 then raise (Bad "PARITY without payload");
+      Parity { tg_id; k; index = aux; round; payload = payload () }
+    | 3 ->
+      if payload_len <> 0 then raise (Bad "POLL with payload");
+      Poll { tg_id; k; size = aux; round }
+    | 4 ->
+      if payload_len <> 0 then raise (Bad "NAK with payload");
+      Nak { tg_id; need = aux; round }
+    | 5 ->
+      if payload_len <> 0 then raise (Bad "EXHAUSTED with payload");
+      Exhausted { tg_id }
+    | other -> raise (Bad (Printf.sprintf "unknown message type %d" other))
+  with
+  | message -> Ok message
+  | exception Bad reason -> Error reason
+
+let decode buffer = decode_slice buffer ~off:0 ~len:(Bytes.length buffer)
 
 let equal a b =
   match (a, b) with

@@ -2,9 +2,10 @@
 
     A deployment of NP needs its five message types on the wire; this
     module defines a compact, versioned, big-endian encoding with full
-    validation on decode.  The simulator does not use it (it passes OCaml
-    values around), but the file-transfer example and any real transport
-    binding do.
+    validation on decode.  Both drivers of the sans-IO core use it: the
+    UDP binding puts these bytes in real datagrams, and the simulator
+    routes every packet through the same encoding (see
+    {!Rmc_proto.Np.Mux}) so the two stay byte-equivalent by construction.
 
     Layout (all integers big-endian):
     {v
@@ -24,7 +25,29 @@
     The checksum covers header and payload; {!decode} rejects any datagram
     whose stored CRC does not match ([Error "checksum mismatch"]).  Encode
     and decode accept the same field ranges: [tg_id] and [round] are full
-    32-bit values, [k] and [index]/[need]/[size] 16-bit. *)
+    32-bit values, [k] and [index]/[need]/[size] 16-bit.
+
+    {2 Slice API and aliasing contract}
+
+    The allocation-lean datapath works on {e slices} of long-lived
+    buffers: {!encode_into} serializes straight into a pooled send buffer
+    and {!decode_slice} parses straight out of a reusable recv buffer,
+    so the per-datagram cost is one payload copy (DATA/PARITY) or nothing
+    at all (control messages) instead of a fresh datagram-sized buffer
+    per packet.  The contract:
+
+    - {!encode_into} writes exactly [encoded_size message] bytes at
+      [off] and touches nothing else; the caller may reuse the rest of
+      the buffer freely.
+    - {!decode_slice} reads only [\[off, off+len)] and returns messages
+      that do {e not} alias the input: DATA/PARITY payloads are copied
+      out, so the caller may overwrite the buffer (e.g. with the next
+      datagram) as soon as the call returns.
+    - {!set_tg_id} pokes the [tg_id] field of an already-encoded datagram
+      in place (the multi-session driver rewrites the session id into the
+      upper bits this way) and deliberately leaves the CRC stale; follow
+      it with {!reseal_slice}, which re-checksums in place — the datagram
+      is never re-materialized. *)
 
 type message =
   | Data of { tg_id : int; k : int; index : int; payload : Bytes.t }
@@ -39,20 +62,55 @@ type message =
 val header_size : int
 (** Bytes preceding the payload (26). *)
 
+val encoded_size : message -> int
+(** Exact on-the-wire size: {!header_size} plus the payload length. *)
+
 val encode : message -> Bytes.t
 (** @raise Invalid_argument on out-of-range fields ([tg_id], [round] must
     fit 32 bits; [k], [index]/[need]/[size] 16 bits; DATA [index < k]). *)
+
+val encode_into : Bytes.t -> off:int -> message -> int
+(** [encode_into buffer ~off message] serializes [message] (checksum
+    included) into [buffer] starting at [off] and returns the number of
+    bytes written ([encoded_size message]).  The bytes written are
+    identical to [encode message].
+    @raise Invalid_argument on out-of-range fields (as {!encode}) or if
+    the datagram does not fit in [buffer] at [off]. *)
 
 val decode : Bytes.t -> (message, string) result
 (** Total parse-and-validate: never raises; returns a diagnostic on
     malformed input (bad magic, truncation, checksum mismatch,
     out-of-range fields...). *)
 
+val decode_slice : Bytes.t -> off:int -> len:int -> (message, string) result
+(** [decode_slice buffer ~off ~len] parses the datagram occupying
+    [\[off, off+len)] of [buffer], reading nothing outside that range and
+    never raising — out-of-bounds slices are an [Error], not an
+    exception.  Agrees with [decode (Bytes.sub buffer off len)] on every
+    input; DATA/PARITY payloads are copied out of the slice, so the
+    buffer may be reused immediately. *)
+
 val reseal : Bytes.t -> unit
-(** Recompute and store the CRC of an encoded datagram in place — for
-    tests that hand-mutate header fields and still want the mutation (not
-    the checksum) to be what {!decode} rejects.
+(** Recompute and store the CRC of an encoded datagram in place — after
+    {!set_tg_id}, or for tests that hand-mutate header fields and still
+    want the mutation (not the checksum) to be what {!decode} rejects.
     @raise Invalid_argument if shorter than {!header_size}. *)
+
+val reseal_slice : Bytes.t -> off:int -> len:int -> unit
+(** {!reseal} for the datagram occupying [\[off, off+len)] of a longer
+    (e.g. pooled) buffer.
+    @raise Invalid_argument if the slice is out of bounds or shorter than
+    {!header_size}. *)
+
+val set_tg_id : Bytes.t -> off:int -> int -> unit
+(** [set_tg_id buffer ~off tg_id] overwrites the [tg_id] field of the
+    datagram encoded at [off], leaving the CRC stale — callers must
+    {!reseal_slice} before the datagram leaves.
+    @raise Invalid_argument if [tg_id] exceeds 32 bits or the slice is
+    shorter than a header. *)
+
+val tg_id : message -> int
+(** The transmission-group id, whatever the message type. *)
 
 val datagram_crc : Bytes.t -> int
 (** The CRC-32 {!decode} expects at offset 22 (checksum field read as

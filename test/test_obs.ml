@@ -32,6 +32,25 @@ let test_gauges () =
   Alcotest.(check (float 0.0)) "by name" 2.0 (Metrics.get_gauge m "queue.depth");
   Alcotest.(check (float 0.0)) "absent gauge" 0.0 (Metrics.get_gauge m "no.such")
 
+let test_handle_name_equivalence () =
+  (* The hot paths resolve handles once at setup and bump them thereafter;
+     the observation side keeps using by-name lookups.  The two views must
+     agree exactly — including through scopes, where the by-name path
+     concatenates the prefix on every call. *)
+  let m = Metrics.create () in
+  let scoped = Metrics.scope m "session.3" in
+  let handle = Metrics.counter scoped "tx.data" in
+  Metrics.incr ~by:7 handle;
+  Alcotest.(check int) "scoped by-name sees handle bumps" 7 (Metrics.get scoped "tx.data");
+  Alcotest.(check int) "root by-name sees the full name" 7 (Metrics.get m "session.3.tx.data");
+  Metrics.incr ~by:2 (Metrics.counter m "session.3.tx.data");
+  Alcotest.(check int) "by-name bumps reach the handle" 9 (Metrics.count handle);
+  let g = Metrics.gauge scoped "pool.peak_outstanding" in
+  Metrics.set g 4.0;
+  Alcotest.(check (float 0.0))
+    "gauge handle/name equivalence" 4.0
+    (Metrics.get_gauge m "session.3.pool.peak_outstanding")
+
 (* --- trace ------------------------------------------------------------- *)
 
 let test_trace_ring () =
@@ -186,6 +205,7 @@ let suite =
   [
     Alcotest.test_case "metrics counters" `Quick test_counters;
     Alcotest.test_case "metrics gauges" `Quick test_gauges;
+    Alcotest.test_case "handle/name equivalence" `Quick test_handle_name_equivalence;
     Alcotest.test_case "trace ring eviction" `Quick test_trace_ring;
     Alcotest.test_case "trace under capacity" `Quick test_trace_under_capacity;
     Alcotest.test_case "fault spec roundtrip" `Quick test_spec_roundtrip;

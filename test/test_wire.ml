@@ -106,6 +106,144 @@ let qcheck_decode_never_raises_mutated =
         flips;
       decode_is_total buffer)
 
+(* --- slice API ---------------------------------------------------------- *)
+
+let message_gen =
+  QCheck.Gen.(
+    int_range 1 5 >>= fun kind ->
+    int_range 0 100000 >>= fun tg_id ->
+    int_range 1 255 >>= fun k ->
+    int_range 0 (k - 1) >>= fun index ->
+    int_range 0 1000 >>= fun round ->
+    string_size ~gen:char (int_range 1 64) >>= fun payload ->
+    let payload = Bytes.of_string payload in
+    return
+      (match kind with
+      | 1 -> Header.Data { tg_id; k; index; payload }
+      | 2 -> Header.Parity { tg_id; k; index; round; payload }
+      | 3 -> Header.Poll { tg_id; k; size = index; round }
+      | 4 -> Header.Nak { tg_id; need = index; round }
+      | _ -> Header.Exhausted { tg_id }))
+
+let qcheck_encode_into_identity =
+  (* [encode_into] at a random offset writes exactly the [encode] bytes and
+     touches nothing outside them — the aliasing contract pooled send
+     buffers rely on. *)
+  let gen = QCheck.Gen.(triple message_gen (int_range 0 37) (int_range 0 37)) in
+  QCheck.Test.make ~count:500 ~name:"encode_into matches encode, touches only its slice"
+    (QCheck.make gen) (fun (msg, before, after) ->
+      let dgram = Header.encode msg in
+      let size = Bytes.length dgram in
+      let buffer = Bytes.init (before + size + after) (fun i -> Char.chr (i * 37 mod 256)) in
+      let pristine = Bytes.copy buffer in
+      let written = Header.encode_into buffer ~off:before msg in
+      written = size
+      && Bytes.equal (Bytes.sub buffer before size) dgram
+      && Bytes.equal (Bytes.sub buffer 0 before) (Bytes.sub pristine 0 before)
+      && Bytes.equal
+           (Bytes.sub buffer (before + size) after)
+           (Bytes.sub pristine (before + size) after))
+
+let same_result a b =
+  match (a, b) with
+  | Ok x, Ok y -> Header.equal x y
+  | Error x, Error y -> String.equal x y
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let qcheck_decode_slice_agrees =
+  (* A (possibly corrupted) datagram embedded at a random offset, with the
+     same valid datagram repeated in the margins as adversarial poison: if
+     [decode_slice] read a single byte outside [off, off+len) it could only
+     disagree with decoding the extracted copy. *)
+  let gen =
+    QCheck.Gen.(
+      message_gen >>= fun msg ->
+      int_range 0 40 >>= fun before ->
+      int_range 0 40 >>= fun after ->
+      int_range 0 8 >>= fun cut ->
+      list_size (int_range 0 3) (pair (int_range 0 10000) (int_range 1 255)) >>= fun flips ->
+      return (msg, before, after, cut, flips))
+  in
+  QCheck.Test.make ~count:2000 ~name:"decode_slice agrees with whole-buffer decode"
+    (QCheck.make gen) (fun (msg, before, after, cut, flips) ->
+      let dgram = Header.encode msg in
+      let dgram = Bytes.sub dgram 0 (max 0 (Bytes.length dgram - cut)) in
+      List.iter
+        (fun (pos, flip) ->
+          if Bytes.length dgram > 0 then begin
+            let pos = pos mod Bytes.length dgram in
+            Bytes.set_uint8 dgram pos (Bytes.get_uint8 dgram pos lxor flip)
+          end)
+        flips;
+      let len = Bytes.length dgram in
+      let poison = Header.encode msg in
+      let buffer = Bytes.create (before + len + after) in
+      for i = 0 to Bytes.length buffer - 1 do
+        Bytes.set buffer i (Bytes.get poison (i mod Bytes.length poison))
+      done;
+      Bytes.blit dgram 0 buffer before len;
+      same_result
+        (Header.decode_slice buffer ~off:before ~len)
+        (Header.decode (Bytes.sub buffer before len)))
+
+let qcheck_decode_slice_total =
+  (* Arbitrary offsets and lengths — negative, overflowing, both: never an
+     exception, out-of-bounds slices are a plain [Error]. *)
+  let gen =
+    QCheck.Gen.(
+      triple
+        (string_size ~gen:char (int_range 0 80))
+        (int_range (-50) 130) (int_range (-50) 130))
+  in
+  QCheck.Test.make ~count:2000 ~name:"decode_slice total on arbitrary slices"
+    (QCheck.make gen) (fun (s, off, len) ->
+      let buffer = Bytes.of_string s in
+      match Header.decode_slice buffer ~off ~len with
+      | exception _ -> false
+      | result ->
+        if off >= 0 && len >= 0 && off + len <= Bytes.length buffer then
+          same_result result (Header.decode (Bytes.sub buffer off len))
+        else same_result result (Error "slice out of bounds"))
+
+let test_set_tg_id_reseal () =
+  (* The multi-session egress path: patch the session id into an encoded
+     datagram and reseal in place — byte-identical to encoding the
+     rewritten message, without re-materializing the datagram. *)
+  let payload = Bytes.of_string "in-place reseal" in
+  let msg tg_id = Header.Data { tg_id; k = 8; index = 2; payload } in
+  let size = Header.encoded_size (msg 5) in
+  let before = 3 and after = 7 in
+  let buffer = Bytes.make (before + size + after) '\xEE' in
+  ignore (Header.encode_into buffer ~off:before (msg 5));
+  let wire_tg = (2 lsl 16) lor 5 in
+  Header.set_tg_id buffer ~off:before wire_tg;
+  (match Header.decode_slice buffer ~off:before ~len:size with
+  | Error e -> Alcotest.(check string) "stale CRC rejected until resealed" "checksum mismatch" e
+  | Ok _ -> Alcotest.fail "stale CRC accepted");
+  Header.reseal_slice buffer ~off:before ~len:size;
+  Alcotest.(check bytes) "patched slice equals re-encode"
+    (Header.encode (msg wire_tg))
+    (Bytes.sub buffer before size);
+  match Header.decode_slice buffer ~off:before ~len:size with
+  | Ok decoded -> Alcotest.check message "decodes to the rewritten message" (msg wire_tg) decoded
+  | Error e -> Alcotest.fail ("resealed slice: " ^ e)
+
+let test_slice_bounds_validation () =
+  let nak = Header.Nak { tg_id = 1; need = 2; round = 3 } in
+  let small = Bytes.make 10 '\x00' in
+  Alcotest.check_raises "encode_into overflow"
+    (Invalid_argument "Header.encode_into: datagram does not fit the buffer") (fun () ->
+      ignore (Header.encode_into small ~off:0 nak));
+  Alcotest.check_raises "encode_into negative offset"
+    (Invalid_argument "Header.encode_into: datagram does not fit the buffer") (fun () ->
+      ignore (Header.encode_into (Bytes.make 64 '\x00') ~off:(-1) nak));
+  Alcotest.check_raises "set_tg_id truncated"
+    (Invalid_argument "Header.set_tg_id: truncated buffer") (fun () ->
+      Header.set_tg_id small ~off:0 1);
+  Alcotest.check_raises "reseal_slice truncated"
+    (Invalid_argument "Header.reseal: truncated buffer") (fun () ->
+      Header.reseal_slice small ~off:0 ~len:10)
+
 let expect_error name buffer expected =
   match Header.decode buffer with
   | Ok _ -> Alcotest.fail (name ^ ": decode unexpectedly succeeded")
@@ -185,6 +323,11 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_roundtrip_full_range;
     QCheck_alcotest.to_alcotest qcheck_decode_never_raises_random;
     QCheck_alcotest.to_alcotest qcheck_decode_never_raises_mutated;
+    QCheck_alcotest.to_alcotest qcheck_encode_into_identity;
+    QCheck_alcotest.to_alcotest qcheck_decode_slice_agrees;
+    QCheck_alcotest.to_alcotest qcheck_decode_slice_total;
+    Alcotest.test_case "set_tg_id + reseal_slice in place" `Quick test_set_tg_id_reseal;
+    Alcotest.test_case "slice bounds validation" `Quick test_slice_bounds_validation;
     Alcotest.test_case "bad magic" `Quick test_decode_bad_magic;
     Alcotest.test_case "bad version" `Quick test_decode_bad_version;
     Alcotest.test_case "truncation" `Quick test_decode_truncated;
