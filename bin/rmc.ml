@@ -129,17 +129,8 @@ let sweep_cmd =
 
 (* --- simulate -------------------------------------------------------- *)
 
-let simulate scheme k h a p receivers seed reps fbt_height burst =
+let simulate scheme k h a p receivers seed reps fbt_height burst tier =
   let rng = Rmcast.Rng.create ~seed () in
-  let network, timing =
-    match (fbt_height, burst) with
-    | Some height, _ -> (Rmcast.Network.fbt rng ~height ~p, Rmcast.Timing.instantaneous)
-    | None, Some mean_burst ->
-      ( Rmcast.Network.temporal rng ~receivers ~make:(fun rng ->
-            Rmcast.Loss.markov2 rng ~p ~mean_burst ~send_rate:25.0),
-        Rmcast.Timing.paper_burst )
-    | None, None -> (Rmcast.Network.independent rng ~receivers ~p, Rmcast.Timing.instantaneous)
-  in
   let runner_scheme =
     match scheme with
     | `No_fec -> Rmcast.Runner.No_fec
@@ -147,20 +138,64 @@ let simulate scheme k h a p receivers seed reps fbt_height burst =
     | `Integrated -> Rmcast.Runner.Integrated_nak { a }
     | `Integrated_bound -> Rmcast.Runner.Integrated_nak { a }
   in
-  let estimate = Rmcast.Runner.estimate network ~k ~scheme:runner_scheme ~timing ~reps () in
-  let mean = Rmcast.Runner.mean_m estimate in
-  let low, high =
-    Rmcast.Stats.Accumulator.confidence95 estimate.Rmcast.Runner.transmissions_per_packet
+  let print_estimate ~network_description estimate =
+    let mean = Rmcast.Runner.mean_m estimate in
+    let low, high =
+      Rmcast.Stats.Accumulator.confidence95 estimate.Rmcast.Runner.transmissions_per_packet
+    in
+    Printf.printf "network: %s\n" network_description;
+    Printf.printf "scheme : %s, k = %d, %d repetitions\n"
+      (Rmcast.Runner.scheme_name runner_scheme) k reps;
+    Printf.printf "E[M]   = %.4f   (95%% CI %.4f - %.4f)\n" mean low high;
+    Printf.printf "rounds = %.3f, NAKs/TG = %.3f, unnecessary receptions/receiver/TG = %.4f\n"
+      (Rmcast.Stats.Accumulator.mean estimate.Rmcast.Runner.rounds)
+      (Rmcast.Stats.Accumulator.mean estimate.Rmcast.Runner.feedback)
+      (Rmcast.Stats.Accumulator.mean estimate.Rmcast.Runner.unnecessary_per_receiver)
   in
-  Printf.printf "network: %s\n" (Rmcast.Network.description network);
-  Printf.printf "scheme : %s, k = %d, %d repetitions\n"
-    (Rmcast.Runner.scheme_name runner_scheme) k reps;
-  Printf.printf "E[M]   = %.4f   (95%% CI %.4f - %.4f)\n" mean low high;
-  Printf.printf "rounds = %.3f, NAKs/TG = %.3f, unnecessary receptions/receiver/TG = %.4f\n"
-    (Rmcast.Stats.Accumulator.mean estimate.Rmcast.Runner.rounds)
-    (Rmcast.Stats.Accumulator.mean estimate.Rmcast.Runner.feedback)
-    (Rmcast.Stats.Accumulator.mean estimate.Rmcast.Runner.unnecessary_per_receiver);
-  `Ok ()
+  match tier with
+  | `Exact ->
+    let network, timing =
+      match (fbt_height, burst) with
+      | Some height, _ -> (Rmcast.Network.fbt rng ~height ~p, Rmcast.Timing.instantaneous)
+      | None, Some mean_burst ->
+        ( Rmcast.Network.temporal rng ~receivers ~make:(fun rng ->
+              Rmcast.Loss.markov2 rng ~p ~mean_burst ~send_rate:25.0),
+          Rmcast.Timing.paper_burst )
+      | None, None ->
+        (Rmcast.Network.independent rng ~receivers ~p, Rmcast.Timing.instantaneous)
+    in
+    let estimate = Rmcast.Runner.estimate network ~k ~scheme:runner_scheme ~timing ~reps () in
+    print_estimate ~network_description:(Rmcast.Network.description network) estimate;
+    `Ok ()
+  | `Aggregate -> (
+    match fbt_height with
+    | Some _ ->
+      `Error
+        ( false,
+          "--tier aggregate requires loss to be iid across receivers; shared-loss trees \
+           (--fbt-height) need the exact tier" )
+    | None -> (
+      match runner_scheme with
+      | Rmcast.Runner.No_fec | Rmcast.Runner.Layered _ | Rmcast.Runner.Carousel _ ->
+        `Error (false, "--tier aggregate only models the integrated schemes")
+      | Rmcast.Runner.Integrated_nak _ | Rmcast.Runner.Integrated_open_loop _ ->
+        let channel, timing =
+          match burst with
+          | Some mean_burst ->
+            ( Rmcast.Aggregate.bursty ~p ~mean_burst ~send_rate:25.0,
+              Rmcast.Timing.paper_burst )
+          | None -> (Rmcast.Aggregate.bernoulli ~p, Rmcast.Timing.instantaneous)
+        in
+        let estimate =
+          Rmcast.Tg_aggregate.estimate rng ~receivers ~channel ~k ~scheme:runner_scheme
+            ~timing ~reps ()
+        in
+        let network_description =
+          Printf.sprintf "aggregate population, %d receivers, %s" receivers
+            (Rmcast.Aggregate.channel_description channel)
+        in
+        print_estimate ~network_description estimate;
+        `Ok ()))
 
 let simulate_cmd =
   let reps = Arg.(value & opt int 200 & info [ "reps" ] ~docv:"N" ~doc:"Repetitions.") in
@@ -174,12 +209,22 @@ let simulate_cmd =
       value & opt (some float) None
       & info [ "burst" ] ~docv:"B" ~doc:"Bursty (Markov) loss with mean burst B packets.")
   in
+  let tier =
+    Arg.(
+      value
+      & opt (enum [ ("exact", `Exact); ("aggregate", `Aggregate) ]) `Exact
+      & info [ "tier" ] ~docv:"TIER"
+          ~doc:
+            "Simulation tier: $(b,exact) walks every receiver per packet; \
+             $(b,aggregate) evolves a count-vector population in O(k) per packet \
+             (iid loss, integrated schemes only) and reaches R = 10^6.")
+  in
   let doc = "Monte-Carlo estimate over a simulated network (paper §4)." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       ret (const simulate $ scheme_arg $ k_arg $ h_arg $ a_arg $ p_arg $ receivers_arg
-           $ seed_arg $ reps $ fbt $ burst))
+           $ seed_arg $ reps $ fbt $ burst $ tier))
 
 (* --- plan ------------------------------------------------------------ *)
 

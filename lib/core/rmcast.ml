@@ -82,6 +82,7 @@ module Topology = Rmc_sim.Topology
 module Tree = Rmc_sim.Tree
 module Trace_io = Rmc_sim.Trace_io
 module Network = Rmc_sim.Network
+module Aggregate = Rmc_sim.Aggregate
 
 (* Protocols *)
 module Timing = Rmc_proto.Timing
@@ -91,8 +92,10 @@ module Tg_layered = Rmc_proto.Tg_layered
 module Tg_integrated = Rmc_proto.Tg_integrated
 module Tg_carousel = Rmc_proto.Tg_carousel
 module Runner = Rmc_proto.Runner
+module Tg_aggregate = Rmc_proto.Tg_aggregate
 module Np = Rmc_proto.Np
 module Np_machine = Rmc_proto.Np_machine
+module Np_aggregate = Rmc_proto.Np_aggregate
 module Np_replay = Rmc_proto.Np_replay
 module N2 = Rmc_proto.N2
 module N1 = Rmc_proto.N1

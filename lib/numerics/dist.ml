@@ -15,20 +15,39 @@ module Binomial = struct
 
   let pmf ~n ~p j = exp (log_pmf ~n ~p j)
 
-  (* Sum whichever tail has fewer terms; each term from the previous by the
-     pmf recurrence to avoid n calls to log_gamma. *)
-  let tail_sum ~n ~p ~from ~upto =
-    if from > upto then 0.0
-    else begin
-      let term = ref (pmf ~n ~p from) in
-      let acc = ref !term in
-      for j = from + 1 to upto do
-        let fj = float_of_int j in
-        (term := !term *. (float_of_int (n - j + 1) /. fj) *. (p /. (1.0 -. p)));
-        acc := !acc +. !term
-      done;
-      !acc
-    end
+  (* Tail sums run the pmf recurrence {e away from the mode}, seeded at the
+     tail's largest term, so the seed never underflows unless the whole
+     tail is negligible.  (Seeding at the far end — e.g. pmf 0 = (1-p)^n,
+     which is 0.0 in floats for n = 10^6, p = 0.01 — would zero every
+     subsequent term even through the bulk.)  Terms decrease monotonically
+     away from the mode, so once the remaining count can't move the sum the
+     loop stops — O(stddev) work regardless of n. *)
+
+  (* P(X <= j) for j <= mean: largest term at j, iterate downward. *)
+  let lower_sum ~n ~p j =
+    let term = ref (pmf ~n ~p j) in
+    let acc = ref !term in
+    let i = ref j in
+    while !i >= 1 && !term *. float_of_int !i > !acc *. 1e-17 do
+      let fi = float_of_int !i in
+      (term := !term *. (fi /. float_of_int (n - !i + 1)) *. ((1.0 -. p) /. p));
+      acc := !acc +. !term;
+      decr i
+    done;
+    !acc
+
+  (* P(X > j) for j >= mean: largest term at j+1, iterate upward. *)
+  let upper_sum ~n ~p j =
+    let term = ref (pmf ~n ~p (j + 1)) in
+    let acc = ref !term in
+    let i = ref (j + 1) in
+    while !i < n && !term *. float_of_int (n - !i) > !acc *. 1e-17 do
+      let fi = float_of_int (!i + 1) in
+      (term := !term *. (float_of_int (n - !i) /. fi) *. (p /. (1.0 -. p)));
+      acc := !acc +. !term;
+      incr i
+    done;
+    !acc
 
   let cdf ~n ~p j =
     check n p;
@@ -36,8 +55,8 @@ module Binomial = struct
     else if j >= n then 1.0
     else if p = 0.0 then 1.0
     else if p = 1.0 then 0.0
-    else if j <= n / 2 then Float.min 1.0 (tail_sum ~n ~p ~from:0 ~upto:j)
-    else Float.max 0.0 (1.0 -. tail_sum ~n ~p ~from:(j + 1) ~upto:n)
+    else if float_of_int j <= float_of_int n *. p then Float.min 1.0 (lower_sum ~n ~p j)
+    else Float.max 0.0 (1.0 -. upper_sum ~n ~p j)
 
   let survival ~n ~p j =
     check n p;
@@ -45,8 +64,9 @@ module Binomial = struct
     else if j >= n then 0.0
     else if p = 0.0 then 0.0
     else if p = 1.0 then 1.0
-    else if j > n / 2 then Float.min 1.0 (tail_sum ~n ~p ~from:(j + 1) ~upto:n)
-    else Float.max 0.0 (1.0 -. tail_sum ~n ~p ~from:0 ~upto:j)
+    else if float_of_int j <= float_of_int n *. p then
+      Float.max 0.0 (1.0 -. lower_sum ~n ~p j)
+    else Float.min 1.0 (upper_sum ~n ~p j)
 
   let mean ~n ~p = float_of_int n *. p
   let variance ~n ~p = float_of_int n *. p *. (1.0 -. p)

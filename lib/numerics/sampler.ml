@@ -60,6 +60,47 @@ let binomial_btrs rng ~n ~p =
   in
   draw ()
 
+(* Standard normal via the Marsaglia polar method; feeds the gamma sampler
+   below, which only the large-n binomial split path reaches. *)
+let rec std_normal rng =
+  let u = (2.0 *. Rng.float rng) -. 1.0 in
+  let v = (2.0 *. Rng.float rng) -. 1.0 in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1.0 || s = 0.0 then std_normal rng
+  else u *. sqrt (-2.0 *. log s /. s)
+
+(* Marsaglia-Tsang squeeze for Gamma(shape, 1), shape >= 1: exact rejection,
+   ~1.05 normal draws per variate. *)
+let gamma_mt rng ~shape =
+  if shape < 1.0 then invalid_arg "Sampler.gamma_mt: shape < 1";
+  let d = shape -. (1.0 /. 3.0) in
+  let c = 1.0 /. sqrt (9.0 *. d) in
+  let rec draw () =
+    let x = std_normal rng in
+    let t = 1.0 +. (c *. x) in
+    if t <= 0.0 then draw ()
+    else begin
+      let v = t *. t *. t in
+      let u = Rng.float_pos rng in
+      if log u < (0.5 *. x *. x) +. d -. (d *. v) +. (d *. log v) then d *. v
+      else draw ()
+    end
+  in
+  draw ()
+
+let beta rng ~a ~b =
+  let x = gamma_mt rng ~shape:a in
+  let y = gamma_mt rng ~shape:b in
+  x /. (x +. y)
+
+(* Above this the BTRS acceptance test starts paying log_gamma tail calls
+   and accumulating log-domain cancellation at ~1e7-magnitude operands; the
+   beta split below halves n per level, so it reaches this regime in
+   O(log(n/threshold)) exact splits. *)
+let binomial_split_threshold = 1 lsl 16
+
+let clamp_unit x = Float.max 0.0 (Float.min 1.0 x)
+
 let rec binomial rng ~n ~p =
   if n < 0 then invalid_arg "Sampler.binomial: n < 0";
   if p < 0.0 || p > 1.0 then invalid_arg "Sampler.binomial: p outside [0,1]";
@@ -68,7 +109,21 @@ let rec binomial rng ~n ~p =
   else if p > 0.5 then n - binomial rng ~n ~p:(1.0 -. p)
   else if n <= 32 then binomial_bernoulli_loop rng ~n ~p
   else if float_of_int n *. p < 10.0 then binomial_geometric rng ~n ~p
+  else if n > binomial_split_threshold then binomial_beta_split rng ~n ~p
   else binomial_btrs rng ~n ~p
+
+(* Large-n fast path: condition on the i-th order statistic of the n latent
+   uniforms, U_(i) ~ Beta(i, n+1-i).  If U_(i) <= p then i trials already
+   succeeded and the n-i remaining uniforms are iid on (U_(i), 1], else at
+   most i-1 succeeded and the i-1 uniforms below U_(i) are iid on [0, U_(i)).
+   Either branch is an exact binomial of about half the size with a rescaled
+   p, recursed through the main dispatch (which restores p <= 1/2 and picks
+   the cheap regime once n is moderate). *)
+and binomial_beta_split rng ~n ~p =
+  let i = (n + 1) / 2 in
+  let x = beta rng ~a:(float_of_int i) ~b:(float_of_int (n + 1 - i)) in
+  if x <= p then i + binomial rng ~n:(n - i) ~p:(clamp_unit ((p -. x) /. (1.0 -. x)))
+  else binomial rng ~n:(i - 1) ~p:(clamp_unit (p /. x))
 
 let distinct_ints rng ~n ~k =
   if k < 0 || k > n then invalid_arg "Sampler.distinct_ints: need 0 <= k <= n";

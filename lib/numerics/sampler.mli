@@ -9,7 +9,10 @@
 val binomial : Rng.t -> n:int -> p:float -> int
 (** Exact Binomial(n, p) sampling.  Strategy: direct Bernoulli loop for tiny
     [n]; geometric skip-sampling when [n*min(p,1-p)] is small; Hörmann's BTRS
-    transformed-rejection otherwise.  Always exact, never a normal
+    transformed-rejection in the central regime; beta-order-statistic
+    splitting (each level conditions on a Beta-distributed latent uniform and
+    exactly halves [n]) above [n = 2^16], where the aggregate simulation tier
+    calls with [n] up to 10^6.  Always exact, never a normal
     approximation. *)
 
 val distinct_ints : Rng.t -> n:int -> k:int -> int array

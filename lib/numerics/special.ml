@@ -30,18 +30,62 @@ let rec log_gamma x =
     (0.5 *. log (2.0 *. Float.pi)) +. (((x +. 0.5) *. log t) -. t) +. log !acc
   end
 
-let log_factorial_table =
-  lazy
-    (let table = Array.make 256 0.0 in
-     for n = 2 to 255 do
-       table.(n) <- table.(n - 1) +. log (float_of_int n)
-     done;
-     table)
+(* Grow-on-demand memo of [ln n!].  The aggregate simulation tier calls
+   [Binomial.cdf]/[Negative_binomial.cdf_array] in its per-TG sampling loop
+   with n up to ~1e6; a fixed 256-entry table would push every such call
+   through [log_gamma].  Instead the prefix table extends geometrically the
+   first time a larger n is seen and is never re-derived: extension copies
+   the already-computed prefix and continues the recurrence from there, so
+   over a process lifetime each table entry is computed exactly once.
 
-let log_factorial n =
+   The published snapshot is an immutable record swapped in atomically.
+   Concurrent growers (the bench shards reps across domains) may race, but
+   each builds a fully-initialised table before publishing, so readers
+   never observe a partially-filled prefix — at worst a concurrent
+   extension is repeated. *)
+
+type log_factorial_memo = { table : float array; filled : int }
+
+let log_factorial_memo = Atomic.make { table = [||]; filled = 0 }
+let log_factorial_extensions_counter = Atomic.make 0
+
+(* Beyond this the table would outgrow the cache benefit (16 MiB of
+   floats); fall through to [log_gamma], whose relative error (< 1e-13) is
+   negligible at that magnitude. *)
+let log_factorial_memo_limit = 1 lsl 21
+
+let log_factorial_extend upto =
+  let upto = min upto (log_factorial_memo_limit - 1) in
+  let snapshot = Atomic.get log_factorial_memo in
+  if upto >= snapshot.filled then begin
+    let capacity = ref (max 256 (Array.length snapshot.table)) in
+    while !capacity <= upto do
+      capacity := !capacity * 2
+    done;
+    let table = Array.make !capacity 0.0 in
+    Array.blit snapshot.table 0 table 0 snapshot.filled;
+    for n = max 2 snapshot.filled to !capacity - 1 do
+      table.(n) <- table.(n - 1) +. log (float_of_int n)
+    done;
+    Atomic.set log_factorial_memo { table; filled = !capacity };
+    Atomic.incr log_factorial_extensions_counter
+  end
+
+let rec log_factorial n =
   if n < 0 then invalid_arg "Special.log_factorial: negative argument"
-  else if n < 256 then (Lazy.force log_factorial_table).(n)
-  else log_gamma (float_of_int n +. 1.0)
+  else begin
+    let snapshot = Atomic.get log_factorial_memo in
+    if n < snapshot.filled then snapshot.table.(n)
+    else if n >= log_factorial_memo_limit then log_gamma (float_of_int n +. 1.0)
+    else begin
+      (* Retry after extending: a concurrent smaller extension may publish
+         after ours, so the covering snapshot is re-checked, not assumed. *)
+      log_factorial_extend n;
+      log_factorial n
+    end
+  end
+
+let log_factorial_extensions () = Atomic.get log_factorial_extensions_counter
 
 let log_choose n k =
   if k < 0 || k > n then neg_infinity

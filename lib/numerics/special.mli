@@ -10,7 +10,18 @@ val log_gamma : float -> float
     absolute error below 1e-13 over the range used here). *)
 
 val log_factorial : int -> float
-(** [ln n!]; exact table below 256, [log_gamma] above. *)
+(** [ln n!] from a grow-on-demand memo: the prefix table of exact recurrence
+    values extends geometrically the first time a larger [n] is seen and is
+    never re-derived afterwards, so hot loops (binomial pmf recurrences over
+    n up to ~1e6 in the aggregate simulation tier) pay one array read per
+    call.  Beyond 2^21 the table stops growing and [log_gamma] takes over.
+    Safe to call from multiple domains. *)
+
+val log_factorial_extensions : unit -> int
+(** Number of times the [log_factorial] memo has been extended since process
+    start.  Calls that stay within the already-computed prefix leave it
+    unchanged — the bench smoke gate asserts exactly that for repeated cdf
+    evaluations. *)
 
 val log_choose : int -> int -> float
 (** [log_choose n k] is [ln (n choose k)]. Returns [neg_infinity] when

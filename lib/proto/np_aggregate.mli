@@ -1,0 +1,127 @@
+(** The aggregate-tier NP interpreter: {!Np.Mux}'s virtual-time protocol
+    driver with the receiver population split into a small {e tracked
+    cohort} of exact {!Np_machine} instances plus an {e aggregate
+    remainder} held as a count-vector population ({!Rmc_sim.Aggregate}).
+
+    The cohort runs the identical code path as {!Np.Mux} — same engine
+    scheduling, same wire round-trips, same shared damping RNG — so with
+    [population = cohort size] this interpreter consumes the same random
+    draws in the same order and produces event-identical machine streams
+    (the equivalence contract, enforced by the aggregate test suite).  The
+    remainder participates through population-level hooks that never touch
+    the cohort's RNG:
+
+    - every DATA/PARITY multicast binomially thins the remainder's deficit
+      classes at its arrival time;
+    - every POLL arms one {e virtual} NAK timer per TG at the offset the
+      remainder's first-firing receiver would draw (deterministic slot from
+      the maximum deficit, damping = minimum of c iid uniforms by
+      inversion); overhearing an equal-or-greater NAK suppresses it,
+      exactly like the machine's rule;
+    - a firing virtual timer feeds the sender the remainder's maximum
+      deficit — what the first real NAK of that class would carry — and
+      multicasts the NAK to the cohort.
+
+    Transmission counts, repair rounds and deficits are thereby exact in
+    distribution for iid channels; per-round NAK tallies on the aggregate
+    side come from a slot-occupancy estimate (receivers whose timers land
+    within one propagation delay of the first also fire).  Cost per event
+    is O(k) instead of O(R).  DESIGN.md §10 derives the model. *)
+
+type report = {
+  config : Np.config;
+  population : int;  (** total receivers: cohort + aggregate remainder *)
+  cohort : int;
+  transmission_groups : int;
+  data_tx : int;
+  parity_tx : int;
+  polls : int;
+  cohort_naks_sent : int;
+  cohort_naks_suppressed : int;
+  agg_naks_sent : int;
+      (** slot-occupancy estimate, including each virtual NAK itself *)
+  agg_naks_suppressed : int;
+  parities_encoded : int;
+  packets_decoded : int;  (** cohort receivers only *)
+  cohort_unnecessary : int;
+  agg_unnecessary : int;
+  cohort_ejected : (int * int) list;
+  agg_ejected : int;
+  agg_complete : int;
+      (** lower bound on remainder receivers holding every TG (exact when
+          nothing was ejected) *)
+  duration : float;
+  delivered_intact : bool;  (** cohort-side payload check *)
+}
+
+val transmissions_per_packet : report -> float
+(** The E[M] estimate this run realises: (data + parity) / data. *)
+
+(** Multiplex aggregate-tier NP transfers over one shared engine; the
+    interface mirrors {!Np.Mux} with the population split described
+    above. *)
+module Mux : sig
+  type t
+  type flow
+
+  val create : Rmc_sim.Engine.t -> t
+  val engine : t -> Rmc_sim.Engine.t
+
+  val add_flow :
+    t ->
+    ?config:Np.config ->
+    ?start:float ->
+    ?recorder:Rmc_obs.Recorder.t ->
+    ?cohort:int ->
+    ?channel:Rmc_sim.Aggregate.channel ->
+    population:int ->
+    network:Rmc_sim.Network.t ->
+    rng:Rmc_numerics.Rng.t ->
+    data:Bytes.t array ->
+    unit ->
+    flow
+  (** Register a transfer of [data] to [population] receivers, of which
+      [min cohort population] (default cohort 64) are exact machines wired
+      to [network] — the network must therefore have exactly that many
+      receivers — and the rest form the aggregate remainder evolving under
+      [channel] (required iff the remainder is non-empty; use an iid
+      channel matching the network's per-receiver loss process).
+
+      With [population] equal to the cohort size no aggregate state is
+      created and no extra RNG draw (not even the stream split) happens —
+      the flow is then draw-for-draw identical to {!Np.Mux.add_flow} on the
+      same inputs.  [recorder] captures actors ["s0"], ["r<i>"] and
+      ["aggregate"] (virtual NAK/ejection summaries).
+      @raise Invalid_argument on invalid config/data/start, a network whose
+      receiver count differs from the cohort, or a missing [channel]. *)
+
+  val run : t -> unit
+  (** Drive the engine until every flow drains. *)
+
+  val complete : flow -> bool
+  (** Cohort delivered-or-gave-up everywhere and the remainder has no
+      missing receivers. *)
+
+  val report : flow -> report
+
+  val agg_deficits : flow -> tg:int -> int array
+  (** The remainder's current count vector for [tg] (index = deficit);
+      [[|0|]] when there is no remainder.  For tests and probes. *)
+
+  val started_at : flow -> float
+  val finished_at : flow -> float
+end
+
+val run :
+  ?config:Np.config ->
+  ?start:float ->
+  ?cohort:int ->
+  ?channel:Rmc_sim.Aggregate.channel ->
+  population:int ->
+  network:Rmc_sim.Network.t ->
+  rng:Rmc_numerics.Rng.t ->
+  data:Bytes.t array ->
+  unit ->
+  report
+(** One-flow convenience wrapper, mirroring {!Np.run}; [duration] is the
+    engine time when the run drained. *)

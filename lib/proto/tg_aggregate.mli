@@ -1,0 +1,50 @@
+(** Aggregate-tier transmission groups: {!Tg_integrated}'s scheme dynamics
+    on a count-vector population ({!Rmc_sim.Aggregate}) instead of a
+    per-receiver walk.
+
+    Exact in distribution for channels that are iid across receivers
+    (independent Bernoulli, per-receiver Gilbert-Elliott): the repair batch
+    of a NAK round is the population's maximum deficit — exactly what the
+    first-arriving slotted NAK reports — and every transmission thins the
+    deficit classes binomially.  Cost per TG is O(k + extra parities),
+    independent of R, which is what lets the simulator reach the paper's
+    R = 10^6 regime (Figures 11-16); the scale bench measures the tiers
+    against each other in simulated-receivers/sec.
+
+    Shared-loss (FBT/tree) regimes have no aggregate representation and
+    stay on {!Runner} over the exact tier. *)
+
+type variant = Open_loop | Nak_rounds
+
+val run :
+  Rmc_numerics.Rng.t ->
+  receivers:int ->
+  channel:Rmc_sim.Aggregate.channel ->
+  k:int ->
+  ?a:int ->
+  variant:variant ->
+  timing:Timing.t ->
+  start:float ->
+  unit ->
+  Tg_result.t
+(** One TG; the result record is interchangeable with the exact tier's.
+    [Open_loop] on a memoryless channel short-circuits to one
+    {!Rmc_sim.Aggregate.Extra_parities} inversion sample (the group order
+    statistic L is the entire outcome); every other combination walks the
+    count vector packet by packet.  Unnecessary receptions are counted
+    during repair rounds only, matching {!Tg_integrated}. *)
+
+val estimate :
+  Rmc_numerics.Rng.t ->
+  receivers:int ->
+  channel:Rmc_sim.Aggregate.channel ->
+  ?k:int ->
+  scheme:Runner.scheme ->
+  ?timing:Timing.t ->
+  ?reps:int ->
+  unit ->
+  Runner.estimate
+(** Mirror of {!Runner.estimate} over the aggregate tier: same accumulators
+    and rep structure, so estimates are directly comparable across tiers.
+    Only the integrated schemes have an aggregate representation;
+    [Invalid_argument] for [No_fec]/[Layered]/[Carousel]. *)

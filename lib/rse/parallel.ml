@@ -127,6 +127,20 @@ let stripe_count pool ~len =
   let align = 64 in
   min pool.domains ((len + align - 1) / align)
 
+(* Task-level sharding for coarse independent jobs (simulation reps, TG
+   batches): one pool slot per index, results gathered positionally.  The
+   jobs must be independent — in particular each should own its RNG. *)
+let map ?pool n f =
+  if n < 0 then invalid_arg "Parallel.map: negative count";
+  let pool = match pool with Some p -> p | None -> default_pool () in
+  if n = 0 then [||]
+  else if pool.domains = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    run_batch pool (fun i -> results.(i) <- Some (f i)) n;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
 let default_min_bytes = 1 lsl 20
 
 let run_striped pool ~len apply =

@@ -37,6 +37,15 @@ val default_pool : unit -> pool
 val domain_count : pool -> int
 (** Total parallelism of the pool, including the calling domain. *)
 
+val map : ?pool:pool -> int -> (int -> 'a) -> 'a array
+(** [map n f] is [Array.init n f] with the applications sharded across
+    [pool] (default: the shared pool), the caller claiming indices alongside
+    the workers.  For coarse independent jobs — simulation replications,
+    per-TG batches — not byte work; the jobs must be independent (each
+    should own its RNG).  Runs inline on a single-domain pool.  If any
+    application raises, the first exception is re-raised after the batch
+    drains. *)
+
 val encode :
   ?pool:pool -> ?min_bytes:int -> Codec_core.t -> Bytes.t array -> Bytes.t array
 (** Exactly [Codec_core.encode] (same validation, same result bytes),

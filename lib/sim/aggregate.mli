@@ -1,0 +1,111 @@
+(** Aggregate receiver populations for the O(k+h)-per-TG simulation tier.
+
+    The exact simulator walks every receiver per packet; at the paper's
+    operating point (Figures 11-16, R up to 10^6) that is six orders of
+    magnitude of per-packet work the protocol dynamics do not need.  For
+    loss processes that are iid across receivers the population state of a
+    transmission group is exchangeable, so the {e count vector} — how many
+    receivers still need [n] more packets, [n] in [0..k], split by hidden
+    Gilbert-Elliott state for the bursty model — is a sufficient statistic.
+    One multicast transmission thins every occupied cell binomially
+    (exactly distribution-preserving), so a TG costs O(k) binomial draws
+    per packet instead of O(R) coin flips, and the memoryless initial
+    volley collapses further to one multinomial split.
+
+    Shared-loss topologies (FBT, general trees) are {e not} representable:
+    a failed inner node correlates loser sets across receivers and packets,
+    so those regimes stay on the exact per-receiver tier.  DESIGN.md §10
+    derives the model and its exactness boundary. *)
+
+type channel =
+  | Bernoulli of { p : float }
+  | Gilbert of { mu01 : float; mu10 : float; p_good : float; p_bad : float }
+
+val bernoulli : p:float -> channel
+(** Independent per-packet loss with probability [p] in [0,1). *)
+
+val gilbert : mu01:float -> mu10:float -> p_good:float -> p_bad:float -> channel
+(** Per-receiver Gilbert-Elliott chains, iid across receivers; same
+    parameter contract as {!Loss.gilbert_elliott}. *)
+
+val bursty : p:float -> mean_burst:float -> send_rate:float -> channel
+(** The paper's bursty-loss parameterisation, via {!Loss.markov2_parameters}
+    — both tiers share one calibration. *)
+
+val channel_loss_probability : channel -> float
+(** Stationary per-packet loss probability. *)
+
+val channel_description : channel -> string
+
+type t
+(** Mutable count-vector state of one transmission group's population. *)
+
+val create : Rmc_numerics.Rng.t -> size:int -> k:int -> channel:channel -> time:float -> t
+(** [size] receivers all needing [k] packets; Gilbert chains start from the
+    stationary distribution (one binomial draw). *)
+
+val size : t -> int
+val k : t -> int
+
+val missing : t -> int
+(** Receivers still needing at least one packet. *)
+
+val complete : t -> int
+
+val unnecessary : t -> int
+(** Cumulative receptions by already-complete receivers (the paper's
+    unnecessary-reception metric); receivers completing on a packet do not
+    count it. *)
+
+val max_deficit : t -> int
+(** Largest outstanding deficit — what the first-arriving (slotted) NAK of a
+    round reports, hence the sender's repair batch size. *)
+
+val deficit_count : t -> int -> int
+(** Receivers currently needing exactly [n] more packets. *)
+
+val deficits : t -> int array
+(** The full count vector, index = deficit (summed over channel states). *)
+
+val receive : t -> Rmc_numerics.Rng.t -> time:float -> unit
+(** One multicast packet of this TG reaching the population at [time]:
+    advances the channel chains over the elapsed gap, then binomially thins
+    every cell.  Times must be non-decreasing across calls. *)
+
+val bernoulli_volley : t -> Rmc_numerics.Rng.t -> packets:int -> unit
+(** Shortcut for the initial volley of [packets >= k] transmissions on a
+    fresh {!Bernoulli} population: draws the post-volley class sizes as one
+    multinomial split (per-receiver losses are Binomial(packets, p) iid),
+    equivalent in distribution to [packets] successive {!receive} calls.
+    The [packets - k] spare transmissions act as proactive parities. *)
+
+val eject_missing : t -> int
+(** Drop every still-incomplete receiver (sender exhausted its parity
+    budget); returns how many were ejected. *)
+
+val min_uniform : Rmc_numerics.Rng.t -> count:int -> float
+(** Minimum of [count] iid uniforms on [0,1), by inversion — the damping
+    draw of the first NAK timer to fire within a class of [count]
+    receivers. *)
+
+(** The group order statistic behind the paper's eq. 4-6: [L], the largest
+    number of extra parities any of [R] receivers needs beyond the initial
+    volley.  In the integrated scheme the sender transmits until the worst
+    receiver completes, so the TG's total extra transmissions equal [L]
+    exactly; inverting [G(m) = F(m)^R] (per-receiver negative-binomial cdf
+    from {!Rmc_numerics.Dist.Negative_binomial.cdf_array}) samples it in
+    O(log mmax), independent of [R]. *)
+module Extra_parities : sig
+  type sampler
+
+  val create : k:int -> a:int -> p:float -> receivers:int -> sampler
+  (** Precomputes the group cdf once per (k, a, p, R) point; the table grows
+      geometrically until the residual tail mass is below 1e-12. *)
+
+  val sample : sampler -> Rmc_numerics.Rng.t -> int
+
+  val expected : sampler -> float
+  (** E[L] = sum of the group survival function — the quantity
+      {!Rmc_analysis.Integrated.expected_extra} computes analytically;
+      the two agree to numerical tolerance (tested). *)
+end

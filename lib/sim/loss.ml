@@ -40,7 +40,7 @@ let markov2_rates rng ~mu01 ~mu10 =
   if mu01 <= 0.0 || mu10 <= 0.0 then invalid_arg "Loss.markov2_rates: rates must be positive";
   gilbert_elliott rng ~mu01 ~mu10 ~p_good:0.0 ~p_bad:(1.0 -. Float.epsilon)
 
-let markov2 rng ~p ~mean_burst ~send_rate =
+let markov2_parameters ~p ~mean_burst ~send_rate =
   if p <= 0.0 || p >= 1.0 then invalid_arg "Loss.markov2: p outside (0,1)";
   if mean_burst <= 1.0 then invalid_arg "Loss.markov2: mean_burst must exceed 1 packet";
   if send_rate <= 0.0 then invalid_arg "Loss.markov2: send_rate must be positive";
@@ -55,6 +55,10 @@ let markov2 rng ~p ~mean_burst ~send_rate =
     invalid_arg "Loss.markov2: mean_burst too short for this loss probability";
   let mu10 = -.send_rate *. (1.0 -. p) *. log ((c -. p) /. (1.0 -. p)) in
   let mu01 = mu10 *. p /. (1.0 -. p) in
+  (mu01, mu10)
+
+let markov2 rng ~p ~mean_burst ~send_rate =
+  let mu01, mu10 = markov2_parameters ~p ~mean_burst ~send_rate in
   markov2_rates rng ~mu01 ~mu10
 
 let of_trace ?(wrap = `Repeat) ~spacing trace =

@@ -37,6 +37,13 @@ val markov2 :
     [c = 1 - 1/mean_burst], [mu01 = mu10 * p/(1-p)].  The published formula
     transposes the two rates and drops the (1-p) factors; DESIGN.md §1. *)
 
+val markov2_parameters :
+  p:float -> mean_burst:float -> send_rate:float -> float * float
+(** The [(mu01, mu10)] rates the {!markov2} calibration produces, without
+    constructing a process — the aggregate simulation tier feeds them into
+    its population-level channel model so both tiers share one
+    calibration. *)
+
 val gilbert_elliott :
   Rmc_numerics.Rng.t ->
   mu01:float ->
@@ -66,6 +73,14 @@ val of_trace : ?wrap:[ `Repeat | `Fail ] -> spacing:float -> bool array -> t
 val trace_wraps : t -> int
 (** How many {!lost} queries fell beyond the end of the trace (0 for
     non-trace processes, and always 0 until the first wrap). *)
+
+val transition_to_bad_probability :
+  mu01:float -> mu10:float -> from_state:int -> float -> float
+(** [transition_to_bad_probability ~mu01 ~mu10 ~from_state dt]: probability
+    that the two-state chain sits in the bad state a gap [dt] after being
+    observed in [from_state] (1 = bad, anything else = good).  Shared by the
+    per-receiver process in {!lost} and the aggregate tier's population
+    thinning so the two evolve receivers under the same law. *)
 
 val lost : t -> float -> bool
 (** [lost t time]: fate of a packet sent at [time].

@@ -28,4 +28,5 @@ let () =
       ("transfer+planner", Test_transfer.suite);
       ("profile", Test_profile.suite);
       ("scheduler", Test_scheduler.suite);
+      ("aggregate", Test_aggregate.suite);
     ]

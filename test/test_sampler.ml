@@ -65,6 +65,59 @@ let test_binomial_exact_law_small () =
         (Float.abs (float_of_int count -. expected) < 5.0 *. sqrt expected))
     counts
 
+(* The beta-order-statistic splitting regime (n > 2^16), up to the paper's
+   R = 10^6 populations. *)
+let test_binomial_split_moments () =
+  check_binomial_moments ~n:1_000_000 ~p:0.01 ~reps:5_000 ~seed:15;
+  check_binomial_moments ~n:1_000_000 ~p:0.6 ~reps:5_000 ~seed:16;
+  check_binomial_moments ~n:100_000 ~p:0.001 ~reps:5_000 ~seed:17
+
+let test_binomial_split_support () =
+  let rng = Rng.create ~seed:18 () in
+  for _ = 1 to 2_000 do
+    let x = Sampler.binomial rng ~n:1_000_000 ~p:1e-5 in
+    Alcotest.(check bool) "in [0,n]" true (x >= 0 && x <= 1_000_000)
+  done
+
+(* Differential law check against Dist.Binomial.cdf: the empirical cdf of
+   the sampler at the distribution's quartiles must match the analytic cdf.
+   Each empirical fraction over [reps] draws is a Binomial proportion with
+   std error sqrt(q(1-q)/reps), so 5 sigma bounds the per-point false-alarm
+   rate well under the qcheck case count. *)
+let quantile_of_cdf ~n ~p q =
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Rmcast.Dist.Binomial.cdf ~n ~p mid >= q then search lo mid
+      else search (mid + 1) hi
+  in
+  search 0 n
+
+let qcheck_binomial_matches_cdf =
+  let gen =
+    QCheck.Gen.(
+      let* n = oneof [ int_range 2 64; int_range 65 65_536; int_range 65_537 1_000_000 ] in
+      let* p = oneof [ float_range 1e-6 0.05; float_range 0.05 0.95 ] in
+      let* seed = int_range 1 1_000_000 in
+      return (n, p, seed))
+  in
+  QCheck.Test.make ~count:60 ~name:"binomial sampler matches Dist.Binomial.cdf"
+    (QCheck.make ~print:(fun (n, p, seed) -> Printf.sprintf "n=%d p=%.9g seed=%d" n p seed) gen)
+    (fun (n, p, seed) ->
+      let rng = Rng.create ~seed () in
+      let reps = 400 in
+      let samples = Array.init reps (fun _ -> Sampler.binomial rng ~n ~p) in
+      List.for_all
+        (fun q ->
+          let j = quantile_of_cdf ~n ~p q in
+          let analytic = Rmcast.Dist.Binomial.cdf ~n ~p j in
+          let hits = Array.fold_left (fun acc x -> if x <= j then acc + 1 else acc) 0 samples in
+          let empirical = float_of_int hits /. float_of_int reps in
+          let sigma = sqrt (analytic *. (1.0 -. analytic) /. float_of_int reps) in
+          Float.abs (empirical -. analytic) <= (5.0 *. sigma) +. (1.0 /. float_of_int reps))
+        [ 0.25; 0.5; 0.75 ])
+
 let test_distinct_ints_distinct () =
   let rng = Rng.create ~seed:9 () in
   for _ = 1 to 200 do
@@ -157,6 +210,10 @@ let suite =
     Alcotest.test_case "binomial support" `Quick test_binomial_support;
     Alcotest.test_case "binomial edges" `Quick test_binomial_edges;
     Alcotest.test_case "binomial exact law (n=3)" `Quick test_binomial_exact_law_small;
+    Alcotest.test_case "binomial beta-split moments (n to 10^6)" `Quick
+      test_binomial_split_moments;
+    Alcotest.test_case "binomial beta-split support" `Quick test_binomial_split_support;
+    QCheck_alcotest.to_alcotest qcheck_binomial_matches_cdf;
     Alcotest.test_case "distinct_ints distinct & in range" `Quick test_distinct_ints_distinct;
     Alcotest.test_case "distinct_ints k=n" `Quick test_distinct_ints_full;
     Alcotest.test_case "distinct_ints inclusion uniform" `Quick test_distinct_ints_uniform_membership;
