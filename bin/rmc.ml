@@ -489,7 +489,8 @@ let serve_sim ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics =
       if summary.Scheduler.all_verified then `Ok ()
       else `Error (false, "some sessions failed verification"))
 
-let serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics ~capture =
+let serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics ~capture
+    ~shards ~multicast =
   let module Udp = Rmcast.Udp_np in
   let config = Udp.config_of_profile profile in
   let payload = profile.Rmcast.Profile.payload_size in
@@ -500,11 +501,16 @@ let serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics ~captu
         Array.init packets (fun _ ->
             Bytes.init payload (fun _ -> Char.chr (Rmcast.Rng.int rng 256))))
   in
+  let transport = if multicast then `Multicast else `Unicast in
   let metrics = Rmcast.Metrics.create () in
   let recorder = Option.map (fun _ -> Rmcast.Recorder.create ()) capture in
   match
-    Udp.run_multi ~config ~metrics ?recorder ~receivers ~loss:p ~seed:(seed + 1)
-      ~sessions:data ()
+    if shards > 1 then
+      Udp.run_sharded ~config ~metrics ~transport ~shards ~receivers ~loss:p
+        ~seed:(seed + 1) ~sessions:data ()
+    else
+      Udp.run_multi ~config ~metrics ?recorder ~transport ~receivers ~loss:p
+        ~seed:(seed + 1) ~sessions:data ()
   with
   | Error e -> `Error (false, Rmcast.Error.to_string e)
   | Ok report ->
@@ -542,10 +548,19 @@ let serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics ~captu
     if report.Udp.all_verified then `Ok ()
     else `Error (false, "some sessions failed verification")
 
-let serve sessions transport k h a payload p receivers seed bytes show_metrics capture =
+let serve sessions transport k h a payload p receivers seed bytes show_metrics capture
+    shards multicast =
   if sessions < 1 then `Error (false, "--sessions must be >= 1")
   else if capture <> None && transport <> `Udp then
     `Error (false, "--capture requires --transport udp")
+  else if shards < 1 then `Error (false, "--shards must be >= 1")
+  else if (shards > 1 || multicast) && transport <> `Udp then
+    `Error (false, "--shards/--multicast require --transport udp")
+  else if capture <> None && shards > 1 then
+    `Error
+      (false, "--capture records one driver's event stream; it cannot span --shards")
+  else if multicast && not (Rmcast.Udp_multicast.is_available ()) then
+    `Error (false, "--multicast: this environment does not route multicast over loopback")
   else
     let profile =
       { Rmcast.Profile.default with k; h; proactive = a; payload_size = payload }
@@ -555,7 +570,9 @@ let serve sessions transport k h a payload p receivers seed bytes show_metrics c
     | Ok profile -> (
       match transport with
       | `Sim -> serve_sim ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics
-      | `Udp -> serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics ~capture)
+      | `Udp ->
+        serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics ~capture
+          ~shards ~multicast)
 
 let serve_cmd =
   let sessions =
@@ -606,12 +623,30 @@ let serve_cmd =
             "Record the sans-IO event/effect streams of every session to FILE (UDP transport \
              only); verify later with $(b,rmc replay) FILE.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"D"
+          ~doc:
+            "Partition the sessions across D domains (UDP transport only), each running \
+             its own reactor, sockets and buffer pool; counters merge into one registry. \
+             Clamped to the session count.")
+  in
+  let multicast =
+    Arg.(
+      value & flag
+      & info [ "multicast" ]
+          ~doc:
+            "Use real multicast sockets (one send per datagram, kernel fan-out) instead \
+             of the unicast shim (UDP transport only); requires an environment that \
+             routes 239.0.0.0/8 over loopback.")
+  in
   let doc = "Serve N concurrent sessions over one engine (scheduler or UDP mux)." in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       ret (const serve $ sessions $ transport $ k $ h $ a_arg $ payload $ p_arg $ receivers
-           $ seed_arg $ bytes $ metrics $ capture))
+           $ seed_arg $ bytes $ metrics $ capture $ shards $ multicast))
 
 (* --- latency --------------------------------------------------------- *)
 
@@ -740,7 +775,7 @@ let trace_cmd =
 
 (* --- udp --------------------------------------------------------------- *)
 
-let udp receivers p seed packets payload metrics faults capture =
+let udp receivers p seed packets payload metrics faults capture multicast =
   match
     match faults with
     | None -> Ok None
@@ -748,8 +783,12 @@ let udp receivers p seed packets payload metrics faults capture =
       Result.map Option.some (Rmcast.Fault.spec_of_string spec_text)
   with
   | Error message -> `Error (false, "--faults: " ^ message)
+  | Ok faults when multicast && not (Rmcast.Udp_multicast.is_available ()) ->
+    ignore faults;
+    `Error (false, "--multicast: this environment does not route multicast over loopback")
   | Ok faults ->
     let config = { Rmcast.Udp_np.default_config with payload_size = payload } in
+    let transport = if multicast then `Multicast else `Unicast in
     let rng = Rmcast.Rng.create ~seed () in
     let data =
       Array.init packets (fun _ ->
@@ -758,8 +797,8 @@ let udp receivers p seed packets payload metrics faults capture =
     let recorder = Option.map (fun _ -> Rmcast.Recorder.create ()) capture in
     let registry = Rmcast.Metrics.create () in
     match
-      Rmcast.Udp_np.run_local ~config ~metrics:registry ?recorder ?faults ~receivers
-        ~loss:p ~seed:(seed + 1) ~data ()
+      Rmcast.Udp_np.run_local ~config ~metrics:registry ?recorder ?faults ~transport
+        ~receivers ~loss:p ~seed:(seed + 1) ~data ()
     with
     | Error e -> `Error (false, Rmcast.Error.to_string e)
     | Ok report ->
@@ -815,12 +854,21 @@ let udp_cmd =
           ~doc:
             "Record the sans-IO event/effect streams to FILE for later $(b,rmc replay).")
   in
+  let multicast =
+    Arg.(
+      value & flag
+      & info [ "multicast" ]
+          ~doc:
+            "Use real multicast sockets (one send per datagram, kernel fan-out) instead \
+             of the unicast shim; requires an environment that routes 239.0.0.0/8 over \
+             loopback.")
+  in
   let doc = "Run protocol NP over real UDP sockets on the loopback interface." in
   Cmd.v
     (Cmd.info "udp" ~doc)
     Term.(
       ret (const udp $ receivers_arg $ p_arg $ seed_arg $ packets $ payload $ metrics $ faults
-           $ capture))
+           $ capture $ multicast))
 
 (* --- replay ------------------------------------------------------------ *)
 

@@ -115,6 +115,8 @@ module Recorder = Rmc_obs.Recorder
 (* Real-socket transport *)
 module Reactor = Rmc_transport.Reactor
 module Udp_np = Rmc_transport.Udp_np
+module Udp_batch = Rmc_transport.Udp_batch
+module Udp_multicast = Rmc_transport.Udp_multicast
 
 (* High-level API *)
 module Transfer = Transfer

@@ -1,62 +1,92 @@
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+(* Counters and gauges are [Atomic.t] cells so instrumented code running
+   on several domains (the sharded UDP reactor, [Parallel.map] jobs) never
+   loses increments: [incr] is one [fetch_and_add], [set] one atomic
+   store.  The registry tables are guarded by a mutex, taken only on
+   handle creation and listings — never on the hot bump path. *)
+
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : float Atomic.t }
 
 type t = {
   prefix : string;
+  lock : Mutex.t;
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
 }
 
-let create () = { prefix = ""; counters = Hashtbl.create 32; gauges = Hashtbl.create 8 }
+let create () =
+  {
+    prefix = "";
+    lock = Mutex.create ();
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+  }
+
 let scope t name = { t with prefix = t.prefix ^ name ^ "." }
 let prefix t = t.prefix
 
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
 let counter t name =
   let name = t.prefix ^ name in
-  match Hashtbl.find_opt t.counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.replace t.counters name c;
-    c
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; c_value = Atomic.make 0 } in
+        Hashtbl.replace t.counters name c;
+        c)
 
-let incr ?(by = 1) c = c.c_value <- c.c_value + by
-let count c = c.c_value
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c_value by : int)
+let count c = Atomic.get c.c_value
 
 let get t name =
-  match Hashtbl.find_opt t.counters (t.prefix ^ name) with
-  | Some c -> c.c_value
+  match locked t (fun () -> Hashtbl.find_opt t.counters (t.prefix ^ name)) with
+  | Some c -> Atomic.get c.c_value
   | None -> 0
 
 let gauge t name =
   let name = t.prefix ^ name in
-  match Hashtbl.find_opt t.gauges name with
-  | Some g -> g
-  | None ->
-    let g = { g_name = name; g_value = 0.0 } in
-    Hashtbl.replace t.gauges name g;
-    g
+  locked t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some g -> g
+      | None ->
+        let g = { g_name = name; g_value = Atomic.make 0.0 } in
+        Hashtbl.replace t.gauges name g;
+        g)
 
-let set g v = g.g_value <- v
-let value g = g.g_value
+let set g v = Atomic.set g.g_value v
+let value g = Atomic.get g.g_value
 
 let get_gauge t name =
-  match Hashtbl.find_opt t.gauges (t.prefix ^ name) with
-  | Some g -> g.g_value
+  match locked t (fun () -> Hashtbl.find_opt t.gauges (t.prefix ^ name)) with
+  | Some g -> Atomic.get g.g_value
   | None -> 0.0
 
 let in_scope t name = String.starts_with ~prefix:t.prefix name
 
 let counters t =
-  Hashtbl.fold
-    (fun _ c acc -> if in_scope t c.c_name then (c.c_name, c.c_value) :: acc else acc)
-    t.counters []
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ c acc ->
+          if in_scope t c.c_name then (c.c_name, Atomic.get c.c_value) :: acc else acc)
+        t.counters [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let gauges t =
-  Hashtbl.fold
-    (fun _ g acc -> if in_scope t g.g_name then (g.g_name, g.g_value) :: acc else acc)
-    t.gauges []
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ g acc ->
+          if in_scope t g.g_name then (g.g_name, Atomic.get g.g_value) :: acc else acc)
+        t.gauges [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp ppf t =

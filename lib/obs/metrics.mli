@@ -2,13 +2,16 @@
 
     A registry is a flat namespace of metrics identified by dotted names
     ([tx.data], [fault.dropped], [reactor.timer_fires]...).  Handles are
-    looked up once and then bumped with a single mutable-field write, so
-    instrumented hot paths pay one load and one store per event — no
-    allocation, no hashing.
+    looked up once and then bumped with a single atomic read-modify-write,
+    so instrumented hot paths pay one [Atomic.fetch_and_add] per event —
+    no allocation, no hashing.
 
-    The registry is deliberately dependency-free and single-threaded, like
-    the {!Rmc_transport.Reactor} loop it instruments; guard it with a mutex
-    if you share one across domains. *)
+    The registry is domain-safe: counters and gauges are [Atomic.t]
+    cells, so handles may be bumped concurrently from several domains
+    (the sharded UDP reactor, {!Rmc_rse.Parallel} jobs) without losing
+    updates, and handle creation / listings are serialized internally.
+    One registry can therefore be shared across a whole sharded run and
+    still report exact totals. *)
 
 type t
 (** A metrics registry. *)

@@ -1,6 +1,7 @@
 type t = {
   buf_size : int;
   capacity : int;
+  owner : Domain.id;  (* the one domain allowed to checkout/release *)
   free : Bytes.t array; (* free.(0 .. free_count-1) are available *)
   mutable free_count : int;
   mutable created : int; (* pooled buffers materialized so far *)
@@ -16,6 +17,7 @@ let create ?(capacity = 16) ~buf_size () =
   {
     buf_size;
     capacity;
+    owner = Domain.self ();
     free = Array.make capacity Bytes.empty;
     free_count = 0;
     created = 0;
@@ -33,7 +35,15 @@ let total_checkouts t = t.total_checkouts
 let overflow_allocs t = t.overflow_allocs
 let free_buffers t = t.free_count
 
+(* The free list is plain mutable state: the pool is per-domain by
+   design (each shard of the sharded reactor owns its own), and this
+   check turns a silent cross-domain race into a loud error. *)
+let check_owner t context =
+  if not (Domain.self () = t.owner) then
+    invalid_arg ("Buffer_pool." ^ context ^ ": pool used outside its owning domain")
+
 let checkout t =
+  check_owner t "checkout";
   t.total_checkouts <- t.total_checkouts + 1;
   t.outstanding <- t.outstanding + 1;
   if t.outstanding > t.peak_outstanding then t.peak_outstanding <- t.outstanding;
@@ -56,6 +66,7 @@ let checkout t =
   end
 
 let release t buffer =
+  check_owner t "release";
   if Bytes.length buffer <> t.buf_size then
     invalid_arg "Buffer_pool.release: buffer size does not match this pool";
   for i = 0 to t.free_count - 1 do

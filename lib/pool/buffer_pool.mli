@@ -21,8 +21,10 @@
       teardown, when every checkout must have been released.
 
     Buffers come back with whatever bytes the previous owner wrote; users
-    must treat a checkout as uninitialized.  The pool is single-threaded,
-    like the reactor and engine loops it serves. *)
+    must treat a checkout as uninitialized.  The pool is {e per-domain}:
+    it belongs to the domain that created it (each shard of the sharded
+    UDP reactor owns one), and {!checkout}/{!release} from any other
+    domain raise rather than silently corrupt the free list. *)
 
 type t
 
@@ -39,12 +41,15 @@ val capacity : t -> int
 val checkout : t -> Bytes.t
 (** Borrow a buffer of {!buf_size} bytes with arbitrary contents.  Falls
     back to a fresh allocation (counted in {!overflow_allocs}) when the
-    pool is empty-handed. *)
+    pool is empty-handed.
+    @raise Invalid_argument when called from a domain other than the
+    pool's creator. *)
 
 val release : t -> Bytes.t -> unit
 (** Return a borrowed buffer.  Overflow buffers are absorbed into the
     free list when there is room and dropped otherwise.
-    @raise Invalid_argument on a wrong-sized buffer or a double release. *)
+    @raise Invalid_argument on a wrong-sized buffer, a double release, or
+    a release from a foreign domain. *)
 
 val with_buf : t -> (Bytes.t -> 'a) -> 'a
 (** [with_buf t f] checks a buffer out, applies [f], and releases it even

@@ -6,6 +6,7 @@ type timer = { mutable cancelled : bool; action : unit -> unit; owner : t }
 and t = {
   timers : timer Event_queue.t;
   handlers : (Unix.file_descr, unit -> unit) Hashtbl.t;
+  max_fds : int;
   mutable stopped : bool;
   mutable cancelled_pending : int;  (* cancelled timers still in the heap *)
   c_fires : Metrics.counter option;
@@ -16,11 +17,20 @@ and t = {
 (* Below this many cancelled entries, purging costs more than it saves. *)
 let purge_threshold = 64
 
-let create ?metrics () =
+(* [Unix.select] silently corrupts (or the libc aborts) beyond FD_SETSIZE;
+   refuse loudly well before that instead of flaking at scale. *)
+let fd_setsize = 1024
+
+let create ?metrics ?(max_fds = fd_setsize) () =
   let counter name = Option.map (fun m -> Metrics.counter m name) metrics in
+  if max_fds < 1 || max_fds > fd_setsize then
+    invalid_arg
+      (Printf.sprintf "Reactor.create: max_fds %d outside 1..%d (FD_SETSIZE)" max_fds
+         fd_setsize);
   {
     timers = Event_queue.create ();
     handlers = Hashtbl.create 8;
+    max_fds;
     stopped = false;
     cancelled_pending = 0;
     c_fires = counter "reactor.timer_fires";
@@ -71,7 +81,14 @@ let cancelled timer = timer.cancelled
 
 let pending_timers t = Event_queue.size t.timers
 
-let on_readable t fd callback = Hashtbl.replace t.handlers fd callback
+let on_readable t fd callback =
+  if (not (Hashtbl.mem t.handlers fd)) && Hashtbl.length t.handlers >= t.max_fds then
+    failwith
+      (Printf.sprintf
+         "Reactor.on_readable: %d descriptors already registered (max_fds %d; \
+          select-based loop cannot watch more — shard the run across reactors)"
+         (Hashtbl.length t.handlers) t.max_fds);
+  Hashtbl.replace t.handlers fd callback
 let remove t fd = Hashtbl.remove t.handlers fd
 let stop t = t.stopped <- true
 

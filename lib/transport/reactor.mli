@@ -7,9 +7,15 @@
 
 type t
 
-val create : ?metrics:Rmc_obs.Metrics.t -> unit -> t
+val create : ?metrics:Rmc_obs.Metrics.t -> ?max_fds:int -> unit -> t
 (** With [metrics], the loop counts [reactor.timer_fires],
-    [reactor.timers_cancelled] and [reactor.heap_purges]. *)
+    [reactor.timers_cancelled] and [reactor.heap_purges].
+
+    [max_fds] (default 1024 = FD_SETSIZE) caps how many descriptors may
+    be registered at once: a [select]-based loop breaks silently past
+    FD_SETSIZE, so {!on_readable} fails loudly at the cap instead — runs
+    that need more sockets shard across several reactors.
+    @raise Invalid_argument if [max_fds] is outside 1..1024. *)
 
 val now : t -> float
 (** Wall-clock seconds ([Unix.gettimeofday]). *)
@@ -35,7 +41,9 @@ val pending_timers : t -> int
 
 val on_readable : t -> Unix.file_descr -> (unit -> unit) -> unit
 (** Register a callback fired whenever the descriptor is readable.  One
-    callback per descriptor; registering again replaces it. *)
+    callback per descriptor; registering again replaces it.
+    @raise Failure when registering a new descriptor would exceed the
+    loop's [max_fds] cap. *)
 
 val remove : t -> Unix.file_descr -> unit
 

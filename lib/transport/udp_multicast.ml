@@ -1,0 +1,106 @@
+(* True IPv4 multicast sockets over the loopback interface.
+
+   One multicast send delivers a datagram to every joined member on the
+   host — the fan-out the unicast shim pays per destination happens once
+   in the kernel.  All groups here are administratively scoped
+   (239.0.0.0/8) and pinned to the loopback interface with TTL 1, so a
+   test run never leaks datagrams onto a real network. *)
+
+external mcast_membership_stub : Unix.file_descr -> string -> string -> bool -> unit
+  = "rmc_udp_mcast_membership"
+external mcast_if_stub : Unix.file_descr -> string -> unit = "rmc_udp_mcast_if"
+external mcast_loop_stub : Unix.file_descr -> bool -> unit = "rmc_udp_mcast_loop"
+external mcast_ttl_stub : Unix.file_descr -> int -> unit = "rmc_udp_mcast_ttl"
+
+let loopback = "127.0.0.1"
+
+type group = { address : string; port : int }
+
+let group_addr { address; port } =
+  Unix.ADDR_INET (Unix.inet_addr_of_string address, port)
+
+(* Derive a group from a seed: distinct runs (and concurrent test
+   processes, via the pid) land on distinct (group, port) pairs, so one
+   run's datagrams never reach another's sockets. *)
+let group_of_seed seed =
+  let mix = (seed * 2654435761) lxor (Unix.getpid () * 40503) in
+  let b2 = 1 + ((mix lsr 8) land 0xFE) (* avoid .0 and .255 *)
+  and b3 = 1 + (mix land 0xFE) in
+  let port = 20000 + ((mix lsr 16) land 0x7FFF) in
+  { address = Printf.sprintf "239.255.%d.%d" b2 b3; port }
+
+let join socket group = mcast_membership_stub socket group.address loopback true
+let leave socket group = mcast_membership_stub socket group.address loopback false
+
+(* A socket that transmits to [group]: routed out the loopback
+   interface, looped back to local members, never past the link. *)
+let sender_socket () =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  (try
+     Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+     mcast_if_stub socket loopback;
+     mcast_loop_stub socket true;
+     mcast_ttl_stub socket 1;
+     Unix.set_nonblock socket
+   with e ->
+     Unix.close socket;
+     raise e);
+  socket
+
+(* A socket that receives [group]'s datagrams: bound to the group port
+   with SO_REUSEADDR + SO_REUSEPORT so every receiver in the process can
+   bind it (multicast is delivered to all bound members, not
+   load-balanced), then joined on loopback. *)
+let receiver_socket group =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  (try
+     Unix.setsockopt socket Unix.SO_REUSEADDR true;
+     Unix.setsockopt socket Unix.SO_REUSEPORT true;
+     Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_any, group.port));
+     join socket group;
+     Unix.set_nonblock socket
+   with e ->
+     Unix.close socket;
+     raise e);
+  socket
+
+(* Self-test: join a probe group, send one datagram through the kernel,
+   see it come back.  Containers and exotic network namespaces sometimes
+   lack multicast on loopback; callers gate the multicast transport (and
+   its tests) on this probe instead of failing mid-session. *)
+let probe () =
+  match
+    let group = group_of_seed 0x6d636173 (* "mcas" *) in
+    let tx = sender_socket () in
+    let rx =
+      try receiver_socket group
+      with e ->
+        Unix.close tx;
+        raise e
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.close tx;
+        Unix.close rx)
+      (fun () ->
+        let payload = Bytes.of_string "rmc-mcast-probe" in
+        let len = Bytes.length payload in
+        let _ = Unix.sendto tx payload 0 len [] (group_addr group) in
+        let deadline = Unix.gettimeofday () +. 0.5 in
+        let scratch = Bytes.create 64 in
+        let rec wait () =
+          match Unix.select [ rx ] [] [] 0.05 with
+          | [], _, _ -> Unix.gettimeofday () < deadline && wait ()
+          | _ ->
+            (match Unix.recvfrom rx scratch 0 64 [] with
+            | n, _ -> n = len && Bytes.equal (Bytes.sub scratch 0 n) payload
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              Unix.gettimeofday () < deadline && wait ())
+        in
+        wait ())
+  with
+  | ok -> ok
+  | exception _ -> false
+
+let available = lazy (probe ())
+let is_available () = Lazy.force available

@@ -10,6 +10,8 @@ module Error = Rmc_core.Error
 module Np_machine = Rmc_proto.Np_machine
 module Np_replay = Rmc_proto.Np_replay
 
+type transport = [ `Unicast | `Multicast ]
+
 type config = {
   k : int;
   h : int;
@@ -132,67 +134,90 @@ let receiver_machine_seed ~seed ~id = seed + (id * 7919) + 104729
 
 (* --- socket helpers -------------------------------------------------- *)
 
-(* A UDP datagram cannot exceed 64 KiB, so one scratch buffer of this size
-   per socket (recv) and one pool of buffers this size per engine (send)
-   cover every packet the protocol can produce. *)
+(* A UDP datagram cannot exceed 64 KiB, so receive buffers of this size
+   per socket and one pool of buffers this size per engine (send) cover
+   every packet the protocol can produce. *)
 let max_datagram = 65536
+
+(* The largest UDP payload the kernel accepts in one datagram (65535 minus
+   IP and UDP headers): the budget a coalesced frame must fit. *)
+let max_frame = 65507
+
+let rec retry_eintr f =
+  match f () with
+  | value -> value
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
 
 let make_socket () =
   let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
-  Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
-  Unix.set_nonblock socket;
+  (try
+     Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+     Unix.set_nonblock socket
+   with e ->
+     Unix.close socket;
+     raise e);
   socket
 
-(* A socket plus the failure-observation channel every send shares, plus
-   the socket's reusable recv scratch: datagrams are decoded straight out
-   of it (no per-datagram copy), so it is allocated once per socket
-   instead of per drain. *)
+(* A socket plus the failure-observation channel every send shares, a recv
+   ring datagrams are decoded straight out of (no per-datagram copy), and
+   the reusable send batch a tick's frames are flushed through — all
+   allocated once per socket instead of per tick. *)
 type net = {
   socket : Unix.file_descr;
-  scratch : Bytes.t;
+  ring : Udp_batch.recv;
+  tx_batch : Udp_batch.send;
   tx_errors : Metrics.counter;
   datagrams_tx : Metrics.counter;
   datagrams_rx : Metrics.counter;
+  syscalls_tx : Metrics.counter;
+  syscalls_rx : Metrics.counter;
   trace : Trace.t option;
 }
 
 let send_slice net packet off len destination =
   (* Loopback sends never legitimately short-write a datagram this small.
-     EINTR gets one retry; everything else (including EAGAIN under extreme
-     pressure, which behaves like network loss) is counted and traced —
-     never silently swallowed. *)
+     EINTR is retried until the send reaches a real outcome; everything
+     else (including EAGAIN under extreme pressure, which behaves like
+     network loss) is counted and traced — never silently swallowed. *)
   Metrics.incr net.datagrams_tx;
-  let rec attempt ~retried =
-    match Unix.sendto net.socket packet off len [] destination with
-    | _ -> ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-      if retried then begin
-        Metrics.incr net.tx_errors;
-        match net.trace with
-        | Some trace -> Trace.record ~detail:"EINTR" trace "udp.tx_error"
-        | None -> ()
-      end
-      else attempt ~retried:true
-    | exception Unix.Unix_error (err, _, _) ->
-      Metrics.incr net.tx_errors;
-      (match net.trace with
-      | Some trace -> Trace.record ~detail:(Unix.error_message err) trace "udp.tx_error"
-      | None -> ())
-  in
-  attempt ~retried:false
+  Metrics.incr net.syscalls_tx;
+  match retry_eintr (fun () -> Unix.sendto net.socket packet off len [] destination) with
+  | _ -> ()
+  | exception Unix.Unix_error (err, _, _) ->
+    Metrics.incr net.tx_errors;
+    (match net.trace with
+    | Some trace -> Trace.record ~detail:(Unix.error_message err) trace "udp.tx_error"
+    | None -> ())
 
 let send_bytes net packet destination =
   send_slice net packet 0 (Bytes.length packet) destination
 
+(* Walk a datagram that may be a coalesced frame: several consecutive
+   encoded messages, each self-delimited by its header's length field.  A
+   boundary that cannot be established (bad magic after a valid prefix,
+   truncation) ends the walk — the rest of the frame is undecodable; a
+   message that delimits but fails validation (a corrupted CRC) is skipped
+   and the walk continues at the next boundary. *)
+let walk_frame ?on_decode_error buffer ~len ~from handle =
+  let fail () = match on_decode_error with Some f -> f () | None -> () in
+  let rec go off =
+    if off < len then
+      match Header.frame_length buffer ~off ~len:(len - off) with
+      | Error _ -> fail ()
+      | Ok frame_len ->
+        (match Header.decode_slice buffer ~off ~len:frame_len with
+        | Ok message -> handle message from
+        | Error _ -> fail ());
+        go (off + frame_len)
+  in
+  go 0
+
 let drain ?on_decode_error ~scratch socket handle =
   let rec loop () =
-    match Unix.recvfrom socket scratch 0 (Bytes.length scratch) [] with
+    match retry_eintr (fun () -> Unix.recvfrom socket scratch 0 (Bytes.length scratch) [])
+    with
     | length, from ->
-      (match Header.decode_slice scratch ~off:0 ~len:length with
-      | Ok message -> handle message from
-      | Error _ ->
-        (* malformed datagrams are dropped, but no longer silently *)
-        (match on_decode_error with Some f -> f () | None -> ()));
+      walk_frame ?on_decode_error scratch ~len:length ~from handle;
       loop ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
@@ -201,10 +226,23 @@ let drain ?on_decode_error ~scratch socket handle =
   in
   loop ()
 
+(* Ring-based drain: up to [slots] queued datagrams per syscall.  A drain
+   that fills every slot loops (more may be queued); a partial fill means
+   the socket is dry — no trailing empty recv syscall. *)
 let drain_socket ?on_decode_error net handle =
-  drain ?on_decode_error ~scratch:net.scratch net.socket (fun message from ->
+  let rec loop () =
+    Metrics.incr net.syscalls_rx;
+    let n = Udp_batch.recv_batch net.ring net.socket in
+    for i = 0 to n - 1 do
       Metrics.incr net.datagrams_rx;
-      handle message from)
+      walk_frame ?on_decode_error (Udp_batch.slot net.ring i)
+        ~len:(Udp_batch.slot_len net.ring i)
+        ~from:(Udp_batch.slot_from net.ring i)
+        handle
+    done;
+    if n = Udp_batch.slots net.ring then loop ()
+  in
+  loop ()
 
 (* --- sender ----------------------------------------------------------- *)
 
@@ -233,60 +271,106 @@ type sender = {
 
 let sender_actor sender = "s" ^ string_of_int sender.sid
 
-(* One datagram of a tick's batch: a pooled buffer holding the sealed
-   bytes, and whether the fault shim applies (it only sees data/parity). *)
-type batch_entry = { buf : Bytes.t; len : int; payload_bearing : bool }
+(* One frame of a tick's batch: a pooled buffer accumulating sealed
+   messages back to back, and whether the fault shim applies (it only sees
+   data/parity, and only when frames carry a single message). *)
+type frame = { buf : Bytes.t; mutable len : int; payload_bearing : bool }
 
-(* Serialize a machine-emitted message once into a pooled buffer.  The
+(* Serialize a machine-emitted message at [off] of a pooled buffer.  The
    machine speaks session-local tg ids; rather than rebuilding the message
-   in the wire namespace, the sid is poked into the already-encoded
-   datagram and the CRC resealed in place.  A single-session run (sid 0)
-   needs no rewrite and puts exactly the bytes on the wire it always
-   did. *)
-let sender_enqueue sender batch message =
-  let buf = Buffer_pool.checkout sender.pool in
-  let len = Header.encode_into buf ~off:0 message in
+   in the wire namespace, the sid is poked into the already-encoded bytes
+   and the CRC resealed in place.  A single-session run (sid 0) needs no
+   rewrite and puts exactly the bytes on the wire it always did. *)
+let sender_encode sender buf ~off message =
+  let len = Header.encode_into buf ~off message in
   if sender.sid <> 0 then begin
-    Header.set_tg_id buf ~off:0 (wire_tg_unchecked ~sid:sender.sid (Header.tg_id message));
-    Header.reseal_slice buf ~off:0 ~len
+    Header.set_tg_id buf ~off (wire_tg_unchecked ~sid:sender.sid (Header.tg_id message));
+    Header.reseal_slice buf ~off ~len
   end;
-  let payload_bearing =
-    match message with
-    | Header.Data _ | Header.Parity _ -> true
-    | Header.Poll _ | Header.Nak _ | Header.Exhausted _ -> false
-  in
-  { buf; len; payload_bearing } :: batch
+  len
 
-(* Flush a tick's batch: the unicast fan-out reuses each sealed buffer for
-   every destination (the legacy path re-encoded the datagram once per
-   group member), and buffers go straight back to the pool.
+(* Append a message to the tick's batch.  Without a fault shim the message
+   coalesces onto the current frame while it fits the kernel's datagram
+   budget — a whole tick rides one datagram per destination.  With a shim,
+   every message gets its own frame so faults keep applying per datagram
+   per destination, exactly as the loss model demands. *)
+let sender_enqueue sender batch message =
+  match batch with
+  | frame :: _
+    when Option.is_none sender.shim
+         && frame.len + Header.encoded_size message <= max_frame ->
+    frame.len <- frame.len + sender_encode sender frame.buf ~off:frame.len message;
+    batch
+  | _ ->
+    let buf = Buffer_pool.checkout sender.pool in
+    let len = sender_encode sender buf ~off:0 message in
+    let payload_bearing =
+      match message with
+      | Header.Data _ | Header.Parity _ -> true
+      | Header.Poll _ | Header.Nak _ | Header.Exhausted _ -> false
+    in
+    { buf; len; payload_bearing } :: batch
 
-   The fault shim sits here, at the datagram boundary: every data/parity
-   datagram of the unicast fan-out passes through it independently, so each
-   receiver sees its own drop/duplicate/reorder/corrupt pattern.  Control
-   datagrams (POLL, NAK, EXHAUSTED) are spared, matching the loss model of
-   the §5 analysis (and of the [~loss] reception injection below). *)
+(* Flush a tick's batch.
+
+   The batched path hands every (frame, destination) pair to one
+   sendmmsg-backed flush: serialize + sid-rewrite + reseal happen once per
+   message regardless of group size, and the whole tick costs
+   ceil(frames * group / max_batch) syscalls instead of one per datagram.
+   In multicast mode [group] is the single group address and the kernel
+   does the fan-out too.
+
+   The fault shim sits at the datagram boundary: every data/parity
+   datagram passes through it independently per destination, so each
+   receiver of the unicast fan-out sees its own drop/duplicate/reorder/
+   corrupt pattern.  Control datagrams (POLL, NAK, EXHAUSTED) are spared,
+   matching the loss model of the §5 analysis (and of the [~loss]
+   reception injection below).  Shimmed runs therefore keep one message
+   per frame and the per-datagram send path. *)
 let sender_flush sender batch =
-  List.iter
-    (fun { buf; len; payload_bearing } ->
-      (match (sender.shim, payload_bearing) with
-      | Some shim, true ->
-        (* The shim may hold, delay or duplicate the datagram beyond this
-           tick, so it owns a copy; pooled buffers never escape the
-           flush. *)
-        let packet = Bytes.sub buf 0 len in
-        let now = Unix.gettimeofday () in
+  match sender.shim with
+  | Some shim ->
+    List.iter
+      (fun { buf; len; payload_bearing } ->
+        (if payload_bearing then begin
+           (* The shim may hold, delay or duplicate the datagram beyond
+              this tick, so it owns a copy; pooled buffers never escape
+              the flush. *)
+           let packet = Bytes.sub buf 0 len in
+           let now = Unix.gettimeofday () in
+           List.iter
+             (fun destination ->
+               Fault.apply shim ~now
+                 ~defer:(fun delay thunk -> ignore (Reactor.after sender.reactor delay thunk))
+                 ~send:(fun bytes -> send_bytes sender.net bytes destination)
+                 packet)
+             sender.group
+         end
+         else
+           List.iter
+             (fun destination -> send_slice sender.net buf 0 len destination)
+             sender.group);
+        Buffer_pool.release sender.pool buf)
+      (List.rev batch)
+  | None ->
+    let tx = sender.net.tx_batch in
+    List.iter
+      (fun frame ->
         List.iter
-          (fun destination ->
-            Fault.apply shim ~now
-              ~defer:(fun delay thunk -> ignore (Reactor.after sender.reactor delay thunk))
-              ~send:(fun bytes -> send_bytes sender.net bytes destination)
-              packet)
-          sender.group
-      | (Some _ | None), _ ->
-        List.iter (fun destination -> send_slice sender.net buf 0 len destination) sender.group);
-      Buffer_pool.release sender.pool buf)
-    (List.rev batch)
+          (fun destination -> Udp_batch.add tx frame.buf ~len:frame.len destination)
+          sender.group)
+      (List.rev batch);
+    let { Udp_batch.sent; errors; syscalls } = Udp_batch.flush tx sender.net.socket in
+    Metrics.incr ~by:sent sender.net.datagrams_tx;
+    Metrics.incr ~by:syscalls sender.net.syscalls_tx;
+    if errors > 0 then begin
+      Metrics.incr ~by:errors sender.net.tx_errors;
+      match sender.net.trace with
+      | Some trace ->
+        Trace.record ~detail:(string_of_int errors ^ " batched sends") trace "udp.tx_error"
+      | None -> ()
+    end;
+    List.iter (fun frame -> Buffer_pool.release sender.pool frame.buf) batch
 
 let sender_handle sender event =
   (match sender.recorder with
@@ -313,9 +397,8 @@ let rec sender_pump sender =
   if not (Np_machine.Sender.pending sender.machine) then sender.sending <- false
   else begin
     let effects = sender_handle sender Np_machine.Tick in
-    (* Drain every Send effect of the tick into pooled buffers, then flush
-       them in one batched pass: serialize + sid-rewrite + reseal happen
-       once per datagram regardless of group size. *)
+    (* Drain every Send effect of the tick into pooled frames, then flush
+       them in one batched pass. *)
     let batch, delay =
       List.fold_left
         (fun (batch, acc) effect ->
@@ -390,10 +473,16 @@ let create_sender reactor ~net ~pool ~group ~config ~sid ~data ~metrics ~shim ~r
 type receiver = {
   id : int;
   reactor : Reactor.t;
-  net : net;
+  net : net;  (* datagrams arrive here *)
+  tx_net : net;  (* NAKs leave here; same as [net] in unicast mode *)
+  self_addr : Unix.sockaddr option;
+      (* multicast: the tx socket's address, to drop looped-back copies of
+         our own NAKs (every group member receives every group datagram) *)
   pool : Buffer_pool.t;
   sender_addr : Unix.sockaddr;
-  mutable peer_addrs : Unix.sockaddr list;
+  mutable nak_peers : Unix.sockaddr list;
+      (* where NAKs go besides the sender: every peer (unicast mode) or
+         the group address (multicast mode) *)
   loss_rng : Rng.t;  (* reception-loss injection (driver-side, not replayed) *)
   loss : float;
   machine : Np_machine.Receiver.t;
@@ -437,14 +526,15 @@ let rec receiver_handle receiver event =
 and receiver_apply receiver effect =
   match effect with
   | Np_machine.Send (Header.Nak _ as nak) ->
-    (* The NAK is "multicast": unicast to the sender plus every peer, so
-       suppression really happens by overhearing datagrams.  One pooled
-       buffer serves the whole fan-out. *)
+    (* The NAK is "multicast": to the sender plus every peer (unicast
+       fan-out) or the group (real multicast), so suppression really
+       happens by overhearing datagrams.  One pooled buffer serves the
+       whole fan-out. *)
     Metrics.incr receiver.c_naks_tx;
     Buffer_pool.with_buf receiver.pool (fun buf ->
         let len = Header.encode_into buf ~off:0 nak in
-        send_slice receiver.net buf 0 len receiver.sender_addr;
-        List.iter (send_slice receiver.net buf 0 len) receiver.peer_addrs)
+        send_slice receiver.tx_net buf 0 len receiver.sender_addr;
+        List.iter (send_slice receiver.tx_net buf 0 len) receiver.nak_peers)
   | Np_machine.Arm_timer { tg; round; offset } ->
     (match Hashtbl.find_opt receiver.timers tg with
     | Some t -> Reactor.cancel t
@@ -475,17 +565,19 @@ let receiver_feed_payload receiver message =
   if Np_machine.Receiver.duplicates receiver.machine > before then
     Metrics.incr receiver.c_duplicates
 
-let create_receiver reactor ~net ~pool ~sender_addr ~config ~seed ~loss ~id ~metrics
-    ~expected ~recorder ~on_tg_complete ~on_ejected =
+let create_receiver reactor ~net ~tx_net ~self_addr ~nak_peers ~pool ~sender_addr ~config
+    ~seed ~loss ~id ~metrics ~expected ~recorder ~on_tg_complete ~on_ejected =
   let machine_rng = Rng.create ~seed:(receiver_machine_seed ~seed ~id) () in
   let receiver =
     {
       id;
       reactor;
       net;
+      tx_net;
+      self_addr;
       pool;
       sender_addr;
-      peer_addrs = [];
+      nak_peers;
       loss_rng = Rng.create ~seed:(seed + (id * 7919)) ();
       loss;
       machine =
@@ -516,45 +608,53 @@ let create_receiver reactor ~net ~pool ~sender_addr ~config ~seed ~loss ~id ~met
           Metrics.incr receiver.c_decode_fail)
         net
         (fun message from ->
-          let from_sender = from = receiver.sender_addr in
-          match message with
-          | Header.Data _ ->
-            Metrics.incr receiver.c_data;
-            if Rng.bernoulli receiver.loss_rng receiver.loss then begin
-              receiver.dropped <- receiver.dropped + 1;
-              Metrics.incr receiver.c_loss_drop
-            end
-            else receiver_feed_payload receiver message
-          | Header.Parity _ ->
-            Metrics.incr receiver.c_parity;
-            if Rng.bernoulli receiver.loss_rng receiver.loss then begin
-              receiver.dropped <- receiver.dropped + 1;
-              Metrics.incr receiver.c_loss_drop
-            end
-            else receiver_feed_payload receiver message
-          | Header.Poll _ ->
-            Metrics.incr receiver.c_poll;
-            receiver_handle receiver (Np_machine.Packet_received message)
-          | Header.Nak _ ->
-            if not from_sender then begin
-              Metrics.incr receiver.c_naks_overheard;
-              let before = Np_machine.Receiver.naks_suppressed receiver.machine in
-              receiver_handle receiver (Np_machine.Packet_received message);
-              if Np_machine.Receiver.naks_suppressed receiver.machine > before then
-                Metrics.incr receiver.c_suppressed
-            end
-          | Header.Exhausted _ ->
-            Metrics.incr receiver.c_exhausted;
-            receiver_handle receiver (Np_machine.Packet_received message)));
+          let own_echo =
+            match receiver.self_addr with Some self -> from = self | None -> false
+          in
+          if not own_echo then begin
+            let from_sender = from = receiver.sender_addr in
+            match message with
+            | Header.Data _ ->
+              Metrics.incr receiver.c_data;
+              if Rng.bernoulli receiver.loss_rng receiver.loss then begin
+                receiver.dropped <- receiver.dropped + 1;
+                Metrics.incr receiver.c_loss_drop
+              end
+              else receiver_feed_payload receiver message
+            | Header.Parity _ ->
+              Metrics.incr receiver.c_parity;
+              if Rng.bernoulli receiver.loss_rng receiver.loss then begin
+                receiver.dropped <- receiver.dropped + 1;
+                Metrics.incr receiver.c_loss_drop
+              end
+              else receiver_feed_payload receiver message
+            | Header.Poll _ ->
+              Metrics.incr receiver.c_poll;
+              receiver_handle receiver (Np_machine.Packet_received message)
+            | Header.Nak _ ->
+              if not from_sender then begin
+                Metrics.incr receiver.c_naks_overheard;
+                let before = Np_machine.Receiver.naks_suppressed receiver.machine in
+                receiver_handle receiver (Np_machine.Packet_received message);
+                if Np_machine.Receiver.naks_suppressed receiver.machine > before then
+                  Metrics.incr receiver.c_suppressed
+              end
+            | Header.Exhausted _ ->
+              Metrics.incr receiver.c_exhausted;
+              receiver_handle receiver (Np_machine.Packet_received message)
+          end));
   receiver
 
 (* --- the shared engine: N sessions, one reactor ------------------------ *)
 
-(* Everything both entry points share: one reactor, one sender socket
+(* Everything the entry points share: one reactor, one sender socket
    multiplexing every session's datagrams (demuxed by the sid in the wire
-   [tg_id]), one receiver socket per receiver serving all sessions. *)
-let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed ~sessions
-    ~sender_metrics =
+   [tg_id]), one receiver socket per receiver serving all sessions.
+   [sids] maps each session index to its wire session id — the identity
+   for {!run_local}/{!run_multi}, a shard's slice of the global namespace
+   for {!run_sharded}. *)
+let run_engine ~config ~metrics ~trace ~recorder ~faults ~transport ~receivers ~loss ~seed
+    ~sessions ~sids ~sender_metrics =
   let shim = Option.map (fun spec -> Fault.create ~metrics ?trace spec) faults in
   let reactor = Reactor.create ~metrics () in
   let started = Unix.gettimeofday () in
@@ -562,6 +662,8 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed 
   let tg_counts =
     Array.map (fun data -> (Array.length data + config.k - 1) / config.k) sessions
   in
+  let index_of_sid = Hashtbl.create nsessions in
+  Array.iteri (fun index sid -> Hashtbl.replace index_of_sid sid index) sids;
   (match recorder with
   | Some r ->
     Np_replay.record_setup r ~config:(machine_config config)
@@ -572,17 +674,69 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed 
   let tx_errors = Metrics.counter metrics "udp.tx_errors" in
   let datagrams_tx = Metrics.counter metrics "udp.datagrams_tx" in
   let datagrams_rx = Metrics.counter metrics "udp.datagrams_rx" in
+  let syscalls_tx = Metrics.counter metrics "udp.syscalls_tx" in
+  let syscalls_rx = Metrics.counter metrics "udp.syscalls_rx" in
   let make_net socket =
-    { socket; scratch = Bytes.create max_datagram; tx_errors; datagrams_tx; datagrams_rx;
-      trace }
+    {
+      socket;
+      ring = Udp_batch.recv_create ~buf_size:max_datagram ();
+      tx_batch = Udp_batch.send_create ();
+      tx_errors;
+      datagrams_tx;
+      datagrams_rx;
+      syscalls_tx;
+      syscalls_rx;
+      trace;
+    }
   in
   (* One pool serves every session's sender and every receiver's NAK path:
      buffers are released within the event that checked them out, so the
      peak population is the largest single batch, not the datagram rate. *)
   let pool = Buffer_pool.create ~capacity:16 ~buf_size:max_datagram () in
-  let sender_socket = make_socket () in
+  (* Every socket is registered here the moment it exists and closed in
+     the one [Fun.protect] finalizer below — an exception anywhere between
+     socket creation and the end of the run (a raising machine
+     constructor, a reactor refusing one more descriptor, EMFILE halfway
+     through the receiver array) can no longer leak descriptors. *)
+  let opened = ref [] in
+  let track socket =
+    opened := socket :: !opened;
+    socket
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun socket -> try Unix.close socket with Unix.Unix_error _ -> ()) !opened)
+  @@ fun () ->
+  let mcast_group =
+    match transport with
+    | `Unicast -> None
+    | `Multicast -> Some (Udp_multicast.group_of_seed seed)
+  in
+  let sender_socket =
+    track
+      (match mcast_group with
+      | None -> make_socket ()
+      | Some _ -> Udp_multicast.sender_socket ())
+  in
   let sender_net = make_net sender_socket in
-  let receiver_nets = Array.init receivers (fun _ -> make_net (make_socket ())) in
+  let receiver_nets =
+    Array.init receivers (fun _ ->
+        make_net
+          (track
+             (match mcast_group with
+             | None -> make_socket ()
+             | Some group -> Udp_multicast.receiver_socket group)))
+  in
+  (* Real multicast receivers share one port, so their group sockets
+     cannot source NAKs distinguishably; each gets a private tx socket
+     whose address also identifies (and filters) its own looped-back group
+     copies. *)
+  let receiver_tx_nets =
+    match mcast_group with
+    | None -> None
+    | Some _ ->
+      Some (Array.init receivers (fun _ -> make_net (track (Udp_multicast.sender_socket ()))))
+  in
   let addr_of socket = Unix.getsockname socket in
   let sender_addr = addr_of sender_socket in
   let receiver_addrs = Array.map (fun net -> addr_of net.socket) receiver_nets in
@@ -593,10 +747,11 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed 
     List.concat
       (Array.to_list
          (Array.mapi
-            (fun sid data ->
+            (fun index data ->
               let total = Array.length data in
-              List.init tg_counts.(sid) (fun local ->
-                  (wire_tg_unchecked ~sid local, min config.k (total - (local * config.k)))))
+              List.init tg_counts.(index) (fun local ->
+                  ( wire_tg_unchecked ~sid:sids.(index) local,
+                    min config.k (total - (local * config.k)) )))
             sessions))
   in
 
@@ -605,8 +760,8 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed 
   let ejected = Array.make nsessions [] in
   let finished_pairs = ref 0 in
   let total_pairs = receivers * nsessions in
-  let reference ~sid local =
-    let data = sessions.(sid) in
+  let reference ~index local =
+    let data = sessions.(index) in
     let base = local * config.k in
     let len = min config.k (Array.length data - base) in
     Array.sub data base len
@@ -619,39 +774,63 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed 
   let rxs =
     Array.init receivers (fun id ->
         let on_tg_complete wire decoded =
-          let sid = sid_of_wire wire and local = local_of_wire wire in
-          if sid < nsessions && local < tg_counts.(sid) then begin
-            if not (Array.for_all2 Bytes.equal decoded (reference ~sid local)) then
-              verified.(sid) <- false;
-            completed_tgs.(id).(sid) <- completed_tgs.(id).(sid) + 1;
-            if completed_tgs.(id).(sid) = tg_counts.(sid) then begin
+          match Hashtbl.find_opt index_of_sid (sid_of_wire wire) with
+          | Some index when local_of_wire wire < tg_counts.(index) ->
+            let local = local_of_wire wire in
+            if not (Array.for_all2 Bytes.equal decoded (reference ~index local)) then
+              verified.(index) <- false;
+            completed_tgs.(id).(index) <- completed_tgs.(id).(index) + 1;
+            if completed_tgs.(id).(index) = tg_counts.(index) then begin
               incr finished_pairs;
               maybe_finish ()
             end
-          end
+          | Some _ | None -> ()
         in
         let on_ejected wire =
-          let sid = sid_of_wire wire in
-          if sid < nsessions then ejected.(sid) <- (id, local_of_wire wire) :: ejected.(sid)
+          match Hashtbl.find_opt index_of_sid (sid_of_wire wire) with
+          | Some index -> ejected.(index) <- (id, local_of_wire wire) :: ejected.(index)
+          | None -> ()
         in
-        create_receiver reactor ~net:receiver_nets.(id) ~pool ~sender_addr ~config ~seed
-          ~loss ~id ~metrics ~expected ~recorder ~on_tg_complete ~on_ejected)
+        let tx_net, self_addr =
+          match receiver_tx_nets with
+          | Some nets -> (nets.(id), Some (addr_of nets.(id).socket))
+          | None -> (receiver_nets.(id), None)
+        in
+        let nak_peers =
+          match mcast_group with
+          | Some group -> [ Udp_multicast.group_addr group ]
+          | None -> []
+        in
+        create_receiver reactor ~net:receiver_nets.(id) ~tx_net ~self_addr ~nak_peers
+          ~pool ~sender_addr ~config ~seed ~loss ~id ~metrics ~expected ~recorder
+          ~on_tg_complete ~on_ejected)
   in
-  (* Each receiver overhears the NAKs of all the others. *)
-  Array.iteri
-    (fun id receiver ->
-      receiver.peer_addrs <-
-        Array.to_list
-          (Array.of_seq
-             (Seq.filter_map
-                (fun other -> if other = id then None else Some receiver_addrs.(other))
-                (Seq.init receivers Fun.id))))
-    rxs;
-  let group = Array.to_list receiver_addrs in
+  (* Unicast: each receiver overhears the NAKs of all the others via an
+     explicit fan-out.  Multicast: the group address set above already
+     reaches every member. *)
+  (match mcast_group with
+  | None ->
+    Array.iteri
+      (fun id receiver ->
+        receiver.nak_peers <-
+          Array.to_list
+            (Array.of_seq
+               (Seq.filter_map
+                  (fun other -> if other = id then None else Some receiver_addrs.(other))
+                  (Seq.init receivers Fun.id))))
+      rxs
+  | Some _ -> ());
+  let group =
+    match mcast_group with
+    | Some g -> [ Udp_multicast.group_addr g ]
+    | None -> Array.to_list receiver_addrs
+  in
   let senders =
-    Array.init nsessions (fun sid ->
-        create_sender reactor ~net:sender_net ~pool ~group ~config ~sid
-          ~data:sessions.(sid) ~metrics:(sender_metrics sid) ~shim ~recorder)
+    Array.init nsessions (fun index ->
+        create_sender reactor ~net:sender_net ~pool ~group ~config ~sid:sids.(index)
+          ~data:sessions.(index)
+          ~metrics:(sender_metrics sids.(index))
+          ~shim ~recorder)
   in
   (* One handler on the shared sender socket demuxes incoming NAKs to the
      owning session's sender. *)
@@ -661,22 +840,27 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed 
         (fun message _from ->
           match message with
           | Header.Nak { tg_id; need; round } ->
-            let sid = sid_of_wire tg_id in
-            if sid < nsessions then
-              sender_handle_nak senders.(sid) ~tg_id:(local_of_wire tg_id) ~need ~round
+            (match Hashtbl.find_opt index_of_sid (sid_of_wire tg_id) with
+            | Some index ->
+              sender_handle_nak senders.(index) ~tg_id:(local_of_wire tg_id) ~need ~round
+            | None -> ())
           | Header.Data _ | Header.Parity _ | Header.Poll _ | Header.Exhausted _ -> ()));
 
   let minor_words_before = Gc.minor_words () in
   Reactor.run ~deadline:(started +. config.session_timeout) reactor;
-  (* Surface the datapath's allocation behaviour: minor words burned per
-     datagram moved (the end-host cost §5 bounds throughput by) and how
-     hard the pool worked.  A leak — a pooled buffer still checked out
+  (* Surface the datapath's cost profile: minor words and syscalls burned
+     per datagram moved (the end-host cost §5 bounds throughput by) and
+     how hard the pool worked.  A leak — a pooled buffer still checked out
      after the loop drained — is a driver bug and raises. *)
   let minor_words = Gc.minor_words () -. minor_words_before in
   let moved = Metrics.count datagrams_tx + Metrics.count datagrams_rx in
   Metrics.set
     (Metrics.gauge metrics "datapath.minor_words_per_datagram")
     (minor_words /. float_of_int (max 1 moved));
+  Metrics.set
+    (Metrics.gauge metrics "udp.syscalls_per_datagram")
+    (float_of_int (Metrics.count syscalls_tx + Metrics.count syscalls_rx)
+    /. float_of_int (max 1 moved));
   Metrics.set (Metrics.gauge metrics "pool.capacity") (float_of_int (Buffer_pool.capacity pool));
   Metrics.set
     (Metrics.gauge metrics "pool.peak_outstanding")
@@ -687,40 +871,35 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed 
   Buffer_pool.assert_quiescent pool;
 
   let session_reports =
-    Array.init nsessions (fun sid ->
+    Array.init nsessions (fun index ->
         let completed =
           Array.fold_left
-            (fun acc per_rx -> if per_rx.(sid) = tg_counts.(sid) then acc + 1 else acc)
+            (fun acc per_rx -> if per_rx.(index) = tg_counts.(index) then acc + 1 else acc)
             0 completed_tgs
         in
         {
-          session = sid;
-          transmission_groups = tg_counts.(sid);
-          data_tx = Np_machine.Sender.data_tx senders.(sid).machine;
-          parity_tx = Np_machine.Sender.parity_tx senders.(sid).machine;
-          polls = Np_machine.Sender.polls senders.(sid).machine;
+          session = sids.(index);
+          transmission_groups = tg_counts.(index);
+          data_tx = Np_machine.Sender.data_tx senders.(index).machine;
+          parity_tx = Np_machine.Sender.parity_tx senders.(index).machine;
+          polls = Np_machine.Sender.polls senders.(index).machine;
           completed;
-          verified = verified.(sid) && completed = receivers;
-          ejected = List.rev ejected.(sid);
+          verified = verified.(index) && completed = receivers;
+          ejected = List.rev ejected.(index);
         })
   in
   let sum_rx f = Array.fold_left (fun acc r -> acc + f r) 0 rxs in
-  let multi =
-    {
-      receivers;
-      session_reports;
-      naks_sent = sum_rx (fun r -> Np_machine.Receiver.naks_sent r.machine);
-      naks_suppressed = sum_rx (fun r -> Np_machine.Receiver.naks_suppressed r.machine);
-      datagrams_dropped = sum_rx (fun r -> r.dropped);
-      decode_failures = sum_rx (fun r -> r.decode_failures);
-      all_verified = Array.for_all (fun s -> s.verified) session_reports;
-      wall_seconds = Unix.gettimeofday () -. started;
-      counters = Metrics.counters metrics;
-    }
-  in
-  Unix.close sender_socket;
-  Array.iter (fun net -> Unix.close net.socket) receiver_nets;
-  multi
+  {
+    receivers;
+    session_reports;
+    naks_sent = sum_rx (fun r -> Np_machine.Receiver.naks_sent r.machine);
+    naks_suppressed = sum_rx (fun r -> Np_machine.Receiver.naks_suppressed r.machine);
+    datagrams_dropped = sum_rx (fun r -> r.dropped);
+    decode_failures = sum_rx (fun r -> r.decode_failures);
+    all_verified = Array.for_all (fun s -> s.verified) session_reports;
+    wall_seconds = Unix.gettimeofday () -. started;
+    counters = Metrics.counters metrics;
+  }
 
 let validate ~context ~config ~receivers ~loss ~sessions =
   if Array.exists (fun data -> Array.length data = 0) sessions || Array.length sessions = 0
@@ -747,25 +926,27 @@ let validate ~context ~config ~receivers ~loss ~sessions =
 
 (* --- entry points ------------------------------------------------------ *)
 
-let run_multi ?(config = default_config) ?metrics ?trace ?recorder ?faults ~receivers
-    ~loss ~seed ~sessions () =
+let identity_sids sessions = Array.init (Array.length sessions) Fun.id
+
+let run_multi ?(config = default_config) ?metrics ?trace ?recorder ?faults
+    ?(transport = `Unicast) ~receivers ~loss ~seed ~sessions () =
   match validate ~context:"Udp_np.run_multi" ~config ~receivers ~loss ~sessions with
   | Error _ as e -> e
   | Ok () ->
     let metrics = match metrics with Some m -> m | None -> Metrics.create () in
     let sender_metrics sid = Metrics.scope metrics (Printf.sprintf "session.%d" sid) in
     Ok
-      (run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed
-         ~sessions ~sender_metrics)
+      (run_engine ~config ~metrics ~trace ~recorder ~faults ~transport ~receivers ~loss
+         ~seed ~sessions ~sids:(identity_sids sessions) ~sender_metrics)
 
-let run_multi_exn ?config ?metrics ?trace ?recorder ?faults ~receivers ~loss ~seed
-    ~sessions () =
+let run_multi_exn ?config ?metrics ?trace ?recorder ?faults ?transport ~receivers ~loss
+    ~seed ~sessions () =
   Error.get_exn
-    (run_multi ?config ?metrics ?trace ?recorder ?faults ~receivers ~loss ~seed ~sessions
-       ())
+    (run_multi ?config ?metrics ?trace ?recorder ?faults ?transport ~receivers ~loss ~seed
+       ~sessions ())
 
-let run_local ?(config = default_config) ?metrics ?trace ?recorder ?faults ~receivers
-    ~loss ~seed ~data () =
+let run_local ?(config = default_config) ?metrics ?trace ?recorder ?faults
+    ?(transport = `Unicast) ~receivers ~loss ~seed ~data () =
   match
     validate ~context:"Udp_np.run_local" ~config ~receivers ~loss ~sessions:[| data |]
   with
@@ -774,8 +955,10 @@ let run_local ?(config = default_config) ?metrics ?trace ?recorder ?faults ~rece
     let metrics = match metrics with Some m -> m | None -> Metrics.create () in
     (* Single session: sid 0, unscoped counters, byte-identical wire ids. *)
     let multi =
-      run_engine ~config ~metrics ~trace ~recorder ~faults ~receivers ~loss ~seed
+      run_engine ~config ~metrics ~trace ~recorder ~faults ~transport ~receivers ~loss
+        ~seed
         ~sessions:[| data |]
+        ~sids:[| 0 |]
         ~sender_metrics:(fun _ -> metrics)
     in
     let s = multi.session_reports.(0) in
@@ -797,7 +980,73 @@ let run_local ?(config = default_config) ?metrics ?trace ?recorder ?faults ~rece
         counters = multi.counters;
       }
 
-let run_local_exn ?config ?metrics ?trace ?recorder ?faults ~receivers ~loss ~seed ~data
+let run_local_exn ?config ?metrics ?trace ?recorder ?faults ?transport ~receivers ~loss
+    ~seed ~data () =
+  Error.get_exn
+    (run_local ?config ?metrics ?trace ?recorder ?faults ?transport ~receivers ~loss ~seed
+       ~data ())
+
+(* --- sharded runs: one reactor per domain ------------------------------ *)
+
+(* Contiguous balanced partition of [0, n) into [shards] slices. *)
+let shard_slices ~shards n =
+  let q = n / shards and r = n mod shards in
+  Array.init shards (fun shard ->
+      let lo = (shard * q) + min shard r in
+      let size = q + if shard < r then 1 else 0 in
+      Array.init size (fun i -> lo + i))
+
+let run_sharded ?(config = default_config) ?metrics ?(transport = `Unicast) ~shards
+    ~receivers ~loss ~seed ~sessions () =
+  let context = "Udp_np.run_sharded" in
+  match validate ~context ~config ~receivers ~loss ~sessions with
+  | Error _ as e -> e
+  | Ok () ->
+    if shards < 1 then Error.invalid_arg ~context "need at least one shard"
+    else begin
+      let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+      let nsessions = Array.length sessions in
+      let shards = min shards nsessions in
+      let slices = shard_slices ~shards nsessions in
+      (* Per-session sender counters keep their global sid scope; the flat
+         udp/rx/tx counters are shared atomics, so shard totals sum. *)
+      let sender_metrics sid = Metrics.scope metrics (Printf.sprintf "session.%d" sid) in
+      let run_shard shard =
+        let sids = slices.(shard) in
+        run_engine ~config ~metrics ~trace:None ~recorder:None ~faults:None ~transport
+          ~receivers ~loss
+          ~seed:(seed + (shard * 16127))
+          ~sessions:(Array.map (fun sid -> sessions.(sid)) sids)
+          ~sids ~sender_metrics
+      in
+      let spawned =
+        Array.init (shards - 1) (fun i -> Domain.spawn (fun () -> run_shard (i + 1)))
+      in
+      let first = run_shard 0 in
+      let rest = Array.map Domain.join spawned in
+      let shard_reports = Array.append [| first |] rest in
+      let merged = Array.make nsessions first.session_reports.(0) in
+      Array.iter
+        (fun (r : multi_report) ->
+          Array.iter (fun s -> merged.(s.session) <- s) r.session_reports)
+        shard_reports;
+      let sum f = Array.fold_left (fun acc r -> acc + f r) 0 shard_reports in
+      Ok
+        {
+          receivers;
+          session_reports = merged;
+          naks_sent = sum (fun r -> r.naks_sent);
+          naks_suppressed = sum (fun r -> r.naks_suppressed);
+          datagrams_dropped = sum (fun r -> r.datagrams_dropped);
+          decode_failures = sum (fun r -> r.decode_failures);
+          all_verified = Array.for_all (fun s -> s.verified) merged;
+          wall_seconds =
+            Array.fold_left (fun acc r -> Float.max acc r.wall_seconds) 0.0 shard_reports;
+          counters = Metrics.counters metrics;
+        }
+    end
+
+let run_sharded_exn ?config ?metrics ?transport ~shards ~receivers ~loss ~seed ~sessions
     () =
   Error.get_exn
-    (run_local ?config ?metrics ?trace ?recorder ?faults ~receivers ~loss ~seed ~data ())
+    (run_sharded ?config ?metrics ?transport ~shards ~receivers ~loss ~seed ~sessions ())

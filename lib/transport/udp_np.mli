@@ -2,10 +2,28 @@
 
     The same state machine as {!Rmc_proto.Np}, bound to the wire format of
     {!Rmc_wire.Header} and driven by the {!Reactor} wall-clock event loop.
-    Multicast is emulated by unicast fan-out (one [sendto] per group
-    member), which preserves every protocol property that matters here —
-    NAK suppression in particular: receivers really do overhear each
-    other's NAK datagrams and cancel their timers.
+
+    Two transports are available.  [`Unicast] (the default) emulates
+    multicast by fan-out — each datagram goes once to every group member —
+    which preserves every protocol property that matters here, NAK
+    suppression in particular: receivers really do overhear each other's
+    NAK datagrams and cancel their timers.  [`Multicast] uses real
+    [IP_ADD_MEMBERSHIP] group sockets on the loopback interface: the
+    sender transmits each datagram {e once} to a 239.255.x.y group and the
+    kernel fans it out to every joined member (gate on
+    {!Udp_multicast.is_available} — not every environment routes multicast
+    over loopback).
+
+    The datapath is batched end to end: a sender tick's messages coalesce
+    back to back into pooled {e frames} (the wire format is
+    self-delimiting, see {!Rmc_wire.Header.frame_length}) and the tick's
+    (frame, destination) pairs go to the kernel through one
+    [sendmmsg]-backed flush; each socket drains through a [recvmmsg]
+    receive ring.  On platforms without those syscalls the same code runs
+    over a portable one-datagram-per-syscall fallback
+    ({!Udp_batch.native}).  [udp.syscalls_tx]/[udp.syscalls_rx] count
+    every kernel entry, and the [udp.syscalls_per_datagram] gauge is the
+    honest quotient the packet-rate bench gates on.
 
     {!run_local} wires a full session over the loopback interface: one
     sender and R receivers, each on its own ephemeral UDP port, with
@@ -21,7 +39,17 @@
     id), NAKs coming back on the shared socket are routed to the owning
     session's sender, and all sessions share the memoized {!Rmc_rse}
     codec cache.  Per-session sender metrics live under a
-    [session.<sid>.] scope of the shared registry. *)
+    [session.<sid>.] scope of the shared registry.
+
+    {!run_sharded} partitions the sessions of a {!run_multi}-style run
+    across OCaml domains — one reactor, one socket set and one buffer pool
+    per shard, so no mutable transport state crosses a domain boundary;
+    only the {!Rmc_obs.Metrics} registry (atomic counters) and the
+    memoized codec cache (mutex) are shared.  Session ids stay global:
+    shard s's wire sids are its slice of [0, N), and the merged report is
+    indexed exactly like {!run_multi}'s. *)
+
+type transport = [ `Unicast | `Multicast ]
 
 type config = {
   k : int;
@@ -65,6 +93,17 @@ val max_datagram : int
 (** Upper bound on a datagram this driver sends or receives (65536);
     [payload_size] may not exceed [max_datagram - Header.header_size]. *)
 
+val max_frame : int
+(** The largest UDP payload the kernel accepts in one datagram (65507);
+    the budget a coalesced frame is packed up to. *)
+
+val retry_eintr : (unit -> 'a) -> 'a
+(** Run a syscall thunk, retrying as long as it raises
+    [Unix.Unix_error (EINTR, _, _)] — a signal landing mid-syscall must
+    never surface as a transport error or a dropped datagram.  Every
+    send/recv in this driver goes through it (the C stubs retry EINTR
+    in-kernel the same way); exposed for the regression test. *)
+
 val drain :
   ?on_decode_error:(unit -> unit) ->
   scratch:Bytes.t ->
@@ -72,14 +111,17 @@ val drain :
   (Rmc_wire.Header.message -> Unix.sockaddr -> unit) ->
   unit
 (** [drain ~scratch socket handle] reads every datagram queued on the
-    (non-blocking) [socket], decoding each in place with
-    {!Rmc_wire.Header.decode_slice} and calling [handle message from].
-    [scratch] is the caller's reusable recv buffer (at least
-    {!max_datagram} bytes): each datagram is overwritten by the next, and
-    the only per-datagram allocations are the decoded message and its
-    payload copy.  Undecodable datagrams invoke [on_decode_error] and are
-    skipped.  Exposed for the allocation-regression tests; the drivers
-    call it through their per-socket scratch. *)
+    (non-blocking) [socket] and walks each as a coalesced frame: every
+    message is decoded in place with {!Rmc_wire.Header.decode_slice} and
+    passed to [handle message from].  [scratch] is the caller's reusable
+    recv buffer (at least {!max_datagram} bytes): each datagram is
+    overwritten by the next, and the only per-message allocations are the
+    decoded message and its payload copy.  A message that cannot be
+    delimited ends that datagram's walk ([on_decode_error] once); one that
+    delimits but fails validation (corrupted CRC) invokes
+    [on_decode_error] and the walk continues.  Exposed for the
+    allocation-regression and framing tests; the drivers drain through
+    per-socket [recvmmsg] rings with the same framing semantics. *)
 
 val receiver_machine_seed : seed:int -> id:int -> int
 (** Seed of receiver [id]'s damping RNG, derived from the run [seed].
@@ -134,6 +176,7 @@ val run_local :
   ?trace:Rmc_obs.Trace.t ->
   ?recorder:Rmc_obs.Recorder.t ->
   ?faults:Rmc_obs.Fault.spec ->
+  ?transport:transport ->
   receivers:int ->
   loss:float ->
   seed:int ->
@@ -141,6 +184,12 @@ val run_local :
   unit ->
   (report, Rmc_core.Error.t) result
 (** Run a complete session on 127.0.0.1.
+
+    [transport] selects the socket layer (default [`Unicast]); with
+    [`Multicast] the group is derived from [seed] (see
+    {!Udp_multicast.group_of_seed}) and each receiver additionally owns a
+    small unicast socket its NAKs leave from, so peers can tell NAK
+    sources apart on the shared group port.
 
     [trace] receives driver events ([udp.tx_error], fault-shim events) in
     addition to the protocol traces the machines emit.
@@ -157,13 +206,18 @@ val run_local :
     [tx.exhausted], [sender.naks_rx], [sender.repair_rounds]; receivers
     [rx.data]/[rx.parity]/[rx.poll]/[rx.exhausted], [rx.naks_tx],
     [rx.naks_overheard], [rx.naks_suppressed], [rx.decode_failures],
-    [rx.loss_dropped], [rx.duplicates]; plus the reactor and fault-shim
+    [rx.loss_dropped], [rx.duplicates]; transport
+    [udp.datagrams_tx]/[udp.datagrams_rx]/[udp.syscalls_tx]/
+    [udp.syscalls_rx]/[udp.tx_errors]; plus the reactor and fault-shim
     counters.
 
     [faults] arms an {!Rmc_obs.Fault} shim at the sender's datagram
-    boundary: every data/parity datagram of the unicast fan-out passes
-    through it per destination, so each receiver sees an independent
-    drop/duplicate/reorder/delay/corrupt pattern.  Control datagrams are
+    boundary: every data/parity datagram passes through it per destination
+    (frames carry one message each while the shim is armed), so each
+    receiver of the unicast fan-out sees an independent
+    drop/duplicate/reorder/delay/corrupt pattern — under [`Multicast] the
+    single group destination makes shim faults upstream-shared instead,
+    like loss on the link before the fan-out.  Control datagrams are
     spared, matching the reception-loss model.  Corrupted datagrams are
     caught by the header CRC on reception and show up as
     [rx.decode_failures].
@@ -177,6 +231,7 @@ val run_local_exn :
   ?trace:Rmc_obs.Trace.t ->
   ?recorder:Rmc_obs.Recorder.t ->
   ?faults:Rmc_obs.Fault.spec ->
+  ?transport:transport ->
   receivers:int ->
   loss:float ->
   seed:int ->
@@ -191,6 +246,7 @@ val run_multi :
   ?trace:Rmc_obs.Trace.t ->
   ?recorder:Rmc_obs.Recorder.t ->
   ?faults:Rmc_obs.Fault.spec ->
+  ?transport:transport ->
   receivers:int ->
   loss:float ->
   seed:int ->
@@ -217,6 +273,7 @@ val run_multi_exn :
   ?trace:Rmc_obs.Trace.t ->
   ?recorder:Rmc_obs.Recorder.t ->
   ?faults:Rmc_obs.Fault.spec ->
+  ?transport:transport ->
   receivers:int ->
   loss:float ->
   seed:int ->
@@ -224,3 +281,49 @@ val run_multi_exn :
   unit ->
   multi_report
 (** @raise Invalid_argument where {!run_multi} would return [Error]. *)
+
+val run_sharded :
+  ?config:config ->
+  ?metrics:Rmc_obs.Metrics.t ->
+  ?transport:transport ->
+  shards:int ->
+  receivers:int ->
+  loss:float ->
+  seed:int ->
+  sessions:Bytes.t array array ->
+  unit ->
+  (multi_report, Rmc_core.Error.t) result
+(** {!run_multi} partitioned across [min shards (Array.length sessions)]
+    OCaml domains.  Sessions are split into contiguous slices; each shard
+    runs its own reactor, sender socket, receiver sockets (each shard has
+    its own [receivers] receivers) and buffer pool, so the per-shard
+    transport is exactly a {!run_multi} and no mutable driver state
+    crosses domains.  The shared [metrics] registry is domain-safe
+    (atomic counters — shard contributions sum; gauges are last-writer);
+    per-session sender counters keep their global [session.<sid>.]
+    scopes.  Under [`Multicast] each shard derives its own group, so
+    shards never hear each other.
+
+    The merged report is indexed by global session id, [naks_sent] and
+    friends are summed, [wall_seconds] is the slowest shard, and
+    [receivers] refers to each shard's receiver count (total sockets
+    scale with [shards]).
+
+    [trace], [recorder] and [faults] are deliberately absent: none of
+    those sinks is domain-safe.
+
+    Returns [Error] (context ["Udp_np.run_sharded"]) on the
+    {!run_multi} conditions or [shards < 1]. *)
+
+val run_sharded_exn :
+  ?config:config ->
+  ?metrics:Rmc_obs.Metrics.t ->
+  ?transport:transport ->
+  shards:int ->
+  receivers:int ->
+  loss:float ->
+  seed:int ->
+  sessions:Bytes.t array array ->
+  unit ->
+  multi_report
+(** @raise Invalid_argument where {!run_sharded} would return [Error]. *)

@@ -193,6 +193,28 @@ let decode_slice buffer ~off ~len =
 
 let decode buffer = decode_slice buffer ~off:0 ~len:(Bytes.length buffer)
 
+(* Coalesced frames: one UDP datagram may carry several consecutive
+   messages (the batched transport packs a whole tick into one frame).
+   [frame_length] reads just enough of the message at [off] — magic,
+   version, payload length — to delimit it, so a frame walk is
+   [frame_length] + [decode_slice] per message with no second parse of
+   the payload. *)
+let frame_length buffer ~off ~len =
+  if off < 0 || len < 0 || off > Bytes.length buffer - len then Error "slice out of bounds"
+  else if len < header_size then Error "truncated header"
+  else if
+    not
+      (Bytes.get buffer off = 'R'
+      && Bytes.get buffer (off + 1) = 'M'
+      && Bytes.get buffer (off + 2) = 'C'
+      && Bytes.get buffer (off + 3) = 'P')
+  then Error "bad magic"
+  else if Bytes.get_uint8 buffer (off + 4) <> version then Error "unsupported version"
+  else begin
+    let total = header_size + get_u32 buffer (off + 18) in
+    if total > len then Error "truncated message" else Ok total
+  end
+
 let equal a b =
   match (a, b) with
   | Data x, Data y ->

@@ -82,6 +82,16 @@ val decode : Bytes.t -> (message, string) result
     malformed input (bad magic, truncation, checksum mismatch,
     out-of-range fields...). *)
 
+val frame_length : Bytes.t -> off:int -> len:int -> (int, string) result
+(** [frame_length buffer ~off ~len] delimits the message starting at
+    [off] inside a {e coalesced frame} — a datagram carrying several
+    consecutive encoded messages (the batched transport packs a whole
+    tick's sends into one frame).  It validates only magic and version,
+    then returns [header_size + payload_length] bounded by [len]; feed
+    the result to {!decode_slice} and advance by it to walk the frame.
+    Never raises; a message whose length field points past [len] is
+    [Error "truncated message"]. *)
+
 val decode_slice : Bytes.t -> off:int -> len:int -> (message, string) result
 (** [decode_slice buffer ~off ~len] parses the datagram occupying
     [\[off, off+len)] of [buffer], reading nothing outside that range and

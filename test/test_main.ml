@@ -18,6 +18,7 @@ let () =
       ("wire", Test_wire.suite);
       ("obs", Test_obs.suite);
       ("udp", Test_udp.suite);
+      ("transport", Test_transport.suite);
       ("datapath", Test_datapath.suite);
       ("machine", Test_machine.suite);
       ("replay", Test_replay.suite);

@@ -1,0 +1,308 @@
+(* The line-rate transport layer: batched sendmmsg/recvmmsg I/O, coalesced
+   frames, true multicast sockets, domain-sharded runs — and the bugfix
+   sweep's regression tests (fd leaks on failed engine bring-up, EINTR
+   retries, atomic metrics under domains, per-domain pools, the reactor's
+   FD_SETSIZE guard). *)
+
+module Udp = Rmcast.Udp_np
+module Udp_batch = Rmcast.Udp_batch
+module Udp_multicast = Rmcast.Udp_multicast
+module Reactor = Rmcast.Reactor
+module Header = Rmcast.Header
+module Buffer_pool = Rmcast.Buffer_pool
+module Metrics = Rmcast.Metrics
+
+let payloads ~count ~size seed =
+  let rng = Rmcast.Rng.create ~seed () in
+  Array.init count (fun _ -> Bytes.init size (fun _ -> Char.chr (Rmcast.Rng.int rng 256)))
+
+let config = { Udp.default_config with session_timeout = 20.0 }
+
+let udp_socket () =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.set_nonblock socket;
+  socket
+
+(* --- batched send/recv ------------------------------------------------- *)
+
+let test_udp_batch_roundtrip () =
+  let tx = udp_socket () and rx = udp_socket () in
+  let dest = Unix.getsockname rx in
+  let n = 10 in
+  let batch = Udp_batch.send_create ~capacity:4 () in
+  for i = 0 to n - 1 do
+    (* capacity 4 forces the batch to grow mid-fill *)
+    Udp_batch.add batch (Bytes.make 32 (Char.chr (65 + i))) ~len:32 dest
+  done;
+  Alcotest.(check int) "entries pending" n (Udp_batch.send_length batch);
+  let { Udp_batch.sent; errors; syscalls } = Udp_batch.flush batch tx in
+  Alcotest.(check int) "all sent" n sent;
+  Alcotest.(check int) "no errors" 0 errors;
+  Alcotest.(check int) "batch empty after flush" 0 (Udp_batch.send_length batch);
+  if Udp_batch.native then
+    Alcotest.(check int) "one syscall carried the batch" 1 syscalls;
+  ignore (Unix.select [ rx ] [] [] 1.0);
+  let ring = Udp_batch.recv_create ~slots:16 ~buf_size:64 () in
+  let got = Udp_batch.recv_batch ring rx in
+  Alcotest.(check int) "one drain returns the batch" n got;
+  for i = 0 to got - 1 do
+    Alcotest.(check int) "length" 32 (Udp_batch.slot_len ring i);
+    Alcotest.(check char)
+      (Printf.sprintf "slot %d payload" i)
+      (Char.chr (65 + i))
+      (Bytes.get (Udp_batch.slot ring i) 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "slot %d source" i)
+      true
+      (Udp_batch.slot_from ring i = Unix.getsockname tx)
+  done;
+  Alcotest.(check int) "socket dry" 0 (Udp_batch.recv_batch ring rx);
+  Unix.close tx;
+  Unix.close rx
+
+(* --- coalesced frames --------------------------------------------------- *)
+
+let test_frame_walk () =
+  (* Three messages packed back to back in one datagram decode in order;
+     a corrupted message mid-frame is skipped (its boundary still
+     delimits) and the walk continues. *)
+  let messages =
+    [
+      Header.Data { tg_id = 1; k = 4; index = 0; payload = Bytes.make 48 'a' };
+      Header.Poll { tg_id = 1; k = 4; size = 4; round = 0 };
+      Header.Data { tg_id = 1; k = 4; index = 1; payload = Bytes.make 48 'b' };
+    ]
+  in
+  let frame = Bytes.create 512 in
+  let offsets_len =
+    List.fold_left
+      (fun off message -> off + Header.encode_into frame ~off message)
+      0 messages
+  in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_DGRAM 0 in
+  Unix.set_nonblock b;
+  ignore (Unix.send a frame 0 offsets_len []);
+  (* same frame with the middle message's checksum flipped *)
+  let second_off = Header.encoded_size (List.hd messages) in
+  Bytes.set frame (second_off + 22) (Char.chr (Char.code (Bytes.get frame (second_off + 22)) lxor 0xFF));
+  ignore (Unix.send a frame 0 offsets_len []);
+  let scratch = Bytes.create Udp.max_datagram in
+  let decoded = ref [] and failures = ref 0 in
+  Udp.drain
+    ~on_decode_error:(fun () -> incr failures)
+    ~scratch b
+    (fun message _from -> decoded := message :: !decoded);
+  Unix.close a;
+  Unix.close b;
+  let decoded = List.rev !decoded in
+  Alcotest.(check int) "five messages across both frames" 5 (List.length decoded);
+  Alcotest.(check int) "one corrupt message counted" 1 !failures;
+  List.iteri
+    (fun i (expected, got) ->
+      Alcotest.(check bool) (Printf.sprintf "clean frame message %d" i) true
+        (Header.equal expected got))
+    (List.combine messages [ List.nth decoded 0; List.nth decoded 1; List.nth decoded 2 ])
+
+let test_drain_oversized_datagram () =
+  (* A datagram bigger than the recv scratch is truncated by the kernel;
+     the frame walk reports it undecodable and the drain moves on to the
+     next datagram instead of wedging or crashing. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_DGRAM 0 in
+  Unix.set_nonblock b;
+  let big =
+    Header.encode (Header.Data { tg_id = 7; k = 4; index = 0; payload = Bytes.make 400 'x' })
+  in
+  ignore (Unix.send a big 0 (Bytes.length big) []);
+  let small = Header.encode (Header.Poll { tg_id = 7; k = 4; size = 4; round = 0 }) in
+  ignore (Unix.send a small 0 (Bytes.length small) []);
+  let scratch = Bytes.create 128 in
+  let decoded = ref [] and failures = ref 0 in
+  Udp.drain
+    ~on_decode_error:(fun () -> incr failures)
+    ~scratch b
+    (fun message _from -> decoded := message :: !decoded);
+  Unix.close a;
+  Unix.close b;
+  Alcotest.(check int) "truncated datagram counted" 1 !failures;
+  Alcotest.(check int) "later datagram still decoded" 1 (List.length !decoded)
+
+(* --- bugfix sweep -------------------------------------------------------- *)
+
+let open_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_no_fd_leak_on_failed_run () =
+  (* Regression: a raise between socket creation and teardown (here the
+     codec constructor rejecting k + h > 255 after every socket exists)
+     used to leak the whole socket set.  The engine now tracks each
+     descriptor from birth and closes them in one Fun.protect finalizer. *)
+  let failing = { config with k = 200; h = 200; payload_size = 64 } in
+  let data = payloads ~count:200 ~size:64 17 in
+  let before = open_fds () in
+  (match Udp.run_local ~config:failing ~receivers:3 ~loss:0.0 ~seed:18 ~data () with
+  | Ok _ -> Alcotest.fail "expected the codec constructor to raise"
+  | Error e -> Alcotest.fail ("expected a raise, got Error: " ^ Rmcast.Error.to_string e)
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "every socket closed despite the raise" before (open_fds ())
+
+let test_retry_eintr () =
+  let calls = ref 0 in
+  let value =
+    Udp.retry_eintr (fun () ->
+        incr calls;
+        if !calls <= 3 then raise (Unix.Unix_error (Unix.EINTR, "sendto", ""));
+        42)
+  in
+  Alcotest.(check int) "value through repeated EINTR" 42 value;
+  Alcotest.(check int) "retried until a real outcome" 4 !calls;
+  Alcotest.check_raises "non-EINTR escapes immediately"
+    (Unix.Unix_error (Unix.EPERM, "sendto", "")) (fun () ->
+      ignore
+        (Udp.retry_eintr (fun () -> raise (Unix.Unix_error (Unix.EPERM, "sendto", "")))))
+
+let test_metrics_domain_hammer () =
+  (* Counters are lock-free atomics and handle creation is serialized:
+     four domains hammering one counter (some through fresh name lookups)
+     must land on the exact total — the old plain-int RMW lost updates. *)
+  let metrics = Metrics.create () in
+  let c = Metrics.counter metrics "hammer.total" in
+  let per_domain = 25_000 in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let mine = Metrics.counter metrics "hammer.total" in
+            for _ = 1 to per_domain do
+              Metrics.incr mine
+            done;
+            Metrics.incr ~by:(d + 1) (Metrics.counter metrics "hammer.total")))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "exact total across domains"
+    ((4 * per_domain) + 1 + 2 + 3 + 4)
+    (Metrics.count c)
+
+let test_pool_rejects_cross_domain_use () =
+  (* Pools are deliberately per-domain (each shard owns its own); using
+     one from a foreign domain is a sharding bug and fails loudly instead
+     of corrupting the free list. *)
+  let pool = Buffer_pool.create ~capacity:2 ~buf_size:64 () in
+  let rejected =
+    Domain.join
+      (Domain.spawn (fun () ->
+           match Buffer_pool.checkout pool with
+           | _ -> false
+           | exception Invalid_argument _ -> true))
+  in
+  Alcotest.(check bool) "foreign-domain checkout rejected" true rejected;
+  Buffer_pool.with_buf pool (fun _ -> ());
+  Buffer_pool.assert_quiescent pool
+
+let test_reactor_max_fds_guard () =
+  (* select silently breaks past FD_SETSIZE, so the reactor refuses new
+     descriptors at its cap — loudly, before corruption. *)
+  (match Reactor.create ~max_fds:0 () with
+  | _ -> Alcotest.fail "max_fds 0 accepted"
+  | exception Invalid_argument _ -> ());
+  let reactor = Reactor.create ~max_fds:2 () in
+  let pairs = Array.init 3 (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_DGRAM 0) in
+  let fd i = fst pairs.(i) in
+  Reactor.on_readable reactor (fd 0) ignore;
+  Reactor.on_readable reactor (fd 1) ignore;
+  (* replacing a registered descriptor is not a new registration *)
+  Reactor.on_readable reactor (fd 1) ignore;
+  (match Reactor.on_readable reactor (fd 2) ignore with
+  | () -> Alcotest.fail "registration beyond max_fds accepted"
+  | exception Failure _ -> ());
+  Reactor.remove reactor (fd 0);
+  Reactor.on_readable reactor (fd 2) ignore;
+  Array.iter
+    (fun (a, b) ->
+      Unix.close a;
+      Unix.close b)
+    pairs
+
+(* --- multicast and sharded sessions -------------------------------------- *)
+
+let test_multicast_session () =
+  if not (Udp_multicast.is_available ()) then ()
+  else begin
+    let data = payloads ~count:48 ~size:config.Udp.payload_size 21 in
+    let report =
+      Udp.run_local_exn ~config ~transport:`Multicast ~receivers:3 ~loss:0.1 ~seed:22
+        ~data ()
+    in
+    Alcotest.(check bool) "verified over real multicast" true report.Udp.verified;
+    Alcotest.(check int) "all receivers" 3 report.Udp.completed;
+    Alcotest.(check bool) "loss actually injected" true (report.Udp.datagrams_dropped > 0);
+    Alcotest.(check bool) "parity repair used" true (report.Udp.parity_tx > 0)
+  end
+
+let test_multicast_group_derivation () =
+  let g1 = Udp_multicast.group_of_seed 1 and g2 = Udp_multicast.group_of_seed 2 in
+  Alcotest.(check bool) "distinct seeds, distinct groups" true (g1 <> g2);
+  List.iter
+    (fun (g : Udp_multicast.group) ->
+      Alcotest.(check bool) "administratively scoped" true
+        (String.length g.address > 8 && String.sub g.address 0 8 = "239.255.");
+      Alcotest.(check bool) "port in range" true (g.port >= 20000 && g.port < 20000 + 32768))
+    [ g1; g2 ]
+
+let test_sharded_run () =
+  let sessions =
+    Array.init 4 (fun s -> payloads ~count:24 ~size:config.Udp.payload_size (100 + s))
+  in
+  let metrics = Metrics.create () in
+  let report =
+    Udp.run_sharded_exn ~config ~metrics ~shards:3 ~receivers:2 ~loss:0.05 ~seed:7
+      ~sessions ()
+  in
+  Alcotest.(check bool) "all sessions verified" true report.Udp.all_verified;
+  Alcotest.(check int) "one report per session" 4 (Array.length report.Udp.session_reports);
+  Array.iteri
+    (fun sid s ->
+      Alcotest.(check int) "global sid preserved" sid s.Udp.session;
+      Alcotest.(check int) "completed by both receivers" 2 s.Udp.completed;
+      Alcotest.(check bool)
+        (Printf.sprintf "session %d sender counters scoped" sid)
+        true
+        (Metrics.get metrics (Printf.sprintf "session.%d.tx.data" sid) = 24))
+    report.Udp.session_reports;
+  (* more shards than sessions clamps instead of spawning idle domains *)
+  let clamped =
+    Udp.run_sharded_exn ~config ~shards:16 ~receivers:1 ~loss:0.0 ~seed:8
+      ~sessions:(Array.sub sessions 0 2) ()
+  in
+  Alcotest.(check bool) "clamped shard count verified" true clamped.Udp.all_verified
+
+let test_sharded_multicast () =
+  if not (Udp_multicast.is_available ()) then ()
+  else begin
+    let sessions =
+      Array.init 2 (fun s -> payloads ~count:16 ~size:config.Udp.payload_size (200 + s))
+    in
+    let report =
+      Udp.run_sharded_exn ~config ~transport:`Multicast ~shards:2 ~receivers:2 ~loss:0.0
+        ~seed:9 ~sessions ()
+    in
+    Alcotest.(check bool) "sharded multicast verified" true report.Udp.all_verified
+  end
+
+let suite =
+  [
+    Alcotest.test_case "udp_batch send/recv roundtrip" `Quick test_udp_batch_roundtrip;
+    Alcotest.test_case "coalesced frame walk" `Quick test_frame_walk;
+    Alcotest.test_case "drain survives oversized datagram" `Quick
+      test_drain_oversized_datagram;
+    Alcotest.test_case "no fd leak when engine bring-up fails" `Quick
+      test_no_fd_leak_on_failed_run;
+    Alcotest.test_case "EINTR retried to a real outcome" `Quick test_retry_eintr;
+    Alcotest.test_case "metrics exact under domain hammer" `Quick
+      test_metrics_domain_hammer;
+    Alcotest.test_case "pool rejects cross-domain use" `Quick
+      test_pool_rejects_cross_domain_use;
+    Alcotest.test_case "reactor FD_SETSIZE guard" `Quick test_reactor_max_fds_guard;
+    Alcotest.test_case "multicast group derivation" `Quick test_multicast_group_derivation;
+    Alcotest.test_case "udp session over real multicast" `Quick test_multicast_session;
+    Alcotest.test_case "sharded multi-session run" `Quick test_sharded_run;
+    Alcotest.test_case "sharded multicast run" `Quick test_sharded_multicast;
+  ]
