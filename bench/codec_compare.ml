@@ -1,0 +1,340 @@
+(* The codec differential experiment: protocol NP's repair metrics and
+   the raw decode cost for each wire-selectable codec, side by side.
+
+   Two tiers:
+
+   - {b protocol}: E[M] (transmissions per packet), repair rounds and
+     feedback per TG from {!Runner.estimate} — RSE through the paper's
+     [Integrated_nak] machine, every other codec through [Coded_nak]
+     ({!Tg_coded}), where a repair reception counts only with the codec's
+     innovation probability.  Three loss models: Bernoulli, the paper's
+     §4.2 two-state Markov (Gilbert) burst channel, and a calibrated
+     full-binary-tree network with shared upstream losses.  Each (channel,
+     codec) pair reuses the same network seed, so the loss draws are
+     identical and the codecs differ only in repair efficiency.
+   - {b decode cost}: wall time to repair and decode a k-packet block
+     after a fixed loss pattern, straight through the ENCODER/DECODER
+     seam (repair payloads pre-encoded outside the timed region).
+
+   `--smoke` (wired to @bench-smoke, hence @ci) gates on: determinism
+   (same seed twice -> bit-identical metric fields), the MDS coincidence
+   (Coded_nak over cauchy must reproduce Integrated_nak's E[M] and
+   rounds {e exactly} — zero innovation draws), the RSE-parity floor
+   (RLNC E[M] within 5% of RSE under Bernoulli loss; LT's reception
+   overhead is reported but not gated), and decode correctness for every
+   codec.  The full run writes BENCH_CODEC.json (override: --out). *)
+
+open Rmcast
+
+type mode = Full | Smoke
+
+let mode = ref Full
+let out_path = ref "BENCH_CODEC.json"
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest | "--fast" :: rest ->
+      mode := Smoke;
+      parse rest
+    | "--out" :: path :: rest ->
+      out_path := path;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "usage: codec_compare [--smoke] [--out PATH] (got %S)\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let codecs = [ `Rse; `Cauchy; `Rlnc; `Lt ]
+
+(* --- protocol tier ------------------------------------------------------ *)
+
+let p = 0.05
+let mean_burst = 2.0
+let send_rate = 25.0
+let receivers = 100
+let tree_height = 7 (* 2^7 = 128 receivers *)
+let k = 16
+
+type channel = Bernoulli | Gilbert | Tree
+
+let channel_name = function
+  | Bernoulli -> "bernoulli"
+  | Gilbert -> "gilbert"
+  | Tree -> "tree"
+
+let channels = [ Bernoulli; Gilbert; Tree ]
+
+let make_network channel rng =
+  match channel with
+  | Bernoulli -> Network.independent rng ~receivers ~p
+  | Gilbert ->
+    Network.temporal rng ~receivers ~make:(fun r -> Loss.markov2 r ~p ~mean_burst ~send_rate)
+  | Tree -> Network.fbt rng ~height:tree_height ~p
+
+(* The burst channel is time-driven: it needs the paper's packet spacing
+   to see bursts at all. *)
+let timing_of = function
+  | Gilbert -> Timing.paper_burst
+  | Bernoulli | Tree -> Timing.instantaneous
+
+let scheme_of codec =
+  match codec with
+  | `Rse -> Runner.Integrated_nak { a = 0 }
+  | codec -> Runner.Coded_nak { a = 0; codec }
+
+type sample = {
+  channel : channel;
+  codec : Codec.kind;
+  reps : int;
+  mean_m : float;
+  ci_low : float;
+  ci_high : float;
+  rounds : float;
+  feedback : float;
+  wall : float;
+}
+
+(* One (channel, codec) point.  [seed] drives the network (shared across
+   codecs so the loss draws are identical) and, xor-folded, the innovation
+   stream Coded_nak consumes. *)
+let run_protocol ~seed ~channel ~codec ~reps =
+  let network = make_network channel (Rng.create ~seed ()) in
+  let rng = Rng.create ~seed:(seed lxor 0x5eed) () in
+  let est, wall =
+    timed (fun () ->
+        Runner.estimate network ~k ~scheme:(scheme_of codec) ~rng ~timing:(timing_of channel)
+          ~reps ())
+  in
+  let ci_low, ci_high = Stats.Accumulator.confidence95 est.Runner.transmissions_per_packet in
+  {
+    channel;
+    codec;
+    reps;
+    mean_m = Runner.mean_m est;
+    ci_low;
+    ci_high;
+    rounds = Stats.Accumulator.mean est.Runner.rounds;
+    feedback = Stats.Accumulator.mean est.Runner.feedback;
+    wall;
+  }
+
+let print_sample s =
+  Printf.printf "%-10s %-7s k=%-3d reps=%-5d E[M]=%.4f [%.4f, %.4f] rounds=%.3f fb=%.3f %8.2es\n%!"
+    (channel_name s.channel)
+    (Codec.kind_to_string s.codec)
+    k s.reps s.mean_m s.ci_low s.ci_high s.rounds s.feedback s.wall
+
+(* --- decode-cost tier --------------------------------------------------- *)
+
+let decode_k = 32
+let decode_payload = 1024
+let decode_drops = 8
+
+type cost = {
+  kind : Codec.kind;
+  blocks : int;
+  decode_wall : float;
+  blocks_per_s : float;
+  mb_per_s : float; (* decoded data throughput *)
+  repairs_consumed : int; (* on the measured pattern; = drops for MDS *)
+  correct : bool;
+}
+
+(* Repair + decode one block [blocks] times: the decoder-side cost of
+   losing the first [drops] data packets, with all candidate repair
+   payloads pre-encoded outside the timed region.  The rateless codecs
+   may consume more than [drops] repairs; the budget is generous enough
+   that a stall would show up as [correct = false], not an exception. *)
+let run_decode_cost ~kind ~blocks =
+  let (module C) = Codec.of_kind kind in
+  let k = decode_k and drops = decode_drops in
+  let h = drops + 56 in
+  let rng = Rng.create ~seed:0xdec0de () in
+  let data =
+    Array.init k (fun _ -> Bytes.init decode_payload (fun _ -> Char.chr (Rng.int rng 256)))
+  in
+  let enc = C.Encoder.create ~k ~h data in
+  let repairs = Array.init h (C.Encoder.repair enc) in
+  let consumed = ref 0 in
+  let correct = ref true in
+  let one () =
+    let dec = C.Decoder.create ~k ~h in
+    for i = drops to k - 1 do
+      ignore (C.Decoder.add dec ~index:i data.(i))
+    done;
+    let j = ref 0 in
+    while (not (C.Decoder.complete dec)) && !j < h do
+      ignore (C.Decoder.add dec ~index:(k + !j) repairs.(!j));
+      incr j
+    done;
+    consumed := !j;
+    if not (C.Decoder.complete dec && C.Decoder.decode dec = data) then correct := false
+  in
+  one () (* warm up and verify before timing *);
+  let (), decode_wall = timed (fun () -> for _ = 1 to blocks do one () done) in
+  let wall = Float.max 1e-9 decode_wall in
+  {
+    kind;
+    blocks;
+    decode_wall;
+    blocks_per_s = float_of_int blocks /. wall;
+    mb_per_s = float_of_int (blocks * k * decode_payload) /. wall /. 1e6;
+    repairs_consumed = !consumed;
+    correct = !correct;
+  }
+
+let print_cost c =
+  Printf.printf
+    "decode %-7s k=%d P=%d drops=%d: %9.1f blocks/s %8.1f MB/s (%d repairs)%s\n%!"
+    (Codec.kind_to_string c.kind)
+    decode_k decode_payload decode_drops c.blocks_per_s c.mb_per_s c.repairs_consumed
+    (if c.correct then "" else "  [WRONG DECODE]")
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let json_of ~samples ~costs ~elapsed =
+  let buffer = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let find channel codec =
+    List.find (fun s -> s.channel = channel && s.codec = codec) samples
+  in
+  pr "{\n";
+  pr "  \"meta\": {\n";
+  pr "    \"note\": \"per channel, every codec sees the same network seed (identical loss \
+      draws); rse runs the paper's Integrated_nak machine, the rest run Coded_nak with \
+      the codec's innovation probability\",\n";
+  pr "    \"k\": %d, \"receivers\": %d, \"tree_receivers\": %d,\n" k receivers
+    (1 lsl tree_height);
+  pr "    \"p\": %g, \"mean_burst\": %g, \"send_rate\": %g,\n" p mean_burst send_rate;
+  pr "    \"elapsed_s\": %.2f\n" elapsed;
+  pr "  },\n";
+  pr "  \"protocol\": [\n";
+  List.iteri
+    (fun i s ->
+      pr
+        "    {\"channel\": %S, \"codec\": %S, \"reps\": %d, \"mean_m\": %.6f, \"ci95\": \
+         [%.6f, %.6f], \"rounds\": %.4f, \"feedback\": %.4f, \"wall_s\": %.4f}%s\n"
+        (channel_name s.channel)
+        (Codec.kind_to_string s.codec)
+        s.reps s.mean_m s.ci_low s.ci_high s.rounds s.feedback s.wall
+        (if i = List.length samples - 1 then "" else ","))
+    samples;
+  pr "  ],\n";
+  pr "  \"decode_cost\": [\n";
+  List.iteri
+    (fun i c ->
+      pr
+        "    {\"codec\": %S, \"k\": %d, \"payload\": %d, \"drops\": %d, \"blocks\": %d, \
+         \"blocks_per_s\": %.1f, \"mb_per_s\": %.2f, \"repairs_consumed\": %d}%s\n"
+        (Codec.kind_to_string c.kind)
+        decode_k decode_payload decode_drops c.blocks c.blocks_per_s c.mb_per_s
+        c.repairs_consumed
+        (if i = List.length costs - 1 then "" else ","))
+    costs;
+  pr "  ],\n";
+  let ratio codec = (find Bernoulli codec).mean_m /. (find Bernoulli `Rse).mean_m in
+  pr "  \"summary\": {\n";
+  pr "    \"rlnc_over_rse_bernoulli\": %.4f,\n" (ratio `Rlnc);
+  pr "    \"lt_over_rse_bernoulli\": %.4f\n" (ratio `Lt);
+  pr "  }\n";
+  pr "}\n";
+  Buffer.contents buffer
+
+(* --- smoke gates -------------------------------------------------------- *)
+
+(* RLNC loses an innovation draw with probability ~q^-1 per repair, so its
+   Bernoulli E[M] sits within a fraction of a percent of RSE's; 5% only
+   trips on a broken innovation model.  LT's binary-proxy overhead is a
+   finding of the experiment, not a gate. *)
+let rse_parity_ceiling = 1.05
+
+let smoke () =
+  let failures = ref 0 in
+  let check name ok detail =
+    if not ok then begin
+      Printf.eprintf "SMOKE FAIL: %s (%s)\n" name detail;
+      incr failures
+    end
+  in
+  let reps = 150 in
+  let seed = 42 in
+  let rse = run_protocol ~seed ~channel:Bernoulli ~codec:`Rse ~reps in
+  let cauchy = run_protocol ~seed ~channel:Bernoulli ~codec:`Cauchy ~reps in
+  let rlnc = run_protocol ~seed ~channel:Bernoulli ~codec:`Rlnc ~reps in
+  let rlnc' = run_protocol ~seed ~channel:Bernoulli ~codec:`Rlnc ~reps in
+  let lt = run_protocol ~seed ~channel:Bernoulli ~codec:`Lt ~reps in
+  List.iter print_sample [ rse; cauchy; rlnc; lt ];
+  check "determinism"
+    (rlnc.mean_m = rlnc'.mean_m && rlnc.rounds = rlnc'.rounds && rlnc.ci_low = rlnc'.ci_low)
+    (Printf.sprintf "seed %d twice: E[M] %.17g vs %.17g" seed rlnc.mean_m rlnc'.mean_m);
+  check "mds coincidence (cauchy = rse machine)"
+    (cauchy.mean_m = rse.mean_m && cauchy.rounds = rse.rounds)
+    (Printf.sprintf "E[M] %.17g vs %.17g, rounds %.17g vs %.17g" cauchy.mean_m rse.mean_m
+       cauchy.rounds rse.rounds);
+  check "rse-parity floor (rlnc)"
+    (rlnc.mean_m <= rse_parity_ceiling *. rse.mean_m)
+    (Printf.sprintf "rlnc %.4f vs rse %.4f = %.3fx > %.2fx" rlnc.mean_m rse.mean_m
+       (rlnc.mean_m /. rse.mean_m) rse_parity_ceiling);
+  Printf.printf "lt overhead (reported, not gated): %.3fx rse\n%!" (lt.mean_m /. rse.mean_m);
+  List.iter
+    (fun kind ->
+      let c = run_decode_cost ~kind ~blocks:25 in
+      print_cost c;
+      check
+        (Printf.sprintf "decode correctness (%s)" (Codec.kind_to_string kind))
+        c.correct "repaired block differs from the original data")
+    codecs;
+  !failures
+
+(* --- main --------------------------------------------------------------- *)
+
+let () =
+  match !mode with
+  | Smoke ->
+    if smoke () > 0 then exit 1;
+    print_endline "bench-smoke ok"
+  | Full ->
+    let t0 = Unix.gettimeofday () in
+    let reps = 1500 in
+    let samples =
+      List.concat_map
+        (fun channel ->
+          (* One seed per channel, shared by all codecs on that channel. *)
+          let seed =
+            match channel with Bernoulli -> 1001 | Gilbert -> 1002 | Tree -> 1003
+          in
+          List.map (fun codec -> run_protocol ~seed ~channel ~codec ~reps) codecs)
+        channels
+    in
+    List.iter print_sample samples;
+    let costs = List.map (fun kind -> run_decode_cost ~kind ~blocks:400) codecs in
+    List.iter print_cost costs;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let json = json_of ~samples ~costs ~elapsed in
+    let oc = open_out !out_path in
+    output_string oc json;
+    close_out oc;
+    let bad = List.filter (fun c -> not c.correct) costs in
+    let rse_m =
+      (List.find (fun s -> s.channel = Bernoulli && s.codec = `Rse) samples).mean_m
+    in
+    let rlnc_m =
+      (List.find (fun s -> s.channel = Bernoulli && s.codec = `Rlnc) samples).mean_m
+    in
+    Printf.printf "headline: rlnc %.3fx rse E[M] under Bernoulli; wrote %s\n"
+      (rlnc_m /. rse_m) !out_path;
+    if bad <> [] || rlnc_m > rse_parity_ceiling *. rse_m then begin
+      List.iter
+        (fun c -> Printf.eprintf "WRONG DECODE: %s\n" (Codec.kind_to_string c.kind))
+        bad;
+      if rlnc_m > rse_parity_ceiling *. rse_m then
+        Printf.eprintf "RSE-PARITY FLOOR BROKEN: rlnc %.4f vs rse %.4f\n" rlnc_m rse_m;
+      exit 1
+    end

@@ -60,6 +60,21 @@ let scheme_arg =
     & info [ "scheme" ] ~docv:"SCHEME"
         ~doc:"Recovery scheme: no-fec, layered, integrated (finite h), integrated-bound.")
 
+let codec_arg =
+  let parse s =
+    match Rmcast.Profile.codec_of_string (String.lowercase_ascii s) with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown codec %S (rse, cauchy, rlnc, lt)" s))
+  in
+  let print ppf c = Format.pp_print_string ppf (Rmcast.Profile.codec_to_string c) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Rse
+    & info [ "codec" ] ~docv:"CODEC"
+        ~doc:
+          "Erasure codec for repair packets: $(i,rse) (default), $(i,cauchy) (both MDS \
+           block codes), $(i,rlnc) or $(i,lt) (rateless).")
+
 let high_loss_arg =
   Arg.(
     value & opt float 0.0
@@ -129,14 +144,14 @@ let sweep_cmd =
 
 (* --- simulate -------------------------------------------------------- *)
 
-let simulate scheme k h a p receivers seed reps fbt_height burst tier =
+let simulate scheme k h a p receivers seed reps fbt_height burst tier codec =
   let rng = Rmcast.Rng.create ~seed () in
   let runner_scheme =
-    match scheme with
-    | `No_fec -> Rmcast.Runner.No_fec
-    | `Layered -> Rmcast.Runner.Layered { h }
-    | `Integrated -> Rmcast.Runner.Integrated_nak { a }
-    | `Integrated_bound -> Rmcast.Runner.Integrated_nak { a }
+    match (scheme, codec) with
+    | `No_fec, _ -> Rmcast.Runner.No_fec
+    | `Layered, _ -> Rmcast.Runner.Layered { h }
+    | (`Integrated | `Integrated_bound), `Rse -> Rmcast.Runner.Integrated_nak { a }
+    | (`Integrated | `Integrated_bound), codec -> Rmcast.Runner.Coded_nak { a; codec }
   in
   let print_estimate ~network_description estimate =
     let mean = Rmcast.Runner.mean_m estimate in
@@ -178,6 +193,11 @@ let simulate scheme k h a p receivers seed reps fbt_height burst tier =
       match runner_scheme with
       | Rmcast.Runner.No_fec | Rmcast.Runner.Layered _ | Rmcast.Runner.Carousel _ ->
         `Error (false, "--tier aggregate only models the integrated schemes")
+      | Rmcast.Runner.Coded_nak _ ->
+        `Error
+          ( false,
+            "--tier aggregate models receivers by reception count, which assumes the MDS \
+             rse codec; rerun with --codec rse or --tier exact" )
       | Rmcast.Runner.Integrated_nak _ | Rmcast.Runner.Integrated_open_loop _ ->
         let channel, timing =
           match burst with
@@ -224,7 +244,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       ret (const simulate $ scheme_arg $ k_arg $ h_arg $ a_arg $ p_arg $ receivers_arg
-           $ seed_arg $ reps $ fbt $ burst $ tier))
+           $ seed_arg $ reps $ fbt $ burst $ tier $ codec_arg))
 
 (* --- plan ------------------------------------------------------------ *)
 
@@ -408,11 +428,11 @@ let codec_cmd =
 
 (* --- transfer -------------------------------------------------------- *)
 
-let transfer k h a p receivers seed bytes =
+let transfer k h a p receivers seed bytes codec =
   let rng = Rmcast.Rng.create ~seed () in
   let network = Rmcast.Network.independent (Rmcast.Rng.split rng) ~receivers ~p in
   let message = String.init bytes (fun i -> Char.chr ((i * 37) mod 256)) in
-  let profile = { Rmcast.Profile.default with k; h; proactive = a } in
+  let profile = { Rmcast.Profile.default with k; h; proactive = a; codec } in
   match Rmcast.Transfer.send ~profile ~network ~rng:(Rmcast.Rng.split rng) message with
   | Error e -> `Error (false, Rmcast.Error.to_string e)
   | Ok outcome ->
@@ -434,7 +454,7 @@ let transfer_cmd =
     (Cmd.info "transfer" ~doc)
     Term.(
       ret (const transfer $ k_arg $ Arg.(value & opt int 40 & info [ "parities" ]) $ a_arg $ p_arg
-           $ receivers_arg $ seed_arg $ bytes))
+           $ receivers_arg $ seed_arg $ bytes $ codec_arg))
 
 (* --- serve ------------------------------------------------------------ *)
 
@@ -549,7 +569,7 @@ let serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics ~captu
     else `Error (false, "some sessions failed verification")
 
 let serve sessions transport k h a payload p receivers seed bytes show_metrics capture
-    shards multicast =
+    shards multicast codec =
   if sessions < 1 then `Error (false, "--sessions must be >= 1")
   else if capture <> None && transport <> `Udp then
     `Error (false, "--capture requires --transport udp")
@@ -563,7 +583,7 @@ let serve sessions transport k h a payload p receivers seed bytes show_metrics c
     `Error (false, "--multicast: this environment does not route multicast over loopback")
   else
     let profile =
-      { Rmcast.Profile.default with k; h; proactive = a; payload_size = payload }
+      { Rmcast.Profile.default with k; h; proactive = a; payload_size = payload; codec }
     in
     match Rmcast.Profile.validate profile with
     | Error e -> `Error (false, Rmcast.Error.to_string e)
@@ -646,7 +666,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       ret (const serve $ sessions $ transport $ k $ h $ a_arg $ payload $ p_arg $ receivers
-           $ seed_arg $ bytes $ metrics $ capture $ shards $ multicast))
+           $ seed_arg $ bytes $ metrics $ capture $ shards $ multicast $ codec_arg))
 
 (* --- latency --------------------------------------------------------- *)
 
@@ -775,7 +795,7 @@ let trace_cmd =
 
 (* --- udp --------------------------------------------------------------- *)
 
-let udp receivers p seed packets payload metrics faults capture multicast =
+let udp receivers p seed packets payload metrics faults capture multicast codec =
   match
     match faults with
     | None -> Ok None
@@ -787,7 +807,7 @@ let udp receivers p seed packets payload metrics faults capture multicast =
     ignore faults;
     `Error (false, "--multicast: this environment does not route multicast over loopback")
   | Ok faults ->
-    let config = { Rmcast.Udp_np.default_config with payload_size = payload } in
+    let config = { Rmcast.Udp_np.default_config with payload_size = payload; codec } in
     let transport = if multicast then `Multicast else `Unicast in
     let rng = Rmcast.Rng.create ~seed () in
     let data =
@@ -868,7 +888,7 @@ let udp_cmd =
     (Cmd.info "udp" ~doc)
     Term.(
       ret (const udp $ receivers_arg $ p_arg $ seed_arg $ packets $ payload $ metrics $ faults
-           $ capture $ multicast))
+           $ capture $ multicast $ codec_arg))
 
 (* --- replay ------------------------------------------------------------ *)
 

@@ -6,8 +6,10 @@
     {2 Layers}
 
     - {!Gf}, {!Gmatrix}: Galois-field arithmetic and linear algebra.
-    - {!Rse}, {!Rse_poly}, {!Fec_block}, {!Interleaver}: the Reed-Solomon
-      erasure codec and block bookkeeping.
+    - {!Codec}, {!Rse}, {!Rse_poly}, {!Cauchy}, {!Rlnc}, {!Lt},
+      {!Fec_block}, {!Interleaver}: the pluggable erasure-codec seam, its
+      four implementations (Reed-Solomon, Cauchy, random linear network
+      coding, LT fountain) and block bookkeeping.
     - {!Rng}, {!Dist}, {!Sampler}, {!Series}, {!Special}, {!Stats}:
       numerics.
     - {!Arq}, {!Layered}, {!Integrated}, {!Rounds}, {!Endhost},
@@ -46,9 +48,12 @@ module Error = Rmc_core.Error
 (* Codec *)
 module Gf = Rmc_gf.Gf
 module Gmatrix = Rmc_matrix.Gmatrix
+module Codec = Rmc_rse.Codec
 module Rse = Rmc_rse.Rse
 module Rse_poly = Rmc_rse.Rse_poly
 module Cauchy = Rmc_rse.Cauchy
+module Rlnc = Rmc_rse.Rlnc
+module Lt = Rmc_rse.Lt
 module Parallel = Rmc_rse.Parallel
 module Fec_block = Rmc_rse.Fec_block
 module Interleaver = Rmc_rse.Interleaver
@@ -90,6 +95,7 @@ module Tg_result = Rmc_proto.Tg_result
 module Tg_arq = Rmc_proto.Tg_arq
 module Tg_layered = Rmc_proto.Tg_layered
 module Tg_integrated = Rmc_proto.Tg_integrated
+module Tg_coded = Rmc_proto.Tg_coded
 module Tg_carousel = Rmc_proto.Tg_carousel
 module Runner = Rmc_proto.Runner
 module Tg_aggregate = Rmc_proto.Tg_aggregate

@@ -1,41 +1,6 @@
 module Profile = Rmc_core.Profile
 module Error = Rmc_core.Error
 
-type options = {
-  k : int;
-  h : int;
-  proactive : int;
-  payload_size : int;
-  pre_encode : bool;
-}
-[@@deprecated "use Rmc_core.Profile.t (pacing and slot included)"]
-
-[@@@alert "-deprecated"]
-
-let default_options =
-  { k = 20; h = 40; proactive = 0; payload_size = 1024; pre_encode = false }
-
-let profile_of_options o =
-  {
-    Profile.default with
-    Profile.k = o.k;
-    h = o.h;
-    proactive = o.proactive;
-    payload_size = o.payload_size;
-    pre_encode = o.pre_encode;
-  }
-
-let options_of_profile (p : Profile.t) =
-  {
-    k = p.Profile.k;
-    h = p.Profile.h;
-    proactive = p.Profile.proactive;
-    payload_size = p.Profile.payload_size;
-    pre_encode = p.Profile.pre_encode;
-  }
-
-[@@@alert "+deprecated"]
-
 type outcome = {
   report : Rmc_proto.Np.report;
   bytes_sent : int;

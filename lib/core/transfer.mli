@@ -10,29 +10,6 @@
     returns [(outcome, Error.t) result] — {!send_exn} is the raising
     variant for tests and scripts. *)
 
-type options = {
-  k : int;  (** transmission group size *)
-  h : int;  (** parity budget per TG *)
-  proactive : int;  (** parities sent up front with each TG *)
-  payload_size : int;  (** bytes of user data per packet *)
-  pre_encode : bool;
-}
-[@@deprecated "use Rmc_core.Profile.t (pacing and slot included)"]
-
-[@@@alert "-deprecated"]
-
-val default_options : options
-  [@@deprecated "use Rmc_core.Profile.default"]
-
-val profile_of_options : options -> Rmc_core.Profile.t
-(** Lift a legacy record into a {!Rmc_core.Profile.t}, taking [pacing] and
-    [slot] from {!Rmc_core.Profile.default}. *)
-
-val options_of_profile : Rmc_core.Profile.t -> options
-(** Forget [pacing] and [slot]. *)
-
-[@@@alert "+deprecated"]
-
 type outcome = {
   report : Rmc_proto.Np.report;  (** full protocol counters *)
   bytes_sent : int;  (** payload bytes multicast, parities included *)

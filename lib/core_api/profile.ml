@@ -1,3 +1,5 @@
+type codec = [ `Rse | `Cauchy | `Rlnc | `Lt ]
+
 type t = {
   k : int;
   h : int;
@@ -6,6 +8,7 @@ type t = {
   pacing : float;
   slot : float;
   pre_encode : bool;
+  codec : codec;
 }
 
 let default =
@@ -17,15 +20,34 @@ let default =
     pacing = 0.001;
     slot = 0.100;
     pre_encode = false;
+    codec = `Rse;
   }
 
 let default_udp =
   { k = 8; h = 16; proactive = 0; payload_size = 512; pacing = 0.0005; slot = 0.020;
-    pre_encode = false }
+    pre_encode = false; codec = `Rse }
 
-(* GF(2^8) gives 255 codeword positions; both the simulator and the UDP
-   path build their codecs over that field. *)
+let codec_to_string = function
+  | `Rse -> "rse"
+  | `Cauchy -> "cauchy"
+  | `Rlnc -> "rlnc"
+  | `Lt -> "lt"
+
+let codec_of_string = function
+  | "rse" -> Some `Rse
+  | "cauchy" -> Some `Cauchy
+  | "rlnc" -> Some `Rlnc
+  | "lt" -> Some `Lt
+  | _ -> None
+
+(* GF(2^8) gives 255 codeword positions; the block codecs on both the
+   simulator and UDP paths build over that field.  The rateless codecs
+   have no codeword length — their repair budget is bounded only by the
+   16-bit wire index space (index k + j must encode). *)
 let max_codeword = 255
+let max_wire_index = 0xFFFF
+
+let codec_is_rateless = function `Rlnc | `Lt -> true | `Rse | `Cauchy -> false
 
 let validate ?(context = "Profile") t =
   let fail fmt = Printf.ksprintf (fun reason -> Error (Error.make ~context reason)) fmt in
@@ -34,8 +56,11 @@ let validate ?(context = "Profile") t =
   else if t.h < 0 then fail "h must be >= 0 (got %d)" t.h
   else if t.proactive < 0 || t.proactive > t.h then
     fail "need 0 <= proactive <= h (got proactive=%d, h=%d)" t.proactive t.h
-  else if t.k + t.h > max_codeword then
-    fail "k + h exceeds %d codeword positions (got %d)" max_codeword (t.k + t.h)
+  else if (not (codec_is_rateless t.codec)) && t.k + t.h > max_codeword then
+    fail "k + h exceeds %d codeword positions (got %d; a rateless codec lifts this)"
+      max_codeword (t.k + t.h)
+  else if codec_is_rateless t.codec && t.k + t.h > max_wire_index + 1 then
+    fail "k + h exceeds the 16-bit wire index space (got %d)" (t.k + t.h)
   else if t.payload_size < 1 then fail "payload_size must be >= 1 (got %d)" t.payload_size
   else if not (t.pacing > 0.0) then fail "pacing must be positive (got %g)" t.pacing
   else if not (t.slot > 0.0) then fail "slot must be positive (got %g)" t.slot
@@ -46,9 +71,12 @@ let validate_exn ?context t = Error.get_exn (validate ?context t)
 let equal a b =
   a.k = b.k && a.h = b.h && a.proactive = b.proactive && a.payload_size = b.payload_size
   && a.pacing = b.pacing && a.slot = b.slot && a.pre_encode = b.pre_encode
+  && a.codec = b.codec
 
 let pp ppf t =
-  Format.fprintf ppf "{k=%d; h=%d; proactive=%d; payload=%dB; pacing=%gs; slot=%gs; pre_encode=%b}"
+  Format.fprintf ppf
+    "{k=%d; h=%d; proactive=%d; payload=%dB; pacing=%gs; slot=%gs; pre_encode=%b; codec=%s}"
     t.k t.h t.proactive t.payload_size t.pacing t.slot t.pre_encode
+    (codec_to_string t.codec)
 
 let to_string t = Format.asprintf "%a" pp t

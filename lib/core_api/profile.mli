@@ -9,36 +9,58 @@
     [Udp_np.run_local]/[run_multi] and the [rmc] CLI.
 
     A profile describes {e what the sender promises}: FEC geometry
-    ([k], [h], [proactive], [pre_encode]), packetization ([payload_size])
-    and pacing ([pacing], [slot]).  Environment-specific knobs — simulated
-    propagation delay, UDP linger/timeout — stay with the layer that owns
-    them and are derived per layer ([Rmc_proto.Np.config_of_profile],
+    ([k], [h], [proactive], [pre_encode], [codec]), packetization
+    ([payload_size]) and pacing ([pacing], [slot]).  Environment-specific
+    knobs — simulated propagation delay, UDP linger/timeout — stay with
+    the layer that owns them and are derived per layer
+    ([Rmc_proto.Np.config_of_profile],
     [Rmc_transport.Udp_np.config_of_profile]). *)
+
+type codec = [ `Rse | `Cauchy | `Rlnc | `Lt ]
+(** The erasure codec behind repair packets.  A structural polymorphic
+    variant so it unifies with [Rmc_rse.Codec.kind] without this core
+    module depending on the codec library:
+
+    - [`Rse] (default) and [`Cauchy] — MDS block codes over GF(2^8);
+      any [k] of the [k + h <= 255] packets decode.
+    - [`Rlnc] and [`Lt] — rateless codes; [h] is bounded only by the
+      16-bit wire index space, and one repair packet spans the whole TG
+      (different receivers repair different losses from the same
+      packet). *)
 
 type t = {
   k : int;  (** transmission group size (data packets per FEC block) *)
-  h : int;  (** parity budget per TG *)
-  proactive : int;  (** parities multicast with the initial volley *)
+  h : int;  (** repair budget per TG *)
+  proactive : int;  (** repair packets multicast with the initial volley *)
   payload_size : int;  (** bytes of payload per packet *)
   pacing : float;  (** seconds between consecutive packets of one sender *)
   slot : float;  (** NAK slot size Ts (suppression timing) *)
-  pre_encode : bool;  (** encode all parities before transmission starts *)
+  pre_encode : bool;  (** encode all repair packets before transmission *)
+  codec : codec;  (** erasure codec for repair packets *)
 }
 
 val default : t
 (** The simulation-path default: k = 20, h = 40, a = 0, 1024-byte
-    payloads, 1 ms pacing, 100 ms slots, online encoding. *)
+    payloads, 1 ms pacing, 100 ms slots, online encoding, RSE codec. *)
 
 val default_udp : t
 (** The loopback-UDP default, sized so sessions finish in well under a
     second: k = 8, h = 16, 512-byte payloads, 0.5 ms pacing, 20 ms
-    slots. *)
+    slots, RSE codec. *)
+
+val codec_to_string : codec -> string
+(** Stable lowercase names ("rse", "cauchy", "rlnc", "lt") shared by CLI
+    flags and capture metadata; {!codec_of_string} inverts. *)
+
+val codec_of_string : string -> codec option
 
 val validate : ?context:string -> t -> (t, Error.t) result
 (** Check the cross-field invariants every consumer relies on:
     [1 <= k <= 65535] (wire limit), [h >= 0],
-    [0 <= proactive <= h], [k + h <= 255] (GF(2^8) codeword positions),
-    [payload_size >= 1], [pacing > 0], [slot > 0].
+    [0 <= proactive <= h], [payload_size >= 1], [pacing > 0],
+    [slot > 0]; plus the codec-dependent budget bound — [k + h <= 255]
+    (GF(2^8) codeword positions) for the block codecs, [k + h <= 65536]
+    (wire index space) for the rateless ones.
     Returns the profile unchanged on success.  [context] names the entry
     point in the error (default ["Profile"]). *)
 

@@ -19,6 +19,7 @@ type config = {
   delay : float;
   slot : float;
   pre_encode : bool;
+  codec : Rmc_rse.Codec.kind;
 }
 
 let default_config =
@@ -34,6 +35,7 @@ let default_config =
        fire); 4x the default delay keeps most same-slot timers quiet. *)
     slot = 0.100;
     pre_encode = false;
+    codec = `Rse;
   }
 
 let config_of_profile ?(delay = default_config.delay) (p : Profile.t) =
@@ -46,6 +48,7 @@ let config_of_profile ?(delay = default_config.delay) (p : Profile.t) =
     delay;
     slot = p.Profile.slot;
     pre_encode = p.Profile.pre_encode;
+    codec = p.Profile.codec;
   }
 
 let profile_of_config c =
@@ -57,6 +60,7 @@ let profile_of_config c =
     pacing = c.spacing;
     slot = c.slot;
     pre_encode = c.pre_encode;
+    codec = c.codec;
   }
 
 type report = {
@@ -87,11 +91,13 @@ let validate_config c =
   if c.payload_size > max_datagram - Rmc_wire.Header.header_size then
     invalid_arg "Np: payload does not fit a 64 KiB datagram";
   if c.spacing <= 0.0 || c.delay < 0.0 || c.slot <= 0.0 then
-    invalid_arg "Np: spacing/slot must be positive, delay non-negative"
+    invalid_arg "Np: spacing/slot must be positive, delay non-negative";
+  if c.h > Rmc_rse.Codec.max_repair (Rmc_rse.Codec.of_kind c.codec) ~k:c.k then
+    invalid_arg "Np: repair budget exceeds the codec's index space"
 
 let machine_config c =
   { Np_machine.k = c.k; h = c.h; proactive = c.proactive; pre_encode = c.pre_encode;
-    slot = c.slot }
+    slot = c.slot; codec = c.codec }
 
 (* ------------------------------------------------------------------ *)
 

@@ -38,11 +38,13 @@ type config = {
   delay : float;  (** one-way latency, sender <-> receivers, receiver <-> receiver *)
   slot : float;  (** NAK slot size Ts *)
   pre_encode : bool;  (** encode all parities before transmission starts (§5) *)
+  codec : Rmc_rse.Codec.kind;
+      (** erasure codec for repair packets (see {!Np_machine.config}) *)
 }
 
 val default_config : config
 (** k = 20, h = 40, proactive = 0, 1 KiB payloads, 1 ms spacing, 25 ms
-    delay, 10 ms slots, no pre-encoding. *)
+    delay, 10 ms slots, no pre-encoding, RSE codec. *)
 
 val config_of_profile : ?delay:float -> Rmc_core.Profile.t -> config
 (** Derive the simulator config from the user-facing profile; [delay] is

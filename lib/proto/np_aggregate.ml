@@ -71,7 +71,19 @@ let transmissions_per_packet report =
 
 let machine_config (c : Np.config) =
   { Np_machine.k = c.Np.k; h = c.Np.h; proactive = c.Np.proactive;
-    pre_encode = c.Np.pre_encode; slot = c.Np.slot }
+    pre_encode = c.Np.pre_encode; slot = c.Np.slot; codec = c.Np.codec }
+
+(* The count-vector population model assumes an MDS code: a receiver's state
+   is its reception count and any k receptions decode.  The rateless codecs
+   break that premise (a coded packet is innovative only with probability
+   < 1), so the aggregate tier only accepts the block codecs. *)
+let reject_rateless (c : Np.config) =
+  match c.Np.codec with
+  | `Rse | `Cauchy -> ()
+  | `Rlnc | `Lt ->
+    invalid_arg
+      "Np_aggregate: the aggregate tier models receivers by reception count, which \
+       requires an MDS block codec (rse or cauchy)"
 
 (* One virtual NAK timer per TG: the aggregate population's contribution to
    the current feedback round. *)
@@ -403,6 +415,7 @@ and sender_feedback mux flow ~tg ~need ~round =
 let add_flow mux ?(config = Np.default_config) ?(start = 0.0) ?recorder
     ?(cohort = default_cohort) ?channel ~population ~network ~rng ~data () =
   Np.validate_config config;
+  reject_rateless config;
   let c = config in
   if Array.length data = 0 then invalid_arg "Np_aggregate: no data";
   Array.iter

@@ -1,4 +1,4 @@
-module Rse = Rmc_rse.Rse
+module Codec = Rmc_rse.Codec
 module Fec_block = Rmc_rse.Fec_block
 module Header = Rmc_wire.Header
 
@@ -8,13 +8,16 @@ type config = {
   proactive : int;
   pre_encode : bool;
   slot : float;
+  codec : Codec.kind;
 }
 
 let validate_config c =
   if c.k < 1 then invalid_arg "Np_machine: k must be >= 1";
   if c.h < 0 || c.proactive < 0 || c.proactive > c.h then
     invalid_arg "Np_machine: need 0 <= proactive <= h";
-  if c.slot <= 0.0 then invalid_arg "Np_machine: slot must be positive"
+  if c.slot <= 0.0 then invalid_arg "Np_machine: slot must be positive";
+  if c.h > Codec.max_repair (Codec.of_kind c.codec) ~k:c.k then
+    invalid_arg "Np_machine: repair budget exceeds the codec's index space"
 
 type event =
   | Packet_received of Header.message
@@ -106,7 +109,7 @@ type job =
   | J_poll of { tg : tg_sender; size : int; round : int }
   | J_exhausted of { tg : tg_sender }
 
-let tg_k tg = Rse.k (Fec_block.Sender.codec tg.block)
+let tg_k tg = Fec_block.Sender.k tg.block
 
 module Sender = struct
   type t = {
@@ -132,10 +135,10 @@ module Sender = struct
       Array.init tg_count (fun i ->
           let base = i * c.k in
           let len = min c.k (total - base) in
-          (* Rse.create is memoized per (field, k, h), so concurrent
-             sessions share one codec and its encode/decode plans. *)
-          let codec = Rse.create ~k:len ~h:c.h () in
-          let block = Fec_block.Sender.create codec (Array.sub data base len) in
+          (* Block-codec construction is memoized per (kind, k, h), so
+             concurrent sessions share one codec and its decode plans. *)
+          let codec = Codec.of_kind c.codec in
+          let block = Fec_block.Sender.create ~codec ~h:c.h (Array.sub data base len) in
           if c.pre_encode then begin
             Fec_block.Sender.precompute block;
             parities_encoded := !parities_encoded + c.h
@@ -223,7 +226,7 @@ module Sender = struct
         tgs.serviced_round <- round;
         t.repair_rounds <- t.repair_rounds + 1;
         let remaining =
-          Rse.h (Fec_block.Sender.codec tgs.block) - Fec_block.Sender.parities_issued tgs.block
+          Fec_block.Sender.h tgs.block - Fec_block.Sender.parities_issued tgs.block
         in
         if remaining = 0 then begin
           Queue.push (J_exhausted { tg = tgs }) t.repair_queue;
@@ -290,9 +293,9 @@ module Receiver = struct
   }
 
   let make_block config ~k ~counted =
-    let codec = Rse.create ~k ~h:config.h () in
+    let codec = Codec.of_kind config.codec in
     {
-      rx = Fec_block.Receiver.create codec;
+      rx = Fec_block.Receiver.create ~codec ~k ~h:config.h;
       rk = k;
       rn = k + config.h;
       counted;

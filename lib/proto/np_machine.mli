@@ -22,18 +22,26 @@
     uses (session-local for the simulator, wire ids for UDP). *)
 
 module Header = Rmc_wire.Header
+module Codec = Rmc_rse.Codec
 
 type config = {
   k : int;  (** TG size (data packets per transmission group) *)
-  h : int;  (** parity budget per TG *)
-  proactive : int;  (** parities sent with the initial volley (a) *)
-  pre_encode : bool;  (** encode all [h] parities before transmission *)
+  h : int;  (** repair budget per TG *)
+  proactive : int;  (** repair packets sent with the initial volley (a) *)
+  pre_encode : bool;  (** encode all [h] repair packets before transmission *)
   slot : float;  (** NAK slot size Ts, seconds *)
+  codec : Codec.kind;
+      (** erasure codec for every TG of this machine.  Repair packet [j]
+          travels as wire parity index [j] regardless of codec — for the
+          rateless codecs both sides re-derive packet [j]'s combination
+          from [(k, j)], so one coded repair packet can resolve different
+          losses at different receivers with no wire change. *)
 }
 
 val validate_config : config -> unit
-(** @raise Invalid_argument unless [k >= 1], [0 <= proactive <= h] and
-    [slot > 0]. *)
+(** @raise Invalid_argument unless [k >= 1], [0 <= proactive <= h],
+    [slot > 0] and [h] fits the codec's repair index space
+    ([Codec.max_repair]). *)
 
 (** Inputs.  [Tick] asks a sender for its next transmission;
     [Timer_fired] reports a previously armed NAK timer; [Feedback] is a

@@ -34,6 +34,7 @@ let record_setup recorder ~config ~payload_size ~receivers ~sessions ~rx_seeds =
   set "proactive" (string_of_int config.Np_machine.proactive);
   set "pre_encode" (if config.Np_machine.pre_encode then "true" else "false");
   set "slot" (Printf.sprintf "%h" config.Np_machine.slot);
+  set "codec" (Np_machine.Codec.kind_to_string config.Np_machine.codec);
   set "payload" (string_of_int payload_size);
   set "receivers" (string_of_int receivers);
   set "sessions" (string_of_int (Array.length sessions));
@@ -85,6 +86,16 @@ let replay recorder =
   let* proactive = meta_int recorder "proactive" in
   let* pre_encode = meta_bool recorder "pre_encode" in
   let* slot = meta_float recorder "slot" in
+  (* Captures written before the codec seam carry no "codec" key; they were
+     all RSE, so that is the default. *)
+  let* codec =
+    match Recorder.meta recorder "codec" with
+    | None -> Ok `Rse
+    | Some s -> (
+      match Np_machine.Codec.kind_of_string s with
+      | Some c -> Ok c
+      | None -> Error (Printf.sprintf "capture meta codec: unknown codec %S" s))
+  in
   let* payload_size = meta_int recorder "payload" in
   let* receivers = meta_int recorder "receivers" in
   let* nsessions = meta_int recorder "sessions" in
@@ -92,7 +103,7 @@ let replay recorder =
   else if nsessions < 1 then Error "capture meta sessions: must be >= 1"
   else if receivers < 1 then Error "capture meta receivers: must be >= 1"
   else
-    let config = { Np_machine.k; h; proactive; pre_encode; slot } in
+    let config = { Np_machine.k; h; proactive; pre_encode; slot; codec } in
     let rec collect_sessions sid acc =
       if sid = nsessions then Ok (Array.of_list (List.rev acc))
       else

@@ -1,11 +1,13 @@
 module Network = Rmc_sim.Network
 module Stats = Rmc_numerics.Stats
+module Rng = Rmc_numerics.Rng
 
 type scheme =
   | No_fec
   | Layered of { h : int }
   | Integrated_open_loop of { a : int }
   | Integrated_nak of { a : int }
+  | Coded_nak of { a : int; codec : Rmc_rse.Codec.kind }
   | Carousel of { h : int }
 
 let scheme_name = function
@@ -13,9 +15,11 @@ let scheme_name = function
   | Layered { h } -> Printf.sprintf "layered(h=%d)" h
   | Integrated_open_loop { a } -> Printf.sprintf "integrated-1(a=%d)" a
   | Integrated_nak { a } -> Printf.sprintf "integrated-2(a=%d)" a
+  | Coded_nak { a; codec } ->
+    Printf.sprintf "coded(%s,a=%d)" (Rmc_rse.Codec.kind_to_string codec) a
   | Carousel { h } -> Printf.sprintf "carousel(h=%d)" h
 
-let run_tg net ~k ~scheme ~timing ~start =
+let run_tg net ~k ~scheme ?rng ~timing ~start () =
   match scheme with
   | No_fec -> Tg_arq.run net ~k ~timing ~start
   | Layered { h } -> Tg_layered.run net ~k ~h ~timing ~start
@@ -23,6 +27,9 @@ let run_tg net ~k ~scheme ~timing ~start =
     Tg_integrated.run net ~k ~a ~variant:Tg_integrated.Open_loop ~timing ~start ()
   | Integrated_nak { a } ->
     Tg_integrated.run net ~k ~a ~variant:Tg_integrated.Nak_rounds ~timing ~start ()
+  | Coded_nak { a; codec } ->
+    let rng = match rng with Some r -> r | None -> Rng.create ~seed:0x7c0ded () in
+    Tg_coded.run net ~k ~a ~codec ~rng ~timing ~start ()
   | Carousel { h } -> Tg_carousel.run net ~k ~h ~timing ~start
 
 type estimate = {
@@ -39,7 +46,7 @@ type estimate = {
 
 let mean_m e = Stats.Accumulator.mean e.transmissions_per_packet
 
-let estimate net ?profile ?k ?scheme ?metrics ?timing ?(reps = 200) () =
+let estimate net ?profile ?k ?scheme ?rng ?metrics ?timing ?(reps = 200) () =
   let module Profile = Rmc_core.Profile in
   let k =
     match (k, profile) with
@@ -50,8 +57,23 @@ let estimate net ?profile ?k ?scheme ?metrics ?timing ?(reps = 200) () =
   let scheme =
     match (scheme, profile) with
     | Some s, _ -> s
-    | None, Some p -> Integrated_nak { a = p.Profile.proactive }
+    | None, Some p -> (
+      (* The NP data plane for the profile's codec: the MDS default keeps
+         the historical Integrated_nak scheme; a rateless codec needs the
+         innovation-aware interpreter. *)
+      match p.Profile.codec with
+      | `Rse -> Integrated_nak { a = p.Profile.proactive }
+      | codec -> Coded_nak { a = p.Profile.proactive; codec })
     | None, None -> invalid_arg "Runner.estimate: either ~scheme or ~profile is required"
+  in
+  (* One innovation-draw stream across all reps, created lazily so schemes
+     that never draw (everything but a rateless Coded_nak) are unaffected
+     by the presence or absence of ~rng. *)
+  let rng =
+    match (rng, scheme) with
+    | (Some _ as r), _ -> r
+    | None, Coded_nak _ -> Some (Rng.create ~seed:0x7c0ded ())
+    | None, _ -> None
   in
   let timing =
     match (timing, profile) with
@@ -82,7 +104,7 @@ let estimate net ?profile ?k ?scheme ?metrics ?timing ?(reps = 200) () =
   let completion_acc = Stats.Accumulator.create () in
   let clock = ref 0.0 in
   for _ = 1 to reps do
-    let result = run_tg net ~k ~scheme ~timing ~start:!clock in
+    let result = run_tg net ~k ~scheme ?rng ~timing ~start:!clock () in
     Stats.Accumulator.add completion_acc (result.Tg_result.finish_time -. !clock);
     clock := result.Tg_result.finish_time +. timing.feedback_delay;
     Stats.Accumulator.add m_acc (Tg_result.per_packet result);

@@ -6,13 +6,26 @@ type scheme =
   | Layered of { h : int }  (** FEC layer below RM (§3.1) *)
   | Integrated_open_loop of { a : int }  (** "integrated FEC 1" (§4.2) *)
   | Integrated_nak of { a : int }  (** "integrated FEC 2" / NP data plane *)
+  | Coded_nak of { a : int; codec : Rmc_rse.Codec.kind }
+      (** NP data plane over an arbitrary codec ({!Tg_coded}): repair
+          receptions count only with the codec's innovation probability.
+          With an MDS codec it coincides with [Integrated_nak]. *)
   | Carousel of { h : int }  (** feedback-free FEC carousel (extension) *)
 
 val scheme_name : scheme -> string
 
 val run_tg :
-  Rmc_sim.Network.t -> k:int -> scheme:scheme -> timing:Timing.t -> start:float -> Tg_result.t
-(** One TG under the given scheme. *)
+  Rmc_sim.Network.t ->
+  k:int ->
+  scheme:scheme ->
+  ?rng:Rmc_numerics.Rng.t ->
+  timing:Timing.t ->
+  start:float ->
+  unit ->
+  Tg_result.t
+(** One TG under the given scheme.  [rng] feeds {!Coded_nak}'s innovation
+    draws (a fixed-seed stream is created per call when omitted); every
+    other scheme ignores it. *)
 
 type estimate = {
   scheme : scheme;
@@ -37,6 +50,7 @@ val estimate :
   ?profile:Rmc_core.Profile.t ->
   ?k:int ->
   ?scheme:scheme ->
+  ?rng:Rmc_numerics.Rng.t ->
   ?metrics:Rmc_obs.Metrics.t ->
   ?timing:Timing.t ->
   ?reps:int ->
@@ -48,13 +62,16 @@ val estimate :
     [timing.feedback_delay].
 
     Parameters resolve from the unified {!Rmc_core.Profile} when one is
-    given: [k] defaults to [profile.k], [scheme] to
-    [Integrated_nak { a = profile.proactive }] (the NP data plane), and
-    [timing] to [{ spacing = profile.pacing; feedback_delay =
-    profile.slot }].  Explicit [~k]/[~scheme]/[~timing] always win, so
-    pre-profile call sites are unchanged; without a profile, [~k] and
-    [~scheme] are required ([Invalid_argument] otherwise) and [timing]
-    defaults to {!Timing.instantaneous}.
+    given: [k] defaults to [profile.k], [scheme] to the NP data plane for
+    [profile.codec] — [Integrated_nak { a = profile.proactive }] for the
+    default RSE codec, [Coded_nak { a; codec }] otherwise — and [timing]
+    to [{ spacing = profile.pacing; feedback_delay = profile.slot }].
+    Explicit [~k]/[~scheme]/[~timing] always win, so pre-profile call
+    sites are unchanged; without a profile, [~k] and [~scheme] are
+    required ([Invalid_argument] otherwise) and [timing] defaults to
+    {!Timing.instantaneous}.  [rng] seeds {!Coded_nak}'s innovation draws
+    (one stream across all reps; a fixed-seed stream is created when
+    omitted and the scheme needs one).
 
     With [metrics], accumulates [runner.tgs], [runner.transmissions],
     [runner.rounds], [runner.feedback] and [runner.unnecessary] counters

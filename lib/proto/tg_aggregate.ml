@@ -90,7 +90,7 @@ let run rng ~receivers ~channel ~k ?(a = 0) ~variant ~(timing : Timing.t) ~start
 let variant_of_scheme = function
   | Runner.Integrated_open_loop { a } -> (Open_loop, a)
   | Runner.Integrated_nak { a } -> (Nak_rounds, a)
-  | (Runner.No_fec | Runner.Layered _ | Runner.Carousel _) as scheme ->
+  | (Runner.No_fec | Runner.Layered _ | Runner.Carousel _ | Runner.Coded_nak _) as scheme ->
     invalid_arg
       (Printf.sprintf "Tg_aggregate: no aggregate tier for scheme %s (use the exact tier)"
          (Runner.scheme_name scheme))

@@ -1,0 +1,32 @@
+(** Reliable transmission of one TG with {e coded} repair (the NP data
+    plane of {!Tg_integrated.Nak_rounds}, generalised over the codec seam).
+
+    Structurally identical to the hybrid-ARQ variant — k data packets plus
+    [a] proactive repair packets, then NAK rounds each multicasting the
+    maximum reported deficit — but a received repair packet is counted as
+    useful only with the codec's innovation probability at the receiver's
+    current rank ({!Rmc_rse.Codec.innovation_probability}):
+
+    - for the MDS block codecs ([`Rse], [`Cauchy]) that probability is 1
+      and the run consumes {e no} RNG draws, so a seeded run coincides
+      exactly with [Tg_integrated.run ~variant:Nak_rounds] over the same
+      network — the differential baseline;
+    - for the rateless codecs ([`Rlnc], [`Lt]) a repair packet near
+      completion may be non-innovative, which surfaces as extra repair
+      rounds and a slightly higher E[M] — the reception-overhead cost the
+      codec-comparison experiment measures. *)
+
+val run :
+  Rmc_sim.Network.t ->
+  k:int ->
+  ?a:int ->
+  codec:Rmc_rse.Codec.kind ->
+  rng:Rmc_numerics.Rng.t ->
+  timing:Timing.t ->
+  start:float ->
+  unit ->
+  Tg_result.t
+(** [a] (default 0) proactive repair packets accompany the initial volley.
+    [rng] feeds the innovation draws only — the MDS codecs never touch it.
+    The repair supply is unbounded (the analysis' n = infinity bound);
+    callers wanting a finite budget should use the NP protocol machine. *)

@@ -28,3 +28,9 @@ let encode = Codec_core.encode
 let decode = Codec_core.decode
 let decode_data_loss = Codec_core.decode_data_loss
 let is_mds_subset = Codec_core.is_mds_subset
+
+module Codec = Codec_core.Block_codec (struct
+  let kind = `Cauchy
+  let label = "Cauchy"
+  let create ~k ~h = create ~k ~h ()
+end)

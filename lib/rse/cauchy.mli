@@ -31,3 +31,6 @@ val encode_parity : t -> Bytes.t array -> int -> Bytes.t
 val decode : t -> (int * Bytes.t) array -> Bytes.t array
 val decode_data_loss : t -> data:Bytes.t option array -> parity:(int * Bytes.t) list -> Bytes.t array
 val is_mds_subset : t -> int array -> bool
+
+module Codec : Codec_intf.CODEC
+(** This codec behind the pluggable {!Codec_intf.CODEC} seam. *)

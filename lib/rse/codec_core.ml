@@ -399,3 +399,84 @@ let is_mds_subset t indices =
     invalid_arg (t.label ^ ".is_mds_subset: expected k indices");
   let system = Gmatrix.submatrix_rows t.generator indices in
   match Gmatrix.invert system with _ -> true | exception Failure _ -> false
+
+(* {1 The codec-seam adapter}
+
+   Lifts any systematic block codec built on this core into the
+   [Codec_intf.CODEC] seam.  The encoder binds a codec instance to one
+   block's data and serves parity rows; the decoder is slot bookkeeping
+   (one slot per codeword position) in front of [decode] — every packet
+   with an unseen index is innovative, which is exactly the MDS
+   property, so the model hooks are the trivial ones. *)
+
+module Block_codec (M : sig
+  val kind : Codec_intf.kind
+  val label : string
+  val create : k:int -> h:int -> t
+end) : Codec_intf.CODEC = struct
+  let core_k = k
+  let core_h = h
+  let kind = M.kind
+  let label = M.label
+  let caps = { Codec_intf.systematic = true; rateless = false }
+  let max_repair ~k = (Gf.size Gf.gf256 - 1) - k
+  let innovation_probability ~k:_ ~rank:_ = 1.0
+  let decode_failure_probability ~k ~received = if received >= k then 0.0 else 1.0
+
+  module Encoder = struct
+    type nonrec t = { codec : t; data : Bytes.t array }
+
+    let create ~k ~h data =
+      if Array.length data <> k then
+        invalid_arg (M.label ^ ".Encoder.create: expected k data packets");
+      { codec = M.create ~k ~h; data }
+
+    let k e = core_k e.codec
+    let h e = core_h e.codec
+    let repair e j = encode_parity e.codec e.data j
+  end
+
+  module Decoder = struct
+    type nonrec t = {
+      codec : t;
+      slots : Bytes.t option array; (* n: payload per codeword index *)
+      mutable count : int;
+    }
+
+    let create ~k ~h =
+      let codec = M.create ~k ~h in
+      { codec; slots = Array.make (k + h) None; count = 0 }
+
+    let add d ~index payload =
+      if index < 0 || index >= Array.length d.slots then
+        invalid_arg (M.label ^ ".Decoder.add: index out of range");
+      match d.slots.(index) with
+      | Some _ -> false
+      | None ->
+        d.slots.(index) <- Some payload;
+        d.count <- d.count + 1;
+        true
+
+    let received d = d.count
+    let needed d = max 0 (core_k d.codec - d.count)
+    let complete d = d.count >= core_k d.codec
+
+    let has_data d index =
+      if index < 0 || index >= core_k d.codec then
+        invalid_arg (M.label ^ ".Decoder.has_data: index out of range");
+      d.slots.(index) <> None
+
+    let missing_data d =
+      List.filter (fun j -> d.slots.(j) = None) (List.init (core_k d.codec) Fun.id)
+
+    let decode d =
+      if not (complete d) then failwith (M.label ^ ".Decoder.decode: not enough packets");
+      let packets = ref [] in
+      for index = Array.length d.slots - 1 downto 0 do
+        match d.slots.(index) with
+        | Some payload -> packets := (index, payload) :: !packets
+        | None -> ()
+      done;
+      decode d.codec (Array.of_list !packets)
+  end
+end

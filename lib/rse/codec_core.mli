@@ -107,3 +107,18 @@ val decode_data_loss : t -> data:Bytes.t option array -> parity:(int * Bytes.t) 
 
 val is_mds_subset : t -> int array -> bool
 (** Whether the [k] given codeword indices form an invertible system. *)
+
+(** {1 Codec seam}
+
+    Adapter lifting any block codec built on this core into the
+    {!Codec_intf.CODEC} seam: the encoder serves parity rows of one
+    block, the decoder is slot bookkeeping in front of {!decode}.  MDS
+    makes every unseen index innovative, so the model hooks are trivial
+    ([innovation_probability] is 1, decode fails iff fewer than [k]
+    packets arrived). *)
+
+module Block_codec (_ : sig
+  val kind : Codec_intf.kind
+  val label : string
+  val create : k:int -> h:int -> t
+end) : Codec_intf.CODEC

@@ -1,0 +1,49 @@
+(* Deterministic per-repair-packet PRNG shared by the rateless codecs
+   (Rlnc, Lt).  Encoder and decoder never exchange coefficients on the
+   wire: both sides re-derive the coefficient vector (or degree +
+   neighbor set) of repair packet [j] of a [k]-block from a splitmix64
+   stream seeded purely by [(k, j, salt)].  Splitmix64 because it is
+   tiny, splittable by construction (any 64-bit seed gives an
+   independent-looking stream) and trivially portable — this module must
+   stay self-contained: [rmc_rse] sits below [rmc_numerics] in the
+   dependency order, so the simulation [Rng] is out of reach here.
+
+   The derivation is part of the wire contract: changing these constants
+   or the mixing breaks decode against previously captured streams. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9e3779b97f4a7c15L
+let mix1 = 0xbf58476d1ce4e5b9L
+let mix2 = 0x94d049bb133111ebL
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) mix1 in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) mix2 in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* One extra mix round over the raw seed so that nearby (k, j) pairs do
+   not start from nearby internal states. *)
+let create seed =
+  let t = { state = seed } in
+  ignore (next t);
+  t
+
+(* Domain-separated seed for repair packet [j] of a [k]-block; [salt]
+   disambiguates re-derivations (e.g. an all-zero coefficient redraw). *)
+let of_block ~k ~j ~salt =
+  let mix acc v = Int64.add (Int64.mul acc 0x100000001b3L) (Int64.of_int v) in
+  create (mix (mix (mix 0xcbf29ce484222325L k) j) salt)
+
+(* 53-bit nonnegative integer (the mantissa-sized top of the stream). *)
+let bits53 t = Int64.to_int (Int64.shift_right_logical (next t) 11)
+
+let byte t = Int64.to_int (Int64.logand (next t) 0xffL)
+
+(* [below t n] is uniform on [0, n); modulo bias is =< n / 2^53, far
+   below anything observable at the n =< 2^16 this library uses. *)
+let below t n = bits53 t mod n
+
+let unit_float t = float_of_int (bits53 t) *. 0x1p-53

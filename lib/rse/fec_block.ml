@@ -1,26 +1,44 @@
+(* FEC-block bookkeeping over the codec seam.  This module owns the
+   protocol-facing state of one transmission group — which repair
+   packets the sender has issued, how far along the receiver is — while
+   the codec itself stays behind [Codec_intf]: [create] unpacks the
+   first-class codec module once and stores plain closures over the
+   typed encoder/decoder, so no existential types leak and everything
+   above this line is codec-agnostic. *)
+
 module Sender = struct
   type t = {
-    codec : Rse.t;
+    k : int;
+    h : int;
     data : Bytes.t array;
-    cache : Bytes.t option array; (* parity j once encoded *)
-    mutable issued : int; (* next unissued parity index *)
+    repair : int -> Bytes.t;
+    cache : Bytes.t option array; (* repair j once encoded *)
+    mutable issued : int; (* next unissued repair index *)
   }
 
-  let create codec data =
-    if Array.length data <> Rse.k codec then
-      invalid_arg "Fec_block.Sender.create: expected k data packets";
-    { codec; data; cache = Array.make (Rse.h codec) None; issued = 0 }
+  let create ~codec ~h data =
+    let (module C : Codec_intf.CODEC) = codec in
+    let k = Array.length data in
+    let enc = C.Encoder.create ~k ~h data in
+    {
+      k;
+      h;
+      data;
+      repair = (fun j -> C.Encoder.repair enc j);
+      cache = Array.make h None;
+      issued = 0;
+    }
 
-  let codec t = t.codec
+  let k t = t.k
+  let h t = t.h
   let data t = t.data
 
   let parity t j =
-    if j < 0 || j >= Rse.h t.codec then
-      invalid_arg "Fec_block.Sender.parity: index out of range";
+    if j < 0 || j >= t.h then invalid_arg "Fec_block.Sender.parity: index out of range";
     match t.cache.(j) with
     | Some payload -> payload
     | None ->
-      let payload = Rse.encode_parity t.codec t.data j in
+      let payload = t.repair j in
       t.cache.(j) <- Some payload;
       payload
 
@@ -28,54 +46,67 @@ module Sender = struct
 
   let next_parities t l =
     if l < 0 then invalid_arg "Fec_block.Sender.next_parities: negative count";
-    if t.issued + l > Rse.h t.codec then
+    if t.issued + l > t.h then
       failwith "Fec_block.Sender.next_parities: parity budget exhausted";
-    let out = List.init l (fun offset ->
-        let j = t.issued + offset in
-        (j, parity t j))
+    let out =
+      List.init l (fun offset ->
+          let j = t.issued + offset in
+          (j, parity t j))
     in
     t.issued <- t.issued + l;
     out
 
   let precompute t =
-    for j = 0 to Rse.h t.codec - 1 do
+    for j = 0 to t.h - 1 do
       ignore (parity t j)
     done
 end
 
 module Receiver = struct
+  (* The decoder operations, captured as closures over the typed decoder
+     the packed codec module built. *)
   type t = {
-    codec : Rse.t;
-    slots : Bytes.t option array; (* length n *)
-    mutable received : int;
+    k : int;
+    h : int;
+    add_ : index:int -> Bytes.t -> bool;
+    received_ : unit -> int;
+    needed_ : unit -> int;
+    complete_ : unit -> bool;
+    has_data_ : int -> bool;
+    missing_data_ : unit -> int list;
+    decode_ : unit -> Bytes.t array;
   }
 
-  let create codec = { codec; slots = Array.make (Rse.n codec) None; received = 0 }
+  let create ~codec ~k ~h =
+    let (module C : Codec_intf.CODEC) = codec in
+    let d = C.Decoder.create ~k ~h in
+    {
+      k;
+      h;
+      add_ = (fun ~index payload -> C.Decoder.add d ~index payload);
+      received_ = (fun () -> C.Decoder.received d);
+      needed_ = (fun () -> C.Decoder.needed d);
+      complete_ = (fun () -> C.Decoder.complete d);
+      has_data_ = (fun index -> C.Decoder.has_data d index);
+      missing_data_ = (fun () -> C.Decoder.missing_data d);
+      decode_ = (fun () -> C.Decoder.decode d);
+    }
+
+  let k t = t.k
+  let h t = t.h
 
   let add t ~index payload =
-    if index < 0 || index >= Rse.n t.codec then
+    if index < 0 || index >= t.k + t.h then
       invalid_arg "Fec_block.Receiver.add: index out of range";
-    match t.slots.(index) with
-    | Some _ -> false
-    | None ->
-      t.slots.(index) <- Some payload;
-      t.received <- t.received + 1;
-      true
+    t.add_ ~index payload
 
-  let received t = t.received
-  let needed t = max 0 (Rse.k t.codec - t.received)
-  let complete t = t.received >= Rse.k t.codec
-  let has t index = Option.is_some t.slots.(index)
-
-  let missing_data t =
-    List.filter (fun i -> Option.is_none t.slots.(i)) (List.init (Rse.k t.codec) Fun.id)
+  let received t = t.received_ ()
+  let needed t = t.needed_ ()
+  let complete t = t.complete_ ()
+  let has_data t index = t.has_data_ index
+  let missing_data t = t.missing_data_ ()
 
   let decode t =
     if not (complete t) then failwith "Fec_block.Receiver.decode: not enough packets";
-    let received = ref [] in
-    Array.iteri
-      (fun index slot ->
-        match slot with Some payload -> received := (index, payload) :: !received | None -> ())
-      t.slots;
-    Rse.decode t.codec (Array.of_list (List.rev !received))
+    t.decode_ ()
 end

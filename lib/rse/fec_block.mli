@@ -2,67 +2,88 @@
 
     The protocols of §3-5 all revolve around the same two objects:
 
-    - a {b sender block}: k data packets plus a parity generator that is
-      tapped on demand (protocol NP encodes parities only when a NAK asks for
-      them; layered FEC encodes h of them up front);
-    - a {b receiver block}: a bucket that accumulates whichever of the n
-      packets arrive and can tell at any time how many more packets are
-      needed ([needed]), decode once k have arrived, and list which data
-      packets are still missing.
+    - a {b sender block}: k data packets plus a repair generator that is
+      tapped on demand (protocol NP encodes repair packets only when a
+      NAK asks for them; layered FEC encodes h of them up front);
+    - a {b receiver block}: a bucket that accumulates whichever packets
+      arrive and can tell at any time how many more it needs ([needed]),
+      decode once enough have arrived, and list which data packets are
+      still missing.
 
-    These wrap {!Rse} and are shared by the simulator protocols, the wire
+    Both sides are parameterised by a first-class {!Codec.t} — the
+    {!Codec_intf.CODEC} seam — so the same bookkeeping serves the MDS
+    block codecs, where "enough" means any [k] distinct packets, and
+    the rateless codecs ([`Rlnc], [`Lt]), where a repair packet spans
+    the whole window and "enough" is reaching full rank (or a complete
+    peeling ripple).  The codec's encoder/decoder state is captured in
+    closures at [create] time; nothing codec-specific leaks through
+    this interface.  Shared by the simulator protocols, the wire
     protocol and the examples. *)
 
 module Sender : sig
   type t
 
-  val create : Rse.t -> Bytes.t array -> t
-  (** [create codec data] with [Array.length data = Rse.k codec]. *)
+  val create : codec:Codec.t -> h:int -> Bytes.t array -> t
+  (** [create ~codec ~h data] binds a sender block to the [k =
+      Array.length data] data packets with repair budget [h].
+      @raise Invalid_argument if the payload lengths are unequal or
+      [(k, h)] is out of range for [codec]. *)
 
-  val codec : t -> Rse.t
+  val k : t -> int
+  val h : t -> int
   val data : t -> Bytes.t array
 
   val parity : t -> int -> Bytes.t
-  (** [parity t j] returns parity [j], encoding it on first use and caching
-      it (pre-encoding = calling {!precompute} ahead of time). *)
+  (** [parity t j] returns repair packet [j] ([0 <= j < h]), encoding it
+      on first use and caching it (pre-encoding = calling {!precompute}
+      ahead of time). *)
 
   val parities_issued : t -> int
-  (** How many distinct parities have been produced so far. *)
+  (** How many distinct repair packets have been issued so far. *)
 
   val next_parities : t -> int -> (int * Bytes.t) list
-  (** [next_parities t l] returns the next [l] previously unissued parities
-      as [(parity_index, payload)] — what NP multicasts in a repair round.
-      @raise Failure if the codec runs out of parities ([> h] requested in
-      total); the caller must then re-group (paper §3.2). *)
+  (** [next_parities t l] returns the next [l] previously unissued
+      repair packets as [(repair_index, payload)] — what NP multicasts
+      in a repair round.
+      @raise Failure if the budget runs out ([> h] requested in total);
+      the caller must then re-group (paper §3.2). *)
 
   val precompute : t -> unit
-  (** Force all [h] parities now (the paper's pre-encoding variant, §5). *)
+  (** Force all [h] repair packets now (the paper's pre-encoding
+      variant, §5). *)
 end
 
 module Receiver : sig
   type t
 
-  val create : Rse.t -> t
+  val create : codec:Codec.t -> k:int -> h:int -> t
 
   val add : t -> index:int -> Bytes.t -> bool
-  (** Record the arrival of packet [index] (data [0..k-1], parity [k..n-1]).
-    Returns [false] if it was a duplicate (already held), [true] otherwise.
-    Arrivals beyond the k-th are accepted and ignored by {!decode}. *)
+  (** Record the arrival of packet [index] (data [0..k-1], repair
+      [k..k+h-1]).  Returns [false] if the packet did not advance the
+      decoder — a duplicate for the block codecs, a non-innovative
+      combination for the rateless ones ({!Codec_intf.DECODER.add}). *)
+
+  val k : t -> int
+  val h : t -> int
 
   val received : t -> int
-  (** Distinct packets held. *)
+  (** Distinct useful packets held. *)
 
   val needed : t -> int
-  (** [max 0 (k - received)] — the number a NAK reports in protocol NP. *)
+  (** How many more packets this receiver must hear — the number a NAK
+      reports in protocol NP ([0] iff {!complete}; a lower bound for
+      the peeling decoder). *)
 
   val complete : t -> bool
-  (** Whether decoding is possible ([received >= k]). *)
+  (** Whether {!decode} will succeed. *)
 
-  val has : t -> int -> bool
+  val has_data : t -> int -> bool
+  (** Whether data packet [index < k] arrived verbatim. *)
 
   val missing_data : t -> int list
-  (** Indices of data packets not received verbatim (they may still be
-      reconstructible if [complete]). *)
+  (** Indices of data packets not received verbatim (reconstructible
+      iff [complete]). *)
 
   val decode : t -> Bytes.t array
   (** All k data packets. @raise Failure if [not (complete t)]. *)

@@ -1,0 +1,27 @@
+(** LT (Luby transform) fountain codec with a peeling decoder.
+
+    Repair packet [j] of a [k]-block is the XOR of a random subset of
+    the data packets: a degree drawn from the robust soliton
+    distribution (c = 0.1, delta = 0.05) and that many distinct
+    neighbors, all re-derived by both sides from a splitmix64 stream
+    seeded by [(k, j)] — the wire carries only the packet index.
+    Rateless like {!Rlnc}, but encode and decode are pure XOR
+    (O(degree * P) per packet, ~ln k average degree), trading the
+    dense codec's guaranteed-rank behaviour for a small reception
+    overhead: the peeling decoder needs slightly more than [k] packets
+    on average before the ripple completes, and the overhead shrinks
+    as [k] grows — at the paper's TG sizes (k ~ 8..64) it is
+    noticeable, which the differential experiment quantifies.
+
+    [add] returns [false] only for packets that are immediately
+    useless (already-recovered data, a repair packet all of whose
+    neighbors are known); a stored degree->=2 packet counts as accepted
+    even though it may later prove redundant, so {!Codec_intf.DECODER}
+    [needed] is a lower bound for this codec. *)
+
+include Codec_intf.CODEC
+
+val neighbors : k:int -> j:int -> int list
+(** The neighbor set (data indices XORed) of repair packet [j] over a
+    [k]-block — the deterministic derivation both sides use.  Exposed
+    for tests (degree-distribution sanity, differential decode). *)

@@ -22,3 +22,9 @@ let decode_data_loss = Codec_core.decode_data_loss
 let is_mds_subset = Codec_core.is_mds_subset
 let encode_parallel = Parallel.encode
 let decode_parallel = Parallel.decode
+
+module Codec = Codec_core.Block_codec (struct
+  let kind = `Rse
+  let label = "Rse"
+  let create ~k ~h = create ~k ~h ()
+end)

@@ -93,3 +93,11 @@ val encode_parallel :
 
 val decode_parallel :
   ?pool:Parallel.pool -> ?min_bytes:int -> t -> (int * Bytes.t) array -> Bytes.t array
+
+(** {1 Codec seam}
+
+    This codec behind the pluggable {!Codec_intf.CODEC} interface —
+    what {!Fec_block} and the NP machines consume.  Instances share the
+    construction memo with {!create}. *)
+
+module Codec : Codec_intf.CODEC

@@ -66,3 +66,12 @@ let mds_violations t =
   in
   choose 0 0;
   List.rev !violations
+
+(* Kind [`Rse]: the seam's kind names the wire-semantics family, and this
+   construction is the ablation partner of Rse, not separately
+   wire-selectable. *)
+module Codec = Codec_core.Block_codec (struct
+  let kind = `Rse
+  let label = "Rse_poly"
+  let create ~k ~h = create ~k ~h ()
+end)

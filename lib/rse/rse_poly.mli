@@ -36,3 +36,8 @@ val mds_violations : t -> int array list
 (** Exhaustively enumerate the k-subsets of packet indices that fail to
     decode (empty for an MDS-behaving instance).  Cost is [C(n, k)] matrix
     inversions — intended for tests with small n. *)
+
+module Codec : Codec_intf.CODEC
+(** This construction behind the {!Codec_intf.CODEC} seam ([kind] is
+    [`Rse] — it is the ablation partner of {!Rse}, not separately
+    wire-selectable; decode inherits the non-MDS caveat above). *)

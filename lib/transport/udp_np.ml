@@ -21,6 +21,7 @@ type config = {
   slot : float;
   linger : float;
   session_timeout : float;
+  codec : Rmc_rse.Codec.kind;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     slot = 0.020;
     linger = 0.050;
     session_timeout = 5.0;
+    codec = `Rse;
   }
 
 let config_of_profile ?(linger = default_config.linger)
@@ -48,6 +50,7 @@ let config_of_profile ?(linger = default_config.linger)
     slot = p.Profile.slot;
     linger;
     session_timeout;
+    codec = p.Profile.codec;
   }
 
 let profile_of_config c =
@@ -59,11 +62,12 @@ let profile_of_config c =
     pacing = c.spacing;
     slot = c.slot;
     pre_encode = false;
+    codec = c.codec;
   }
 
 let machine_config c =
   { Np_machine.k = c.k; h = c.h; proactive = c.proactive; pre_encode = false;
-    slot = c.slot }
+    slot = c.slot; codec = c.codec }
 
 type report = {
   receivers : int;
@@ -913,6 +917,9 @@ let validate ~context ~config ~receivers ~loss ~sessions =
   then Error.invalid_arg ~context "payload size mismatch"
   else if receivers < 1 then Error.invalid_arg ~context "need at least one receiver"
   else if config.k < 1 || config.h < 0 then Error.invalid_arg ~context "need k >= 1 and h >= 0"
+  else if
+    config.h > Rmc_rse.Codec.max_repair (Rmc_rse.Codec.of_kind config.codec) ~k:config.k
+  then Error.invalid_arg ~context "repair budget exceeds the codec's index space"
   else if config.payload_size > max_datagram - Header.header_size then
     Error.invalid_arg ~context "payload does not fit a 64 KiB datagram"
   else if Array.length sessions > 0x10000 then

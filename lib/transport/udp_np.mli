@@ -60,6 +60,7 @@ type config = {
   slot : float;  (** NAK slot size *)
   linger : float;  (** quiet period after completion before shutdown *)
   session_timeout : float;  (** hard wall-clock cap for a run *)
+  codec : Rmc_rse.Codec.kind;  (** erasure codec for repair packets *)
 }
 
 val default_config : config

@@ -1,0 +1,273 @@
+(* The first-class codec seam: every wire-selectable codec behind the
+   same ENCODER/DECODER contract.
+
+   Three layers of evidence:
+   - roundtrips through the packed {!Codec.t} for each kind, plus a
+     qcheck differential: on the same loss pattern the rateless codecs
+     must recover exactly what RSE recovers (the original data);
+   - the model hooks against their closed forms, including an empirical
+     validation of RLNC's rank-deficiency failure probability against
+     Tsimbalo's bound [1 - prod (1 - q^(i-n))];
+   - the seam in situ: {!Fec_block} over each codec and a lossy
+     end-to-end {!Np.run} under the coded-repair machine. *)
+
+module Codec = Rmcast.Codec
+module Rlnc = Rmcast.Rlnc
+module Lt = Rmcast.Lt
+module Fec_block = Rmcast.Fec_block
+module Np = Rmcast.Np
+module Rng = Rmcast.Rng
+module Network = Rmcast.Network
+
+let all_kinds = [ `Rse; `Cauchy; `Rlnc; `Lt ]
+let name_of kind = Codec.kind_to_string kind
+
+let payloads ~count ~size seed =
+  let rng = Rng.create ~seed () in
+  Array.init count (fun _ -> Bytes.init size (fun _ -> Char.chr (Rng.int rng 256)))
+
+(* Feed the surviving data packets, then repair packets in wire order
+   until the decoder completes (or the budget [h] runs dry).  Returns the
+   decoded block and how many repair packets were consumed. *)
+let seam_decode (module C : Codec.CODEC) ~h ~drop data =
+  let k = Array.length data in
+  let enc = C.Encoder.create ~k ~h data in
+  let dec = C.Decoder.create ~k ~h in
+  Array.iteri
+    (fun i p -> if not (List.mem i drop) then ignore (C.Decoder.add dec ~index:i p))
+    data;
+  let consumed = ref 0 in
+  while (not (C.Decoder.complete dec)) && !consumed < h do
+    ignore (C.Decoder.add dec ~index:(k + !consumed) (C.Encoder.repair enc !consumed));
+    incr consumed
+  done;
+  if C.Decoder.complete dec then Some (C.Decoder.decode dec, !consumed) else None
+
+let test_roundtrip_all_codecs () =
+  let k = 8 and h = 40 in
+  let drop = [ 1; 3; 4; 6 ] in
+  let data = payloads ~count:k ~size:64 3 in
+  List.iter
+    (fun kind ->
+      let ((module C) as c) = Codec.of_kind kind in
+      match seam_decode c ~h ~drop data with
+      | None -> Alcotest.failf "%s failed to decode with budget %d" (name_of kind) h
+      | Some (out, consumed) ->
+        Alcotest.(check bool) (name_of kind ^ " decodes the block") true (out = data);
+        (* The MDS block codecs need exactly one repair per loss; the
+           rateless ones may need a few more, never fewer. *)
+        (match kind with
+        | `Rse | `Cauchy ->
+          Alcotest.(check int) (name_of kind ^ " is MDS") (List.length drop) consumed
+        | `Rlnc | `Lt ->
+          Alcotest.(check bool)
+            (name_of kind ^ " repair floor")
+            true
+            (consumed >= List.length drop));
+        (* Re-create a decoder to probe the bookkeeping mid-flight. *)
+        let dec = C.Decoder.create ~k ~h in
+        ignore (C.Decoder.add dec ~index:0 data.(0));
+        Alcotest.(check bool) "duplicate data rejected" false (C.Decoder.add dec ~index:0 data.(0));
+        Alcotest.(check int) "one useful packet" 1 (C.Decoder.received dec);
+        Alcotest.(check bool) "verbatim arrival tracked" true (C.Decoder.has_data dec 0);
+        Alcotest.(check bool) "others still missing" false (C.Decoder.has_data dec 1);
+        Alcotest.(check int) "missing list" (k - 1) (List.length (C.Decoder.missing_data dec)))
+    all_kinds
+
+(* Differential: identical loss pattern, every codec reconstructs the
+   same original block.  Drop count runs all the way to k (pure-repair
+   decode), which for RLNC/LT exercises the coded paths exclusively. *)
+let qcheck_differential =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 10 >>= fun k ->
+      int_range 0 k >>= fun drops ->
+      int_range 0 10_000 >>= fun seed -> return (k, drops, seed))
+  in
+  let print (k, drops, seed) = Printf.sprintf "k=%d drops=%d seed=%d" k drops seed in
+  QCheck.Test.make ~count:60 ~name:"all codecs agree under the same loss pattern"
+    (QCheck.make ~print gen) (fun (k, drops, seed) ->
+      let data = payloads ~count:k ~size:32 (seed + 1) in
+      let rng = Rng.create ~seed () in
+      let idx = Array.init k Fun.id in
+      for i = k - 1 downto 1 do
+        let j = Rng.int rng (i + 1) in
+        let t = idx.(i) in
+        idx.(i) <- idx.(j);
+        idx.(j) <- t
+      done;
+      let drop = Array.to_list (Array.sub idx 0 drops) in
+      List.for_all
+        (fun kind ->
+          match seam_decode (Codec.of_kind kind) ~h:200 ~drop data with
+          | None -> false
+          | Some (out, _) -> out = data)
+        all_kinds)
+
+(* Tsimbalo's rank-deficiency bound, empirically.  Receive exactly n = k
+   coded packets (no systematic ones) and count the trials where GF(256)
+   Gaussian elimination falls short of full rank; the model hook claims
+   P(fail) = 1 - prod_{i=0}^{k-1} (1 - 256^(i-n)) ~ 0.39%.  Every trial
+   uses a disjoint window of wire indices, so this also tests that the
+   (k, j)-derived coefficient vectors behave like the uniform ensemble
+   the bound assumes.  Deterministic: no seed, so no flakiness. *)
+let test_rlnc_rank_deficiency_matches_bound () =
+  let k = 8 and trials = 8000 in
+  let h = Rlnc.max_repair ~k in
+  let payload = Bytes.make 1 '\000' in
+  let failures = ref 0 in
+  for t = 0 to trials - 1 do
+    let dec = Rlnc.Decoder.create ~k ~h in
+    for i = 0 to k - 1 do
+      ignore (Rlnc.Decoder.add dec ~index:(k + (t * k) + i) payload)
+    done;
+    if not (Rlnc.Decoder.complete dec) then incr failures
+  done;
+  let p = Rlnc.decode_failure_probability ~k ~received:k in
+  Alcotest.(check bool) "bound is in the expected regime" true (p > 0.003 && p < 0.005);
+  let expected = float_of_int trials *. p in
+  let sigma = sqrt (float_of_int trials *. p *. (1.0 -. p)) in
+  let delta = Float.abs (float_of_int !failures -. expected) in
+  Alcotest.(check bool)
+    (Printf.sprintf "failures %d within 5 sigma of %.1f (sigma %.1f)" !failures expected sigma)
+    true
+    (delta <= 5.0 *. sigma)
+
+let test_registry_and_caps () =
+  Alcotest.(check int) "four wire-selectable codecs" 4 (List.length Codec.all);
+  List.iter
+    (fun kind ->
+      let c = Codec.of_kind kind in
+      Alcotest.(check bool) "of_kind preserves kind" true (Codec.kind c = kind);
+      Alcotest.(check bool) "label nonempty" true (String.length (Codec.label c) > 0);
+      Alcotest.(check bool) "all codecs are systematic" true (Codec.caps c).Codec.systematic;
+      Alcotest.(check bool)
+        (name_of kind ^ " name roundtrips")
+        true
+        (Codec.kind_of_string (Codec.kind_to_string kind) = Some kind))
+    Codec.all;
+  Alcotest.(check bool) "unknown name rejected" true (Codec.kind_of_string "fountain" = None);
+  let rateless kind = (Codec.caps (Codec.of_kind kind)).Codec.rateless in
+  Alcotest.(check bool) "rse is a block codec" false (rateless `Rse);
+  Alcotest.(check bool) "cauchy is a block codec" false (rateless `Cauchy);
+  Alcotest.(check bool) "rlnc is rateless" true (rateless `Rlnc);
+  Alcotest.(check bool) "lt is rateless" true (rateless `Lt);
+  (* Block codecs live inside 255 codeword positions; the rateless ones
+     inside the 16-bit wire index space. *)
+  Alcotest.(check int) "rse budget" (255 - 100) (Codec.max_repair (Codec.of_kind `Rse) ~k:100);
+  Alcotest.(check int) "rlnc budget" (0xFFFF - 100) (Codec.max_repair (Codec.of_kind `Rlnc) ~k:100)
+
+let test_model_hooks () =
+  (* MDS: every distinct repair packet is innovative and any k packets
+     decode — the coded-repair tier must draw no randomness for these. *)
+  List.iter
+    (fun kind ->
+      let c = Codec.of_kind kind in
+      Alcotest.(check (float 0.0))
+        (name_of kind ^ " repair always innovative")
+        1.0
+        (Codec.innovation_probability c ~k:8 ~rank:5);
+      Alcotest.(check (float 0.0))
+        (name_of kind ^ " decode certain at k")
+        0.0
+        (Codec.decode_failure_probability c ~k:8 ~received:8))
+    [ `Rse; `Cauchy ];
+  let rlnc = Codec.of_kind `Rlnc in
+  Alcotest.(check (float 1e-12)) "rlnc innovation one short of full rank"
+    (1.0 -. (1.0 /. 256.0))
+    (Codec.innovation_probability rlnc ~k:8 ~rank:7);
+  Alcotest.(check (float 0.0)) "nothing to learn at full rank" 0.0
+    (Codec.innovation_probability rlnc ~k:8 ~rank:8);
+  Alcotest.(check (float 0.0)) "decode impossible below k" 1.0
+    (Codec.decode_failure_probability rlnc ~k:8 ~received:7);
+  let fail_at n = Codec.decode_failure_probability rlnc ~k:8 ~received:n in
+  Alcotest.(check bool) "extra receptions shrink the failure probability" true
+    (fail_at 9 < fail_at 8 && fail_at 10 < fail_at 9);
+  let lt = Codec.of_kind `Lt in
+  Alcotest.(check bool) "lt binary proxy is weaker than rlnc's gf(256) model" true
+    (Codec.innovation_probability lt ~k:8 ~rank:7
+    < Codec.innovation_probability rlnc ~k:8 ~rank:7)
+
+(* Both sides re-derive the combination from the wire index alone: the
+   derivations must be pure functions of (k, j). *)
+let test_derivations_deterministic () =
+  let k = 16 in
+  let distinct = Hashtbl.create 32 in
+  for j = 0 to 31 do
+    let a = Rlnc.coefficients ~k ~j and b = Rlnc.coefficients ~k ~j in
+    Alcotest.(check bool) "rlnc coefficients deterministic" true (a = b);
+    Alcotest.(check int) "one coefficient per data packet" k (Array.length a);
+    Alcotest.(check bool) "never the zero combination" true (Array.exists (fun c -> c <> 0) a);
+    Array.iter (fun c -> Alcotest.(check bool) "gf(256) range" true (c >= 0 && c < 256)) a;
+    Hashtbl.replace distinct (Array.to_list a) ();
+    let na = Lt.neighbors ~k ~j and nb = Lt.neighbors ~k ~j in
+    Alcotest.(check bool) "lt neighbors deterministic" true (na = nb);
+    Alcotest.(check bool) "degree >= 1" true (na <> []);
+    Alcotest.(check bool) "neighbors in range" true (List.for_all (fun i -> i >= 0 && i < k) na);
+    Alcotest.(check int) "neighbors distinct" (List.length na)
+      (List.length (List.sort_uniq compare na))
+  done;
+  Alcotest.(check bool) "coefficient vectors vary across j" true (Hashtbl.length distinct > 16)
+
+(* The seam in situ: Fec_block's sender/receiver bookkeeping over every
+   codec — survivors in, next_parities batches sized by [needed] until
+   the block completes, exactly NP's repair loop. *)
+let test_fec_block_over_each_codec () =
+  let k = 6 and h = 50 in
+  let keep = [ 0; 2; 5 ] in
+  let data = payloads ~count:k ~size:48 17 in
+  List.iter
+    (fun kind ->
+      let codec = Codec.of_kind kind in
+      let sender = Fec_block.Sender.create ~codec ~h data in
+      Alcotest.(check int) "sender k" k (Fec_block.Sender.k sender);
+      let recv = Fec_block.Receiver.create ~codec ~k ~h in
+      List.iter (fun i -> ignore (Fec_block.Receiver.add recv ~index:i data.(i))) keep;
+      Alcotest.(check bool) "not yet complete" false (Fec_block.Receiver.complete recv);
+      while not (Fec_block.Receiver.complete recv) do
+        let batch = max 1 (Fec_block.Receiver.needed recv) in
+        List.iter
+          (fun (j, payload) -> ignore (Fec_block.Receiver.add recv ~index:(k + j) payload))
+          (Fec_block.Sender.next_parities sender batch)
+      done;
+      Alcotest.(check bool)
+        (name_of kind ^ " block decodes through Fec_block")
+        true
+        (Fec_block.Receiver.decode recv = data);
+      Alcotest.(check (list int))
+        "missing_data lists the non-verbatim indices" [ 1; 3; 4 ]
+        (Fec_block.Receiver.missing_data recv))
+    all_kinds
+
+(* End to end: a lossy multi-TG NP transfer repaired with coded packets
+   must still deliver intact to every receiver. *)
+let test_np_lossy_coded_delivery () =
+  List.iter
+    (fun codec ->
+      let config = { Np.default_config with Np.k = 8; h = 64; payload_size = 64; codec } in
+      let network = Network.independent (Rng.create ~seed:5 ()) ~receivers:3 ~p:0.25 in
+      let rng = Rng.create ~seed:6 () in
+      let data = payloads ~count:20 ~size:64 8 in
+      let report = Np.run ~config ~network ~rng ~data () in
+      Alcotest.(check bool)
+        (Codec.kind_to_string codec ^ " delivered intact")
+        true report.Np.delivered_intact;
+      Alcotest.(check (list (pair int int))) "no receiver gave up" [] report.Np.ejected;
+      Alcotest.(check bool) "repair rounds actually coded" true (report.Np.parity_tx > 0))
+    [ `Rlnc; `Lt ]
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip through the seam (all codecs)" `Quick
+      test_roundtrip_all_codecs;
+    QCheck_alcotest.to_alcotest qcheck_differential;
+    Alcotest.test_case "rlnc rank-deficiency matches Tsimbalo's bound" `Quick
+      test_rlnc_rank_deficiency_matches_bound;
+    Alcotest.test_case "registry, names and capability flags" `Quick test_registry_and_caps;
+    Alcotest.test_case "loss/rank model hooks" `Quick test_model_hooks;
+    Alcotest.test_case "wire-index derivations are deterministic" `Quick
+      test_derivations_deterministic;
+    Alcotest.test_case "Fec_block over each codec" `Quick test_fec_block_over_each_codec;
+    Alcotest.test_case "lossy NP transfer with coded repair" `Quick
+      test_np_lossy_coded_delivery;
+  ]

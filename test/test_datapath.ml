@@ -86,7 +86,9 @@ let sender_messages ~k ~h ~proactive ~npackets ~payload_size =
   let data =
     Array.init npackets (fun i -> Bytes.make payload_size (Char.chr (i land 0xFF)))
   in
-  let config = { Np_machine.k; h; proactive; pre_encode = false; slot = 0.02 } in
+  let config =
+    { Np_machine.k; h; proactive; pre_encode = false; slot = 0.02; codec = `Rse }
+  in
   let sender = Np_machine.Sender.create config ~data in
   let messages = ref [] in
   while Np_machine.Sender.pending sender do

@@ -9,8 +9,9 @@ module Tg_result = Rmcast.Tg_result
 
 let scheme_gen =
   QCheck.Gen.(
-    int_range 0 5 >>= fun which ->
+    int_range 0 6 >>= fun which ->
     int_range 0 4 >>= fun h_or_a ->
+    oneofl [ `Rse; `Cauchy; `Rlnc; `Lt ] >>= fun codec ->
     return
       (match which with
       | 0 -> Runner.No_fec
@@ -18,6 +19,7 @@ let scheme_gen =
       | 2 -> Runner.Integrated_open_loop { a = h_or_a }
       | 3 -> Runner.Integrated_nak { a = h_or_a }
       | 4 -> Runner.Carousel { h = h_or_a }
+      | 5 -> Runner.Coded_nak { a = h_or_a; codec }
       | _ -> Runner.Carousel { h = 0 }))
 
 let config_gen =
@@ -31,7 +33,7 @@ let config_gen =
 
 let run_one (scheme, k, receivers, p, seed) =
   let net = Network.independent (Rng.create ~seed ()) ~receivers ~p in
-  Runner.run_tg net ~k ~scheme ~timing:Rmcast.Timing.instantaneous ~start:0.0
+  Runner.run_tg net ~k ~scheme ~timing:Rmcast.Timing.instantaneous ~start:0.0 ()
 
 let qcheck_tg_invariants =
   QCheck.Test.make ~count:150 ~name:"TG machines: universal invariants"
@@ -43,7 +45,10 @@ let qcheck_tg_invariants =
            overhead of the scheme *)
         match scheme with
         | Runner.Layered { h } -> total >= k + h
-        | Runner.Integrated_open_loop { a } | Runner.Integrated_nak { a } -> total >= k + a
+        | Runner.Integrated_open_loop { a }
+        | Runner.Integrated_nak { a }
+        | Runner.Coded_nak { a; _ } ->
+          total >= k + a
         | Runner.No_fec | Runner.Carousel _ -> total >= k
       in
       let lossless_exact =
@@ -53,13 +58,16 @@ let qcheck_tg_invariants =
         match scheme with
         | Runner.No_fec | Runner.Carousel _ -> total = k && result.Tg_result.rounds = 1
         | Runner.Layered { h } -> total = k + h && result.Tg_result.rounds = 1
-        | Runner.Integrated_open_loop { a } | Runner.Integrated_nak { a } -> total = k + a
+        | Runner.Integrated_open_loop { a }
+        | Runner.Integrated_nak { a }
+        | Runner.Coded_nak { a; _ } ->
+          total = k + a
       in
       let feedback_ok =
         match scheme with
         | Runner.Carousel _ | Runner.Integrated_open_loop _ ->
           result.Tg_result.feedback_messages = 0
-        | Runner.Integrated_nak _ ->
+        | Runner.Integrated_nak _ | Runner.Coded_nak _ ->
           result.Tg_result.feedback_messages = result.Tg_result.rounds - 1
         | Runner.No_fec | Runner.Layered _ -> result.Tg_result.feedback_messages >= 0
       in
@@ -74,7 +82,9 @@ let qcheck_schemes_agree_on_lossless_data =
     (QCheck.make QCheck.Gen.(pair scheme_gen (int_range 1 20)))
     (fun (scheme, k) ->
       let net = Network.independent (Rng.create ~seed:99 ()) ~receivers:10 ~p:0.0 in
-      let result = Runner.run_tg net ~k ~scheme ~timing:Rmcast.Timing.instantaneous ~start:0.0 in
+      let result =
+        Runner.run_tg net ~k ~scheme ~timing:Rmcast.Timing.instantaneous ~start:0.0 ()
+      in
       result.Tg_result.data_transmissions = k)
 
 let qcheck_m_monotone_in_loss =

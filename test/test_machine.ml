@@ -5,7 +5,7 @@
 module M = Rmcast.Np_machine
 module Header = Rmcast.Header
 
-let config = { M.k = 4; h = 4; proactive = 0; pre_encode = false; slot = 0.01 }
+let config = { M.k = 4; h = 4; proactive = 0; pre_encode = false; slot = 0.01; codec = `Rse }
 
 let payload i = Bytes.make 8 (Char.chr (0x20 + (i mod 64)))
 

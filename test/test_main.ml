@@ -26,6 +26,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("invariants", Test_invariants.suite);
       ("cauchy", Test_cauchy.suite);
+      ("codec", Test_codec.suite);
       ("transfer+planner", Test_transfer.suite);
       ("profile", Test_profile.suite);
       ("scheduler", Test_scheduler.suite);

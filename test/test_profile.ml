@@ -1,19 +1,23 @@
 (* The unified Profile record and its converters to the per-layer config
-   types.  The deprecated legacy records (Transfer.options) are exercised
-   deliberately — silence the alert for this file. *)
-[@@@alert "-deprecated"]
+   types. *)
 
 module Profile = Rmcast.Profile
 module Error = Rmcast.Error
-module Transfer = Rmcast.Transfer
 module Np = Rmcast.Np
 module Udp = Rmcast.Udp_np
 
-(* Valid profiles only: the invariants Profile.validate enforces. *)
+(* Valid profiles only: the invariants Profile.validate enforces.  The
+   repair-budget bound depends on the codec — 255 codeword positions for
+   the block codecs, the 16-bit wire index space for the rateless ones
+   (capped here to keep shrunk counterexamples readable). *)
 let profile_gen =
   QCheck.Gen.(
+    oneofl [ `Rse; `Cauchy; `Rlnc; `Lt ] >>= fun codec ->
     int_range 1 100 >>= fun k ->
-    int_range 0 (255 - k) >>= fun h ->
+    (match codec with
+    | `Rse | `Cauchy -> int_range 0 (255 - k)
+    | `Rlnc | `Lt -> int_range 0 (min 2000 (0x10000 - k)))
+    >>= fun h ->
     int_range 0 h >>= fun proactive ->
     int_range 5 2048 >>= fun payload_size ->
     int_range 1 500 >>= fun pacing_tenth_ms ->
@@ -28,6 +32,7 @@ let profile_gen =
         pacing = float_of_int pacing_tenth_ms /. 10_000.0;
         slot = float_of_int slot_tenth_ms /. 10_000.0;
         pre_encode;
+        codec;
       })
 
 let arbitrary_profile = QCheck.make ~print:Profile.to_string profile_gen
@@ -48,26 +53,6 @@ let qcheck_udp_roundtrip =
       let p = { p with Profile.pre_encode = false } in
       Profile.equal p (Udp.profile_of_config (Udp.config_of_profile p)))
 
-let qcheck_options_roundtrip =
-  QCheck.Test.make ~count:500 ~name:"Transfer.options roundtrip" arbitrary_profile
-    (fun p ->
-      (* Legacy options carry no pacing/slot; dropping to options and
-         lifting back must preserve every field options has. *)
-      let o = Transfer.options_of_profile p in
-      o = Transfer.options_of_profile (Transfer.profile_of_options o))
-
-let qcheck_lift_preserves_timing =
-  QCheck.Test.make ~count:500 ~name:"profile_of_options takes default timing"
-    arbitrary_profile (fun p ->
-      let lifted = Transfer.profile_of_options (Transfer.options_of_profile p) in
-      lifted.Profile.pacing = Profile.default.Profile.pacing
-      && lifted.Profile.slot = Profile.default.Profile.slot
-      && lifted.Profile.k = p.Profile.k
-      && lifted.Profile.h = p.Profile.h
-      && lifted.Profile.proactive = p.Profile.proactive
-      && lifted.Profile.payload_size = p.Profile.payload_size
-      && lifted.Profile.pre_encode = p.Profile.pre_encode)
-
 let test_defaults_valid () =
   let check name p =
     match Profile.validate p with
@@ -75,8 +60,7 @@ let test_defaults_valid () =
     | Error e -> Alcotest.failf "%s rejected: %s" name (Error.to_string e)
   in
   check "default" Profile.default;
-  check "default_udp" Profile.default_udp;
-  check "lifted legacy default" (Transfer.profile_of_options Transfer.default_options)
+  check "default_udp" Profile.default_udp
 
 let test_validate_rejections () =
   let rejected name p =
@@ -94,6 +78,9 @@ let test_validate_rejections () =
   rejected "negative h" { Profile.default with h = -1; proactive = 0 };
   rejected "proactive > h" { Profile.default with h = 2; proactive = 3 };
   rejected "k + h > 255" { Profile.default with k = 200; h = 56 };
+  rejected "k + h > 255 (cauchy)" { Profile.default with k = 200; h = 56; codec = `Cauchy };
+  rejected "rateless k + h beyond wire index"
+    { Profile.default with k = 100; h = 0x10000 - 99; codec = `Rlnc };
   rejected "payload_size = 0" { Profile.default with payload_size = 0 };
   rejected "zero pacing" { Profile.default with pacing = 0.0 };
   rejected "negative slot" { Profile.default with slot = -0.1 };
@@ -102,14 +89,47 @@ let test_validate_rejections () =
     (Invalid_argument "Profile: k must be >= 1 (got 0)") (fun () ->
       ignore (Profile.validate_exn { Profile.default with k = 0 }))
 
+let test_rateless_lifts_codeword_bound () =
+  (* k + h = 1256 > 255: rejected for the block codecs, fine for the
+     rateless ones (bounded by the 16-bit wire index only). *)
+  let big codec = { Profile.default with k = 200; h = 1056; codec } in
+  List.iter
+    (fun codec ->
+      match Profile.validate (big codec) with
+      | Ok _ -> Alcotest.failf "block codec %s accepted k+h=1256" (Profile.codec_to_string codec)
+      | Error _ -> ())
+    [ `Rse; `Cauchy ];
+  List.iter
+    (fun codec ->
+      match Profile.validate (big codec) with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "rateless codec %s rejected k+h=1256: %s"
+          (Profile.codec_to_string codec) (Error.to_string e))
+    [ `Rlnc; `Lt ]
+
+let test_codec_string_roundtrip () =
+  List.iter
+    (fun codec ->
+      Alcotest.(check bool)
+        (Profile.codec_to_string codec ^ " roundtrips")
+        true
+        (Profile.codec_of_string (Profile.codec_to_string codec) = Some codec))
+    [ `Rse; `Cauchy; `Rlnc; `Lt ];
+  Alcotest.(check bool) "unknown name rejected" true (Profile.codec_of_string "fountain" = None)
+
 let test_derived_configs_inherit_fields () =
-  let p = { Profile.default with k = 11; h = 13; proactive = 2; payload_size = 333 } in
+  let p =
+    { Profile.default with k = 11; h = 13; proactive = 2; payload_size = 333; codec = `Rlnc }
+  in
   let np = Np.config_of_profile ~delay:0.042 p in
   Alcotest.(check int) "np k" 11 np.Np.k;
   Alcotest.(check int) "np h" 13 np.Np.h;
+  Alcotest.(check bool) "np codec" true (np.Np.codec = `Rlnc);
   Alcotest.(check (float 0.0)) "np delay is the caller's" 0.042 np.Np.delay;
   let udp = Udp.config_of_profile ~linger:0.9 p in
   Alcotest.(check int) "udp payload" 333 udp.Udp.payload_size;
+  Alcotest.(check bool) "udp codec" true (udp.Udp.codec = `Rlnc);
   Alcotest.(check (float 0.0)) "udp linger is the caller's" 0.9 udp.Udp.linger;
   Alcotest.(check (float 0.0)) "udp keeps profile pacing" p.Profile.pacing udp.Udp.spacing
 
@@ -118,10 +138,11 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_generator_valid;
     QCheck_alcotest.to_alcotest qcheck_np_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_udp_roundtrip;
-    QCheck_alcotest.to_alcotest qcheck_options_roundtrip;
-    QCheck_alcotest.to_alcotest qcheck_lift_preserves_timing;
     Alcotest.test_case "defaults validate" `Quick test_defaults_valid;
     Alcotest.test_case "validate rejections" `Quick test_validate_rejections;
+    Alcotest.test_case "rateless codecs lift the codeword bound" `Quick
+      test_rateless_lifts_codeword_bound;
+    Alcotest.test_case "codec names roundtrip" `Quick test_codec_string_roundtrip;
     Alcotest.test_case "derived configs inherit profile fields" `Quick
       test_derived_configs_inherit_fields;
   ]

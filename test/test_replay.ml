@@ -61,7 +61,7 @@ let actors recorder =
 let per_actor recorder actor =
   List.filter (fun (a, _, _) -> a = actor) (stream recorder)
 
-let sim_capture ~receivers ~loss ~seed ~data =
+let sim_capture ?(codec = `Rse) ~receivers ~loss ~seed ~data () =
   let engine = Rmcast.Engine.create () in
   let mux = Np.Mux.create engine in
   let network =
@@ -72,22 +72,22 @@ let sim_capture ~receivers ~loss ~seed ~data =
      stream for the machines to agree. *)
   let rng = Rmcast.Rng.create ~seed:(Udp.receiver_machine_seed ~seed ~id:0) () in
   let recorder = Recorder.create () in
-  let flow = Np.Mux.add_flow mux ~config:sim_config ~recorder ~network ~rng ~data () in
+  let config = { sim_config with Np.codec } in
+  let flow = Np.Mux.add_flow mux ~config ~recorder ~network ~rng ~data () in
   Np.Mux.run mux;
   Alcotest.(check bool) "sim flow complete" true (Np.Mux.complete flow);
   recorder
 
-let udp_capture ~receivers ~loss ~seed ~data =
+let udp_capture ?(codec = `Rse) ~receivers ~loss ~seed ~data () =
   let recorder = Recorder.create () in
-  let report =
-    Udp.run_local_exn ~config:udp_config ~recorder ~receivers ~loss ~seed ~data ()
-  in
+  let config = { udp_config with Udp.codec } in
+  let report = Udp.run_local_exn ~config ~recorder ~receivers ~loss ~seed ~data () in
   Alcotest.(check bool) "udp verified" true report.Udp.verified;
   recorder
 
-let check_equivalence ~receivers ~loss ~seed ~data =
-  let sim = sim_capture ~receivers ~loss ~seed ~data in
-  let udp = udp_capture ~receivers ~loss ~seed ~data in
+let check_equivalence ?codec ~receivers ~loss ~seed ~data () =
+  let sim = sim_capture ?codec ~receivers ~loss ~seed ~data () in
+  let udp = udp_capture ?codec ~receivers ~loss ~seed ~data () in
   Alcotest.(check (list string)) "same machines" (actors sim) (actors udp);
   List.iter
     (fun actor ->
@@ -101,7 +101,7 @@ let check_equivalence ~receivers ~loss ~seed ~data =
    drivers must walk every machine through the identical schedule. *)
 let test_differential_lossless () =
   check_equivalence ~receivers:3 ~loss:0.0 ~seed:11
-    ~data:(payloads ~count:12 ~size:payload_size 5)
+    ~data:(payloads ~count:12 ~size:payload_size 5) ()
 
 (* Lossy, one receiver, one TG: the loss draws and the NAK damping draws
    line up between the drivers (same seeds, same draw order), so even the
@@ -110,37 +110,53 @@ let test_differential_lossy () =
   List.iter
     (fun seed ->
       check_equivalence ~receivers:1 ~loss:0.3 ~seed
-        ~data:(payloads ~count:k ~size:payload_size (seed + 100)))
+        ~data:(payloads ~count:k ~size:payload_size (seed + 100)) ())
     [ 21; 22; 23 ]
+
+(* Same contract under the rateless codecs: repair packets are coded
+   combinations re-derived from (k, j) on both sides, and the coded repair
+   rounds must still replay byte-identically between the drivers. *)
+let test_differential_lossy_coded () =
+  List.iter
+    (fun (codec, seed) ->
+      check_equivalence ~codec ~receivers:1 ~loss:0.3 ~seed
+        ~data:(payloads ~count:k ~size:payload_size (seed + 200)) ())
+    [ (`Rlnc, 24); (`Rlnc, 25); (`Lt, 26) ]
 
 (* --- capture -> save -> load -> replay --------------------------------- *)
 
 let temp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
 
 let test_replay_roundtrip () =
-  let recorder = Recorder.create () in
-  let data = payloads ~count:8 ~size:payload_size 7 in
-  let report =
-    Udp.run_local_exn ~config:udp_config ~recorder ~receivers:2 ~loss:0.25 ~seed:31 ~data ()
-  in
-  Alcotest.(check bool) "run verified" true report.Udp.verified;
-  let path = temp_path "rmcast_replay_roundtrip.rmcrec" in
-  Recorder.save ~path recorder;
-  let loaded =
-    match Recorder.load ~path with
-    | Ok r -> r
-    | Error reason -> Alcotest.fail reason
-  in
-  Sys.remove path;
-  Alcotest.(check int) "entries survive the file" (Recorder.length recorder)
-    (Recorder.length loaded);
-  match Rmcast.Np_replay.replay loaded with
-  | Error reason -> Alcotest.fail reason
-  | Ok outcome ->
-    Alcotest.(check (option string)) "bit-identical replay" None
-      outcome.Rmcast.Np_replay.divergence;
-    Alcotest.(check bool) "events replayed" true (outcome.Rmcast.Np_replay.events > 0);
-    Alcotest.(check bool) "effects checked" true (outcome.Rmcast.Np_replay.effects > 0)
+  (* Once per codec family: the capture meta carries the codec (absent =
+     rse for pre-seam fixtures) and replay must rebuild the same blocks. *)
+  List.iter
+    (fun codec ->
+      let recorder = Recorder.create () in
+      let data = payloads ~count:8 ~size:payload_size 7 in
+      let config = { udp_config with Udp.codec } in
+      let report =
+        Udp.run_local_exn ~config ~recorder ~receivers:2 ~loss:0.25 ~seed:31 ~data ()
+      in
+      Alcotest.(check bool) "run verified" true report.Udp.verified;
+      let path = temp_path "rmcast_replay_roundtrip.rmcrec" in
+      Recorder.save ~path recorder;
+      let loaded =
+        match Recorder.load ~path with
+        | Ok r -> r
+        | Error reason -> Alcotest.fail reason
+      in
+      Sys.remove path;
+      Alcotest.(check int) "entries survive the file" (Recorder.length recorder)
+        (Recorder.length loaded);
+      match Rmcast.Np_replay.replay loaded with
+      | Error reason -> Alcotest.fail reason
+      | Ok outcome ->
+        Alcotest.(check (option string)) "bit-identical replay" None
+          outcome.Rmcast.Np_replay.divergence;
+        Alcotest.(check bool) "events replayed" true (outcome.Rmcast.Np_replay.events > 0);
+        Alcotest.(check bool) "effects checked" true (outcome.Rmcast.Np_replay.effects > 0))
+    [ `Rse; `Rlnc ]
 
 (* Tampering with a recorded effect must be caught, not absorbed. *)
 let test_replay_detects_tampering () =
@@ -232,6 +248,8 @@ let suite =
     Alcotest.test_case "drivers agree: lossless multi-receiver" `Quick
       test_differential_lossless;
     Alcotest.test_case "drivers agree: lossy single receiver" `Quick test_differential_lossy;
+    Alcotest.test_case "drivers agree: lossy, coded repair (rlnc/lt)" `Quick
+      test_differential_lossy_coded;
     Alcotest.test_case "capture/save/load/replay roundtrip" `Quick test_replay_roundtrip;
     Alcotest.test_case "replay detects tampering" `Quick test_replay_detects_tampering;
     Alcotest.test_case "replay rejects missing meta" `Quick test_replay_rejects_bad_meta;

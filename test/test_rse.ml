@@ -277,8 +277,8 @@ let test_interleaver_index () =
 
 let test_fec_block_sender_budget () =
   let rng = Rng.create ~seed:16 () in
-  let codec = Rse.create ~k:3 ~h:2 () in
-  let sender = Rmcast.Fec_block.Sender.create codec (random_data rng ~k:3 ~size:8) in
+  let codec = Rmcast.Codec.of_kind `Rse in
+  let sender = Rmcast.Fec_block.Sender.create ~codec ~h:2 (random_data rng ~k:3 ~size:8) in
   Alcotest.(check int) "issued 0" 0 (Rmcast.Fec_block.Sender.parities_issued sender);
   let batch = Rmcast.Fec_block.Sender.next_parities sender 2 in
   Alcotest.(check int) "issued 2" 2 (Rmcast.Fec_block.Sender.parities_issued sender);
@@ -289,10 +289,10 @@ let test_fec_block_sender_budget () =
 
 let test_fec_block_receiver_flow () =
   let rng = Rng.create ~seed:17 () in
-  let codec = Rse.create ~k:3 ~h:2 () in
+  let codec = Rmcast.Codec.of_kind `Rse in
   let data = random_data rng ~k:3 ~size:8 in
-  let sender = Rmcast.Fec_block.Sender.create codec data in
-  let receiver = Rmcast.Fec_block.Receiver.create codec in
+  let sender = Rmcast.Fec_block.Sender.create ~codec ~h:2 data in
+  let receiver = Rmcast.Fec_block.Receiver.create ~codec ~k:3 ~h:2 in
   Alcotest.(check int) "needed all" 3 (Rmcast.Fec_block.Receiver.needed receiver);
   Alcotest.(check bool) "fresh" true (Rmcast.Fec_block.Receiver.add receiver ~index:0 data.(0));
   Alcotest.(check bool) "duplicate" false (Rmcast.Fec_block.Receiver.add receiver ~index:0 data.(0));
@@ -309,12 +309,13 @@ let test_fec_block_receiver_flow () =
 
 let test_fec_block_precompute () =
   let rng = Rng.create ~seed:18 () in
-  let codec = Rse.create ~k:4 ~h:3 () in
   let data = random_data rng ~k:4 ~size:8 in
-  let sender = Rmcast.Fec_block.Sender.create codec data in
+  let sender =
+    Rmcast.Fec_block.Sender.create ~codec:(Rmcast.Codec.of_kind `Rse) ~h:3 data
+  in
   Rmcast.Fec_block.Sender.precompute sender;
   (* Cached parities identical to a fresh encode. *)
-  let fresh = Rse.encode codec data in
+  let fresh = Rse.encode (Rse.create ~k:4 ~h:3 ()) data in
   for j = 0 to 2 do
     Alcotest.(check bool) "cache" true (Bytes.equal fresh.(j) (Rmcast.Fec_block.Sender.parity sender j))
   done;

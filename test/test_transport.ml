@@ -133,10 +133,11 @@ let open_fds () = Array.length (Sys.readdir "/proc/self/fd")
 
 let test_no_fd_leak_on_failed_run () =
   (* Regression: a raise between socket creation and teardown (here the
-     codec constructor rejecting k + h > 255 after every socket exists)
-     used to leak the whole socket set.  The engine now tracks each
-     descriptor from birth and closes them in one Fun.protect finalizer. *)
-  let failing = { config with k = 200; h = 200; payload_size = 64 } in
+     machine constructor rejecting proactive > h after every socket
+     exists — a field run_local's upfront validate does not cover) used
+     to leak the whole socket set.  The engine now tracks each descriptor
+     from birth and closes them in one Fun.protect finalizer. *)
+  let failing = { config with proactive = config.h + 1; payload_size = 64 } in
   let data = payloads ~count:200 ~size:64 17 in
   let before = open_fds () in
   (match Udp.run_local ~config:failing ~receivers:3 ~loss:0.0 ~seed:18 ~data () with
