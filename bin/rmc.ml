@@ -75,6 +75,72 @@ let codec_arg =
           "Erasure codec for repair packets: $(i,rse) (default), $(i,cauchy) (both MDS \
            block codes), $(i,rlnc) or $(i,lt) (rateless).")
 
+let controller_arg =
+  let parse s =
+    match Rmcast.Profile.controller_of_string (String.lowercase_ascii s) with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown controller %S (static, ewma, gilbert)" s))
+  in
+  let print ppf c = Format.pp_print_string ppf (Rmcast.Profile.controller_to_string c) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Static
+    & info [ "controller" ] ~docv:"CONTROLLER"
+        ~doc:
+          "Redundancy control plane: $(i,static) (default; the construction-time plan, \
+           bit-exact with the pre-control-plane behaviour), $(i,ewma) (EWMA loss \
+           estimator retunes proactive parities and budget online), or $(i,gilbert) \
+           (burst-aware: inflates the proactive tail from the measured loss-run \
+           dispersion).")
+
+(* Churn specs: comma-separated "join:RX@T" / "leave:RX@T" events, e.g.
+   "leave:2@0.5,join:5@1.2,join:2@2.0" (receiver 2 flaps, receiver 5 is a
+   late joiner). *)
+let churn_of_string spec =
+  let parse_event item =
+    match String.index_opt item ':' with
+    | None -> Error (Printf.sprintf "%S: expected join:RX@T or leave:RX@T" item)
+    | Some colon -> (
+      let action =
+        match String.sub item 0 colon with
+        | "join" -> Ok `Join
+        | "leave" -> Ok `Leave
+        | other -> Error (Printf.sprintf "%S: unknown action %S" item other)
+      in
+      match action with
+      | Error _ as e -> e
+      | Ok action -> (
+        let rest = String.sub item (colon + 1) (String.length item - colon - 1) in
+        match String.index_opt rest '@' with
+        | None -> Error (Printf.sprintf "%S: missing @TIME" item)
+        | Some at_sign -> (
+          let rx = String.sub rest 0 at_sign in
+          let time = String.sub rest (at_sign + 1) (String.length rest - at_sign - 1) in
+          match (int_of_string_opt rx, float_of_string_opt time) with
+          | Some receiver, Some at when receiver >= 0 && at >= 0.0 ->
+            Ok { Rmcast.Np.Mux.receiver; at; action }
+          | _ -> Error (Printf.sprintf "%S: bad receiver or time" item))))
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest -> (
+      match parse_event item with
+      | Error _ as e -> e
+      | Ok ev -> collect (ev :: acc) rest)
+  in
+  collect [] (String.split_on_char ',' spec)
+
+let churn_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "churn" ] ~docv:"SPEC"
+        ~doc:
+          "Receiver membership churn: comma-separated $(i,join:RX@T) / \
+           $(i,leave:RX@T) events in virtual seconds, e.g. \
+           leave:2@0.5,join:5@1.2,join:2@2.0. A receiver whose earliest \
+           event is a join starts absent and catches up from parity repair.")
+
 let high_loss_arg =
   Arg.(
     value & opt float 0.0
@@ -193,11 +259,18 @@ let simulate scheme k h a p receivers seed reps fbt_height burst tier codec =
       match runner_scheme with
       | Rmcast.Runner.No_fec | Rmcast.Runner.Layered _ | Rmcast.Runner.Carousel _ ->
         `Error (false, "--tier aggregate only models the integrated schemes")
-      | Rmcast.Runner.Coded_nak _ ->
-        `Error
-          ( false,
-            "--tier aggregate models receivers by reception count, which assumes the MDS \
-             rse codec; rerun with --codec rse or --tier exact" )
+      | Rmcast.Runner.Coded_nak { codec; _ } -> (
+        (* The same admission rule the aggregate interpreter itself applies,
+           so rmc simulate / transfer / serve all surface one message. *)
+        match Rmcast.Np_aggregate.check_config { Rmcast.Np.default_config with codec } with
+        | Error e -> `Error (false, Rmcast.Error.to_string e)
+        | Ok () ->
+          (* Cauchy is MDS too, but the aggregate runner's closed-form
+             counting is wired to the RSE scheme; same remedy as before. *)
+          `Error
+            ( false,
+              "--tier aggregate counts receptions in closed form for the rse scheme \
+               only; rerun with --codec rse or --tier exact" ))
       | Rmcast.Runner.Integrated_nak _ | Rmcast.Runner.Integrated_open_loop _ ->
         let channel, timing =
           match burst with
@@ -248,14 +321,30 @@ let simulate_cmd =
 
 (* --- plan ------------------------------------------------------------ *)
 
-let plan k p receivers target =
-  let plan = Rmcast.Planner.plan ~k ~p ~receivers ~target_single_round:target () in
-  Printf.printf "k = %d, p = %g, R = %d:\n" k p receivers;
-  Printf.printf "  proactive parities (a)  = %d\n" plan.Rmcast.Planner.proactive;
-  Printf.printf "  parity budget (h)       = %d\n" plan.Rmcast.Planner.budget;
-  Printf.printf "  predicted E[M]          = %.4f\n" plan.Rmcast.Planner.expected_m;
-  Printf.printf "  P(no repair round)      = %.4f\n" plan.Rmcast.Planner.single_round_probability;
-  `Ok ()
+let plan k p receivers target measured_m =
+  if p <= 0.0 || p >= 1.0 then `Error (false, "--p must lie in (0,1) for planning")
+  else begin
+    let effective =
+      match measured_m with
+      | None -> receivers
+      | Some m -> Rmcast.Planner.effective_receivers ~measured_m_nofec:m ~p
+    in
+    let plan = Rmcast.Planner.plan ~k ~p ~receivers:effective ~target_single_round:target () in
+    (match measured_m with
+    | None -> Printf.printf "k = %d, p = %g, R = %d:\n" k p receivers
+    | Some m ->
+      Printf.printf "k = %d, p = %g, R = %d:\n" k p receivers;
+      Printf.printf
+        "  effective R             = %d (independent population whose no-FEC E[M] \
+         matches the measured %g; paper §4.1 inverted)\n"
+        effective m);
+    Printf.printf "  proactive parities (a)  = %d\n" plan.Rmcast.Planner.proactive;
+    Printf.printf "  parity budget (h)       = %d\n" plan.Rmcast.Planner.budget;
+    Printf.printf "  predicted E[M]          = %.4f\n" plan.Rmcast.Planner.expected_m;
+    Printf.printf "  P(no repair round)      = %.4f\n"
+      plan.Rmcast.Planner.single_round_probability;
+    `Ok ()
+  end
 
 let plan_cmd =
   let target =
@@ -263,8 +352,20 @@ let plan_cmd =
       value & opt float 0.9
       & info [ "target" ] ~docv:"Q" ~doc:"Target probability of single-round delivery.")
   in
+  let measured_m =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "measured-m" ] ~docv:"M"
+          ~doc:
+            "Measured no-FEC transmissions-per-packet. When given, the plan is drawn for \
+             the $(i,effective) receiver count whose independent-loss E[M] matches M \
+             (paper §4.1 inverted) instead of the raw $(b,--receivers) — the antidote to \
+             over-provisioning under spatially correlated loss.")
+  in
   let doc = "Choose proactive parities and parity budget for a population." in
-  Cmd.v (Cmd.info "plan" ~doc) Term.(ret (const plan $ k_arg $ p_arg $ receivers_arg $ target))
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(ret (const plan $ k_arg $ p_arg $ receivers_arg $ target $ measured_m))
 
 (* --- endhost --------------------------------------------------------- *)
 
@@ -428,22 +529,27 @@ let codec_cmd =
 
 (* --- transfer -------------------------------------------------------- *)
 
-let transfer k h a p receivers seed bytes codec =
-  let rng = Rmcast.Rng.create ~seed () in
-  let network = Rmcast.Network.independent (Rmcast.Rng.split rng) ~receivers ~p in
-  let message = String.init bytes (fun i -> Char.chr ((i * 37) mod 256)) in
-  let profile = { Rmcast.Profile.default with k; h; proactive = a; codec } in
-  match Rmcast.Transfer.send ~profile ~network ~rng:(Rmcast.Rng.split rng) message with
-  | Error e -> `Error (false, Rmcast.Error.to_string e)
-  | Ok outcome ->
-    let report = outcome.Rmcast.Transfer.report in
-    Printf.printf
-      "verified=%b data=%d parity=%d naks=%d suppressed=%d E[M]=%.4f efficiency=%.1f%%\n"
-      outcome.Rmcast.Transfer.verified report.Rmcast.Np.data_tx report.Rmcast.Np.parity_tx
-      report.Rmcast.Np.naks_sent report.Rmcast.Np.naks_suppressed
-      (Rmcast.Np.transmissions_per_packet report)
-      (100.0 *. outcome.Rmcast.Transfer.efficiency);
-    `Ok ()
+let transfer k h a p receivers seed bytes codec controller churn_spec =
+  match Option.fold ~none:(Ok []) ~some:churn_of_string churn_spec with
+  | Error message -> `Error (false, "--churn: " ^ message)
+  | Ok churn -> (
+    let rng = Rmcast.Rng.create ~seed () in
+    let network = Rmcast.Network.independent (Rmcast.Rng.split rng) ~receivers ~p in
+    let message = String.init bytes (fun i -> Char.chr ((i * 37) mod 256)) in
+    let profile = { Rmcast.Profile.default with k; h; proactive = a; codec; controller } in
+    match
+      Rmcast.Transfer.send ~profile ~churn ~network ~rng:(Rmcast.Rng.split rng) message
+    with
+    | Error e -> `Error (false, Rmcast.Error.to_string e)
+    | Ok outcome ->
+      let report = outcome.Rmcast.Transfer.report in
+      Printf.printf
+        "verified=%b data=%d parity=%d naks=%d suppressed=%d E[M]=%.4f efficiency=%.1f%%\n"
+        outcome.Rmcast.Transfer.verified report.Rmcast.Np.data_tx report.Rmcast.Np.parity_tx
+        report.Rmcast.Np.naks_sent report.Rmcast.Np.naks_suppressed
+        (Rmcast.Np.transmissions_per_packet report)
+        (100.0 *. outcome.Rmcast.Transfer.efficiency);
+      `Ok ())
 
 let transfer_cmd =
   let bytes =
@@ -454,7 +560,7 @@ let transfer_cmd =
     (Cmd.info "transfer" ~doc)
     Term.(
       ret (const transfer $ k_arg $ Arg.(value & opt int 40 & info [ "parities" ]) $ a_arg $ p_arg
-           $ receivers_arg $ seed_arg $ bytes $ codec_arg))
+           $ receivers_arg $ seed_arg $ bytes $ codec_arg $ controller_arg $ churn_arg))
 
 (* --- serve ------------------------------------------------------------ *)
 
@@ -569,7 +675,7 @@ let serve_udp ~profile ~sessions ~receivers ~p ~seed ~bytes ~show_metrics ~captu
     else `Error (false, "some sessions failed verification")
 
 let serve sessions transport k h a payload p receivers seed bytes show_metrics capture
-    shards multicast codec =
+    shards multicast codec controller =
   if sessions < 1 then `Error (false, "--sessions must be >= 1")
   else if capture <> None && transport <> `Udp then
     `Error (false, "--capture requires --transport udp")
@@ -583,7 +689,8 @@ let serve sessions transport k h a payload p receivers seed bytes show_metrics c
     `Error (false, "--multicast: this environment does not route multicast over loopback")
   else
     let profile =
-      { Rmcast.Profile.default with k; h; proactive = a; payload_size = payload; codec }
+      { Rmcast.Profile.default with
+        k; h; proactive = a; payload_size = payload; codec; controller }
     in
     match Rmcast.Profile.validate profile with
     | Error e -> `Error (false, Rmcast.Error.to_string e)
@@ -666,7 +773,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       ret (const serve $ sessions $ transport $ k $ h $ a_arg $ payload $ p_arg $ receivers
-           $ seed_arg $ bytes $ metrics $ capture $ shards $ multicast $ codec_arg))
+           $ seed_arg $ bytes $ metrics $ capture $ shards $ multicast $ codec_arg
+           $ controller_arg))
 
 (* --- latency --------------------------------------------------------- *)
 
@@ -795,7 +903,7 @@ let trace_cmd =
 
 (* --- udp --------------------------------------------------------------- *)
 
-let udp receivers p seed packets payload metrics faults capture multicast codec =
+let udp receivers p seed packets payload metrics faults capture multicast codec controller =
   match
     match faults with
     | None -> Ok None
@@ -807,7 +915,9 @@ let udp receivers p seed packets payload metrics faults capture multicast codec 
     ignore faults;
     `Error (false, "--multicast: this environment does not route multicast over loopback")
   | Ok faults ->
-    let config = { Rmcast.Udp_np.default_config with payload_size = payload; codec } in
+    let config =
+      { Rmcast.Udp_np.default_config with payload_size = payload; codec; controller }
+    in
     let transport = if multicast then `Multicast else `Unicast in
     let rng = Rmcast.Rng.create ~seed () in
     let data =
@@ -888,7 +998,7 @@ let udp_cmd =
     (Cmd.info "udp" ~doc)
     Term.(
       ret (const udp $ receivers_arg $ p_arg $ seed_arg $ packets $ payload $ metrics $ faults
-           $ capture $ multicast $ codec_arg))
+           $ capture $ multicast $ codec_arg $ controller_arg))
 
 (* --- replay ------------------------------------------------------------ *)
 

@@ -25,7 +25,9 @@
       packet datapath both NP drivers run on.
     - {!Metrics}, {!Event_trace}, {!Fault}, {!Recorder}: observability,
       fault injection and event/effect capture.
-    - {!Transfer}, {!Planner}: the ten-line user path.
+    - {!Planner}, {!Controller}: the control plane — one-shot parameter
+      planning and the online estimator that retunes it mid-transfer.
+    - {!Transfer}: the ten-line user path.
 
     {2 Quickstart}
 
@@ -124,8 +126,11 @@ module Udp_np = Rmc_transport.Udp_np
 module Udp_batch = Rmc_transport.Udp_batch
 module Udp_multicast = Rmc_transport.Udp_multicast
 
+(* Control plane *)
+module Planner = Rmc_control.Planner
+module Controller = Rmc_control.Controller
+
 (* High-level API *)
 module Transfer = Transfer
-module Planner = Planner
 module Session = Session
 module Scheduler = Scheduler

@@ -43,6 +43,23 @@ let validate ~context ~virtual_start profile message =
     else if virtual_start < 0.0 then Error.invalid_arg ~context "negative start time"
     else Ok p
 
+let validate_churn ~context ~virtual_start ~network churn =
+  let receivers = Rmc_sim.Network.receivers network in
+  let rec check = function
+    | [] -> Ok ()
+    | ev :: rest ->
+      if ev.Rmc_proto.Np.Mux.receiver < 0 || ev.Rmc_proto.Np.Mux.receiver >= receivers then
+        Error.msgf ~context "churn event targets receiver %d outside 0..%d"
+          ev.Rmc_proto.Np.Mux.receiver (receivers - 1)
+        |> Result.error
+      else if ev.Rmc_proto.Np.Mux.at < virtual_start then
+        Error.msgf ~context "churn event at %g predates the transfer start %g"
+          ev.Rmc_proto.Np.Mux.at virtual_start
+        |> Result.error
+      else check rest
+  in
+  check churn
+
 let outcome_of_report ~message_len (report : Rmc_proto.Np.report) =
   let payload_packets = report.Rmc_proto.Np.data_tx + report.Rmc_proto.Np.parity_tx in
   let bytes_sent = payload_packets * report.Rmc_proto.Np.config.Rmc_proto.Np.payload_size in
@@ -54,14 +71,30 @@ let outcome_of_report ~message_len (report : Rmc_proto.Np.report) =
       report.Rmc_proto.Np.delivered_intact && report.Rmc_proto.Np.ejected = [];
   }
 
-let send ?(profile = Profile.default) ?(virtual_start = 0.0) ~network ~rng message =
-  match validate ~context:"Transfer.send" ~virtual_start profile message with
+let send ?(profile = Profile.default) ?(virtual_start = 0.0) ?(churn = []) ~network ~rng
+    message =
+  let context = "Transfer.send" in
+  match validate ~context ~virtual_start profile message with
   | Error _ as e -> e
-  | Ok profile ->
-    let data = packetize ~payload_size:profile.Profile.payload_size message in
-    let config = Rmc_proto.Np.config_of_profile profile in
-    let report = Rmc_proto.Np.run ~config ~start:virtual_start ~network ~rng ~data () in
-    Ok (outcome_of_report ~message_len:(String.length message) report)
+  | Ok profile -> (
+    match validate_churn ~context ~virtual_start ~network churn with
+    | Error _ as e -> e
+    | Ok () ->
+      let data = packetize ~payload_size:profile.Profile.payload_size message in
+      let config = Rmc_proto.Np.config_of_profile profile in
+      let report =
+        match churn with
+        | [] -> Rmc_proto.Np.run ~config ~start:virtual_start ~network ~rng ~data ()
+        | churn ->
+          let mux = Rmc_proto.Np.Mux.create (Rmc_sim.Engine.create ()) in
+          let flow =
+            Rmc_proto.Np.Mux.add_flow mux ~config ~start:virtual_start ~churn ~network
+              ~rng ~data ()
+          in
+          Rmc_proto.Np.Mux.run mux;
+          Rmc_proto.Np.Mux.report flow
+      in
+      Ok (outcome_of_report ~message_len:(String.length message) report))
 
-let send_exn ?profile ?virtual_start ~network ~rng message =
-  Error.get_exn (send ?profile ?virtual_start ~network ~rng message)
+let send_exn ?profile ?virtual_start ?churn ~network ~rng message =
+  Error.get_exn (send ?profile ?virtual_start ?churn ~network ~rng message)

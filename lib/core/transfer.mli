@@ -20,19 +20,25 @@ type outcome = {
 val send :
   ?profile:Rmc_core.Profile.t ->
   ?virtual_start:float ->
+  ?churn:Rmc_proto.Np.Mux.churn_event list ->
   network:Rmc_sim.Network.t ->
   rng:Rmc_numerics.Rng.t ->
   string ->
   (outcome, Rmc_core.Error.t) result
 (** [virtual_start] (default 0) offsets the session in virtual time so
     that several sends can share one network (see {!Rmc_proto.Np.run}).
-    Returns [Error] (context ["Transfer.send"]) on an invalid profile, an
-    empty message, a payload size too small for the length prefix, or a
-    negative start — never raises on bad input. *)
+    [churn] (default none) schedules receiver membership changes — see
+    {!Rmc_proto.Np.Mux.add_flow}; the outcome's [verified] then covers the
+    receivers present at the end of the run.  Returns [Error] (context
+    ["Transfer.send"]) on an invalid profile, an empty message, a payload
+    size too small for the length prefix, a negative start, or a churn
+    event that is out of range or predates the start — never raises on bad
+    input. *)
 
 val send_exn :
   ?profile:Rmc_core.Profile.t ->
   ?virtual_start:float ->
+  ?churn:Rmc_proto.Np.Mux.churn_event list ->
   network:Rmc_sim.Network.t ->
   rng:Rmc_numerics.Rng.t ->
   string ->

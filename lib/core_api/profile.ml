@@ -1,4 +1,5 @@
 type codec = [ `Rse | `Cauchy | `Rlnc | `Lt ]
+type controller = [ `Static | `Ewma | `Gilbert_aware ]
 
 type t = {
   k : int;
@@ -9,6 +10,7 @@ type t = {
   slot : float;
   pre_encode : bool;
   codec : codec;
+  controller : controller;
 }
 
 let default =
@@ -21,11 +23,12 @@ let default =
     slot = 0.100;
     pre_encode = false;
     codec = `Rse;
+    controller = `Static;
   }
 
 let default_udp =
   { k = 8; h = 16; proactive = 0; payload_size = 512; pacing = 0.0005; slot = 0.020;
-    pre_encode = false; codec = `Rse }
+    pre_encode = false; codec = `Rse; controller = `Static }
 
 let codec_to_string = function
   | `Rse -> "rse"
@@ -38,6 +41,17 @@ let codec_of_string = function
   | "cauchy" -> Some `Cauchy
   | "rlnc" -> Some `Rlnc
   | "lt" -> Some `Lt
+  | _ -> None
+
+let controller_to_string = function
+  | `Static -> "static"
+  | `Ewma -> "ewma"
+  | `Gilbert_aware -> "gilbert"
+
+let controller_of_string = function
+  | "static" -> Some `Static
+  | "ewma" -> Some `Ewma
+  | "gilbert" | "gilbert-aware" | "gilbert_aware" -> Some `Gilbert_aware
   | _ -> None
 
 (* GF(2^8) gives 255 codeword positions; the block codecs on both the
@@ -64,6 +78,9 @@ let validate ?(context = "Profile") t =
   else if t.payload_size < 1 then fail "payload_size must be >= 1 (got %d)" t.payload_size
   else if not (t.pacing > 0.0) then fail "pacing must be positive (got %g)" t.pacing
   else if not (t.slot > 0.0) then fail "slot must be positive (got %g)" t.slot
+  else if t.controller <> `Static && t.h < 1 then
+    fail "an adaptive controller (%s) needs a repair budget to retune (h = 0)"
+      (controller_to_string t.controller)
   else Ok t
 
 let validate_exn ?context t = Error.get_exn (validate ?context t)
@@ -71,12 +88,14 @@ let validate_exn ?context t = Error.get_exn (validate ?context t)
 let equal a b =
   a.k = b.k && a.h = b.h && a.proactive = b.proactive && a.payload_size = b.payload_size
   && a.pacing = b.pacing && a.slot = b.slot && a.pre_encode = b.pre_encode
-  && a.codec = b.codec
+  && a.codec = b.codec && a.controller = b.controller
 
 let pp ppf t =
   Format.fprintf ppf
-    "{k=%d; h=%d; proactive=%d; payload=%dB; pacing=%gs; slot=%gs; pre_encode=%b; codec=%s}"
+    "{k=%d; h=%d; proactive=%d; payload=%dB; pacing=%gs; slot=%gs; pre_encode=%b; codec=%s; \
+     controller=%s}"
     t.k t.h t.proactive t.payload_size t.pacing t.slot t.pre_encode
     (codec_to_string t.codec)
+    (controller_to_string t.controller)
 
 let to_string t = Format.asprintf "%a" pp t

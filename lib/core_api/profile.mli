@@ -28,6 +28,20 @@ type codec = [ `Rse | `Cauchy | `Rlnc | `Lt ]
       (different receivers repair different losses from the same
       packet). *)
 
+type controller = [ `Static | `Ewma | `Gilbert_aware ]
+(** The redundancy control plane.  Structural (like {!codec}) so it
+    unifies with [Rmc_control.Controller.kind] without a dependency:
+
+    - [`Static] (default) — the profile's [proactive]/[h] hold for the
+      whole transfer; bit-exact with the pre-control-plane behaviour.
+    - [`Ewma] — an online loss estimator over the sender's own NAK/POLL
+      stream re-runs the planner and retunes [proactive] and the parity
+      budget for TGs that have not started yet (the budget can only
+      shrink below [h]: FEC blocks are built with [h] parities).
+    - [`Gilbert_aware] — [`Ewma] plus a burst-length estimate; the
+      proactive tail allowance is widened for loss runs via the §4.2
+      two-state calibration. *)
+
 type t = {
   k : int;  (** transmission group size (data packets per FEC block) *)
   h : int;  (** repair budget per TG *)
@@ -37,6 +51,7 @@ type t = {
   slot : float;  (** NAK slot size Ts (suppression timing) *)
   pre_encode : bool;  (** encode all repair packets before transmission *)
   codec : codec;  (** erasure codec for repair packets *)
+  controller : controller;  (** redundancy control plane (default [`Static]) *)
 }
 
 val default : t
@@ -54,13 +69,22 @@ val codec_to_string : codec -> string
 
 val codec_of_string : string -> codec option
 
+val controller_to_string : controller -> string
+(** Stable lowercase names ("static", "ewma", "gilbert") shared by CLI
+    flags and capture metadata; {!controller_of_string} inverts (also
+    accepting "gilbert-aware"/"gilbert_aware"). *)
+
+val controller_of_string : string -> controller option
+
 val validate : ?context:string -> t -> (t, Error.t) result
 (** Check the cross-field invariants every consumer relies on:
     [1 <= k <= 65535] (wire limit), [h >= 0],
     [0 <= proactive <= h], [payload_size >= 1], [pacing > 0],
     [slot > 0]; plus the codec-dependent budget bound — [k + h <= 255]
     (GF(2^8) codeword positions) for the block codecs, [k + h <= 65536]
-    (wire index space) for the rateless ones.
+    (wire index space) for the rateless ones — and [h >= 1] whenever an
+    adaptive controller is selected (with no repair budget there is
+    nothing to retune).
     Returns the profile unchanged on success.  [context] names the entry
     point in the error (default ["Profile"]). *)
 

@@ -5,6 +5,7 @@ module Header = Rmc_wire.Header
 module Profile = Rmc_core.Profile
 module Recorder = Rmc_obs.Recorder
 module Buffer_pool = Rmc_pool.Buffer_pool
+module Controller = Rmc_control.Controller
 
 (* Largest datagram either driver moves; the sim shares the UDP driver's
    bound so a config that simulates also runs on real sockets. *)
@@ -20,6 +21,7 @@ type config = {
   slot : float;
   pre_encode : bool;
   codec : Rmc_rse.Codec.kind;
+  controller : Profile.controller;
 }
 
 let default_config =
@@ -36,6 +38,7 @@ let default_config =
     slot = 0.100;
     pre_encode = false;
     codec = `Rse;
+    controller = `Static;
   }
 
 let config_of_profile ?(delay = default_config.delay) (p : Profile.t) =
@@ -49,6 +52,7 @@ let config_of_profile ?(delay = default_config.delay) (p : Profile.t) =
     slot = p.Profile.slot;
     pre_encode = p.Profile.pre_encode;
     codec = p.Profile.codec;
+    controller = p.Profile.controller;
   }
 
 let profile_of_config c =
@@ -61,6 +65,7 @@ let profile_of_config c =
     slot = c.slot;
     pre_encode = c.pre_encode;
     codec = c.codec;
+    controller = c.controller;
   }
 
 type report = {
@@ -93,7 +98,9 @@ let validate_config c =
   if c.spacing <= 0.0 || c.delay < 0.0 || c.slot <= 0.0 then
     invalid_arg "Np: spacing/slot must be positive, delay non-negative";
   if c.h > Rmc_rse.Codec.max_repair (Rmc_rse.Codec.of_kind c.codec) ~k:c.k then
-    invalid_arg "Np: repair budget exceeds the codec's index space"
+    invalid_arg "Np: repair budget exceeds the codec's index space";
+  if c.controller <> `Static && c.h < 1 then
+    invalid_arg "Np: an adaptive controller needs a repair budget to retune (h = 0)"
 
 let machine_config c =
   { Np_machine.k = c.k; h = c.h; proactive = c.proactive; pre_encode = c.pre_encode;
@@ -112,6 +119,8 @@ type rx_driver = {
   timers : (int, Engine.timer) Hashtbl.t; (* armed NAK timers, by tg *)
 }
 
+type churn_event = { receiver : int; at : float; action : [ `Join | `Leave ] }
+
 type flow = {
   config : config;
   network : Network.t;
@@ -120,6 +129,18 @@ type flow = {
   receivers : int;
   recorder : Recorder.t option;
   started_at : float;
+  controller : Controller.t option; (* None iff config.controller = `Static *)
+  mutable applied : Controller.decision; (* last decision fed as Retune *)
+  (* Receiver churn.  [presence] gates packet delivery only — the loss
+     process still draws one fate per (transmission, receiver), so a
+     churn-free run consumes exactly the RNG stream it always did.
+     [last_polls] and [tg_exhausted] track what a late joiner needs to
+     catch up: the current (k, size, round) of each TG's latest poll, and
+     whether its repair budget was already exhausted. *)
+  presence : bool array;
+  completed_at : float option array; (* virtual time of each receiver's Done *)
+  last_polls : (int * int * int) array; (* per TG: k, size, round (0 = no poll yet) *)
+  tg_exhausted : bool array;
   mutable in_ready : bool; (* member of the arbiter's rotation *)
   mutable finished_at : float; (* virtual time of the flow's last event *)
   mutable ejected_rev : (int * int) list;
@@ -199,6 +220,23 @@ let rx_handle flow ~receiver event =
   | None -> ());
   effects
 
+(* Apply the controller's current decision when it differs from the last
+   one fed to the machine.  Routed through {!sender_handle} so the Retune
+   event lands in the capture — replay stays deterministic without ever
+   re-running the controller. *)
+let maybe_retune flow =
+  match flow.controller with
+  | None -> ()
+  | Some controller ->
+    let d = Controller.decision controller in
+    if not (Controller.decision_equal d flow.applied) then begin
+      flow.applied <- d;
+      ignore
+        (sender_handle flow
+           (Np_machine.Retune
+              { proactive = d.Controller.proactive; budget = d.Controller.budget }))
+    end
+
 let rec pump mux =
   match Queue.pop mux.ready with
   | exception Queue.Empty -> mux.pumping <- false
@@ -235,6 +273,7 @@ and wake mux flow =
    control. *)
 and execute mux flow =
   let c = flow.config in
+  maybe_retune flow;
   let effects = sender_handle flow Np_machine.Tick in
   List.fold_left
     (fun busy effect ->
@@ -243,7 +282,11 @@ and execute mux flow =
         let msg = through_wire mux msg in
         let tx = Network.transmit flow.network ~time:(Engine.now mux.engine) in
         for r = 0 to flow.receivers - 1 do
-          if not (Network.lost tx r) then
+          (* One [lost] query per receiver, present or not: the Bernoulli
+             fate is drawn on demand, and churn must not shift the RNG
+             stream of the receivers that stay. *)
+          let lost = Network.lost tx r in
+          if flow.presence.(r) && not lost then
             ignore
               (Engine.after mux.engine c.delay (fun () ->
                    rx_event mux flow ~receiver:r (Np_machine.Packet_received msg)))
@@ -251,10 +294,22 @@ and execute mux flow =
         c.spacing
       | Np_machine.Send ((Header.Poll _ | Header.Exhausted _) as msg) ->
         let msg = through_wire mux msg in
+        (match msg with
+        | Header.Poll { tg_id; k; size; round } ->
+          if tg_id >= 0 && tg_id < Array.length flow.last_polls then
+            flow.last_polls.(tg_id) <- (k, size, round);
+          (match flow.controller with
+          | Some controller -> Controller.observe_poll controller ~tg:tg_id ~k ~size ~round
+          | None -> ())
+        | Header.Exhausted { tg_id } ->
+          if tg_id >= 0 && tg_id < Array.length flow.tg_exhausted then
+            flow.tg_exhausted.(tg_id) <- true
+        | _ -> ());
         for r = 0 to flow.receivers - 1 do
-          ignore
-            (Engine.after mux.engine c.delay (fun () ->
-                 rx_event mux flow ~receiver:r (Np_machine.Packet_received msg)))
+          if flow.presence.(r) then
+            ignore
+              (Engine.after mux.engine c.delay (fun () ->
+                   rx_event mux flow ~receiver:r (Np_machine.Packet_received msg)))
         done;
         busy
       | Np_machine.Send (Header.Nak _)
@@ -279,7 +334,7 @@ and rx_apply mux flow ~receiver effect =
       (Engine.after mux.engine flow.config.delay (fun () ->
            sender_feedback mux flow ~tg:tg_id ~need ~round));
     for other = 0 to flow.receivers - 1 do
-      if other <> receiver then
+      if other <> receiver && flow.presence.(other) then
         ignore
           (Engine.after mux.engine flow.config.delay (fun () ->
                rx_event mux flow ~receiver:other (Np_machine.Packet_received nak)))
@@ -302,15 +357,61 @@ and rx_apply mux flow ~receiver effect =
         (Array.for_all2 Bytes.equal data (Np_machine.Sender.block_data flow.sender ~tg))
     then flow.intact <- false
   | Np_machine.Ejected { tg } -> flow.ejected_rev <- (receiver, tg) :: flow.ejected_rev
-  | Np_machine.Send _ | Np_machine.Trace _ | Np_machine.Done -> ()
+  | Np_machine.Done -> flow.completed_at.(receiver) <- Some (Engine.now mux.engine)
+  | Np_machine.Send _ | Np_machine.Trace _ -> ()
 
 and sender_feedback mux flow ~tg ~need ~round =
   touch mux flow;
+  (match flow.controller with
+  | Some controller -> Controller.observe_nak controller ~tg ~need ~round
+  | None -> ());
   ignore (sender_handle flow (Np_machine.Feedback { tg; need; round }));
   if Np_machine.Sender.pending flow.sender then wake mux flow
 
-let add_flow mux ?(config = default_config) ?(start = 0.0) ?recorder ~network ~rng ~data
-    () =
+(* Take receiver [ev.receiver] in or out of the delivery set.
+
+   Leave cancels the receiver's armed NAK timers (its machine keeps its
+   partial blocks — a flapper that rejoins resumes from what it had).
+
+   Join replays the sender's current control state at the newcomer: for
+   every unresolved TG it has seen a poll for, the latest poll (so the
+   joiner NAKs into the normal repair path and catches up from parities —
+   slotting and suppression apply exactly as for any other receiver), or
+   EXHAUSTED if the TG's budget is already spent (the joiner gives up at
+   once instead of NAKing into a void the sender would ignore).  Both are
+   ordinary machine events, so they are recorded and replay verbatim. *)
+let apply_churn mux flow ev =
+  match ev.action with
+  | `Leave ->
+    if flow.presence.(ev.receiver) then begin
+      flow.presence.(ev.receiver) <- false;
+      let rxd = flow.rxs.(ev.receiver) in
+      Hashtbl.iter (fun _tg timer -> Engine.cancel timer) rxd.timers;
+      Hashtbl.reset rxd.timers;
+      touch mux flow
+    end
+  | `Join ->
+    if not flow.presence.(ev.receiver) then begin
+      flow.presence.(ev.receiver) <- true;
+      let machine = flow.rxs.(ev.receiver).machine in
+      Array.iteri
+        (fun tg (k, size, round) ->
+          if
+            not
+              (Np_machine.Receiver.delivered machine ~tg
+              || Np_machine.Receiver.gave_up machine ~tg)
+          then
+            if flow.tg_exhausted.(tg) then
+              rx_event mux flow ~receiver:ev.receiver
+                (Np_machine.Packet_received (Header.Exhausted { tg_id = tg }))
+            else if round > 0 then
+              rx_event mux flow ~receiver:ev.receiver
+                (Np_machine.Packet_received (Header.Poll { tg_id = tg; k; size; round })))
+        flow.last_polls
+    end
+
+let add_flow mux ?(config = default_config) ?(start = 0.0) ?recorder ?(churn = [])
+    ~network ~rng ~data () =
   validate_config config;
   let c = config in
   if Array.length data = 0 then invalid_arg "Np.run: no data";
@@ -322,6 +423,12 @@ let add_flow mux ?(config = default_config) ?(start = 0.0) ?recorder ~network ~r
   if start < 0.0 then invalid_arg "Np.run: negative start time";
   if start < Engine.now mux.engine then invalid_arg "Np.run: start time in the past";
   let receivers = Network.receivers network in
+  List.iter
+    (fun ev ->
+      if ev.receiver < 0 || ev.receiver >= receivers then
+        invalid_arg "Np.add_flow: churn receiver out of range";
+      if ev.at < start then invalid_arg "Np.add_flow: churn event before the flow starts")
+    churn;
   let mc = machine_config c in
   let sender = Np_machine.Sender.create mc ~data in
   let total = Array.length data in
@@ -340,6 +447,28 @@ let add_flow mux ?(config = default_config) ?(start = 0.0) ?recorder ~network ~r
           timers = Hashtbl.create 8;
         })
   in
+  let controller =
+    match c.controller with
+    | `Static -> None
+    | (`Ewma | `Gilbert_aware) as kind ->
+      Some
+        (Controller.create ~kind ~k:c.k ~h:c.h ~proactive:c.proactive ~receivers
+           ~pacing:c.spacing ())
+  in
+  (* A receiver whose earliest churn event is a Join is a late joiner: it
+     starts outside the delivery set. *)
+  let presence = Array.make receivers true in
+  let earliest = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match Hashtbl.find_opt earliest ev.receiver with
+      | Some (at, _) when at <= ev.at -> ()
+      | _ -> Hashtbl.replace earliest ev.receiver (ev.at, ev.action))
+    churn;
+  Hashtbl.iter
+    (fun receiver (_, action) -> if action = `Join then presence.(receiver) <- false)
+    earliest;
+  let tg_count = Np_machine.Sender.tg_count sender in
   let flow =
     {
       config = c;
@@ -349,45 +478,60 @@ let add_flow mux ?(config = default_config) ?(start = 0.0) ?recorder ~network ~r
       receivers;
       recorder;
       started_at = start;
+      controller;
+      applied = { Controller.proactive = min c.proactive c.h; budget = c.h };
+      presence;
+      completed_at = Array.make receivers None;
+      last_polls = Array.make tg_count (0, 0, 0);
+      tg_exhausted = Array.make tg_count false;
       in_ready = false;
       finished_at = start;
       ejected_rev = [];
       intact = true;
     }
   in
+  List.iter
+    (fun ev -> ignore (Engine.at mux.engine ev.at (fun () -> apply_churn mux flow ev)))
+    churn;
   ignore (Engine.at mux.engine start (fun () -> wake mux flow));
   flow
 
 let started_at flow = flow.started_at
 let finished_at flow = flow.finished_at
 
+(* Completion and delivery verdicts cover the survivors: receivers absent
+   when asked (left, or joined-and-left) are not waited for.  With no
+   churn every receiver is present and both predicates read exactly as
+   they always did. *)
 let flow_complete flow =
   let tg_count = Np_machine.Sender.tg_count flow.sender in
-  Array.for_all
-    (fun rxd ->
-      let all = ref true in
-      for tg = 0 to tg_count - 1 do
-        if
-          not
-            (Np_machine.Receiver.delivered rxd.machine ~tg
-            || Np_machine.Receiver.gave_up rxd.machine ~tg)
-        then all := false
-      done;
-      !all)
-    flow.rxs
+  let all = ref true in
+  Array.iteri
+    (fun r rxd ->
+      if flow.presence.(r) then
+        for tg = 0 to tg_count - 1 do
+          if
+            not
+              (Np_machine.Receiver.delivered rxd.machine ~tg
+              || Np_machine.Receiver.gave_up rxd.machine ~tg)
+          then all := false
+        done)
+    flow.rxs;
+  !all
 
 let flow_report flow =
   let tg_count = Np_machine.Sender.tg_count flow.sender in
   let sum f = Array.fold_left (fun acc rxd -> acc + f rxd.machine) 0 flow.rxs in
   let all_delivered =
-    Array.for_all
-      (fun rxd ->
-        let all = ref true in
-        for tg = 0 to tg_count - 1 do
-          if not (Np_machine.Receiver.delivered rxd.machine ~tg) then all := false
-        done;
-        !all)
-      flow.rxs
+    let all = ref true in
+    Array.iteri
+      (fun r rxd ->
+        if flow.presence.(r) then
+          for tg = 0 to tg_count - 1 do
+            if not (Np_machine.Receiver.delivered rxd.machine ~tg) then all := false
+          done)
+      flow.rxs;
+    !all
   in
   {
     config = flow.config;
@@ -409,6 +553,11 @@ let flow_report flow =
 module Mux = struct
   type t = mux
   type nonrec flow = flow
+  type nonrec churn_event = churn_event = {
+    receiver : int;
+    at : float;
+    action : [ `Join | `Leave ];
+  }
 
   let create = create
   let engine = engine
@@ -418,6 +567,21 @@ module Mux = struct
   let complete = flow_complete
   let report = flow_report
   let run t = Engine.run t.engine
+  let retunes flow = Np_machine.Sender.retunes flow.sender
+  let tuning flow = Np_machine.Sender.tuning flow.sender
+
+  let present flow ~receiver =
+    if receiver < 0 || receiver >= flow.receivers then invalid_arg "Np.Mux.present";
+    flow.presence.(receiver)
+
+  let completed_at flow ~receiver =
+    if receiver < 0 || receiver >= flow.receivers then invalid_arg "Np.Mux.completed_at";
+    flow.completed_at.(receiver)
+
+  let controller_estimates flow =
+    Option.map
+      (fun c -> (Controller.p_hat c, Controller.m_hat c, Controller.burst_hat c))
+      flow.controller
 end
 
 let run ?(config = default_config) ?(start = 0.0) ~network ~rng ~data () =

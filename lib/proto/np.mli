@@ -40,6 +40,9 @@ type config = {
   pre_encode : bool;  (** encode all parities before transmission starts (§5) *)
   codec : Rmc_rse.Codec.kind;
       (** erasure codec for repair packets (see {!Np_machine.config}) *)
+  controller : Rmc_core.Profile.controller;
+      (** redundancy control plane; [`Static] (the default) reproduces the
+          pre-control-plane behaviour bit-exactly *)
 }
 
 val default_config : config
@@ -93,6 +96,22 @@ module Mux : sig
   type flow
   (** Handle returned by {!add_flow}; query it after (or during) the run. *)
 
+  type churn_event = {
+    receiver : int;  (** index into the network's receiver set *)
+    at : float;  (** virtual time the event takes effect (>= the flow's start) *)
+    action : [ `Join | `Leave ];
+  }
+  (** Membership churn.  A receiver whose {e earliest} event is a [`Join]
+      is a late joiner: it starts outside the delivery set and receives
+      nothing before that time.  On join, the driver replays the sender's
+      current control state at the newcomer — the latest POLL of every
+      TG it still misses (so it NAKs into the normal repair path and
+      catches up from parity), or EXHAUSTED for TGs whose budget is
+      already spent.  On leave, armed NAK timers are cancelled; the
+      machine keeps its partial blocks, so a flapper that rejoins resumes
+      from what it had.  Absent receivers are excluded from {!complete}
+      and from the report's [delivered_intact]. *)
+
   val create : Rmc_sim.Engine.t -> t
   val engine : t -> Rmc_sim.Engine.t
 
@@ -101,6 +120,7 @@ module Mux : sig
     ?config:config ->
     ?start:float ->
     ?recorder:Rmc_obs.Recorder.t ->
+    ?churn:churn_event list ->
     network:Rmc_sim.Network.t ->
     rng:Rmc_numerics.Rng.t ->
     data:Bytes.t array ->
@@ -113,22 +133,50 @@ module Mux : sig
       [recorder] captures the flow's sans-IO event/effect streams (actor
       ["s0"] for the sender, ["r<i>"] per receiver) — the sim side of the
       driver-equivalence contract with {!Rmc_transport.Udp_np}.  Use one
-      recorder per flow.
+      recorder per flow.  Churn-driven catch-up events and
+      controller-driven [Retune] events are ordinary machine events, so
+      captures of adaptive and churning runs replay deterministically.
+
+      [churn] (default none) schedules receiver membership changes; the
+      loss process still draws one fate per (transmission, receiver)
+      whether or not the receiver is present, so adding churn never
+      shifts the RNG stream of the receivers that stay.
       @raise Invalid_argument on an invalid config, empty data, wrong
-      payload sizes or a bad start time. *)
+      payload sizes, a bad start time, or a churn event that is out of
+      range or predates [start]. *)
 
   val run : t -> unit
   (** Drive the engine until every flow has drained ([Engine.run]). *)
 
   val complete : flow -> bool
-  (** Every (receiver, TG) pair either delivered or gave up. *)
+  (** Every ({e present} receiver, TG) pair either delivered or gave up. *)
 
   val report : flow -> report
   (** This flow's counters; [duration] is the virtual time of the flow's
-      last event (absolute, includes its [start] offset). *)
+      last event (absolute, includes its [start] offset).
+      [delivered_intact] covers the receivers present when asked. *)
 
   val started_at : flow -> float
   val finished_at : flow -> float
+
+  val retunes : flow -> int
+  (** Retune events the sender machine accepted (0 under [`Static]). *)
+
+  val tuning : flow -> int * int
+  (** The (proactive, budget) pair currently applied to newly materialized
+      TGs. *)
+
+  val present : flow -> receiver:int -> bool
+  (** Is the receiver in the delivery set right now (equivalently: at the
+      end of the run, once the engine has drained)? *)
+
+  val completed_at : flow -> receiver:int -> float option
+  (** Virtual time at which the receiver resolved its last expected TG
+      ([None] if it never finished). *)
+
+  val controller_estimates : flow -> (float * float * float) option
+  (** [(p_hat, m_hat, burst_hat)] of the adaptive controller, [None] under
+      [`Static]. *)
 end
 
 val run :

@@ -76,14 +76,25 @@ let machine_config (c : Np.config) =
 (* The count-vector population model assumes an MDS code: a receiver's state
    is its reception count and any k receptions decode.  The rateless codecs
    break that premise (a coded packet is innovative only with probability
-   < 1), so the aggregate tier only accepts the block codecs. *)
-let reject_rateless (c : Np.config) =
+   < 1), so the aggregate tier only accepts the block codecs.  The adaptive
+   controllers fall to the same axe from the other side: the remainder is a
+   count-vector distribution, not a set of machines, so a mid-transfer
+   retune would have to re-derive every deficit class under the new budget
+   — the tier cannot interpret retunes, and says so up front. *)
+let check_config (c : Np.config) =
+  let context = "Np_aggregate" in
   match c.Np.codec with
-  | `Rse | `Cauchy -> ()
-  | `Rlnc | `Lt ->
-    invalid_arg
-      "Np_aggregate: the aggregate tier models receivers by reception count, which \
-       requires an MDS block codec (rse or cauchy)"
+  | (`Rlnc | `Lt) ->
+    Rmc_core.Error.invalid_arg ~context
+      "the aggregate tier models receivers by reception count, which requires an MDS \
+       block codec (rse or cauchy)"
+  | (`Rse | `Cauchy) when c.Np.controller <> `Static ->
+    Error
+      (Rmc_core.Error.msgf ~context
+         "the aggregate tier holds the remainder as a count-vector population and \
+          cannot interpret %s retunes; use the exact tier or --controller static"
+         (Rmc_core.Profile.controller_to_string c.Np.controller))
+  | `Rse | `Cauchy -> Ok ()
 
 (* One virtual NAK timer per TG: the aggregate population's contribution to
    the current feedback round. *)
@@ -415,7 +426,7 @@ and sender_feedback mux flow ~tg ~need ~round =
 let add_flow mux ?(config = Np.default_config) ?(start = 0.0) ?recorder
     ?(cohort = default_cohort) ?channel ~population ~network ~rng ~data () =
   Np.validate_config config;
-  reject_rateless config;
+  Rmc_core.Error.get_exn (check_config config);
   let c = config in
   if Array.length data = 0 then invalid_arg "Np_aggregate: no data";
   Array.iter

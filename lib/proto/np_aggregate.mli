@@ -57,6 +57,17 @@ type report = {
 val transmissions_per_packet : report -> float
 (** The E[M] estimate this run realises: (data + parity) / data. *)
 
+val check_config : Np.config -> (unit, Rmc_core.Error.t) result
+(** The tier's own admission rule, beyond {!Np.validate_config}: the
+    count-vector remainder assumes an MDS block codec (any [k] receptions
+    decode), so the rateless codecs ([`Rlnc], [`Lt]) are rejected; and it
+    holds receivers as a deficit distribution rather than machines, so the
+    adaptive controllers ([`Ewma], [`Gilbert_aware]) — whose retunes it
+    cannot interpret — are rejected too.  Structured so every front end
+    ([rmc simulate]/[transfer]/[serve]) surfaces the same message;
+    {!Mux.add_flow} raises [Invalid_argument] with exactly
+    [Rmc_core.Error.to_string] of this error. *)
+
 (** Multiplex aggregate-tier NP transfers over one shared engine; the
     interface mirrors {!Np.Mux} with the population split described
     above. *)

@@ -23,6 +23,7 @@ type event =
   | Packet_received of Header.message
   | Timer_fired of { tg : int; round : int }
   | Feedback of { tg : int; need : int; round : int }
+  | Retune of { proactive : int; budget : int }
   | Tick
 
 type effect =
@@ -56,6 +57,7 @@ let event_to_string = function
   | Packet_received message -> "pkt:" ^ hex_of_bytes (Header.encode message)
   | Timer_fired { tg; round } -> Printf.sprintf "timer:%d:%d" tg round
   | Feedback { tg; need; round } -> Printf.sprintf "fb:%d:%d:%d" tg need round
+  | Retune { proactive; budget } -> Printf.sprintf "retune:%d:%d" proactive budget
   | Tick -> "tick"
 
 let event_of_string s =
@@ -81,6 +83,10 @@ let event_of_string s =
     match fields "fb" 3 with
     | Ok [ tg; need; round ] -> Ok (Feedback { tg; need; round })
     | Ok _ | Error _ -> Error "bad fb event"
+  else if String.length s >= 7 && String.sub s 0 7 = "retune:" then
+    match fields "retune" 2 with
+    | Ok [ proactive; budget ] -> Ok (Retune { proactive; budget })
+    | Ok _ | Error _ -> Error "bad retune event"
   else Error ("unknown event: " ^ s)
 
 let effect_to_string = function
@@ -102,6 +108,7 @@ type tg_sender = {
   ts_id : int;
   block : Fec_block.Sender.t;
   mutable serviced_round : int; (* highest round whose NAK was handled *)
+  mutable budget : int; (* parity cap for this TG, frozen at materialization *)
 }
 
 type job =
@@ -117,6 +124,16 @@ module Sender = struct
     tgs : tg_sender array;
     repair_queue : job Queue.t; (* repairs pre-empt the data stream *)
     stream_queue : job Queue.t;
+    (* The control plane: volleys are materialized lazily, one TG at a
+       time, under the tuning current at that moment.  With no Retune
+       events the walk is job-for-job identical to queueing everything up
+       front (repairs pre-empt the stream either way, and parity issue
+       order is per-TG state), which is what keeps the Static controller
+       bit-exact with pre-control-plane captures. *)
+    mutable next_tg : int;
+    mutable cur_proactive : int;
+    mutable cur_budget : int;
+    mutable retunes : int;
     mutable data_tx : int;
     mutable parity_tx : int;
     mutable polls : int;
@@ -143,47 +160,57 @@ module Sender = struct
             Fec_block.Sender.precompute block;
             parities_encoded := !parities_encoded + c.h
           end;
-          { ts_id = i; block; serviced_round = 0 })
+          { ts_id = i; block; serviced_round = 0; budget = c.h })
     in
-    let t =
-      {
-        config = c;
-        tgs;
-        repair_queue = Queue.create ();
-        stream_queue = Queue.create ();
-        data_tx = 0;
-        parity_tx = 0;
-        polls = 0;
-        parities_encoded = !parities_encoded;
-        repair_rounds = 0;
-      }
-    in
-    (* Initial stream: per TG, data + proactive parities + poll. *)
-    Array.iter
-      (fun tg ->
-        let k = tg_k tg in
-        for index = 0 to k - 1 do
-          Queue.push (J_packet { tg; index }) t.stream_queue
-        done;
-        let a = min c.proactive c.h in
-        if a > 0 then begin
-          let fresh = Fec_block.Sender.next_parities tg.block a in
-          if not c.pre_encode then t.parities_encoded <- t.parities_encoded + a;
-          List.iter
-            (fun (j, _) -> Queue.push (J_packet { tg; index = k + j }) t.stream_queue)
-            fresh
-        end;
-        Queue.push (J_poll { tg; size = k + a; round = 1 }) t.stream_queue)
-      t.tgs;
-    t
+    {
+      config = c;
+      tgs;
+      repair_queue = Queue.create ();
+      stream_queue = Queue.create ();
+      next_tg = 0;
+      cur_proactive = min c.proactive c.h;
+      cur_budget = c.h;
+      retunes = 0;
+      data_tx = 0;
+      parity_tx = 0;
+      polls = 0;
+      parities_encoded = !parities_encoded;
+      repair_rounds = 0;
+    }
+
+  (* Queue the next TG's initial volley (data + proactive parities + poll)
+     under the tuning in force right now. *)
+  let materialize t =
+    if t.next_tg < Array.length t.tgs then begin
+      let tg = t.tgs.(t.next_tg) in
+      t.next_tg <- t.next_tg + 1;
+      tg.budget <- t.cur_budget;
+      let k = tg_k tg in
+      for index = 0 to k - 1 do
+        Queue.push (J_packet { tg; index }) t.stream_queue
+      done;
+      let a = min t.cur_proactive tg.budget in
+      if a > 0 then begin
+        let fresh = Fec_block.Sender.next_parities tg.block a in
+        if not t.config.pre_encode then t.parities_encoded <- t.parities_encoded + a;
+        List.iter
+          (fun (j, _) -> Queue.push (J_packet { tg; index = k + j }) t.stream_queue)
+          fresh
+      end;
+      Queue.push (J_poll { tg; size = k + a; round = 1 }) t.stream_queue
+    end
 
   let pending t =
-    (not (Queue.is_empty t.repair_queue)) || not (Queue.is_empty t.stream_queue)
+    (not (Queue.is_empty t.repair_queue))
+    || (not (Queue.is_empty t.stream_queue))
+    || t.next_tg < Array.length t.tgs
 
   let next_job t =
     if not (Queue.is_empty t.repair_queue) then Some (Queue.pop t.repair_queue)
-    else if not (Queue.is_empty t.stream_queue) then Some (Queue.pop t.stream_queue)
-    else None
+    else begin
+      if Queue.is_empty t.stream_queue then materialize t;
+      if Queue.is_empty t.stream_queue then None else Some (Queue.pop t.stream_queue)
+    end
 
   let tick t =
     match next_job t with
@@ -225,9 +252,8 @@ module Sender = struct
       else begin
         tgs.serviced_round <- round;
         t.repair_rounds <- t.repair_rounds + 1;
-        let remaining =
-          Fec_block.Sender.h tgs.block - Fec_block.Sender.parities_issued tgs.block
-        in
+        let cap = min tgs.budget (Fec_block.Sender.h tgs.block) in
+        let remaining = max 0 (cap - Fec_block.Sender.parities_issued tgs.block) in
         if remaining = 0 then begin
           Queue.push (J_exhausted { tg = tgs }) t.repair_queue;
           [ Trace (Printf.sprintf "np.exhausted tg=%d round=%d" tg round) ]
@@ -245,9 +271,30 @@ module Sender = struct
       end
     end
 
+  (* Adopt a new tuning for TGs that have not been materialized yet.
+     In-flight TGs keep the budget they were frozen with (a retune can
+     therefore never strand a TG below its already-issued parities), and
+     the budget is capped by config.h because every FEC block was built
+     with h parities. *)
+  let retune t ~proactive ~budget =
+    let budget = max 0 (min budget t.config.h) in
+    let proactive = max 0 (min proactive budget) in
+    if proactive = t.cur_proactive && budget = t.cur_budget then []
+    else begin
+      t.cur_proactive <- proactive;
+      t.cur_budget <- budget;
+      t.retunes <- t.retunes + 1;
+      [
+        Trace
+          (Printf.sprintf "np.retune proactive=%d budget=%d next_tg=%d" proactive
+             budget t.next_tg);
+      ]
+    end
+
   let handle t = function
     | Tick -> tick t
     | Feedback { tg; need; round } -> feedback t ~tg ~need ~round
+    | Retune { proactive; budget } -> retune t ~proactive ~budget
     | Packet_received (Header.Nak { tg_id; need; round }) -> feedback t ~tg:tg_id ~need ~round
     | Packet_received _ | Timer_fired _ -> []
 
@@ -262,6 +309,8 @@ module Sender = struct
   let polls t = t.polls
   let parities_encoded t = t.parities_encoded
   let repair_rounds t = t.repair_rounds
+  let retunes t = t.retunes
+  let tuning t = (t.cur_proactive, t.cur_budget)
 end
 
 (* --- receiver ----------------------------------------------------------- *)
@@ -473,7 +522,7 @@ module Receiver = struct
       | Packet_received (Header.Nak { tg_id; need; round }) -> overhear t ~tg_id ~need ~round
       | Packet_received (Header.Exhausted { tg_id }) -> exhausted t ~tg_id
       | Timer_fired { tg; round } -> timer_fired t ~tg ~round
-      | Feedback _ | Tick -> []
+      | Feedback _ | Retune _ | Tick -> []
 
   let resolved t = t.resolved_count
   let finished t = t.finished

@@ -46,11 +46,16 @@ val validate_config : config -> unit
 (** Inputs.  [Tick] asks a sender for its next transmission;
     [Timer_fired] reports a previously armed NAK timer; [Feedback] is a
     NAK routed to the sender (already demuxed to its local [tg]);
-    [Packet_received] is any protocol packet arriving at a receiver. *)
+    [Packet_received] is any protocol packet arriving at a receiver;
+    [Retune] is a control-plane decision (from {!Rmc_control.Controller})
+    adopting a new proactive/budget tuning for the sender's
+    not-yet-started TGs — it lands in the event log like any other event,
+    which is what keeps adaptive runs replayable. *)
 type event =
   | Packet_received of Header.message
   | Timer_fired of { tg : int; round : int }
   | Feedback of { tg : int; need : int; round : int }
+  | Retune of { proactive : int; budget : int }
   | Tick
 
 (** Outputs.  The driver performs these in list order.
@@ -87,8 +92,11 @@ module Sender : sig
 
   val create : config -> data:Bytes.t array -> t
   (** Partition [data] into TGs of [config.k] packets (the last TG may be
-      shorter and gets its own codec) and queue the initial stream: per
-      TG, data, [proactive] parities, and a round-1 POLL.
+      shorter and gets its own codec).  The initial stream — per TG:
+      data, [proactive] parities, and a round-1 POLL — is materialized
+      lazily, one TG at a time, under the tuning current when that TG's
+      turn comes; without [Retune] events the walk is job-for-job
+      identical to queueing everything up front.
       @raise Invalid_argument on an invalid config or empty [data]. *)
 
   val handle : t -> event -> effect list
@@ -96,7 +104,11 @@ module Sender : sig
       [[]] when idle.  [Feedback] (or [Packet_received (Nak _)]): start a
       repair round if this round was not yet serviced — queue fresh
       parities and the next POLL, or an EXHAUSTED notice when the budget
-      is spent.  Other events are ignored. *)
+      is spent.  [Retune]: clamp the requested tuning to
+      [0 <= proactive <= budget <= config.h] and adopt it for TGs not yet
+      materialized (in-flight TGs keep the budget they started with); a
+      change emits a [Trace], an identical tuning emits nothing.  Other
+      events are ignored. *)
 
   val pending : t -> bool
   (** Jobs queued — the driver keeps ticking while this holds. *)
@@ -111,6 +123,12 @@ module Sender : sig
   val polls : t -> int
   val parities_encoded : t -> int
   val repair_rounds : t -> int
+
+  val retunes : t -> int
+  (** Retune events that actually changed the tuning. *)
+
+  val tuning : t -> int * int
+  (** The [(proactive, budget)] currently applied to newly started TGs. *)
 end
 
 (** The receiving half: per-TG FEC decode state, NAK timers and

@@ -26,7 +26,8 @@ let payloads_of_hex ~payload_size s =
       | payloads -> Ok payloads
       | exception _ -> Error "malformed data hex"
 
-let record_setup recorder ~config ~payload_size ~receivers ~sessions ~rx_seeds =
+let record_setup recorder ?(controller = `Static) ~config ~payload_size ~receivers
+    ~sessions ~rx_seeds () =
   let set = Recorder.set_meta recorder in
   set "format" "np-machine/1";
   set "k" (string_of_int config.Np_machine.k);
@@ -35,6 +36,7 @@ let record_setup recorder ~config ~payload_size ~receivers ~sessions ~rx_seeds =
   set "pre_encode" (if config.Np_machine.pre_encode then "true" else "false");
   set "slot" (Printf.sprintf "%h" config.Np_machine.slot);
   set "codec" (Np_machine.Codec.kind_to_string config.Np_machine.codec);
+  set "controller" (Rmc_core.Profile.controller_to_string controller);
   set "payload" (string_of_int payload_size);
   set "receivers" (string_of_int receivers);
   set "sessions" (string_of_int (Array.length sessions));
@@ -95,6 +97,18 @@ let replay recorder =
       match Np_machine.Codec.kind_of_string s with
       | Some c -> Ok c
       | None -> Error (Printf.sprintf "capture meta codec: unknown codec %S" s))
+  in
+  (* Pre-control-plane captures carry no "controller" key; they were all
+     static.  Replay never *runs* a controller — its retune decisions are
+     in the event stream as [Retune] events — so the key is validated for
+     capture fidelity, not consumed. *)
+  let* (_ : Rmc_core.Profile.controller) =
+    match Recorder.meta recorder "controller" with
+    | None -> Ok `Static
+    | Some s -> (
+      match Rmc_core.Profile.controller_of_string s with
+      | Some c -> Ok c
+      | None -> Error (Printf.sprintf "capture meta controller: unknown controller %S" s))
   in
   let* payload_size = meta_int recorder "payload" in
   let* receivers = meta_int recorder "receivers" in

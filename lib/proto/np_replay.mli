@@ -19,15 +19,21 @@
 
 val record_setup :
   Rmc_obs.Recorder.t ->
+  ?controller:Rmc_core.Profile.controller ->
   config:Np_machine.config ->
   payload_size:int ->
   receivers:int ->
   sessions:Bytes.t array array ->
   rx_seeds:int array ->
+  unit ->
   unit
 (** Write the meta header {!replay} needs.  [rx_seeds.(id)] must be the
     seed of receiver [id]'s damping RNG ([Rmc_numerics.Rng.create ~seed]).
-    Drivers call this once, before recording any entries. *)
+    [controller] (default [`Static]) records which control plane drove the
+    run — informational: the controller's decisions are already in the
+    event stream as [Retune] events, so replay is deterministic without
+    re-running it (and captures written before the control plane replay
+    as static).  Drivers call this once, before recording any entries. *)
 
 type outcome = {
   events : int;  (** entries replayed as machine inputs *)

@@ -16,8 +16,9 @@ type kind =
       wrap : [ `Repeat | `Fail ];
       mutable wraps : int;  (* queries that landed beyond the trace end *)
     }
+  | Phased of { switch_at : float; before : t; after : t }
 
-type t = { rng : Rng.t; kind : kind; mutable last_query : float }
+and t = { rng : Rng.t; kind : kind; mutable last_query : float }
 
 let bernoulli rng ~p =
   if p < 0.0 || p >= 1.0 then invalid_arg "Loss.bernoulli: p outside [0,1)";
@@ -71,7 +72,17 @@ let of_trace ?(wrap = `Repeat) ~spacing trace =
     last_query = neg_infinity;
   }
 
-let trace_wraps t = match t.kind with Trace { wraps; _ } -> wraps | Bernoulli _ | Markov _ -> 0
+let phased ~switch_at before after =
+  if not (Float.is_finite switch_at) || switch_at < 0.0 then
+    invalid_arg "Loss.phased: switch_at must be finite and non-negative";
+  (* rng unused, as for traces; the phases carry their own streams *)
+  { rng = Rng.create ~seed:0 (); kind = Phased { switch_at; before; after }; last_query = neg_infinity }
+
+let rec trace_wraps t =
+  match t.kind with
+  | Trace { wraps; _ } -> wraps
+  | Phased { before; after; _ } -> trace_wraps before + trace_wraps after
+  | Bernoulli _ | Markov _ -> 0
 
 let transition_to_bad_probability ~mu01 ~mu10 ~from_state dt =
   let total = mu01 +. mu10 in
@@ -81,10 +92,12 @@ let transition_to_bad_probability ~mu01 ~mu10 ~from_state dt =
   | 1 -> pi1 +. ((1.0 -. pi1) *. decay) (* p11 *)
   | _ -> pi1 *. (1.0 -. decay) (* p01 *)
 
-let lost t time =
+let rec lost t time =
   if time < t.last_query then invalid_arg "Loss.lost: query times must be non-decreasing";
   t.last_query <- time;
   match t.kind with
+  | Phased { switch_at; before; after } ->
+    lost (if time < switch_at then before else after) time
   | Bernoulli { p } -> Rng.bernoulli t.rng p
   | Trace tr ->
     let slot = int_of_float (Float.round (time /. tr.spacing)) in
@@ -109,8 +122,9 @@ let lost t time =
     m.state_time <- time;
     Rng.bernoulli t.rng (if in_bad then m.p_bad else m.p_good)
 
-let loss_probability t =
+let rec loss_probability t =
   match t.kind with
+  | Phased { after; _ } -> loss_probability after
   | Bernoulli { p } -> p
   | Markov { mu01; mu10; p_good; p_bad; _ } ->
     let pi1 = mu01 /. (mu01 +. mu10) in
@@ -119,9 +133,10 @@ let loss_probability t =
     let losses = Array.fold_left (fun acc lost -> if lost then acc + 1 else acc) 0 trace in
     float_of_int losses /. float_of_int (Array.length trace)
 
-let expected_burst_length t ~spacing =
+let rec expected_burst_length t ~spacing =
   if spacing <= 0.0 then invalid_arg "Loss.expected_burst_length: spacing must be positive";
   match t.kind with
+  | Phased { after; _ } -> expected_burst_length after ~spacing
   | Bernoulli { p } -> 1.0 /. (1.0 -. p)
   | Markov { mu01; mu10; p_good; p_bad; _ } ->
     (* P(lost at t + spacing | lost at t): condition on the hidden state

@@ -57,6 +57,18 @@ val gilbert_elliott :
     [p_good = 0], [p_bad = 1].  Requires positive rates and
     [0 <= p_good <= p_bad < 1]. *)
 
+val phased : switch_at:float -> t -> t -> t
+(** [phased ~switch_at before after]: a drifting channel.  Packets sent
+    strictly before [switch_at] draw their fate from [before], packets at
+    or after it from [after] — e.g. a Gilbert channel whose loss rate
+    steps mid-transfer, the scenario an adaptive controller must track and
+    a one-shot planner cannot.  Each phase keeps its own RNG stream and
+    state; the switch is a regime change, not a re-parameterisation, so
+    [after]'s chain starts from its own stationary draw.  [switch_at] must
+    be finite and non-negative.  {!loss_probability} and
+    {!expected_burst_length} report the [after] phase (the regime the
+    process settles into); {!trace_wraps} sums both phases. *)
+
 val of_trace : ?wrap:[ `Repeat | `Fail ] -> spacing:float -> bool array -> t
 (** Trace-driven loss: packet sent at time [i * spacing] (rounded to the
     nearest slot) is lost iff [trace.(i)].  For replaying measured loss

@@ -9,6 +9,7 @@ module Profile = Rmc_core.Profile
 module Error = Rmc_core.Error
 module Np_machine = Rmc_proto.Np_machine
 module Np_replay = Rmc_proto.Np_replay
+module Controller = Rmc_control.Controller
 
 type transport = [ `Unicast | `Multicast ]
 
@@ -22,6 +23,7 @@ type config = {
   linger : float;
   session_timeout : float;
   codec : Rmc_rse.Codec.kind;
+  controller : Profile.controller;
 }
 
 let default_config =
@@ -35,6 +37,7 @@ let default_config =
     linger = 0.050;
     session_timeout = 5.0;
     codec = `Rse;
+    controller = `Static;
   }
 
 let config_of_profile ?(linger = default_config.linger)
@@ -51,6 +54,7 @@ let config_of_profile ?(linger = default_config.linger)
     linger;
     session_timeout;
     codec = p.Profile.codec;
+    controller = p.Profile.controller;
   }
 
 let profile_of_config c =
@@ -63,6 +67,7 @@ let profile_of_config c =
     slot = c.slot;
     pre_encode = false;
     codec = c.codec;
+    controller = c.controller;
   }
 
 let machine_config c =
@@ -262,6 +267,8 @@ type sender = {
   pool : Buffer_pool.t;
   group : Unix.sockaddr list;
   machine : Np_machine.Sender.t;
+  controller : Controller.t option;  (* None iff config.controller = `Static *)
+  mutable applied : Controller.decision;  (* last decision fed as Retune *)
   shim : Fault.t option;
   recorder : Recorder.t option;
   mutable sending : bool;
@@ -397,9 +404,33 @@ let sender_handle sender event =
   | None -> ());
   effects
 
+(* Apply the controller's current decision when it differs from the last
+   one fed to the machine.  Routed through {!sender_handle} so the Retune
+   event lands in the capture — replay stays deterministic without ever
+   re-running the controller. *)
+let maybe_retune sender =
+  match sender.controller with
+  | None -> ()
+  | Some controller ->
+    let d = Controller.decision controller in
+    if not (Controller.decision_equal d sender.applied) then begin
+      sender.applied <- d;
+      ignore
+        (sender_handle sender
+           (Np_machine.Retune
+              { proactive = d.Controller.proactive; budget = d.Controller.budget }))
+    end
+
+let sender_observe_poll sender message =
+  match (sender.controller, message) with
+  | Some controller, Header.Poll { tg_id; k; size; round } ->
+    Controller.observe_poll controller ~tg:tg_id ~k ~size ~round
+  | _ -> ()
+
 let rec sender_pump sender =
   if not (Np_machine.Sender.pending sender.machine) then sender.sending <- false
   else begin
+    maybe_retune sender;
     let effects = sender_handle sender Np_machine.Tick in
     (* Drain every Send effect of the tick into pooled frames, then flush
        them in one batched pass. *)
@@ -417,6 +448,7 @@ let rec sender_pump sender =
               (sender_enqueue sender batch message, sender.config.spacing)
             | Header.Poll _ ->
               Metrics.incr sender.c_poll;
+              sender_observe_poll sender message;
               (sender_enqueue sender batch message, acc)
             | Header.Exhausted _ ->
               Metrics.incr sender.c_exhausted;
@@ -439,6 +471,9 @@ let sender_wake sender =
 
 let sender_handle_nak sender ~tg_id ~need ~round =
   Metrics.incr sender.c_naks_rx;
+  (match sender.controller with
+  | Some controller -> Controller.observe_nak controller ~tg:tg_id ~need ~round
+  | None -> ());
   let before = Np_machine.Sender.repair_rounds sender.machine in
   ignore (sender_handle sender (Np_machine.Feedback { tg = tg_id; need; round }));
   if Np_machine.Sender.repair_rounds sender.machine > before then
@@ -448,7 +483,16 @@ let sender_handle_nak sender ~tg_id ~need ~round =
 (* [metrics] is already scoped per session by the caller; the NAK handler
    for the shared socket lives with the driver, not here, because many
    senders share one socket. *)
-let create_sender reactor ~net ~pool ~group ~config ~sid ~data ~metrics ~shim ~recorder =
+let create_sender reactor ~net ~pool ~group ~config ~sid ~data ~receivers ~metrics ~shim
+    ~recorder =
+  let controller =
+    match (config : config).controller with
+    | `Static -> None
+    | (`Ewma | `Gilbert_aware) as kind ->
+      Some
+        (Controller.create ~kind ~k:config.k ~h:config.h ~proactive:config.proactive
+           ~receivers ~pacing:config.spacing ())
+  in
   let sender =
     {
       sid;
@@ -458,6 +502,8 @@ let create_sender reactor ~net ~pool ~group ~config ~sid ~data ~metrics ~shim ~r
       pool;
       group;
       machine = Np_machine.Sender.create (machine_config config) ~data;
+      controller;
+      applied = { Controller.proactive = min config.proactive config.h; budget = config.h };
       shim;
       recorder;
       sending = false;
@@ -670,9 +716,11 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~transport ~receivers ~
   Array.iteri (fun index sid -> Hashtbl.replace index_of_sid sid index) sids;
   (match recorder with
   | Some r ->
-    Np_replay.record_setup r ~config:(machine_config config)
-      ~payload_size:config.payload_size ~receivers ~sessions
+    Np_replay.record_setup r ~controller:config.controller
+      ~config:(machine_config config) ~payload_size:config.payload_size ~receivers
+      ~sessions
       ~rx_seeds:(Array.init receivers (fun id -> receiver_machine_seed ~seed ~id))
+      ()
   | None -> ());
 
   let tx_errors = Metrics.counter metrics "udp.tx_errors" in
@@ -832,7 +880,7 @@ let run_engine ~config ~metrics ~trace ~recorder ~faults ~transport ~receivers ~
   let senders =
     Array.init nsessions (fun index ->
         create_sender reactor ~net:sender_net ~pool ~group ~config ~sid:sids.(index)
-          ~data:sessions.(index)
+          ~data:sessions.(index) ~receivers
           ~metrics:(sender_metrics sids.(index))
           ~shim ~recorder)
   in
@@ -922,6 +970,9 @@ let validate ~context ~config ~receivers ~loss ~sessions =
   then Error.invalid_arg ~context "repair budget exceeds the codec's index space"
   else if config.payload_size > max_datagram - Header.header_size then
     Error.invalid_arg ~context "payload does not fit a 64 KiB datagram"
+  else if config.controller <> `Static && config.h < 1 then
+    Error.invalid_arg ~context
+      "an adaptive controller needs a repair budget to retune (h = 0)"
   else if Array.length sessions > 0x10000 then
     Error.invalid_arg ~context "too many sessions (wire sid is 16-bit)"
   else if

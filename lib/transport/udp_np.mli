@@ -61,6 +61,9 @@ type config = {
   linger : float;  (** quiet period after completion before shutdown *)
   session_timeout : float;  (** hard wall-clock cap for a run *)
   codec : Rmc_rse.Codec.kind;  (** erasure codec for repair packets *)
+  controller : Rmc_core.Profile.controller;
+      (** redundancy control plane; [`Static] (the default) reproduces the
+          pre-control-plane behaviour bit-exactly *)
 }
 
 val default_config : config

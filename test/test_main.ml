@@ -31,4 +31,5 @@ let () =
       ("profile", Test_profile.suite);
       ("scheduler", Test_scheduler.suite);
       ("aggregate", Test_aggregate.suite);
+      ("control", Test_control.suite);
     ]

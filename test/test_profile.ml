@@ -23,6 +23,9 @@ let profile_gen =
     int_range 1 500 >>= fun pacing_tenth_ms ->
     int_range 1 5000 >>= fun slot_tenth_ms ->
     bool >>= fun pre_encode ->
+    (* Adaptive controllers require h >= 1 to have anything to retune. *)
+    (if h = 0 then return `Static else oneofl [ `Static; `Ewma; `Gilbert_aware ])
+    >>= fun controller ->
     return
       {
         Profile.k;
@@ -33,6 +36,7 @@ let profile_gen =
         slot = float_of_int slot_tenth_ms /. 10_000.0;
         pre_encode;
         codec;
+        controller;
       })
 
 let arbitrary_profile = QCheck.make ~print:Profile.to_string profile_gen
@@ -84,6 +88,10 @@ let test_validate_rejections () =
   rejected "payload_size = 0" { Profile.default with payload_size = 0 };
   rejected "zero pacing" { Profile.default with pacing = 0.0 };
   rejected "negative slot" { Profile.default with slot = -0.1 };
+  rejected "adaptive controller without repair budget"
+    { Profile.default with h = 0; proactive = 0; controller = `Ewma };
+  rejected "gilbert controller without repair budget"
+    { Profile.default with h = 0; proactive = 0; controller = `Gilbert_aware };
   (* validate_exn mirrors validate with Invalid_argument *)
   Alcotest.check_raises "validate_exn raises"
     (Invalid_argument "Profile: k must be >= 1 (got 0)") (fun () ->
@@ -118,6 +126,23 @@ let test_codec_string_roundtrip () =
     [ `Rse; `Cauchy; `Rlnc; `Lt ];
   Alcotest.(check bool) "unknown name rejected" true (Profile.codec_of_string "fountain" = None)
 
+let test_controller_string_roundtrip () =
+  List.iter
+    (fun controller ->
+      Alcotest.(check bool)
+        (Profile.controller_to_string controller ^ " roundtrips")
+        true
+        (Profile.controller_of_string (Profile.controller_to_string controller)
+        = Some controller))
+    [ `Static; `Ewma; `Gilbert_aware ];
+  List.iter
+    (fun alias ->
+      Alcotest.(check bool) (alias ^ " accepted") true
+        (Profile.controller_of_string alias = Some `Gilbert_aware))
+    [ "gilbert-aware"; "gilbert_aware" ];
+  Alcotest.(check bool) "unknown name rejected" true
+    (Profile.controller_of_string "pid" = None)
+
 let test_derived_configs_inherit_fields () =
   let p =
     { Profile.default with k = 11; h = 13; proactive = 2; payload_size = 333; codec = `Rlnc }
@@ -143,6 +168,7 @@ let suite =
     Alcotest.test_case "rateless codecs lift the codeword bound" `Quick
       test_rateless_lifts_codeword_bound;
     Alcotest.test_case "codec names roundtrip" `Quick test_codec_string_roundtrip;
+    Alcotest.test_case "controller names roundtrip" `Quick test_controller_string_roundtrip;
     Alcotest.test_case "derived configs inherit profile fields" `Quick
       test_derived_configs_inherit_fields;
   ]
