@@ -35,6 +35,7 @@ type mode = Full | Smoke
 
 let mode = ref Full
 let out_path = ref "BENCH_ADAPT.json"
+let jobs = ref (Domain.recommended_domain_count ())
 
 let () =
   let rec parse = function
@@ -45,8 +46,15 @@ let () =
     | "--out" :: path :: rest ->
       out_path := path;
       parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> jobs := n
+      | _ ->
+        Printf.eprintf "bad job count %S\n" n;
+        exit 2);
+      parse rest
     | arg :: _ ->
-      Printf.eprintf "usage: adaptive [--smoke] [--out PATH] (got %S)\n" arg;
+      Printf.eprintf "usage: adaptive [--smoke] [--out PATH] [--jobs N] (got %S)\n" arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv))
@@ -223,7 +231,15 @@ let json_of_rows rows =
 let matrix = [ (`Static, false); (`Ewma, false); (`Gilbert_aware, false);
                (`Static, true); (`Ewma, true); (`Gilbert_aware, true) ]
 
-let run_matrix ~seed = List.map (fun (c, ch) -> run ~controller:c ~churned:ch ~seed) matrix
+(* Scenarios are independent virtual-time flows with fixed seeds, so the
+   matrix shards across the domain pool; results gather in matrix order,
+   identical for any --jobs (the determinism gate below runs it twice). *)
+let run_matrix ~seed =
+  let cells = Array.of_list matrix in
+  Array.to_list
+    (Parallel.map ~pool:(Parallel.pool_sized !jobs) (Array.length cells) (fun i ->
+         let c, ch = cells.(i) in
+         run ~controller:c ~churned:ch ~seed))
 
 let () =
   let failures = ref 0 in

@@ -30,6 +30,7 @@ type mode = Full | Smoke
 
 let mode = ref Full
 let out_path = ref "BENCH_CODEC.json"
+let jobs = ref (Domain.recommended_domain_count ())
 
 let () =
   let rec parse = function
@@ -40,8 +41,15 @@ let () =
     | "--out" :: path :: rest ->
       out_path := path;
       parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> jobs := n
+      | _ ->
+        Printf.eprintf "bad job count %S\n" n;
+        exit 2);
+      parse rest
     | arg :: _ ->
-      Printf.eprintf "usage: codec_compare [--smoke] [--out PATH] (got %S)\n" arg;
+      Printf.eprintf "usage: codec_compare [--smoke] [--out PATH] [--jobs N] (got %S)\n" arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv))
@@ -303,15 +311,25 @@ let () =
   | Full ->
     let t0 = Unix.gettimeofday () in
     let reps = 1500 in
+    (* (channel, codec) points are independent (each builds its network
+       and RNG from the point's seed), so shard them across the domain
+       pool; results gather in grid order, identical for any --jobs. *)
+    let points =
+      Array.of_list
+        (List.concat_map
+           (fun channel -> List.map (fun codec -> (channel, codec)) codecs)
+           channels)
+    in
     let samples =
-      List.concat_map
-        (fun channel ->
-          (* One seed per channel, shared by all codecs on that channel. *)
-          let seed =
-            match channel with Bernoulli -> 1001 | Gilbert -> 1002 | Tree -> 1003
-          in
-          List.map (fun codec -> run_protocol ~seed ~channel ~codec ~reps) codecs)
-        channels
+      Array.to_list
+        (Parallel.map ~pool:(Parallel.pool_sized !jobs) (Array.length points)
+           (fun i ->
+             let channel, codec = points.(i) in
+             (* One seed per channel, shared by all codecs on that channel. *)
+             let seed =
+               match channel with Bernoulli -> 1001 | Gilbert -> 1002 | Tree -> 1003
+             in
+             run_protocol ~seed ~channel ~codec ~reps))
     in
     List.iter print_sample samples;
     let costs = List.map (fun kind -> run_decode_cost ~kind ~blocks:400) codecs in

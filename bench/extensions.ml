@@ -19,11 +19,11 @@ let run_e1 () =
   let grid = Harness.receivers_grid () in
   let series =
     [
-      Sweep.series ~label:"N1-sender" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"N1-sender" ~xs:grid ~f:(fun r ->
           (float_of_int r, (Endhost_n1.n1 ~p:0.01 ~receivers:r ()).Endhost.sender /. 1000.0));
-      Sweep.series ~label:"N2-sender" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"N2-sender" ~xs:grid ~f:(fun r ->
           (float_of_int r, (Endhost.n2 ~p:0.01 ~receivers:r ()).Endhost.sender /. 1000.0));
-      Sweep.series ~label:"NP-sender" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"NP-sender" ~xs:grid ~f:(fun r ->
           (float_of_int r, (Endhost.np ~p:0.01 ~k:20 ~receivers:r ()).Endhost.sender /. 1000.0));
     ]
   in
@@ -39,13 +39,13 @@ let run_e2 () =
   let population r = Receivers.homogeneous ~p:0.01 ~count:r in
   let series =
     [
-      Sweep.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
           (float_of_int r, Latency.no_fec ~population:(population r) ~k:7 timing));
-      Sweep.series ~label:"layered(7+1)" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"layered(7+1)" ~xs:grid ~f:(fun r ->
           (float_of_int r, Latency.layered ~population:(population r) ~k:7 ~h:1 timing));
-      Sweep.series ~label:"integrated" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"integrated" ~xs:grid ~f:(fun r ->
           (float_of_int r, Latency.integrated ~population:(population r) ~k:7 timing ()));
-      Sweep.series ~label:"integrated a=2" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"integrated a=2" ~xs:grid ~f:(fun r ->
           (float_of_int r, Latency.integrated ~population:(population r) ~k:7 ~a:2 timing ()));
     ]
   in
@@ -60,9 +60,9 @@ let run_e3 () =
   let slots = [ 0.01; 0.025; 0.05; 0.1; 0.2; 0.4; 0.8 ] in
   let series =
     [
-      Sweep.series ~label:"naks-per-round" ~xs:slots ~f:(fun slot ->
+      Harness.series ~label:"naks-per-round" ~xs:slots ~f:(fun slot ->
           (slot, Feedback.simulate_suppression rng ~slot_counts ~slot ~delay ~reps:2_000));
-      Sweep.series ~label:"latency-cost" ~xs:slots ~f:(fun slot ->
+      Harness.series ~label:"latency-cost" ~xs:slots ~f:(fun slot ->
           (* worst-case slots traversed before the last NAK: volley size *)
           (slot, slot *. 20.0));
     ]
@@ -77,17 +77,17 @@ let run_e5 () =
   let grid = Harness.receivers_grid () in
   let series =
     [
-      Sweep.series ~label:"flat no-FEC" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"flat no-FEC" ~xs:grid ~f:(fun r ->
           (float_of_int r, Hierarchy.flat_cost Hierarchy.Tier_no_fec ~k:7 ~p:0.01 ~receivers:r));
-      Sweep.series ~label:"flat integrated" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"flat integrated" ~xs:grid ~f:(fun r ->
           (float_of_int r, Hierarchy.flat_cost Hierarchy.Tier_integrated ~k:7 ~p:0.01 ~receivers:r));
-      Sweep.series ~label:"hier no-FEC" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"hier no-FEC" ~xs:grid ~f:(fun r ->
           let _, cost =
             Hierarchy.best_group_count ~top:Hierarchy.Tier_no_fec ~bottom:Hierarchy.Tier_no_fec
               ~local_cost:0.25 ~k:7 ~p:0.01 ~receivers:r
           in
           (float_of_int r, cost));
-      Sweep.series ~label:"hier integrated" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"hier integrated" ~xs:grid ~f:(fun r ->
           let _, cost =
             Hierarchy.best_group_count ~top:Hierarchy.Tier_integrated
               ~bottom:Hierarchy.Tier_integrated ~local_cost:0.25 ~k:7 ~p:0.01 ~receivers:r
@@ -111,13 +111,13 @@ let run_e4 () =
   in
   let series =
     [
-      Sweep.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
           (float_of_int r, sim Runner.No_fec 4100 r));
-      Sweep.series ~label:"integrated-2" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"integrated-2" ~xs:grid ~f:(fun r ->
           (float_of_int r, sim (Runner.Integrated_nak { a = 0 }) 4200 r));
-      Sweep.series ~label:"carousel(7+3)" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"carousel(7+3)" ~xs:grid ~f:(fun r ->
           (float_of_int r, sim (Runner.Carousel { h = 3 }) 4300 r));
-      Sweep.series ~label:"carousel(7+7)" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"carousel(7+7)" ~xs:grid ~f:(fun r ->
           (float_of_int r, sim (Runner.Carousel { h = 7 }) 4400 r));
     ]
   in

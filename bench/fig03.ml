@@ -7,11 +7,11 @@ let series ~h =
   let grid = Harness.receivers_grid () in
   let population r = Receivers.homogeneous ~p:0.01 ~count:r in
   let nofec =
-    Sweep.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
+    Harness.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
         (float_of_int r, Arq.expected_transmissions ~population:(population r)))
   in
   let layered k =
-    Sweep.series ~label:(Printf.sprintf "layered-k%d" k) ~xs:grid ~f:(fun r ->
+    Harness.series ~label:(Printf.sprintf "layered-k%d" k) ~xs:grid ~f:(fun r ->
         (float_of_int r, Layered.expected_transmissions ~k ~h ~population:(population r)))
   in
   nofec :: List.map layered [ 7; 20; 100 ]

@@ -12,11 +12,11 @@ let run () =
   let grid = Harness.receivers_grid () in
   let series =
     [
-      Sweep.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
           (float_of_int r, Arq.expected_transmissions ~population:(population r)));
-      Sweep.series ~label:"layered(7+1)" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"layered(7+1)" ~xs:grid ~f:(fun r ->
           (float_of_int r, Layered.expected_transmissions ~k:7 ~h:1 ~population:(population r)));
-      Sweep.series ~label:"integrated" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"integrated" ~xs:grid ~f:(fun r ->
           (float_of_int r,
            Integrated.expected_transmissions_unbounded ~k:7 ~population:(population r) ()));
     ]
@@ -28,17 +28,17 @@ let run_fig6 () =
   Harness.heading ~figure:6 "integrated FEC, k = 7, finite parity budgets";
   let grid = Harness.receivers_grid () in
   let finite h =
-    Sweep.series ~label:(Printf.sprintf "(7 n=%d)" (7 + h)) ~xs:grid ~f:(fun r ->
+    Harness.series ~label:(Printf.sprintf "(7 n=%d)" (7 + h)) ~xs:grid ~f:(fun r ->
         (float_of_int r, Integrated.expected_transmissions ~k:7 ~h ~population:(population r) ()))
   in
   let series =
     [
-      Sweep.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
           (float_of_int r, Arq.expected_transmissions ~population:(population r)));
       finite 1;
       finite 2;
       finite 3;
-      Sweep.series ~label:"(7 n=inf)" ~xs:grid ~f:(fun r ->
+      Harness.series ~label:"(7 n=inf)" ~xs:grid ~f:(fun r ->
           (float_of_int r,
            Integrated.expected_transmissions_unbounded ~k:7 ~population:(population r) ()));
     ]

@@ -9,11 +9,11 @@ let run () =
   let grid = Harness.receivers_grid () in
   let population r = Receivers.homogeneous ~p:0.01 ~count:r in
   let series =
-    Sweep.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
+    Harness.series ~label:"no-FEC" ~xs:grid ~f:(fun r ->
         (float_of_int r, Arq.expected_transmissions ~population:(population r)))
     :: List.map
          (fun k ->
-           Sweep.series ~label:(Printf.sprintf "integrated-k%d" k) ~xs:grid ~f:(fun r ->
+           Harness.series ~label:(Printf.sprintf "integrated-k%d" k) ~xs:grid ~f:(fun r ->
                ( float_of_int r,
                  Integrated.expected_transmissions_unbounded ~k ~population:(population r) () )))
          [ 7; 20; 100 ]
@@ -28,11 +28,11 @@ let run_fig8 () =
   in
   let population p = Receivers.homogeneous ~p ~count:1000 in
   let series =
-    Sweep.series ~label:"no-FEC" ~xs:grid ~f:(fun p ->
+    Harness.series ~label:"no-FEC" ~xs:grid ~f:(fun p ->
         (p, Arq.expected_transmissions ~population:(population p)))
     :: List.map
          (fun k ->
-           Sweep.series ~label:(Printf.sprintf "integrated-k%d" k) ~xs:grid ~f:(fun p ->
+           Harness.series ~label:(Printf.sprintf "integrated-k%d" k) ~xs:grid ~f:(fun p ->
                (p, Integrated.expected_transmissions_unbounded ~k ~population:(population p) ())))
          [ 7; 20; 100 ]
   in

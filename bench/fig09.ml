@@ -13,7 +13,7 @@ let series ~f =
   let grid = Harness.receivers_grid () in
   List.map
     (fun fraction ->
-      Sweep.series
+      Harness.series
         ~label:(Printf.sprintf "high-loss %g%%" (100.0 *. fraction))
         ~xs:grid
         ~f:(fun r -> (float_of_int r, f (population ~fraction r))))

@@ -16,12 +16,12 @@ let heights () = if !Harness.fast then 13 else 17
 let grid () = List.init (heights () + 1) (fun d -> d)
 
 let independent_series ~label ~f =
-  Sweep.series ~label ~xs:(grid ()) ~f:(fun d ->
+  Harness.series ~label ~xs:(grid ()) ~f:(fun d ->
       let r = 1 lsl d in
       (float_of_int r, f (Receivers.homogeneous ~p ~count:r)))
 
 let fbt_series ~label ~scheme ~seed =
-  Sweep.series ~label ~xs:(grid ()) ~f:(fun d ->
+  Harness.series ~label ~xs:(grid ()) ~f:(fun d ->
       let r = 1 lsl d in
       let m =
         Harness.simulate ~scheme ~k

@@ -19,7 +19,7 @@ let sim ~scheme ~k ~seed receivers =
     ~seed ()
 
 let series ~label ~scheme ~k ~seed =
-  Sweep.series ~label ~xs:(grid ()) ~f:(fun r ->
+  Harness.series ~label ~xs:(grid ()) ~f:(fun r ->
       (float_of_int r, sim ~scheme ~k ~seed:(seed + r) r))
 
 let run () =

@@ -11,13 +11,13 @@ let run () =
   Harness.heading ~figure:17 "processing rates [pkts/ms], N2 vs NP, k = 20, p = 0.01";
   let series =
     [
-      Sweep.series ~label:"N2-sender" ~xs:(grid ()) ~f:(fun r ->
+      Harness.series ~label:"N2-sender" ~xs:(grid ()) ~f:(fun r ->
           (float_of_int r, (Endhost.n2 ~p:0.01 ~receivers:r ()).Endhost.sender /. 1000.0));
-      Sweep.series ~label:"N2-receiver" ~xs:(grid ()) ~f:(fun r ->
+      Harness.series ~label:"N2-receiver" ~xs:(grid ()) ~f:(fun r ->
           (float_of_int r, (Endhost.n2 ~p:0.01 ~receivers:r ()).Endhost.receiver /. 1000.0));
-      Sweep.series ~label:"NP-sender" ~xs:(grid ()) ~f:(fun r ->
+      Harness.series ~label:"NP-sender" ~xs:(grid ()) ~f:(fun r ->
           (float_of_int r, (Endhost.np ~p:0.01 ~k:20 ~receivers:r ()).Endhost.sender /. 1000.0));
-      Sweep.series ~label:"NP-receiver" ~xs:(grid ()) ~f:(fun r ->
+      Harness.series ~label:"NP-receiver" ~xs:(grid ()) ~f:(fun r ->
           (float_of_int r, (Endhost.np ~p:0.01 ~k:20 ~receivers:r ()).Endhost.receiver /. 1000.0));
     ]
   in
@@ -28,11 +28,11 @@ let run_fig18 () =
   Harness.heading ~figure:18 "throughput [pkts/ms]: N2, NP, NP pre-encoded";
   let series =
     [
-      Sweep.series ~label:"N2" ~xs:(grid ()) ~f:(fun r ->
+      Harness.series ~label:"N2" ~xs:(grid ()) ~f:(fun r ->
           (float_of_int r, (Endhost.n2 ~p:0.01 ~receivers:r ()).Endhost.throughput /. 1000.0));
-      Sweep.series ~label:"NP" ~xs:(grid ()) ~f:(fun r ->
+      Harness.series ~label:"NP" ~xs:(grid ()) ~f:(fun r ->
           (float_of_int r, (Endhost.np ~p:0.01 ~k:20 ~receivers:r ()).Endhost.throughput /. 1000.0));
-      Sweep.series ~label:"NP-pre-encode" ~xs:(grid ()) ~f:(fun r ->
+      Harness.series ~label:"NP-pre-encode" ~xs:(grid ()) ~f:(fun r ->
           ( float_of_int r,
             (Endhost.np ~pre_encoded:true ~p:0.01 ~k:20 ~receivers:r ()).Endhost.throughput
             /. 1000.0 ));

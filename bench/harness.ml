@@ -3,6 +3,12 @@
 let out_dir = ref "bench/out"
 let fast = ref false
 
+(* Total parallelism for the sweep engine: every fig bench evaluates its
+   grid through [series] below, which shards the points across this many
+   domains.  1 = sequential.  Point seeds are derived from coordinates,
+   never from the schedule, so any value produces identical CSVs. *)
+let jobs = ref (Domain.recommended_domain_count ())
+
 (* Bechamel microbenchmark: OLS estimate of seconds per run. *)
 let seconds_per_run ~name f =
   let open Bechamel in
@@ -22,31 +28,44 @@ let seconds_per_run ~name f =
   nanoseconds *. 1e-9
 
 let ensure_out_dir () =
-  if not (Sys.file_exists !out_dir) then Sys.mkdir !out_dir 0o755
+  (* mkdir, tolerating a concurrent (or earlier) creation: the existence
+     check and the mkdir are not atomic, so another process racing us —
+     two benches sharing an out dir — must not crash the run. *)
+  try Sys.mkdir !out_dir 0o755 with
+  | Sys_error _ when Sys.file_exists !out_dir -> ()
+
+(* Atomic file write: a reader (plot script, CI artifact collection)
+   never observes a half-written file — the content lands under a temp
+   name in the same directory and is renamed into place. *)
+let write_file path content =
+  let temp = path ^ ".tmp" in
+  let oc = open_out temp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename temp path
 
 let write_csv ~figure series =
   ensure_out_dir ();
   let path = Filename.concat !out_dir (Printf.sprintf "fig%02d.csv" figure) in
-  let oc = open_out path in
-  output_string oc (Rmcast.Sweep.to_csv series);
-  close_out oc;
+  write_file path (Rmcast.Sweep.to_csv series);
   (* Companion gnuplot script: `gnuplot figNN.gp` renders figNN.svg. *)
   let gp = Filename.concat !out_dir (Printf.sprintf "fig%02d.gp" figure) in
-  let og = open_out gp in
-  Printf.fprintf og "set datafile separator ','\n";
-  Printf.fprintf og "set terminal svg size 800,560 dynamic\n";
-  Printf.fprintf og "set output 'fig%02d.svg'\n" figure;
-  Printf.fprintf og "set logscale x\n";
-  Printf.fprintf og "set xlabel 'x'\nset ylabel 'y'\nset key left top\n";
-  Printf.fprintf og "plot \\\n";
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "set datafile separator ','\n";
+  Buffer.add_string buffer "set terminal svg size 800,560 dynamic\n";
+  Buffer.add_string buffer (Printf.sprintf "set output 'fig%02d.svg'\n" figure);
+  Buffer.add_string buffer "set logscale x\n";
+  Buffer.add_string buffer "set xlabel 'x'\nset ylabel 'y'\nset key left top\n";
+  Buffer.add_string buffer "plot \\\n";
   List.iteri
     (fun i { Rmcast.Sweep.label; _ } ->
-      Printf.fprintf og
-        "  'fig%02d.csv' using 2:(strcol(1) eq '%s' ? $3 : NaN) with linespoints title '%s'%s\n"
-        figure label label
-        (if i = List.length series - 1 then "" else ", \\"))
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "  'fig%02d.csv' using 2:(strcol(1) eq '%s' ? $3 : NaN) with linespoints title '%s'%s\n"
+           figure label label
+           (if i = List.length series - 1 then "" else ", \\")))
     series;
-  close_out og;
+  write_file gp (Buffer.contents buffer);
   Printf.printf "  [csv] %s (+ %s)\n%!" path gp
 
 let heading ~figure title =
@@ -70,3 +89,13 @@ let simulate ~scheme ~k ?timing ~net_of_rng ~seed () =
   let reps = reps_for (Rmcast.Network.receivers net) in
   let estimate = Rmcast.Runner.estimate net ~k ~scheme ?timing ~reps () in
   Rmcast.Runner.mean_m estimate
+
+(* Domain-parallel drop-in for [Sweep.series]: the grid points are
+   evaluated on [!jobs] domains.  [f] must be a pure function of its
+   argument — every fig bench's point function either is analytic or
+   seeds its own simulation from the x value (as [simulate] does) — so
+   sequential and parallel runs produce identical series. *)
+let series ~label ~xs ~f =
+  Rmcast.Sweep.series_cells ~jobs:!jobs ~seed:0 ~label ~xs
+    ~f:(fun ~seed:_ x -> f x)
+    ()

@@ -58,9 +58,14 @@ let () =
     | "--out" :: dir :: rest ->
       Harness.out_dir := dir;
       parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> Harness.jobs := n
+      | _ -> Printf.eprintf "bad job count %S\n" n);
+      parse rest
     | ("--help" | "-h") :: _ ->
       Printf.printf
-        "usage: main.exe [--fast] [--figure N]... [--ablations] [--with-ablations] [--out DIR]\n";
+        "usage: main.exe [--fast] [--figure N]... [--ablations] [--with-ablations] [--out DIR] [--jobs N]\n";
       Printf.printf "figures: %s\n"
         (String.concat ", " (List.map (fun (n, _, _) -> string_of_int n) figures));
       exit 0

@@ -27,6 +27,7 @@ type mode = Full | Smoke
 
 let mode = ref Full
 let out_path = ref "BENCH_SCALE.json"
+let jobs = ref (Domain.recommended_domain_count ())
 
 let () =
   let rec parse = function
@@ -37,8 +38,15 @@ let () =
     | "--out" :: path :: rest ->
       out_path := path;
       parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> jobs := n
+      | _ ->
+        Printf.eprintf "bad job count %S\n" n;
+        exit 2);
+      parse rest
     | arg :: _ ->
-      Printf.eprintf "usage: scale [--smoke] [--out PATH] (got %S)\n" arg;
+      Printf.eprintf "usage: scale [--smoke] [--out PATH] [--jobs N] (got %S)\n" arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv))
@@ -189,7 +197,7 @@ let json_of ~samples ~exact_rate ~exact_wall ~exact_receivers ~exact_reps ~speed
   pr "    \"p\": %g,\n" p;
   pr "    \"mean_burst\": %g,\n" mean_burst;
   pr "    \"send_rate\": %g,\n" send_rate;
-  pr "    \"domains\": %d,\n" (Parallel.domain_count (Parallel.default_pool ()));
+  pr "    \"domains\": %d,\n" (Parallel.domain_count (Parallel.pool_sized !jobs));
   pr "    \"elapsed_s\": %.2f\n" elapsed;
   pr "  },\n";
   pr "  \"exact_tier\": {\n";
@@ -286,8 +294,9 @@ let () =
        Concurrent points contend for cores, so per-point wall times are
        upper bounds; the headline speedup is re-measured sequentially. *)
     let samples =
-      Array.to_list (Parallel.map (Array.length regimes) (fun i ->
-          run_regime ~seed:(100 + i) regimes.(i)))
+      Array.to_list
+        (Parallel.map ~pool:(Parallel.pool_sized !jobs) (Array.length regimes)
+           (fun i -> run_regime ~seed:(100 + i) regimes.(i)))
     in
     List.iter print_sample samples;
     let exact_receivers = 10_000 and exact_reps = 20 in

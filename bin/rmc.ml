@@ -37,6 +37,16 @@ let receivers_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains to run the work on. Results are independent of N: grid cells and \
+           replication chunks derive their seeds from their coordinates, never from \
+           the schedule, so any job count produces identical output.")
+
 let scheme_arg =
   let parse s =
     match String.lowercase_ascii s with
@@ -186,12 +196,16 @@ let analyze_cmd =
 
 (* --- sweep ----------------------------------------------------------- *)
 
-let sweep scheme k h a p high_fraction upto csv =
+let sweep scheme k h a p high_fraction upto csv jobs =
   let grid = Rmcast.Sweep.log_spaced_ints ~from:1 ~upto ~per_decade:4 in
+  (* The cells are analytic (pure in the receiver count), so sharding them
+     across domains cannot change the series. *)
   let series =
-    Rmcast.Sweep.series ~label:"E[M]" ~xs:grid ~f:(fun receivers ->
+    Rmcast.Sweep.series_cells ?jobs ~seed:0 ~label:"E[M]" ~xs:grid
+      ~f:(fun ~seed:_ receivers ->
         ( float_of_int receivers,
           expected_m scheme ~k ~h ~a ~population:(population ~p ~receivers ~high_fraction) ))
+      ()
   in
   if csv then print_string (Rmcast.Sweep.to_csv [ series ])
   else Format.printf "%a@." Rmcast.Sweep.pp_table [ series ];
@@ -206,12 +220,12 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc)
     Term.(
-      ret (const sweep $ scheme_arg $ k_arg $ h_arg $ a_arg $ p_arg $ high_loss_arg $ upto $ csv))
+      ret (const sweep $ scheme_arg $ k_arg $ h_arg $ a_arg $ p_arg $ high_loss_arg $ upto $ csv
+           $ jobs_arg))
 
 (* --- simulate -------------------------------------------------------- *)
 
-let simulate scheme k h a p receivers seed reps fbt_height burst tier codec =
-  let rng = Rmcast.Rng.create ~seed () in
+let simulate scheme k h a p receivers seed reps fbt_height burst tier codec jobs =
   let runner_scheme =
     match (scheme, codec) with
     | `No_fec, _ -> Rmcast.Runner.No_fec
@@ -233,9 +247,31 @@ let simulate scheme k h a p receivers seed reps fbt_height burst tier codec =
       (Rmcast.Stats.Accumulator.mean estimate.Rmcast.Runner.feedback)
       (Rmcast.Stats.Accumulator.mean estimate.Rmcast.Runner.unnecessary_per_receiver)
   in
+  (* Without --jobs, one RNG drives the whole run — byte-identical to the
+     historical sequential behaviour.  With --jobs N, the repetitions are
+     split into fixed 100-rep chunks (a partition independent of N), each
+     chunk runs with a seed derived from (seed, chunk index) on its own
+     domain, and the per-chunk moments merge in index order — so any N,
+     including 1, produces identical output. *)
+  let chunked estimate_with =
+    match jobs with
+    | None -> estimate_with (Rmcast.Rng.create ~seed ()) reps
+    | Some jobs ->
+      let chunk_reps = 100 in
+      let chunks = max 1 ((reps + chunk_reps - 1) / chunk_reps) in
+      let estimates =
+        Rmcast.Sweep.run_cells ~jobs ~seed
+          ~f:(fun ~seed chunk ->
+            let reps = min chunk_reps (reps - (chunk * chunk_reps)) in
+            estimate_with (Rmcast.Rng.create ~seed ()) reps)
+          (Array.init chunks (fun chunk -> chunk))
+      in
+      Array.fold_left Rmcast.Runner.merge estimates.(0)
+        (Array.sub estimates 1 (Array.length estimates - 1))
+  in
   match tier with
   | `Exact ->
-    let network, timing =
+    let make_network rng =
       match (fbt_height, burst) with
       | Some height, _ -> (Rmcast.Network.fbt rng ~height ~p, Rmcast.Timing.instantaneous)
       | None, Some mean_burst ->
@@ -245,8 +281,15 @@ let simulate scheme k h a p receivers seed reps fbt_height burst tier codec =
       | None, None ->
         (Rmcast.Network.independent rng ~receivers ~p, Rmcast.Timing.instantaneous)
     in
-    let estimate = Rmcast.Runner.estimate network ~k ~scheme:runner_scheme ~timing ~reps () in
-    print_estimate ~network_description:(Rmcast.Network.description network) estimate;
+    let network_description =
+      Rmcast.Network.description (fst (make_network (Rmcast.Rng.create ~seed ())))
+    in
+    let estimate =
+      chunked (fun rng reps ->
+          let network, timing = make_network rng in
+          Rmcast.Runner.estimate network ~k ~scheme:runner_scheme ~timing ~reps ())
+    in
+    print_estimate ~network_description estimate;
     `Ok ()
   | `Aggregate -> (
     match fbt_height with
@@ -280,8 +323,9 @@ let simulate scheme k h a p receivers seed reps fbt_height burst tier codec =
           | None -> (Rmcast.Aggregate.bernoulli ~p, Rmcast.Timing.instantaneous)
         in
         let estimate =
-          Rmcast.Tg_aggregate.estimate rng ~receivers ~channel ~k ~scheme:runner_scheme
-            ~timing ~reps ()
+          chunked (fun rng reps ->
+              Rmcast.Tg_aggregate.estimate rng ~receivers ~channel ~k
+                ~scheme:runner_scheme ~timing ~reps ())
         in
         let network_description =
           Printf.sprintf "aggregate population, %d receivers, %s" receivers
@@ -317,7 +361,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       ret (const simulate $ scheme_arg $ k_arg $ h_arg $ a_arg $ p_arg $ receivers_arg
-           $ seed_arg $ reps $ fbt $ burst $ tier $ codec_arg))
+           $ seed_arg $ reps $ fbt $ burst $ tier $ codec_arg $ jobs_arg))
 
 (* --- plan ------------------------------------------------------------ *)
 

@@ -1,3 +1,6 @@
+module Rng = Rmc_numerics.Rng
+module Parallel = Rmc_rse.Parallel
+
 let log_spaced_ints ~from ~upto ~per_decade =
   if from < 1 || upto < from then invalid_arg "Sweep.log_spaced_ints: bad range";
   if per_decade < 1 then invalid_arg "Sweep.log_spaced_ints: per_decade must be >= 1";
@@ -22,9 +25,32 @@ let powers_of_two ~max_exponent =
   if max_exponent < 0 then invalid_arg "Sweep.powers_of_two: negative exponent";
   List.init (max_exponent + 1) (fun d -> 1 lsl d)
 
+(* Domain-parallel grid execution.  Every cell gets a seed derived from
+   (base seed, cell coordinates) alone — never from the schedule — and
+   results land positionally, so run_cells is a pure function of
+   (cells, seed): jobs = 1 and jobs = N produce identical arrays. *)
+
+let cell_seed ~seed coords = Rng.derive_seed seed coords
+
+let run_cells ?jobs ?chunk ~seed ?(coords = fun i _ -> [| i |]) ~f cells =
+  let n = Array.length cells in
+  let seeds = Array.init n (fun i -> cell_seed ~seed (coords i cells.(i))) in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
+  in
+  let eval i = f ~seed:seeds.(i) cells.(i) in
+  if jobs = 1 || n <= 1 then Array.init n eval
+  else Parallel.map ~pool:(Parallel.pool_sized jobs) ?chunk n eval
+
 type series = { label : string; points : (float * float) list }
 
 let series ~label ~xs ~f = { label; points = List.map f xs }
+
+let series_cells ?jobs ?chunk ~seed ~label ~xs ~f () =
+  let points =
+    run_cells ?jobs ?chunk ~seed ~f (Array.of_list xs) |> Array.to_list
+  in
+  { label; points }
 
 let to_csv ?(header = "series,x,y") all =
   let buffer = Buffer.create 4096 in

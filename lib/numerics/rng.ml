@@ -42,6 +42,27 @@ let bits64 t =
 
 let split t = of_int64_seed (bits64 t)
 
+(* Fold a base seed and a cell's integer coordinates through splitmix64.
+   Purely functional: the same (seed, coords) always yields the same
+   derived seed, and each coordinate perturbs the state before the next
+   output is drawn, so neighbouring grid cells get well-separated seeds
+   no matter how (or on which domain) the cells are later executed. *)
+let derive_seed seed coords =
+  let state = ref (Int64.of_int seed) in
+  let out = ref (splitmix_next state) in
+  Array.iter
+    (fun coordinate ->
+      (* Run the coordinate itself through the splitmix finaliser before
+         folding it in: xoring raw multiples of the golden gamma into the
+         state collides for small coordinate grids (the mixing only
+         happens after the xor), while a finalised word scatters even
+         adjacent coordinates across the whole state space. *)
+      state := Int64.logxor !state (splitmix_next (ref (Int64.of_int coordinate)));
+      out := splitmix_next state)
+    coords;
+  (* Truncate to a non-negative OCaml int so the result feeds [create]. *)
+  Int64.to_int (Int64.shift_right_logical !out 2)
+
 let float t =
   let bits = Int64.shift_right_logical (bits64 t) 11 in
   Int64.to_float bits *. 0x1p-53

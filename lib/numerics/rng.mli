@@ -22,6 +22,15 @@ val split : t -> t
 (** [split rng] draws from [rng] to seed a fresh, statistically independent
     generator.  [rng] advances. *)
 
+val derive_seed : int -> int array -> int
+(** [derive_seed seed coords] deterministically derives an independent
+    seed for the grid cell at integer coordinates [coords] from the base
+    [seed], by folding both through splitmix64.  A pure function: sweep
+    cells seeded this way are reproducible regardless of evaluation
+    order, which is what makes parallel sweeps byte-identical to
+    sequential ones.  The result is non-negative and fits [create]'s
+    [?seed]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

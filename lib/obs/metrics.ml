@@ -1,10 +1,32 @@
-(* Counters and gauges are [Atomic.t] cells so instrumented code running
-   on several domains (the sharded UDP reactor, [Parallel.map] jobs) never
-   loses increments: [incr] is one [fetch_and_add], [set] one atomic
-   store.  The registry tables are guarded by a mutex, taken only on
-   handle creation and listings — never on the hot bump path. *)
+(* Counters are sharded per domain so instrumented hot paths never
+   contend: [incr] bumps the shard slot indexed by the calling domain's
+   id, one [fetch_and_add] on a cache line no other domain is writing.
+   Reads sum the slots — each counter is exact (every increment lands in
+   exactly one slot) but a read concurrent with writers is a moment-in-
+   time sum, and two counters read one after the other may straddle an
+   update (per-counter atomicity, not cross-counter consistency; see the
+   .mli).  Gauges are last-value-wins, one atomic cell.  The registry
+   tables are guarded by a mutex, taken only on handle creation and
+   listings — never on the hot bump path. *)
 
-type counter = { c_name : string; c_value : int Atomic.t }
+(* Enough slots to separate the domains we actually run (reactor shards,
+   Parallel workers), capped so listing stays cheap.  At least 4, so the
+   multi-slot paths are exercised even on single-core hosts. *)
+let slot_count =
+  let domains = Domain.recommended_domain_count () in
+  let rec up n = if n >= domains || n >= 16 then n else up (n * 2) in
+  up 4
+
+let slot_mask = slot_count - 1
+
+(* The pad keeps consecutively-allocated slots off each other's cache
+   lines (minor-heap allocation is sequential), so two domains bumping
+   neighbouring slots don't false-share. *)
+type slot = { value : int Atomic.t; _pad : Bytes.t }
+
+let make_slot () = { value = Atomic.make 0; _pad = Bytes.create 48 }
+
+type counter = { c_name : string; c_slots : slot array }
 type gauge = { g_name : string; g_value : float Atomic.t }
 
 type t = {
@@ -41,16 +63,19 @@ let counter t name =
       match Hashtbl.find_opt t.counters name with
       | Some c -> c
       | None ->
-        let c = { c_name = name; c_value = Atomic.make 0 } in
+        let c = { c_name = name; c_slots = Array.init slot_count (fun _ -> make_slot ()) } in
         Hashtbl.replace t.counters name c;
         c)
 
-let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c_value by : int)
-let count c = Atomic.get c.c_value
+let incr ?(by = 1) c =
+  let slot = (Domain.self () :> int) land slot_mask in
+  ignore (Atomic.fetch_and_add c.c_slots.(slot).value by : int)
+
+let count c = Array.fold_left (fun acc slot -> acc + Atomic.get slot.value) 0 c.c_slots
 
 let get t name =
   match locked t (fun () -> Hashtbl.find_opt t.counters (t.prefix ^ name)) with
-  | Some c -> Atomic.get c.c_value
+  | Some c -> count c
   | None -> 0
 
 let gauge t name =
@@ -76,8 +101,7 @@ let in_scope t name = String.starts_with ~prefix:t.prefix name
 let counters t =
   locked t (fun () ->
       Hashtbl.fold
-        (fun _ c acc ->
-          if in_scope t c.c_name then (c.c_name, Atomic.get c.c_value) :: acc else acc)
+        (fun _ c acc -> if in_scope t c.c_name then (c.c_name, count c) :: acc else acc)
         t.counters [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
@@ -89,8 +113,11 @@ let gauges t =
         t.gauges [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let snapshot t = (counters t, gauges t)
+
 let pp ppf t =
-  List.iter (fun (name, v) -> Format.fprintf ppf "%s %d@." name v) (counters t);
-  List.iter (fun (name, v) -> Format.fprintf ppf "%s %g@." name v) (gauges t)
+  let counters, gauges = snapshot t in
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s %d@." name v) counters;
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s %g@." name v) gauges
 
 let to_string t = Format.asprintf "%a" pp t

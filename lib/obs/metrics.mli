@@ -6,21 +6,38 @@
     so instrumented hot paths pay one [Atomic.fetch_and_add] per event —
     no allocation, no hashing.
 
-    The registry is domain-safe: counters and gauges are [Atomic.t]
-    cells, so handles may be bumped concurrently from several domains
-    (the sharded UDP reactor, {!Rmc_rse.Parallel} jobs) without losing
-    updates, and handle creation / listings are serialized internally.
-    One registry can therefore be shared across a whole sharded run and
-    still report exact totals. *)
+    Counters are {e sharded per domain}: each counter holds a small array
+    of padded per-domain slots, {!incr} bumps the calling domain's slot,
+    and reads sum the slots.  Several domains (the sharded UDP reactor,
+    {!Rmc_rse.Parallel} workers) can therefore bump the same counter
+    without ever contending on a cache line, and no increment is lost.
+
+    {2 Consistency contract}
+
+    Each individual counter is {e exact}: every {!incr} lands in exactly
+    one slot, so once writers quiesce, {!count}/{!get} return precisely
+    the number of increments.  While writers are running, a read is a
+    moment-in-time sum of the slots — a valid value the counter passed
+    through (reads never observe a partial [by]).
+
+    There is {e no cross-counter consistency}: two counters read one
+    after the other (by {!counters}, {!snapshot} or consecutive {!get}s)
+    may straddle a concurrent update that touched both — e.g. a dump can
+    show [tx.data] already bumped but [tx.bytes] not yet.  Consumers that
+    need a coherent multi-counter view must quiesce the writers first
+    (as the drivers do at teardown).  {!snapshot} reads each counter's
+    shard sum exactly once, so within one snapshot a counter appears a
+    single consistent value — but different counters in the same snapshot
+    are still taken at slightly different instants. *)
 
 type t
 (** A metrics registry. *)
 
 type counter
-(** Monotonic integer counter. *)
+(** Monotonic integer counter, sharded per domain. *)
 
 type gauge
-(** Last-value-wins float gauge. *)
+(** Last-value-wins float gauge (one atomic cell, not sharded). *)
 
 val create : unit -> t
 
@@ -40,9 +57,11 @@ val counter : t -> string -> counter
     the same handle. *)
 
 val incr : ?by:int -> counter -> unit
-(** Bump a counter (default [by] = 1). *)
+(** Bump a counter (default [by] = 1): one [fetch_and_add] on the calling
+    domain's shard slot.  Never lost, never contended across domains. *)
 
 val count : counter -> int
+(** Sum of the counter's shard slots (see the consistency contract). *)
 
 val get : t -> string -> int
 (** Current value of the named counter; 0 if it was never registered. *)
@@ -58,9 +77,15 @@ val get_gauge : t -> string -> float
 
 val counters : t -> (string * int) list
 (** All counters under this view's prefix (all of them for a root
-    registry), full names, sorted (deterministic for tests and dumps). *)
+    registry), full names, sorted (deterministic for tests and dumps).
+    Each value is that counter's shard sum read once. *)
 
 val gauges : t -> (string * float) list
+
+val snapshot : t -> (string * int) list * (string * float) list
+(** [(counters t, gauges t)] taken back-to-back: each counter's shards
+    are summed exactly once.  Per-counter atomic; not consistent across
+    counters (see the consistency contract above). *)
 
 val pp : Format.formatter -> t -> unit
 (** One [name value] line per metric, counters then gauges, sorted. *)

@@ -1,4 +1,5 @@
-(** Fixed-size byte-buffer pool for the packet datapath.
+(** Fixed-size byte-buffer pool for the packet datapath — lock-free, so
+    one pool can serve several domains.
 
     The wire drivers serialize every outgoing datagram into a scratch
     buffer, hand it to the kernel (or the simulated network), and are done
@@ -7,6 +8,13 @@
     minor heap the per-packet bottleneck the paper's §5 end-host model
     warns about, so the drivers draw from a pool of [capacity] buffers of
     [buf_size] bytes each and return them as soon as the datagram has left.
+
+    The free list is a Treiber stack whose head is a single stamped
+    [Atomic.t] word (the stamp increments on every push/pop, defeating
+    ABA under node reuse), so {!checkout} and {!release} are wait-free of
+    locks and safe from any domain: one pool can back multiple reactor
+    shards or {!Rmc_rse.Parallel} workers, and a buffer checked out on
+    one domain may be released on another.
 
     Discipline is enforced, not assumed:
 
@@ -21,10 +29,7 @@
       teardown, when every checkout must have been released.
 
     Buffers come back with whatever bytes the previous owner wrote; users
-    must treat a checkout as uninitialized.  The pool is {e per-domain}:
-    it belongs to the domain that created it (each shard of the sharded
-    UDP reactor owns one), and {!checkout}/{!release} from any other
-    domain raise rather than silently corrupt the free list. *)
+    must treat a checkout as uninitialized. *)
 
 type t
 
@@ -41,15 +46,14 @@ val capacity : t -> int
 val checkout : t -> Bytes.t
 (** Borrow a buffer of {!buf_size} bytes with arbitrary contents.  Falls
     back to a fresh allocation (counted in {!overflow_allocs}) when the
-    pool is empty-handed.
-    @raise Invalid_argument when called from a domain other than the
-    pool's creator. *)
+    pool is empty-handed.  Safe from any domain. *)
 
 val release : t -> Bytes.t -> unit
-(** Return a borrowed buffer.  Overflow buffers are absorbed into the
-    free list when there is room and dropped otherwise.
+(** Return a borrowed buffer — from any domain, not necessarily the one
+    that checked it out.  Overflow buffers are absorbed into the free
+    list when there is room and dropped otherwise.
     @raise Invalid_argument on a wrong-sized buffer, a double release, or
-    a release from a foreign domain. *)
+    a release with nothing checked out. *)
 
 val with_buf : t -> (Bytes.t -> 'a) -> 'a
 (** [with_buf t f] checks a buffer out, applies [f], and releases it even
@@ -68,7 +72,8 @@ val overflow_allocs : t -> int
 (** Checkouts served by a fresh allocation because the pool was empty. *)
 
 val free_buffers : t -> int
-(** Buffers sitting in the free list right now. *)
+(** Buffers sitting in the free list right now.  Under concurrent
+    traffic this is a snapshot, exact only at quiescence. *)
 
 val assert_quiescent : t -> unit
 (** Leak detection: @raise Invalid_argument naming the count if any

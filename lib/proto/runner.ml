@@ -46,6 +46,28 @@ type estimate = {
 
 let mean_m e = Stats.Accumulator.mean e.transmissions_per_packet
 
+(* Combine estimates of the same experiment run as independent chunks
+   (e.g. replication ranges evaluated on different domains).  The
+   accumulators merge with the Welford pairwise formula, so folding the
+   chunks in index order gives the same result whatever schedule
+   produced them. *)
+let merge a b =
+  if scheme_name a.scheme <> scheme_name b.scheme || a.k <> b.k
+     || a.receivers <> b.receivers
+  then invalid_arg "Runner.merge: estimates come from different experiments";
+  let m = Stats.Accumulator.merge in
+  {
+    scheme = a.scheme;
+    k = a.k;
+    receivers = a.receivers;
+    reps = a.reps + b.reps;
+    transmissions_per_packet = m a.transmissions_per_packet b.transmissions_per_packet;
+    rounds = m a.rounds b.rounds;
+    feedback = m a.feedback b.feedback;
+    unnecessary_per_receiver = m a.unnecessary_per_receiver b.unnecessary_per_receiver;
+    completion_time = m a.completion_time b.completion_time;
+  }
+
 let estimate net ?profile ?k ?scheme ?rng ?metrics ?timing ?(reps = 200) () =
   let module Profile = Rmc_core.Profile in
   let k =

@@ -45,6 +45,16 @@ type estimate = {
 val mean_m : estimate -> float
 (** Shorthand for the mean of [transmissions_per_packet]. *)
 
+val merge : estimate -> estimate -> estimate
+(** Combine two estimates of the same experiment (same scheme, [k] and
+    receiver count) run as independent replication chunks — the parallel
+    [--jobs] path splits [reps] into fixed chunks, estimates each on its
+    own domain with its own derived seed, and folds the chunks back in
+    index order, so the merged moments are identical for any job count.
+    Accumulators combine with {!Rmc_numerics.Stats.Accumulator.merge}.
+    @raise Invalid_argument when the estimates disagree on scheme name,
+    [k] or [receivers]. *)
+
 val estimate :
   Rmc_sim.Network.t ->
   ?profile:Rmc_core.Profile.t ->

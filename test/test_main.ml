@@ -32,4 +32,5 @@ let () =
       ("scheduler", Test_scheduler.suite);
       ("aggregate", Test_aggregate.suite);
       ("control", Test_control.suite);
+      ("parallel", Test_parallel.suite);
     ]

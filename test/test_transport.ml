@@ -182,19 +182,22 @@ let test_metrics_domain_hammer () =
     ((4 * per_domain) + 1 + 2 + 3 + 4)
     (Metrics.count c)
 
-let test_pool_rejects_cross_domain_use () =
-  (* Pools are deliberately per-domain (each shard owns its own); using
-     one from a foreign domain is a sharding bug and fails loudly instead
-     of corrupting the free list. *)
+let test_pool_cross_domain_use () =
+  (* The Treiber-stack pool serves any domain: a buffer checked out on
+     one domain can be released on another, and the accounting stays
+     exact.  (Earlier versions were per-domain and rejected this.) *)
   let pool = Buffer_pool.create ~capacity:2 ~buf_size:64 () in
-  let rejected =
+  let here = Buffer_pool.checkout pool in
+  let there =
     Domain.join
       (Domain.spawn (fun () ->
-           match Buffer_pool.checkout pool with
-           | _ -> false
-           | exception Invalid_argument _ -> true))
+           let buffer = Buffer_pool.checkout pool in
+           Buffer_pool.release pool here;
+           buffer))
   in
-  Alcotest.(check bool) "foreign-domain checkout rejected" true rejected;
+  Buffer_pool.release pool there;
+  Alcotest.(check int) "both checkouts counted" 2 (Buffer_pool.total_checkouts pool);
+  Alcotest.(check int) "both buffers back" 2 (Buffer_pool.free_buffers pool);
   Buffer_pool.with_buf pool (fun _ -> ());
   Buffer_pool.assert_quiescent pool
 
@@ -299,8 +302,8 @@ let suite =
     Alcotest.test_case "EINTR retried to a real outcome" `Quick test_retry_eintr;
     Alcotest.test_case "metrics exact under domain hammer" `Quick
       test_metrics_domain_hammer;
-    Alcotest.test_case "pool rejects cross-domain use" `Quick
-      test_pool_rejects_cross_domain_use;
+    Alcotest.test_case "pool serves cross-domain use" `Quick
+      test_pool_cross_domain_use;
     Alcotest.test_case "reactor FD_SETSIZE guard" `Quick test_reactor_max_fds_guard;
     Alcotest.test_case "multicast group derivation" `Quick test_multicast_group_derivation;
     Alcotest.test_case "udp session over real multicast" `Quick test_multicast_session;
